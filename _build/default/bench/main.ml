@@ -1,0 +1,308 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) plus the ablation sweeps for its secondary claims,
+   then runs Bechamel micro-benchmarks of the emulated FlexVec
+   primitives and the simulation pipeline itself.
+
+   Sections:
+     table1         — simulated machine configuration (Table 1)
+     figure8        — overall application speedups (Figure 8)
+     table2         — coverage / trip counts / instruction mix (Table 2)
+     rtm-sweep      — RTM tile-size tuning (§3.3.2, §4.1)
+     strategy-sweep — FlexVec vs PACT'13 wholesale speculation (§2)
+     trip-sweep     — speedup vs trip count (§5)
+     evl-sweep      — speedup vs effective vector length (§5)
+     vl-sweep       — ablation over hardware vector length
+     strategies     — Figure 8 under FlexVec / wholesale / RTM
+     prefetch-ablation — stream prefetcher on/off (§5 memory subsystem)
+     micro          — Bechamel micro-benchmarks
+
+   Run a subset with: bench/main.exe table2 figure8 *)
+
+open Fv_core
+
+let section name =
+  Printf.printf "\n=== %s %s\n%!" name (String.make (max 1 (70 - String.length name)) '=')
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "table1: simulated machine (paper Table 1)";
+  let rows =
+    [ "Component"; "Configuration" ]
+    :: List.map (fun (a, b) -> [ a; b ]) (Fv_ooo.Machine.rows Fv_ooo.Machine.table1)
+  in
+  print_string (Report.table rows);
+  print_newline ();
+  let rows =
+    [ "FlexVec Instruction"; "Latency(cycles), Throughput" ]
+    :: List.map
+         (fun (name, cls) ->
+           let t = Fv_isa.Latency.timing cls in
+           [ name; Printf.sprintf "%d, %d" t.latency t.recip_tput ])
+         Fv_isa.Latency.table1_flexvec_rows
+  in
+  print_string (Report.table rows)
+
+let figure8 () =
+  section "figure8: application speedup over the AVX-512 baseline";
+  let r = Figure8.run () in
+  let rows =
+    [ "Benchmark"; "Cvrg"; "Hot speedup"; "Overall"; "Vectorized?"; "Mix emitted" ]
+    :: List.map
+         (fun (row : Figure8.row) ->
+           [
+             row.spec.name;
+             Report.pct row.spec.coverage;
+             Report.f2 row.hot ^ "x";
+             Printf.sprintf "%.3fx" row.overall;
+             (if row.decision.vectorize then "yes"
+              else "no: " ^ String.concat "; " row.decision.reasons);
+             row.mix_measured;
+           ])
+         r.rows
+  in
+  print_string (Report.table rows);
+  Printf.printf "\nGeomean (11 SPEC 2006): %.3fx   [paper: 1.09x]\n"
+    r.spec_geomean;
+  Printf.printf "Geomean (7 applications): %.3fx   [paper: 1.11x]\n\n"
+    r.app_geomean;
+  print_endline
+    (Report.bar_chart
+       (List.map (fun (row : Figure8.row) -> (row.spec.name, row.overall)) r.rows))
+
+let table2 () =
+  section "table2: coverage, trip count and instruction mix";
+  let rows = Table2.run () in
+  let header =
+    [ "Benchmark"; "Cvrg (paper)"; "Trip (paper)"; "Trip (sim)"; "EVL";
+      "Mix emitted"; "= paper?" ]
+  in
+  let body =
+    List.map
+      (fun (r : Table2.row) ->
+        [
+          r.spec.name;
+          Report.pct r.spec.coverage;
+          r.spec.paper_trip;
+          Report.f1 r.measured_trip;
+          Report.f1 r.measured_evl;
+          r.measured_mix;
+          (if r.mix_matches then "yes" else "NO");
+        ])
+      rows
+  in
+  print_string (Report.table (header :: body));
+  let matches = List.length (List.filter (fun (r : Table2.row) -> r.mix_matches) rows) in
+  Printf.printf "\ninstruction mixes matching the paper: %d / %d\n" matches
+    (List.length rows)
+
+let rtm_sweep () =
+  section "rtm-sweep: transactional-speculation tile size (paper: 128-256 within 1-2% of FF)";
+  let pts = Sweeps.rtm_tile_sweep () in
+  let rows =
+    [ "Tile"; "RTM cycles"; "FF cycles"; "RTM/FF"; "vs scalar" ]
+    :: List.map
+         (fun (p : Sweeps.rtm_point) ->
+           [
+             string_of_int p.tile;
+             string_of_int p.rtm_cycles;
+             string_of_int p.ff_cycles;
+             Report.f2 p.rel_to_ff;
+             Report.f2 (float_of_int p.scalar_cycles /. float_of_int p.rtm_cycles) ^ "x";
+           ])
+         pts
+  in
+  print_string (Report.table rows)
+
+let strategy_sweep () =
+  section "strategy-sweep: FlexVec vs PACT'13 wholesale speculation";
+  List.iter
+    (fun (label, pattern) ->
+      Printf.printf "\n-- %s pattern --\n" label;
+      let pts = Sweeps.strategy_sweep ~pattern () in
+      let rows =
+        [ "Dep rate"; "FlexVec speedup"; "Wholesale speedup" ]
+        :: List.map
+             (fun (p : Sweeps.strategy_point) ->
+               [
+                 Printf.sprintf "%.3f" p.rate;
+                 Report.f2 p.flexvec_speedup ^ "x";
+                 Report.f2 p.wholesale_speedup ^ "x";
+               ])
+             pts
+      in
+      print_string (Report.table rows))
+    [ ("conditional update", `Cond_update); ("memory conflict", `Mem_conflict) ]
+
+let trip_sweep () =
+  section "trip-sweep: speedup vs loop trip count (paper: gains need high trip counts)";
+  let pts = Sweeps.trip_sweep () in
+  let rows =
+    [ "Trip count"; "FlexVec hot speedup" ]
+    :: List.map
+         (fun (p : Sweeps.trip_point) ->
+           [ string_of_int p.trip; Report.f2 p.speedup ^ "x" ])
+         pts
+  in
+  print_string (Report.table rows)
+
+let evl_sweep () =
+  section "evl-sweep: speedup vs effective vector length";
+  let pts = Sweeps.evl_sweep () in
+  let rows =
+    [ "Update rate"; "Effective VL"; "FlexVec hot speedup" ]
+    :: List.map
+         (fun (p : Sweeps.evl_point) ->
+           [
+             Printf.sprintf "%.3f" p.update_rate;
+             Report.f1 p.effective_vl;
+             Report.f2 p.speedup ^ "x";
+           ])
+         pts
+  in
+  print_string (Report.table rows)
+
+let vl_sweep () =
+  section "vl-sweep: ablation over hardware vector length";
+  let pts = Sweeps.vl_sweep () in
+  let rows =
+    [ "VL (lanes)"; "FlexVec hot speedup" ]
+    :: List.map
+         (fun (p : Sweeps.vl_point) ->
+           [ string_of_int p.vl; Report.f2 p.speedup ^ "x" ])
+         pts
+  in
+  print_string (Report.table rows)
+
+let strategies () =
+  section "strategies: Figure 8 under each speculation mechanism";
+  let pts = Sweeps.benchmark_strategies () in
+  let rows =
+    [ "Benchmark"; "FlexVec (FF)"; "Wholesale (PACT'13)"; "FlexVec (RTM 256)" ]
+    :: List.map
+         (fun (p : Sweeps.bench_strategies) ->
+           [
+             p.bench;
+             Printf.sprintf "%.3fx" p.flexvec_overall;
+             Printf.sprintf "%.3fx" p.wholesale_overall;
+             Printf.sprintf "%.3fx" p.rtm_overall;
+           ])
+         pts
+  in
+  print_string (Report.table rows);
+  let g f = Figure8.geomean (List.map f pts) in
+  Printf.printf "\ngeomeans: flexvec %.3fx | wholesale %.3fx | rtm %.3fx\n"
+    (g (fun p -> p.Sweeps.flexvec_overall))
+    (g (fun p -> p.Sweeps.wholesale_overall))
+    (g (fun p -> p.Sweeps.rtm_overall))
+
+let prefetch_ablation () =
+  section "prefetch-ablation: the memory subsystem matters for vector access (§5)";
+  let pts = Sweeps.prefetch_ablation () in
+  let rows =
+    [ "Prefetcher"; "Scalar cycles"; "FlexVec cycles"; "Speedup" ]
+    :: List.map
+         (fun (p : Sweeps.prefetch_point) ->
+           [
+             (if p.prefetch then "on" else "off");
+             string_of_int p.scalar_cycles2;
+             string_of_int p.flexvec_cycles2;
+             Report.f2 p.speedup2 ^ "x";
+           ])
+         pts
+  in
+  print_string (Report.table rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "micro: Bechamel micro-benchmarks of emulated primitives";
+  let open Bechamel in
+  let open Fv_isa in
+  let vl = 16 in
+  let w = Mask.of_bits "1111111111111111" in
+  let stop = Mask.of_bits "0000001010000001" in
+  let v1 = Vreg.of_int_list [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 1; 5; 7; 9; 9; 10; 10 ] in
+  let v2 = Vreg.of_int_list [ 0; 0; 0; 1; 5; 7; 9; 2; 0; 2; 3; 4; 0; 9; 10; 10 ] in
+  let built = Fv_workloads.Kernels.h264ref 1 in
+  let vloop =
+    Result.get_ok (Fv_vectorizer.Gen.vectorize built.Fv_workloads.Kernels.loop)
+  in
+  let tests =
+    [
+      Test.make ~name:"kftm_exc (Table 1 row 1)"
+        (Staged.stage (fun () -> ignore (Mask.kftm_exc ~write:w stop)));
+      Test.make ~name:"vpslctlast (Table 1 row 2)"
+        (Staged.stage (fun () -> ignore (Vreg.vpslctlast w v1)));
+      Test.make ~name:"vpconflictm (Table 1 row 4)"
+        (Staged.stage (fun () -> ignore (Vreg.vpconflictm v1 v2)));
+      Test.make ~name:"vectorize h264ref loop (Fig. 6 codegen)"
+        (Staged.stage (fun () ->
+             ignore
+               (Fv_vectorizer.Gen.vectorize built.Fv_workloads.Kernels.loop)));
+      Test.make ~name:"PDG build + classify (analysis module)"
+        (Staged.stage (fun () ->
+             ignore (Fv_pdg.Classify.analyze built.Fv_workloads.Kernels.loop)));
+      Test.make ~name:"emulate one h264ref invocation (Figure 8 inner step)"
+        (Staged.stage (fun () ->
+             let m = Fv_mem.Memory.clone built.Fv_workloads.Kernels.mem in
+             let e =
+               Fv_ir.Interp.env_of_list built.Fv_workloads.Kernels.env
+             in
+             ignore (Fv_simd.Exec.run vloop m e)));
+    ]
+  in
+  ignore vl;
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"flexvec" ~fmt:"%s %s" tests) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-55s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-55s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("figure8", figure8);
+    ("table2", table2);
+    ("rtm-sweep", rtm_sweep);
+    ("strategy-sweep", strategy_sweep);
+    ("trip-sweep", trip_sweep);
+    ("evl-sweep", evl_sweep);
+    ("vl-sweep", vl_sweep);
+    ("strategies", strategies);
+    ("prefetch-ablation", prefetch_ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (available: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested

@@ -1,0 +1,186 @@
+(* flexvec — command-line front end for the FlexVec reproduction.
+
+   Subcommands:
+     list                      list the benchmark kernels
+     show BENCH                scalar loop, PDG analysis and generated vector code
+     profile BENCH             Pin-style loop profile + cost-model decision
+     simulate BENCH            simulate scalar vs FlexVec on the Table 1 machine
+     figure8                   reproduce Figure 8
+     table2                    reproduce Table 2 *)
+
+open Cmdliner
+module R = Fv_workloads.Registry
+module K = Fv_workloads.Kernels
+
+let bench_arg =
+  let doc = "Benchmark name (as in Table 2), e.g. 464.h264ref or LAMMPS." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Data seed.")
+
+let strategy_conv =
+  Arg.enum
+    [ ("scalar", `Scalar); ("flexvec", `Flexvec); ("wholesale", `Wholesale);
+      ("traditional", `Traditional); ("rtm", `Rtm) ]
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv `Flexvec
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Execution strategy: scalar, flexvec, wholesale (PACT'13 \
+           baseline), traditional, or rtm.")
+
+let tile_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "tile" ] ~docv:"N" ~doc:"RTM strip-mining tile size.")
+
+let to_strategy s tile =
+  match s with
+  | `Scalar -> Fv_core.Experiment.Scalar
+  | `Flexvec -> Fv_core.Experiment.Flexvec
+  | `Wholesale -> Fv_core.Experiment.Wholesale
+  | `Traditional -> Fv_core.Experiment.Traditional
+  | `Rtm -> Fv_core.Experiment.Rtm tile
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : R.spec) ->
+        Printf.printf "%-14s %-5s coverage=%5.1f%% trip=%-6s mix=%s\n"
+          s.name
+          (match s.group with R.Spec -> "SPEC" | R.App -> "app")
+          (100. *. s.coverage) s.paper_trip s.paper_mix)
+      R.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels (Table 2 rows).")
+    Term.(const run $ const ())
+
+(* ---------------- show ---------------- *)
+
+let show_cmd =
+  let run name seed =
+    let spec = R.find name in
+    let b = spec.build seed in
+    Fmt.pr "=== scalar loop ===@.%a@.@." Fv_ir.Pp.pp_loop b.K.loop;
+    Fmt.pr "=== dependence analysis ===@.%s@.@."
+      (Fv_pdg.Classify.describe (Fv_pdg.Classify.analyze b.K.loop));
+    (match Fv_vectorizer.Gen.vectorize b.K.loop with
+    | Ok vloop ->
+        Fmt.pr "=== FlexVec vector code ===@.%a@.@." Fv_vir.Vpp.pp_vloop vloop;
+        Fmt.pr "instruction mix: %s@."
+          (Fv_vir.Count.to_table2_string (Fv_vir.Count.of_vloop vloop))
+    | Error e -> Fmt.pr "not vectorizable: %s@." e)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a benchmark's scalar loop, analysis and vector code.")
+    Term.(const run $ bench_arg $ seed_arg)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let run name seed =
+    let spec = R.find name in
+    let b = spec.build seed in
+    let probe =
+      Fv_profiler.Profile.profile ~invocations:(min spec.invocations 4)
+        b.K.loop b.K.mem b.K.env
+    in
+    let other =
+      int_of_float
+        (float_of_int probe.hot_uops *. (1. -. spec.coverage) /. spec.coverage)
+    in
+    let p =
+      Fv_profiler.Profile.profile ~invocations:(min spec.invocations 4)
+        ~other_uops:other b.K.loop b.K.mem b.K.env
+    in
+    Fmt.pr "%a@." Fv_profiler.Profile.pp p;
+    let d =
+      Fv_vectorizer.Costmodel.decide ~avg_trip:p.avg_trip
+        ~effective_vl:p.effective_vl ~mem_ratio:p.mem_ratio
+        ~coverage:p.coverage ()
+    in
+    if d.vectorize then Fmt.pr "cost model: vectorize@."
+    else Fmt.pr "cost model: do not vectorize (%s)@." (String.concat "; " d.reasons)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Pin-style loop profile and §5 cost-model decision.")
+    Term.(const run $ bench_arg $ seed_arg)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let run name seed strategy tile =
+    let spec = R.find name in
+    let base =
+      Fv_core.Experiment.run_workload ~invocations:spec.invocations ~seed
+        Fv_core.Experiment.Scalar spec.build
+    in
+    let s = to_strategy strategy tile in
+    let r =
+      Fv_core.Experiment.run_workload ~invocations:spec.invocations ~seed s
+        spec.build
+    in
+    Fmt.pr "scalar : %a@." Fv_ooo.Pipeline.pp_stats base.pipe;
+    Fmt.pr "%-7s: %a@."
+      (Fv_core.Experiment.show_strategy s)
+      Fv_ooo.Pipeline.pp_stats r.pipe;
+    (match r.exec with
+    | Some e -> Fmt.pr "vector execution: %a@." Fv_simd.Exec.pp_stats e
+    | None -> ());
+    let hot = Fv_core.Experiment.hot_speedup ~baseline:base r in
+    Fmt.pr "hot-region speedup: %.2fx@." hot;
+    Fmt.pr "overall (coverage %.1f%%): %.3fx@." (100. *. spec.coverage)
+      (Fv_core.Experiment.overall_speedup ~coverage:spec.coverage ~hot)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a benchmark on the Table 1 machine under a strategy.")
+    Term.(const run $ bench_arg $ seed_arg $ strategy_arg $ tile_arg)
+
+(* ---------------- figure8 / table2 ---------------- *)
+
+let figure8_cmd =
+  let run () =
+    let r = Fv_core.Figure8.run () in
+    List.iter
+      (fun (row : Fv_core.Figure8.row) ->
+        Printf.printf "%-14s hot=%5.2fx overall=%6.3fx%s\n" row.spec.name
+          row.hot row.overall
+          (if row.decision.vectorize then ""
+           else "  (not vectorized: " ^ String.concat "; " row.decision.reasons ^ ")"))
+      r.rows;
+    Printf.printf "geomean SPEC: %.3fx   apps: %.3fx\n" r.spec_geomean
+      r.app_geomean
+  in
+  Cmd.v (Cmd.info "figure8" ~doc:"Reproduce Figure 8.") Term.(const run $ const ())
+
+let table2_cmd =
+  let run () =
+    List.iter
+      (fun (r : Fv_core.Table2.row) ->
+        Printf.printf "%-14s cvg=%5.1f%% trip=%8.1f evl=%7.1f mix=[%s] %s\n"
+          r.spec.name
+          (100. *. r.measured_coverage)
+          r.measured_trip r.measured_evl r.measured_mix
+          (if r.mix_matches then "(matches paper)" else "(DIFFERS from paper)"))
+      (Fv_core.Table2.run ())
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "flexvec" ~version:"1.0.0"
+      ~doc:"FlexVec: auto-vectorization for irregular loops (PLDI'16 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; profile_cmd; simulate_cmd; figure8_cmd; table2_cmd ]))

@@ -1,0 +1,1 @@
+examples/conditional_update.ml: Array Fmt Fv_core Fv_ir Fv_isa Fv_mem Fv_simd Fv_vectorizer Fv_vir Fv_workloads List Random Result Value

@@ -1,0 +1,1 @@
+examples/early_exit.ml: Array Fmt Fv_ir Fv_isa Fv_mem Fv_pdg Fv_simd Fv_vectorizer Fv_vir Random Result Value

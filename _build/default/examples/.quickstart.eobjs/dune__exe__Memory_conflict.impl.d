@@ -1,0 +1,1 @@
+examples/memory_conflict.ml: Array Fmt Fv_core Fv_ir Fv_mem Fv_pdg Fv_simd Fv_vectorizer Fv_vir List Result

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Fv_core Fv_ir Fv_isa Fv_mem Fv_ooo Fv_pdg Fv_simd Fv_vectorizer Fv_vir Random Result Value

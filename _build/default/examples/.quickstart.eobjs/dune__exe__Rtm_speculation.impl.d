@@ -1,0 +1,1 @@
+examples/rtm_speculation.ml: Array Fmt Fv_ir Fv_isa Fv_mem Fv_rtm Fv_simd Fv_vectorizer Fv_workloads List Random Result Value

@@ -1,0 +1,1 @@
+examples/rtm_speculation.mli:

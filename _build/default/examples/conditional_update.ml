@@ -1,0 +1,76 @@
+(* Conditional scalar update (paper §4.2, Fig. 6).
+
+   Demonstrates the vector partitioning loop in action: we plant updates
+   at known positions inside one 16-lane strip and trace how many VPL
+   partitions each strip needs, then compare FlexVec against the
+   PACT'13-style wholesale-speculation baseline as updates become more
+   frequent.
+
+   Run with: dune exec examples/conditional_update.exe *)
+
+open Fv_isa
+module B = Fv_ir.Builder
+module Memory = Fv_mem.Memory
+module E = Fv_core.Experiment
+
+let make_loop n =
+  B.(
+    loop ~name:"minsearch" ~index:"i" ~hi:(int n) ~live_out:[ "m"; "arg" ]
+      [
+        assign "t" (load "a" (var "i"));
+        if_ (var "t" < var "m") [ assign "m" (var "t"); assign "arg" (var "i") ];
+      ])
+
+let () =
+  (* one strip, updates at lanes 3, 7 and 12: the VPL must run four
+     partitions — lanes 0-3, 4-7, 8-12, 13-15 *)
+  let n = 16 in
+  let loop = make_loop n in
+  let a = Array.make n 100 in
+  a.(3) <- 90;
+  a.(7) <- 80;
+  a.(12) <- 70;
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" a);
+  let env = [ ("m", Value.Int 95); ("arg", Value.Int (-1)) ] in
+  let vloop = Result.get_ok (Fv_vectorizer.Gen.vectorize loop) in
+  Fmt.pr "== FlexVec vector code ==@.%a@.@." Fv_vir.Vpp.pp_vloop vloop;
+  let mv = Memory.clone mem and ev = Fv_ir.Interp.env_of_list env in
+  let stats = Fv_simd.Exec.run vloop mv ev in
+  Fmt.pr "updates at lanes 3, 7, 12 -> %a@." Fv_simd.Exec.pp_stats stats;
+  Fmt.pr "final m=%a arg=%a (expected 70 at 12)@.@." Value.pp_compact
+    (Fv_ir.Interp.env_get ev "m")
+    Value.pp_compact (Fv_ir.Interp.env_get ev "arg");
+
+  (* FlexVec vs wholesale speculation as the update rate grows *)
+  Fmt.pr "== FlexVec vs PACT'13 wholesale speculation ==@.";
+  Fmt.pr "%-12s %-14s %-14s@." "update rate" "flexvec" "wholesale";
+  List.iter
+    (fun rate ->
+      let build seed =
+        let st = Random.State.make [| seed |] in
+        let n = 4096 in
+        let level = ref 1_000_000 in
+        let a =
+          Array.init n (fun _ ->
+              if Random.State.float st 1.0 < rate then begin
+                level := !level - 1 - Random.State.int st 5;
+                !level
+              end
+              else !level + 1 + Random.State.int st 1000)
+        in
+        let mem = Memory.create () in
+        ignore (Memory.alloc_ints mem "a" a);
+        {
+          Fv_workloads.Kernels.mem;
+          env = [ ("m", Value.Int 2_000_000); ("arg", Value.Int (-1)) ];
+          loop = make_loop n;
+        }
+      in
+      let base = E.run_workload ~invocations:2 ~seed:5 E.Scalar build in
+      let fv = E.run_workload ~invocations:2 ~seed:5 E.Flexvec build in
+      let ws = E.run_workload ~invocations:2 ~seed:5 E.Wholesale build in
+      Fmt.pr "%-12.3f %.2fx          %.2fx@." rate
+        (E.hot_speedup ~baseline:base fv)
+        (E.hot_speedup ~baseline:base ws))
+    [ 0.001; 0.01; 0.05; 0.2 ]

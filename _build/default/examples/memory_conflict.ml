@@ -1,0 +1,70 @@
+(* Runtime cross-iteration memory dependencies (paper §3.1/§4.3, Figs. 2
+   and 7).
+
+   The loop conditionally writes d[coord] where coord is data-dependent;
+   a later iteration may read the element an earlier one wrote.
+   VPCONFLICTM detects the conflicting lanes at runtime and the VPL
+   executes the strip partition by partition, enforcing store-to-load
+   ordering in software.
+
+   This example uses the exact conflict layout of the paper's §3.6
+   worked example and shows the resulting partition sequence, then
+   measures speedup as a function of conflict density.
+
+   Run with: dune exec examples/memory_conflict.exe *)
+
+module B = Fv_ir.Builder
+module Memory = Fv_mem.Memory
+module E = Fv_core.Experiment
+
+let make_loop n =
+  B.(
+    loop ~name:"hits" ~index:"i" ~hi:(int n)
+      [
+        assign "q" (load "qa" (var "i"));
+        assign "s" (load "sa" (var "i"));
+        assign "coord" (var "q" - var "s");
+        if_
+          (var "s" >= load "d" (var "coord"))
+          [ store "d" (var "coord") (var "s") ];
+      ])
+
+let () =
+  let n = 16 in
+  let loop = make_loop n in
+  Fmt.pr "== scalar loop (Fig. 2a) ==@.%a@.@." Fv_ir.Pp.pp_loop loop;
+  Fmt.pr "== analysis ==@.%s@.@."
+    (Fv_pdg.Classify.describe (Fv_pdg.Classify.analyze loop));
+  let vloop = Result.get_ok (Fv_vectorizer.Gen.vectorize loop) in
+  Fmt.pr "== FlexVec vector code (Fig. 2b) ==@.%a@.@." Fv_vir.Vpp.pp_vloop vloop;
+
+  (* coords chosen so lane 6 reads what lane 5 wrote, lane 8 what lane 6
+     wrote, lane 15 what lane 14 wrote: partitions 0-5 / 6-7 / 8-14 / 15 *)
+  let coord = [| 1; 2; 3; 4; 5; 6; 6; 8; 6; 10; 11; 12; 13; 14; 15; 15 |] in
+  let sa = Array.init n (fun i -> 10 + i) in
+  let qa = Array.init n (fun i -> coord.(i) + sa.(i)) in
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "qa" qa);
+  ignore (Memory.alloc_ints mem "sa" sa);
+  ignore (Memory.alloc_ints mem "d" (Array.make 32 0));
+  let ms = Memory.clone mem in
+  ignore (Fv_ir.Interp.run ms (Fv_ir.Interp.env_of_list []) loop);
+  let mv = Memory.clone mem in
+  let stats = Fv_simd.Exec.run vloop mv (Fv_ir.Interp.env_of_list []) in
+  Fmt.pr "== execution ==@.%a@." Fv_simd.Exec.pp_stats stats;
+  assert (Memory.equal_contents ms mv);
+  Fmt.pr "software store-to-load forwarding matches scalar order: OK@.@.";
+
+  Fmt.pr "== speedup vs conflict density ==@.";
+  List.iter
+    (fun rate ->
+      let pts =
+        Fv_core.Sweeps.strategy_sweep ~rates:[ rate ] ~trip:4096
+          ~pattern:`Mem_conflict ()
+      in
+      match pts with
+      | [ p ] ->
+          Fmt.pr "conflict rate %-5.2f  flexvec %.2fx   wholesale %.2fx@." rate
+            p.flexvec_speedup p.wholesale_speedup
+      | _ -> assert false)
+    [ 0.0; 0.05; 0.2; 0.5 ]

@@ -1,0 +1,84 @@
+(* Quickstart: vectorize one irregular loop end to end.
+
+   Builds the paper's running example (the 464.h264ref motion-estimation
+   loop of §1.1/Fig. 6), analyses it, generates FlexVec partial vector
+   code, runs both the scalar reference and the vector program, checks
+   they agree, and simulates both on the Table 1 machine.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Fv_isa
+module B = Fv_ir.Builder
+module Memory = Fv_mem.Memory
+
+let () =
+  (* 1. write an irregular loop in the scalar IR *)
+  let loop =
+    B.(
+      loop ~name:"motion" ~index:"pos" ~hi:(int 512)
+        ~live_out:[ "min_mcost"; "best_pos" ]
+        [
+          if_
+            (load "block_sad" (var "pos") < var "min_mcost")
+            [
+              assign "mcost" (load "block_sad" (var "pos"));
+              assign "cand" (load "spiral" (var "pos"));
+              assign "mcost" (var "mcost" + load "mv" (var "cand"));
+              if_
+                (var "mcost" < var "min_mcost")
+                [ assign "min_mcost" (var "mcost"); assign "best_pos" (var "pos") ];
+            ];
+        ])
+  in
+  Fmt.pr "== scalar loop ==@.%a@.@." Fv_ir.Pp.pp_loop loop;
+
+  (* 2. dependence analysis: the conditional update of min_mcost forms a
+     strongly connected component that classical vectorizers reject *)
+  Fmt.pr "== analysis ==@.%s@.@."
+    (Fv_pdg.Classify.describe (Fv_pdg.Classify.analyze loop));
+  Fmt.pr "traditional vectorizer accepts it? %b@.@."
+    (Fv_vectorizer.Traditional.accepts loop);
+
+  (* 3. FlexVec partial vector code generation *)
+  let vloop = Result.get_ok (Fv_vectorizer.Gen.vectorize ~vl:16 loop) in
+  Fmt.pr "== FlexVec vector code (VL=16) ==@.%a@.@." Fv_vir.Vpp.pp_vloop vloop;
+
+  (* 4. build inputs and run both versions *)
+  let rng = Random.State.make [| 1 |] in
+  let n = 512 and m = 64 in
+  let mem = Memory.create () in
+  ignore
+    (Memory.alloc_ints mem "block_sad"
+       (Array.init n (fun _ -> 100 + Random.State.int rng 900)));
+  ignore
+    (Memory.alloc_ints mem "spiral" (Array.init n (fun _ -> Random.State.int rng m)));
+  ignore
+    (Memory.alloc_ints mem "mv" (Array.init m (fun _ -> Random.State.int rng 50)));
+  let env = [ ("min_mcost", Value.Int 800); ("best_pos", Value.Int (-1)) ] in
+
+  let ms = Memory.clone mem and es = Fv_ir.Interp.env_of_list env in
+  let trips = Fv_ir.Interp.run ms es loop in
+  let mv_ = Memory.clone mem and ev = Fv_ir.Interp.env_of_list env in
+  let stats = Fv_simd.Exec.run vloop mv_ ev in
+  Fmt.pr "== execution ==@.";
+  Fmt.pr "scalar:  %d iterations, min_mcost=%a best_pos=%a@." trips
+    Value.pp_compact
+    (Fv_ir.Interp.env_get es "min_mcost")
+    Value.pp_compact
+    (Fv_ir.Interp.env_get es "best_pos");
+  Fmt.pr "vector:  %a@." Fv_simd.Exec.pp_stats stats;
+  Fmt.pr "vector:  min_mcost=%a best_pos=%a@." Value.pp_compact
+    (Fv_ir.Interp.env_get ev "min_mcost")
+    Value.pp_compact
+    (Fv_ir.Interp.env_get ev "best_pos");
+  assert (Memory.equal_contents ms mv_);
+  Fmt.pr "memory and live-outs agree: OK@.@.";
+
+  (* 5. cycle simulation on the Table 1 out-of-order machine *)
+  let base = Fv_core.Experiment.run_hot Fv_core.Experiment.Scalar loop mem env in
+  let flex = Fv_core.Experiment.run_hot Fv_core.Experiment.Flexvec loop mem env in
+  Fmt.pr "== Table 1 machine ==@.";
+  Fmt.pr "scalar : %a@." Fv_ooo.Pipeline.pp_stats base.pipe;
+  Fmt.pr "flexvec: %a@." Fv_ooo.Pipeline.pp_stats flex.pipe;
+  Fmt.pr "hot-region speedup: %.2fx@."
+    (Fv_core.Experiment.hot_speedup ~baseline:base flex)

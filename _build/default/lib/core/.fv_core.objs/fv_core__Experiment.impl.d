@@ -1,0 +1,1 @@
+lib/core/experiment.pp.ml: Fmt Fv_ir Fv_isa Fv_mem Fv_ooo Fv_simd Fv_trace Fv_vectorizer Fv_vir Fv_workloads Option Oracle Ppx_deriving_runtime Value

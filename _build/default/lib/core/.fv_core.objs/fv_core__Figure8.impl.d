@@ -1,0 +1,1 @@
+lib/core/figure8.pp.ml: Experiment Fv_profiler Fv_vectorizer Fv_vir Fv_workloads List

@@ -1,0 +1,1 @@
+lib/core/oracle.pp.ml: Array Float Fmt Fv_ir Fv_isa Fv_mem Fv_simd Fv_vectorizer Fv_vir List Ppx_deriving_runtime Value

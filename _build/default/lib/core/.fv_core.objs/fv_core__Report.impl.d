@@ -1,0 +1,1 @@
+lib/core/report.pp.ml: Buffer Float List Printf String

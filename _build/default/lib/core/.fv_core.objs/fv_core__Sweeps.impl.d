@@ -1,0 +1,1 @@
+lib/core/sweeps.pp.ml: Array Experiment Fv_ir Fv_mem Fv_memsys Fv_ooo Fv_profiler Fv_simd Fv_trace Fv_vectorizer Fv_workloads List Random Result

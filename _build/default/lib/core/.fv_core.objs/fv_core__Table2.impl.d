@@ -1,0 +1,1 @@
+lib/core/table2.pp.ml: Fv_profiler Fv_vectorizer Fv_vir Fv_workloads List String

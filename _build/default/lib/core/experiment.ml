@@ -1,0 +1,211 @@
+(** End-to-end experiment pipeline for one hot loop:
+
+    profile (Pin-equivalent) → cost-model decision → vectorize →
+    correctness oracle → simulate scalar and vector traces on the
+    Table 1 OOO machine → hot-region speedup → Amdahl-scale by coverage
+    into an overall application speedup, exactly as §5 describes
+    ("hot region speedups are then scaled down based on their
+    contribution to total program execution"). *)
+
+open Fv_isa
+module Memory = Fv_mem.Memory
+module Interp = Fv_ir.Interp
+module Pipeline = Fv_ooo.Pipeline
+
+type strategy =
+  | Scalar  (** baseline: the AVX-512 compiler leaves the loop scalar *)
+  | Flexvec
+  | Wholesale  (** PACT'13-style all-or-nothing speculation *)
+  | Traditional  (** classical vectorizer: succeeds only without relaxed SCCs *)
+  | Rtm of int
+      (** FlexVec with hardware-transactional speculation instead of
+          first-faulting loads, strip-mined into tiles of the given
+          size (§3.3.2 / §4.1) *)
+[@@deriving show { with_path = false }, eq]
+
+let style_of = function
+  | Flexvec | Rtm _ -> Some Fv_vectorizer.Gen.Flexvec
+  | Wholesale -> Some Fv_vectorizer.Gen.Wholesale
+  | Scalar | Traditional -> None
+
+type hot_run = {
+  strategy : strategy;
+  cycles : int;
+  uops : int;
+  pipe : Pipeline.stats;
+  exec : Fv_simd.Exec.stats option;  (** vector-execution stats, if vectorized *)
+  mix : Fv_vir.Count.mix option;
+  fell_back_to_scalar : bool;  (** strategy could not vectorize the loop *)
+}
+
+(** Trace one strategy's execution of the hot loop and replay it on the
+    OOO model. Always verifies against the scalar oracle first. *)
+let run_hot ?(vl = 16) (strategy : strategy) (l : Fv_ir.Ast.loop)
+    (mem : Memory.t) (env : (string * Value.t) list) : hot_run =
+  let sink = Fv_trace.Sink.create ~capacity:4096 () in
+  let emit u = Fv_trace.Sink.push sink u in
+  let scalar_trace () =
+    let m = Memory.clone mem and e = Interp.env_of_list env in
+    let hk = Interp.hooks ~emit () in
+    ignore (Interp.run ~hk m e l);
+    (None, None, true)
+  in
+  let exec, mix, fell_back =
+    match strategy with
+    | Scalar -> scalar_trace ()
+    | Traditional -> (
+        match Fv_vectorizer.Traditional.vectorize ~vl l with
+        | Error _ -> scalar_trace ()
+        | Ok vloop ->
+            let m = Memory.clone mem and e = Interp.env_of_list env in
+            let stats = Fv_simd.Exec.run ~emit vloop m e in
+            (Some stats, Some (Fv_vir.Count.of_vloop vloop), false))
+    | Flexvec | Wholesale -> (
+        let style = Option.get (style_of strategy) in
+        match Fv_vectorizer.Gen.vectorize ~vl ~style l with
+        | Error _ -> scalar_trace ()
+        | Ok vloop ->
+            (* correctness gate: the vector program must match the oracle *)
+            (match Oracle.check ~vl ~style l (Memory.clone mem) env with
+            | Ok _ -> ()
+            | Error f ->
+                failwith
+                  (Fmt.str "experiment on %s: oracle failed: %a"
+                     l.Fv_ir.Ast.name Oracle.pp_failure f));
+            let m = Memory.clone mem and e = Interp.env_of_list env in
+            let stats = Fv_simd.Exec.run ~emit vloop m e in
+            (Some stats, Some (Fv_vir.Count.of_vloop vloop), false))
+    | Rtm tile -> (
+        match Fv_vectorizer.Gen.vectorize ~vl l with
+        | Error _ -> scalar_trace ()
+        | Ok vloop ->
+            (* RTM oracle: run scalar and transactional versions and
+               compare final state *)
+            let ms = Memory.clone mem and es = Interp.env_of_list env in
+            ignore (Interp.run ms es l);
+            let mr = Memory.clone mem and er = Interp.env_of_list env in
+            ignore (Fv_simd.Rtm_run.run ~tile vloop mr er);
+            (match
+               ( Oracle.compare_memories ms mr,
+                 Oracle.compare_env l es er )
+             with
+            | Ok (), Ok () -> ()
+            | Error e, _ | _, Error e ->
+                failwith
+                  (Fmt.str "experiment on %s (RTM): oracle failed: %s"
+                     l.Fv_ir.Ast.name e));
+            let m = Memory.clone mem and e = Interp.env_of_list env in
+            let rtm = Fv_simd.Rtm_run.run ~emit ~tile vloop m e in
+            (Some rtm.Fv_simd.Rtm_run.exec,
+             Some (Fv_vir.Count.of_vloop vloop), false))
+  in
+  let pipe = Pipeline.run sink in
+  {
+    strategy;
+    cycles = pipe.Pipeline.cycles;
+    uops = pipe.Pipeline.uops;
+    pipe;
+    exec;
+    mix;
+    fell_back_to_scalar = fell_back;
+  }
+
+(** Hot-region speedup of [s] over the scalar baseline. *)
+let hot_speedup ~(baseline : hot_run) (s : hot_run) : float =
+  float_of_int baseline.cycles /. float_of_int (max 1 s.cycles)
+
+(** Amdahl scaling: overall application speedup when the hot region
+    covers fraction [coverage] of baseline execution. *)
+let overall_speedup ~coverage ~hot =
+  1.0 /. (1.0 -. coverage +. (coverage /. hot))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-invocation workloads                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Trace [invocations] runs of a seeded kernel builder under one
+    strategy and replay the concatenated trace on the OOO model, as the
+    paper's hot loops are entered many times per application run. The
+    vectorized code is generated once (from the first build); each
+    invocation gets freshly seeded data. *)
+let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
+    (strategy : strategy)
+    (build : int -> Fv_workloads.Kernels.built) : hot_run =
+  let first = build seed in
+  let l = first.Fv_workloads.Kernels.loop in
+  let sink = Fv_trace.Sink.create ~capacity:65536 () in
+  let emit u = Fv_trace.Sink.push sink u in
+  let vloop_for style = Fv_vectorizer.Gen.vectorize ~vl ~style l in
+  let mix = ref None and exec = ref None and fell_back = ref false in
+  let run_one (b : Fv_workloads.Kernels.built) =
+    let mem = b.Fv_workloads.Kernels.mem
+    and env = b.Fv_workloads.Kernels.env in
+    let scalar () =
+      let m = Memory.clone mem and e = Interp.env_of_list env in
+      let hk = Interp.hooks ~emit () in
+      ignore (Interp.run ~hk m e l);
+      fell_back := true
+    in
+    match strategy with
+    | Scalar -> scalar ()
+    | Traditional -> (
+        match Fv_vectorizer.Traditional.vectorize ~vl l with
+        | Error _ -> scalar ()
+        | Ok vloop ->
+            let m = Memory.clone mem and e = Interp.env_of_list env in
+            exec := Some (Fv_simd.Exec.run ~emit vloop m e);
+            mix := Some (Fv_vir.Count.of_vloop vloop))
+    | Flexvec | Wholesale -> (
+        match vloop_for (Option.get (style_of strategy)) with
+        | Error _ -> scalar ()
+        | Ok vloop ->
+            let m = Memory.clone mem and e = Interp.env_of_list env in
+            exec := Some (Fv_simd.Exec.run ~emit vloop m e);
+            mix := Some (Fv_vir.Count.of_vloop vloop))
+    | Rtm tile -> (
+        match vloop_for Fv_vectorizer.Gen.Flexvec with
+        | Error _ -> scalar ()
+        | Ok vloop ->
+            let m = Memory.clone mem and e = Interp.env_of_list env in
+            let r = Fv_simd.Rtm_run.run ~emit ~tile vloop m e in
+            exec := Some r.Fv_simd.Rtm_run.exec;
+            mix := Some (Fv_vir.Count.of_vloop vloop))
+  in
+  (* correctness gate once per workload *)
+  (match style_of strategy with
+  | Some style -> (
+      match
+        Oracle.check ~vl ~style l
+          (Memory.clone first.Fv_workloads.Kernels.mem)
+          first.Fv_workloads.Kernels.env
+      with
+      | Ok _ | Error (Oracle.Not_vectorizable _) -> ()
+      | Error f ->
+          failwith
+            (Fmt.str "workload %s: oracle failed: %a" l.Fv_ir.Ast.name
+               Oracle.pp_failure f))
+  | None -> ());
+  (* between invocations real applications execute cold code; model it
+     as a short serial dependency chain so the OOO cannot overlap
+     distinct invocations of the hot loop (otherwise tiny-trip-count
+     loops look artificially parallel) *)
+  let invocation_gap () =
+    for _ = 1 to 100 do
+      emit (Fv_trace.Uop.make ~dst:"_gap" ~srcs:[ "_gap" ] Fv_isa.Latency.Int_alu)
+    done
+  in
+  run_one first;
+  for k = 1 to invocations - 1 do
+    invocation_gap ();
+    run_one (build (seed + k))
+  done;
+  let pipe = Pipeline.run sink in
+  {
+    strategy;
+    cycles = pipe.Pipeline.cycles;
+    uops = pipe.Pipeline.uops;
+    pipe;
+    exec = !exec;
+    mix = !mix;
+    fell_back_to_scalar = !fell_back;
+  }

@@ -1,0 +1,88 @@
+(** Figure 8 reproduction: overall application speedup of FlexVec over
+    the AVX-512 baseline for the 11 SPEC benchmarks and 7 applications.
+
+    Per benchmark: profile the kernel (the Pin step), run the §5
+    cost-model heuristics, simulate both the scalar baseline and the
+    FlexVec code on the Table 1 machine, compute the hot-region speedup
+    and scale it by the Table 2 coverage into the overall speedup
+    ("hot region speedups are then scaled down based on their
+    contribution to total program execution"). *)
+
+module R = Fv_workloads.Registry
+module K = Fv_workloads.Kernels
+
+type row = {
+  spec : R.spec;
+  profile : Fv_profiler.Profile.t;
+  decision : Fv_vectorizer.Costmodel.decision;
+  baseline : Experiment.hot_run;
+  flexvec : Experiment.hot_run;
+  hot : float;  (** hot-region speedup *)
+  overall : float;  (** Amdahl-scaled application speedup *)
+  mix_measured : string;  (** FlexVec instructions actually emitted *)
+}
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let run_row ?(vl = 16) ?(seed = 42) (spec : R.spec) : row =
+  let built = spec.build seed in
+  (* profiling: the cold region's dynamic size is chosen so that the
+     measured coverage equals Table 2's (the paper measures coverage
+     with rdtsc over the real applications, which we do not have) *)
+  let probe =
+    Fv_profiler.Profile.profile ~invocations:(min spec.invocations 4)
+      built.K.loop built.K.mem built.K.env
+  in
+  let other_uops =
+    int_of_float
+      (float_of_int probe.hot_uops *. (1.0 -. spec.coverage) /. spec.coverage)
+  in
+  let profile =
+    Fv_profiler.Profile.profile ~invocations:(min spec.invocations 4)
+      ~other_uops built.K.loop built.K.mem built.K.env
+  in
+  let decision =
+    Fv_vectorizer.Costmodel.decide ~avg_trip:profile.avg_trip
+      ~effective_vl:profile.effective_vl ~mem_ratio:profile.mem_ratio
+      ~coverage:profile.coverage ()
+  in
+  let baseline =
+    Experiment.run_workload ~vl ~invocations:spec.invocations ~seed
+      Experiment.Scalar spec.build
+  in
+  let flexvec =
+    if decision.vectorize then
+      Experiment.run_workload ~vl ~invocations:spec.invocations ~seed
+        Experiment.Flexvec spec.build
+    else baseline
+  in
+  let hot = Experiment.hot_speedup ~baseline flexvec in
+  let overall = Experiment.overall_speedup ~coverage:spec.coverage ~hot in
+  let mix_measured =
+    match flexvec.mix with
+    | Some m -> Fv_vir.Count.to_table2_string m
+    | None -> "(scalar)"
+  in
+  { spec; profile; decision; baseline; flexvec; hot; overall; mix_measured }
+
+type result = {
+  rows : row list;
+  spec_geomean : float;
+  app_geomean : float;
+}
+
+let run ?vl ?seed ?(benchmarks = R.all) () : result =
+  let rows = List.map (run_row ?vl ?seed) benchmarks in
+  let of_group g =
+    List.filter_map
+      (fun r -> if r.spec.R.group = g then Some r.overall else None)
+      rows
+  in
+  {
+    rows;
+    spec_geomean = geomean (of_group R.Spec);
+    app_geomean = geomean (of_group R.App);
+  }

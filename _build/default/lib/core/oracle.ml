@@ -1,0 +1,101 @@
+(** Scalar-vs-vector equivalence oracle.
+
+    The repo's central correctness property: for any loop the FlexVec
+    vectorizer accepts and any initial memory/environment, running the
+    generated vector program must leave memory and the live-out scalars
+    in the same state as the scalar reference interpreter. Float
+    reductions are compared with a small relative tolerance because
+    lane-parallel accumulation legitimately reassociates. *)
+
+open Fv_isa
+module Memory = Fv_mem.Memory
+module Interp = Fv_ir.Interp
+
+type outcome = {
+  trips : int;  (** scalar trip count *)
+  stats : Fv_simd.Exec.stats;
+  vloop : Fv_vir.Inst.vloop;
+}
+
+type failure =
+  | Not_vectorizable of string
+  | Mismatch of string
+  | Vector_crash of string
+[@@deriving show { with_path = false }]
+
+let value_close (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> x = y
+  | _ ->
+      let x = Value.to_float a and y = Value.to_float b in
+      let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+      Float.abs (x -. y) <= 1e-9 *. scale
+
+let compare_memories (ms : Memory.t) (mv : Memory.t) : (unit, string) result =
+  let names =
+    List.sort compare (List.map (fun a -> a.Memory.name) ms.Memory.allocs)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | n :: rest ->
+        let a = Memory.read_all ms n and b = Memory.read_all mv n in
+        let bad = ref None in
+        Array.iteri
+          (fun i x ->
+            if !bad = None && not (value_close x b.(i)) then bad := Some i)
+          a;
+        (match !bad with
+        | Some i ->
+            Error
+              (Fmt.str "array %s differs at [%d]: scalar=%a vector=%a" n i
+                 Value.pp_compact a.(i) Value.pp_compact b.(i))
+        | None -> go rest)
+  in
+  go names
+
+let compare_env (l : Fv_ir.Ast.loop) (es : Interp.env) (ev : Interp.env) :
+    (unit, string) result =
+  let rec go = function
+    | [] -> Ok ()
+    | v :: rest ->
+        let a = Interp.env_get es v and b = Interp.env_get ev v in
+        if value_close a b then go rest
+        else
+          Error
+            (Fmt.str "live-out %s differs: scalar=%a vector=%a" v
+               Value.pp_compact a Value.pp_compact b)
+  in
+  go l.live_out
+
+(** Vectorize [l], run both versions from identical initial state, and
+    compare final memory + live-outs. *)
+let check ?(vl = 16) ?(style = Fv_vectorizer.Gen.Flexvec) (l : Fv_ir.Ast.loop)
+    (mem : Memory.t) (env : (string * Value.t) list) :
+    (outcome, failure) result =
+  match Fv_vectorizer.Gen.vectorize ~vl ~style l with
+  | Error r -> Error (Not_vectorizable r)
+  | Ok vloop -> (
+      let ms = Memory.clone mem and es = Interp.env_of_list env in
+      let mv = Memory.clone mem and ev = Interp.env_of_list env in
+      let trips = Interp.run ms es l in
+      match Fv_simd.Exec.run vloop mv ev with
+      | exception Fv_simd.Exec.Vector_exec_error e -> Error (Vector_crash e)
+      | exception Memory.Fault f ->
+          Error (Vector_crash (Fmt.str "memory fault: %a" Memory.pp_fault f))
+      | stats -> (
+          match compare_memories ms mv with
+          | Error e -> Error (Mismatch e)
+          | Ok () -> (
+              match compare_env l es ev with
+              | Error e -> Error (Mismatch e)
+              | Ok () -> Ok { trips; stats; vloop })))
+
+(** Like {!check} but raises [Failure] with a report on any failure —
+    convenient inside Alcotest/QCheck bodies. *)
+let check_exn ?vl ?style l mem env : outcome =
+  match check ?vl ?style l mem env with
+  | Ok o -> o
+  | Error f ->
+      failwith
+        (Fmt.str "oracle failure on %s: %a@.%a" l.Fv_ir.Ast.name pp_failure f
+           Fv_ir.Pp.pp_loop l)

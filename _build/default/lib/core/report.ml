@@ -1,0 +1,60 @@
+(** Plain-text table rendering for the bench harness and CLI. *)
+
+let hline widths =
+  "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+
+let pad w s =
+  let s = if String.length s > w then String.sub s 0 w else s in
+  s ^ String.make (w - String.length s) ' '
+
+(** Render rows (first row = header) as an ASCII table. *)
+let table (rows : string list list) : string =
+  match rows with
+  | [] -> ""
+  | header :: _ ->
+      let ncols = List.length header in
+      let widths =
+        List.init ncols (fun c ->
+            List.fold_left
+              (fun acc row ->
+                match List.nth_opt row c with
+                | Some s -> max acc (String.length s)
+                | None -> acc)
+              0 rows)
+      in
+      let render_row row =
+        "| "
+        ^ String.concat " | " (List.mapi (fun c s -> pad (List.nth widths c) s) row)
+        ^ " |"
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (hline widths);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (render_row header);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (hline widths);
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun row ->
+          Buffer.add_string buf (render_row row);
+          Buffer.add_char buf '\n')
+        (List.tl rows);
+      Buffer.add_string buf (hline widths);
+      Buffer.contents buf
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+(** A crude ASCII bar chart (the "figure" half of Figure 8). *)
+let bar_chart ?(width = 40) (rows : (string * float) list) : string =
+  let vmax = List.fold_left (fun a (_, v) -> Float.max a v) 1.0 rows in
+  let label_w =
+    List.fold_left (fun a (s, _) -> max a (String.length s)) 0 rows
+  in
+  String.concat "\n"
+    (List.map
+       (fun (name, v) ->
+         let n = int_of_float (v /. vmax *. float_of_int width) in
+         Printf.sprintf "%s | %s %.2fx" (pad label_w name) (String.make n '#') v)
+       rows)

@@ -1,0 +1,1 @@
+lib/ir/analysis.pp.ml: Ast Fv_isa List Set String

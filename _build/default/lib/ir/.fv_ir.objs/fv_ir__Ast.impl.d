@@ -1,0 +1,1 @@
+lib/ir/ast.pp.ml: Fv_isa List Ppx_deriving_runtime Printf Value

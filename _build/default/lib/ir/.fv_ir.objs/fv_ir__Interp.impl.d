@@ -1,0 +1,1 @@
+lib/ir/interp.pp.ml: Ast Fv_isa Fv_mem Fv_trace Hashtbl Latency List Printf Value

@@ -1,0 +1,1 @@
+lib/ir/pp.pp.ml: Ast Fmt Fv_isa Value

@@ -1,0 +1,96 @@
+(** Def/use analysis over the scalar IR — the raw material for the PDG's
+    data-dependence edges. *)
+
+open Ast
+module SS = Set.Make (String)
+
+module StringSet = SS
+
+(** Scalar variables read by an expression. *)
+let rec expr_uses : expr -> SS.t = function
+  | Const _ -> SS.empty
+  | Var v -> SS.singleton v
+  | Load (_, idx) -> expr_uses idx
+  | Binop (_, a, b) | Cmp (_, a, b) -> SS.union (expr_uses a) (expr_uses b)
+  | Unop (_, e) -> expr_uses e
+
+(** Array reads performed by an expression: [(array, index expr)]. *)
+let rec expr_loads : expr -> (string * expr) list = function
+  | Const _ | Var _ -> []
+  | Load (arr, idx) -> (arr, idx) :: expr_loads idx
+  | Binop (_, a, b) | Cmp (_, a, b) -> expr_loads a @ expr_loads b
+  | Unop (_, e) -> expr_loads e
+
+(** Scalars defined directly by a statement (not including nested
+    statements of an [If]). *)
+let node_defs : node -> SS.t = function
+  | Assign (v, _) -> SS.singleton v
+  | Store _ | Break -> SS.empty
+  | If _ -> SS.empty
+
+(** Scalars read directly by a statement ([If] reads only its
+    condition). *)
+let node_uses : node -> SS.t = function
+  | Assign (_, e) -> expr_uses e
+  | Store (_, idx, e) -> SS.union (expr_uses idx) (expr_uses e)
+  | If (c, _, _) -> expr_uses c
+  | Break -> SS.empty
+
+(** Array reads performed directly by a statement. *)
+let node_loads : node -> (string * expr) list = function
+  | Assign (_, e) -> expr_loads e
+  | Store (_, idx, e) -> expr_loads idx @ expr_loads e
+  | If (c, _, _) -> expr_loads c
+  | Break -> []
+
+(** Array write performed by a statement, if any: [(array, index expr)]. *)
+let node_store : node -> (string * expr) option = function
+  | Store (arr, idx, _) -> Some (arr, idx)
+  | _ -> None
+
+(** All scalars defined anywhere in the loop body. *)
+let loop_defs (l : loop) : SS.t =
+  List.fold_left
+    (fun acc s -> SS.union acc (node_defs s.node))
+    SS.empty (all_stmts l)
+
+(** All scalars read anywhere in the loop body (including the bound). *)
+let loop_uses (l : loop) : SS.t =
+  List.fold_left
+    (fun acc s -> SS.union acc (node_uses s.node))
+    (expr_uses l.hi) (all_stmts l)
+
+(** Scalars live into the loop: used in the body (or bound) but defined
+    outside, plus anything read before its first definition. We keep the
+    conservative approximation [uses ∪ live_out]: the interpreter and the
+    vectorized code both need initial values for any variable that might
+    be read before being written. *)
+let loop_inputs (l : loop) : SS.t =
+  SS.remove l.index (SS.union (loop_uses l) (SS.of_list l.live_out))
+
+(** Does the expression mention the induction variable? Such index
+    expressions are affine-per-lane and can use unit-stride vector loads;
+    others need gathers. *)
+let rec mentions_var (v : string) : expr -> bool = function
+  | Const _ -> false
+  | Var x -> String.equal x v
+  | Load (_, idx) -> mentions_var v idx
+  | Binop (_, a, b) | Cmp (_, a, b) -> mentions_var v a || mentions_var v b
+  | Unop (_, e) -> mentions_var v e
+
+(** [affine_in_index ~index e] returns [Some offset_expr] when [e] is
+    exactly [index] or [index + c]/[c + index] with [c] invariant —
+    i.e. a unit-stride access pattern. *)
+let affine_in_index ~(index : string) (e : expr) : expr option =
+  match e with
+  | Var v when String.equal v index -> Some (Const (Fv_isa.Value.Int 0))
+  | Binop (Fv_isa.Value.Add, Var v, c)
+    when String.equal v index && not (mentions_var index c) ->
+      Some c
+  | Binop (Fv_isa.Value.Add, c, Var v)
+    when String.equal v index && not (mentions_var index c) ->
+      Some c
+  | Binop (Fv_isa.Value.Sub, Var v, c)
+    when String.equal v index && not (mentions_var index c) ->
+      Some (Unop (Fv_isa.Value.Neg, c))
+  | _ -> None

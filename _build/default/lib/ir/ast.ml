@@ -1,0 +1,80 @@
+(** The scalar loop IR.
+
+    FlexVec's code generation "is implemented as a pass in a high-level,
+    AST like IR" (§4); this is our equivalent. A {!loop} is a counted
+    [for] loop whose body is a statement tree: assignments to scalars,
+    stores to arrays, structured conditionals, and [break]. This is rich
+    enough to express all three hard-to-vectorize patterns the paper
+    targets — early loop termination (Fig. 5), conditional scalar update
+    (Fig. 6), and runtime memory dependencies (Figs. 2 and 7) — as well
+    as the surrounding vectorizable code. *)
+
+open Fv_isa
+
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Load of string * expr  (** [Load (arr, idx)] reads [arr.(idx)] *)
+  | Binop of Value.binop * expr * expr
+  | Cmp of Value.cmpop * expr * expr  (** yields int 0/1 *)
+  | Unop of Value.unop * expr
+[@@deriving show { with_path = false }, eq]
+
+type stmt = { id : int; node : node } [@@deriving show { with_path = false }, eq]
+
+and node =
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [Store (arr, idx, e)] writes [arr.(idx) <- e] *)
+  | If of expr * stmt list * stmt list
+  | Break
+[@@deriving show { with_path = false }, eq]
+
+type loop = {
+  name : string;
+  index : string;  (** induction variable; reads allowed, writes forbidden *)
+  lo : expr;  (** inclusive start, evaluated once on entry *)
+  hi : expr;  (** exclusive bound, loop-invariant *)
+  body : stmt list;
+  live_out : string list;  (** scalar variables observed after the loop *)
+}
+[@@deriving show { with_path = false }]
+
+(** Depth-first program-order listing of all statements (outer before
+    nested, then-before-else). *)
+let rec stmts_of_body (body : stmt list) : stmt list =
+  List.concat_map
+    (fun s ->
+      match s.node with
+      | If (_, t, e) -> (s :: stmts_of_body t) @ stmts_of_body e
+      | _ -> [ s ])
+    body
+
+let all_stmts (l : loop) : stmt list = stmts_of_body l.body
+
+let find_stmt (l : loop) (id : int) : stmt =
+  match List.find_opt (fun s -> s.id = id) (all_stmts l) with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Ast.find_stmt: no statement %d" id)
+
+(** Renumber every statement with fresh consecutive ids in program
+    order. Builders create statements with id [-1]; analyses require the
+    numbered form. *)
+let number (l : loop) : loop =
+  let next = ref 0 in
+  let rec stmt s =
+    let id = !next in
+    incr next;
+    let node =
+      match s.node with
+      | If (c, t, e) -> If (c, List.map stmt t, List.map stmt e)
+      | n -> n
+    in
+    { id; node }
+  in
+  { l with body = List.map stmt l.body }
+
+let is_numbered (l : loop) =
+  List.for_all (fun s -> s.id >= 0) (all_stmts l)
+
+(** Number of statements in the loop body (flattened). *)
+let size (l : loop) = List.length (all_stmts l)

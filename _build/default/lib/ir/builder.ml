@@ -1,0 +1,42 @@
+(** Combinators for writing IR loops concisely.
+
+    The workloads, tests, and examples build their kernels with these.
+    Statements are created with id [-1]; {!loop} runs {!Ast.number} so
+    the result is always analysable. *)
+
+open Fv_isa
+open Ast
+
+let int i = Const (Value.Int i)
+let flt f = Const (Value.Float f)
+let var v = Var v
+let load arr idx = Load (arr, idx)
+
+let ( + ) a b = Binop (Value.Add, a, b)
+let ( - ) a b = Binop (Value.Sub, a, b)
+let ( * ) a b = Binop (Value.Mul, a, b)
+let ( / ) a b = Binop (Value.Div, a, b)
+let ( % ) a b = Binop (Value.Rem, a, b)
+let ( &&& ) a b = Binop (Value.And, a, b)
+let ( ||| ) a b = Binop (Value.Or, a, b)
+let min_ a b = Binop (Value.Min, a, b)
+let max_ a b = Binop (Value.Max, a, b)
+let ( < ) a b = Cmp (Value.Lt, a, b)
+let ( <= ) a b = Cmp (Value.Le, a, b)
+let ( > ) a b = Cmp (Value.Gt, a, b)
+let ( >= ) a b = Cmp (Value.Ge, a, b)
+let ( = ) a b = Cmp (Value.Eq, a, b)
+let ( <> ) a b = Cmp (Value.Ne, a, b)
+let neg e = Unop (Value.Neg, e)
+let not_ e = Unop (Value.Not, e)
+let abs_ e = Unop (Value.Abs, e)
+
+let mk node = { id = -1; node }
+let assign v e = mk (Assign (v, e))
+let store arr idx e = mk (Store (arr, idx, e))
+let if_ c t = mk (If (c, t, []))
+let if_else c t e = mk (If (c, t, e))
+let break_ = mk Break
+
+let loop ?(name = "loop") ~index ?(lo = int 0) ~hi ?(live_out = []) body =
+  Ast.number { name; index; lo; hi; body; live_out }

@@ -1,0 +1,207 @@
+(** Reference interpreter for the scalar IR.
+
+    This is simultaneously:
+    - the {e semantic oracle} every vectorization strategy must match,
+    - the {e baseline} the paper measures against (the AVX-512 compiler
+      cannot vectorize FlexVec candidate loops, so the baseline runs
+      them scalar on the OOO model), and
+    - the {e profiler substrate}: hooks observe iterations, branch
+      outcomes and statement executions, exactly the statistics the
+      paper's modified Pin tool collects (§5).
+
+    With [emit] set it also produces the scalar micro-op trace consumed
+    by [fv_ooo]. *)
+
+open Fv_isa
+open Ast
+
+type env = (string, Value.t) Hashtbl.t
+
+let env_of_list kvs : env =
+  let e = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace e k v) kvs;
+  e
+
+let env_get (e : env) v =
+  match Hashtbl.find_opt e v with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Interp: unbound variable %S" v)
+
+let env_set (e : env) v x = Hashtbl.replace e v x
+
+type hooks = {
+  on_iter : int -> unit;  (** iteration entered, with index value *)
+  on_stmt : int -> unit;  (** statement id executed *)
+  on_branch : id:int -> taken:bool -> unit;  (** [If] condition outcome *)
+  on_load : int -> unit;  (** element address loaded *)
+  on_store : int -> unit;  (** element address stored *)
+  emit : (Fv_trace.Uop.t -> unit) option;  (** micro-op trace sink *)
+}
+
+let no_hooks =
+  {
+    on_iter = ignore;
+    on_stmt = ignore;
+    on_branch = (fun ~id:_ ~taken:_ -> ());
+    on_load = ignore;
+    on_store = ignore;
+    emit = None;
+  }
+
+let hooks ?(on_iter = ignore) ?(on_stmt = ignore)
+    ?(on_branch = fun ~id:_ ~taken:_ -> ()) ?(on_load = ignore)
+    ?(on_store = ignore) ?emit () =
+  { on_iter; on_stmt; on_branch; on_load; on_store; emit }
+
+exception Break_exn
+
+type state = {
+  mem : Fv_mem.Memory.t;
+  env : env;
+  hk : hooks;
+  mutable tmp : int;  (** fresh temp-register counter for the uop trace *)
+}
+
+let fresh st =
+  st.tmp <- st.tmp + 1;
+  Printf.sprintf "st%d" st.tmp
+
+let emit st (u : Fv_trace.Uop.t) =
+  match st.hk.emit with Some f -> f u | None -> ()
+
+let alu_class a b =
+  if Value.is_float a || Value.is_float b then Latency.Fp_alu else Latency.Int_alu
+
+let mul_class a b =
+  if Value.is_float a || Value.is_float b then Latency.Fp_mul else Latency.Int_mul
+
+(** Evaluate an expression; returns its value and the logical register
+    holding it in the trace. [dst] names the destination of the final
+    micro-op (used so a scalar assignment's consumers depend on the
+    variable name). *)
+let rec eval ?dst (st : state) (e : expr) : Value.t * string =
+  let bind_dst ~mk_uop v r_default =
+    match (st.hk.emit, dst) with
+    | None, _ -> (v, r_default)
+    | Some _, Some d ->
+        mk_uop d;
+        (v, d)
+    | Some _, None ->
+        mk_uop r_default;
+        (v, r_default)
+  in
+  match e with
+  | Const v -> (
+      match dst with
+      | None -> (v, "_const")
+      | Some d ->
+          emit st (Fv_trace.Uop.make ~dst:d Latency.Int_alu);
+          (v, d))
+  | Var x -> (
+      let v = env_get st.env x in
+      match dst with
+      | None -> (v, x)
+      | Some d ->
+          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ x ] Latency.Int_alu);
+          (v, d))
+  | Load (arr, idx) ->
+      let iv, ir = eval st idx in
+      let addr = Fv_mem.Memory.addr_of st.mem arr (Value.to_int iv) in
+      let v = Fv_mem.Memory.load st.mem addr in
+      st.hk.on_load addr;
+      let r = fresh st in
+      bind_dst v r ~mk_uop:(fun d ->
+          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ir ] ~addr Latency.Load))
+  | Binop (op, a, b) ->
+      let av, ar = eval st a in
+      let bv, br = eval st b in
+      let v = Value.binop op av bv in
+      let cls =
+        match op with
+        | Mul -> mul_class av bv
+        | Div -> if Value.is_float av || Value.is_float bv then Latency.Fp_div else Latency.Int_mul
+        | _ -> alu_class av bv
+      in
+      let r = fresh st in
+      bind_dst v r ~mk_uop:(fun d ->
+          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ar; br ] cls))
+  | Cmp (op, a, b) ->
+      let av, ar = eval st a in
+      let bv, br = eval st b in
+      let v = Value.of_bool (Value.cmp op av bv) in
+      let r = fresh st in
+      bind_dst v r ~mk_uop:(fun d ->
+          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ar; br ] (alu_class av bv)))
+  | Unop (op, a) ->
+      let av, ar = eval st a in
+      let v = Value.unop op av in
+      let r = fresh st in
+      bind_dst v r ~mk_uop:(fun d ->
+          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ar ] (alu_class av av)))
+
+let rec exec_stmt (st : state) (s : stmt) : unit =
+  st.hk.on_stmt s.id;
+  match s.node with
+  | Assign (v, e) ->
+      let value, _ = eval ~dst:v st e in
+      env_set st.env v value
+  | Store (arr, idx, e) ->
+      let iv, ir = eval st idx in
+      let ev, er = eval st e in
+      let addr = Fv_mem.Memory.addr_of st.mem arr (Value.to_int iv) in
+      st.hk.on_store addr;
+      emit st (Fv_trace.Uop.make ~srcs:[ ir; er ] ~addr Latency.Store);
+      Fv_mem.Memory.store st.mem addr ev
+  | Break -> raise Break_exn
+  | If (c, t, e) ->
+      let cv, cr = eval st c in
+      let taken = Value.truthy cv in
+      st.hk.on_branch ~id:s.id ~taken;
+      emit st
+        (Fv_trace.Uop.branch ~label:(Printf.sprintf "s%d" s.id) ~taken
+           ~srcs:[ cr ]);
+      List.iter (exec_stmt st) (if taken then t else e)
+
+(** Run the loop to completion. Returns the number of iterations entered
+    (the dynamic trip count). *)
+let run ?(hk = no_hooks) (mem : Fv_mem.Memory.t) (env : env) (l : loop) : int =
+  if not (is_numbered l) then invalid_arg "Interp.run: loop is not numbered";
+  let st = { mem; env; hk; tmp = 0 } in
+  let lo = Value.to_int (fst (eval st l.lo)) in
+  let hi = Value.to_int (fst (eval st l.hi)) in
+  let trips = ref 0 in
+  let label = Printf.sprintf "loop.%s" l.name in
+  (try
+     let i = ref lo in
+     while !i < hi do
+       env_set env l.index (Value.Int !i);
+       hk.on_iter !i;
+       (* loop-control micro-ops: index increment, bound check, back-edge *)
+       emit st (Fv_trace.Uop.make ~dst:l.index ~srcs:[ l.index ] Latency.Int_alu);
+       emit st (Fv_trace.Uop.branch ~label ~taken:true ~srcs:[ l.index ]);
+       incr trips;
+       List.iter (exec_stmt st) l.body;
+       incr i
+     done;
+     emit st (Fv_trace.Uop.branch ~label ~taken:false ~srcs:[ l.index ])
+   with Break_exn -> ());
+  !trips
+
+(** Execute the loop body once for index [i] — the scalar-fallback entry
+    point used by the vector emulator after a first-faulting mismatch
+    (§4.1: "falls back to a scalar version of the loop"). Returns
+    [`Break] if the iteration executed a break. *)
+let run_iteration ?(hk = no_hooks) (mem : Fv_mem.Memory.t) (env : env)
+    (l : loop) (i : int) : [ `Ok | `Break ] =
+  let st = { mem; env; hk; tmp = 0 } in
+  env_set env l.index (Value.Int i);
+  hk.on_iter i;
+  try
+    List.iter (exec_stmt st) l.body;
+    `Ok
+  with Break_exn -> `Break
+
+(** Run and return the live-out environment restricted to [l.live_out]. *)
+let run_live_out ?hk mem env l : int * (string * Value.t) list =
+  let trips = run ?hk mem env l in
+  (trips, List.map (fun v -> (v, env_get env v)) l.live_out)

@@ -1,0 +1,61 @@
+(** C-like pretty printer for the scalar IR. *)
+
+open Fv_isa
+open Ast
+
+let binop_str : Value.binop -> string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let cmpop_str : Value.cmpop -> string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp_compact ppf v
+  | Var v -> Fmt.string ppf v
+  | Load (arr, idx) -> Fmt.pf ppf "%s[%a]" arr pp_expr idx
+  | Binop (((Min | Max) as op), a, b) ->
+      Fmt.pf ppf "%s(%a, %a)" (binop_str op) pp_expr a pp_expr b
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Cmp (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (cmpop_str op) pp_expr b
+  | Unop (Neg, e) -> Fmt.pf ppf "-(%a)" pp_expr e
+  | Unop (Not, e) -> Fmt.pf ppf "!(%a)" pp_expr e
+  | Unop (Abs, e) -> Fmt.pf ppf "abs(%a)" pp_expr e
+
+let rec pp_stmt ppf (s : stmt) =
+  match s.node with
+  | Assign (v, e) -> Fmt.pf ppf "@[<h>S%d: %s = %a;@]" s.id v pp_expr e
+  | Store (arr, idx, e) ->
+      Fmt.pf ppf "@[<h>S%d: %s[%a] = %a;@]" s.id arr pp_expr idx pp_expr e
+  | Break -> Fmt.pf ppf "S%d: break;" s.id
+  | If (c, t, []) ->
+      Fmt.pf ppf "@[<v 2>S%d: if %a {@,%a@]@,}" s.id pp_expr c pp_body t
+  | If (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>S%d: if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}" s.id
+        pp_expr c pp_body t pp_body e
+
+and pp_body ppf body = Fmt.(list ~sep:cut pp_stmt) ppf body
+
+let pp_loop ppf (l : loop) =
+  Fmt.pf ppf "@[<v 2>for (%s = %a; %s < %a; %s++) {@,%a@]@,}" l.index pp_expr
+    l.lo l.index pp_expr l.hi l.index pp_body l.body;
+  if l.live_out <> [] then
+    Fmt.pf ppf "@,// live-out: %a" Fmt.(list ~sep:comma string) l.live_out
+
+let loop_to_string l = Fmt.str "%a" pp_loop l

@@ -1,0 +1,1 @@
+lib/isa/config.pp.ml: Fmt

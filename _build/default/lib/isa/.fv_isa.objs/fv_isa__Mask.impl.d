@@ -1,0 +1,1 @@
+lib/isa/mask.pp.ml: Array Fmt Fun List Printf String

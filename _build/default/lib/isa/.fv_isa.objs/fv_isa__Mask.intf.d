@@ -1,0 +1,1 @@
+lib/isa/mask.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/value.pp.ml: Float Fmt Int Ppx_deriving_runtime

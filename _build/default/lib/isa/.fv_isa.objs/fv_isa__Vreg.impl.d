@@ -1,0 +1,1 @@
+lib/isa/vreg.pp.ml: Array Fmt List Mask Value

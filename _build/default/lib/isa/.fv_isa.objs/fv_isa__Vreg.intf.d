@@ -1,0 +1,1 @@
+lib/isa/vreg.pp.mli: Format Mask Value

@@ -1,0 +1,14 @@
+(** Vector configuration.
+
+    The paper targets AVX-512: 512-bit registers holding 16 double-word
+    (32-bit) or 8 quad-word (64-bit) elements. All of the paper's worked
+    examples use 16 lanes, which is our default. The emulator and the
+    code generator are parametric in [vl] so tests can exercise narrow
+    widths. *)
+
+type t = { vl : int  (** number of lanes per vector register *) }
+
+let default = { vl = 16 }
+let make ~vl = if vl < 1 then invalid_arg "Config.make: vl must be >= 1" else { vl }
+let vl t = t.vl
+let pp ppf t = Fmt.pf ppf "VL=%d" t.vl

@@ -1,0 +1,50 @@
+(** Instruction latency/throughput model: the bottom half of the paper's
+    Table 1 for the FlexVec extensions, Agner-Fog-style numbers for the
+    base micro-op classes (§5). *)
+
+type uop_class =
+  | Int_alu
+  | Int_mul
+  | Fp_alu
+  | Fp_mul
+  | Fp_div
+  | Load  (** scalar/vector unit-stride load; cache access added by the pipeline *)
+  | Store
+  | Branch
+  | Vec_alu
+  | Vec_mul
+  | Vec_div
+  | Mask_op  (** KAND/KOR/KNOT/KTEST/KMOV *)
+  | Vec_broadcast
+  | Gather  (** setup micro-op; per-element loads modelled separately *)
+  | Scatter
+  | Kftm  (** KFTM.EXC / KFTM.INC — Table 1: 2 cycles, throughput 1 *)
+  | Slct_last  (** VPSLCTLAST — Table 1: 3 cycles, throughput 1 *)
+  | Conflictm  (** VPCONFLICTM — Table 1: 20 cycles, throughput 2 *)
+  | Gather_ff  (** VPGATHERFF — Table 1: 1-cycle AGU, 2 loads/cycle *)
+  | Load_ff  (** VMOVFF *)
+  | Xbegin  (** RTM region entry *)
+  | Xend  (** RTM region commit *)
+  | Xabort  (** RTM rollback *)
+  | Nop
+
+val pp_uop_class : Format.formatter -> uop_class -> unit
+val show_uop_class : uop_class -> string
+val equal_uop_class : uop_class -> uop_class -> bool
+
+type timing = { latency : int; recip_tput : int }
+
+(** Execution latency (issue → result) and reciprocal throughput (port
+    occupancy) per class; memory classes exclude the cache access time,
+    which the pipeline adds from the hierarchy model. *)
+val timing : uop_class -> timing
+
+val latency : uop_class -> int
+val recip_tput : uop_class -> int
+val is_load : uop_class -> bool
+val is_store : uop_class -> bool
+val is_mem : uop_class -> bool
+val is_branch : uop_class -> bool
+
+(** The FlexVec rows of the paper's Table 1, for the bench harness. *)
+val table1_flexvec_rows : (string * uop_class) list

@@ -1,0 +1,141 @@
+(** Predicate mask registers.
+
+    AVX-512 exposes eight architecturally visible mask registers
+    [k0..k7]; FlexVec's code generation manipulates them through a small
+    set of mask operations plus the new partial-mask-generation
+    instructions [KFTM.EXC] / [KFTM.INC] (paper §3.4).
+
+    Lane numbering follows the paper's figures: lane 0 is the
+    "leftmost" / least-significant lane, and all scans (first set bit,
+    first fault, first conflict) proceed from lane 0 upward. *)
+
+type t = bool array
+
+let length (k : t) = Array.length k
+let create vl b : t = Array.make vl b
+let none vl : t = create vl false
+let full vl : t = create vl true
+let copy (k : t) : t = Array.copy k
+let get (k : t) i = k.(i)
+let set (k : t) i b = k.(i) <- b
+
+(** [of_bits "0011"] builds a mask with lane 0 = false, lane 1 = false,
+    lane 2 = true, lane 3 = true — i.e. the string is laid out
+    left-to-right exactly like the paper's examples. *)
+let of_bits (s : string) : t =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Mask.of_bits: bad char %c" c))
+
+let to_bits (k : t) : string =
+  String.init (Array.length k) (fun i -> if k.(i) then '1' else '0')
+
+let of_list vl lanes : t =
+  let k = none vl in
+  List.iter (fun i -> k.(i) <- true) lanes;
+  k
+
+let to_list (k : t) : int list =
+  let acc = ref [] in
+  for i = Array.length k - 1 downto 0 do
+    if k.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let equal (a : t) (b : t) = a = b
+let pp ppf k = Fmt.string ppf (to_bits k)
+
+let popcount (k : t) =
+  Array.fold_left (fun n b -> if b then n + 1 else n) 0 k
+
+let any (k : t) = Array.exists Fun.id k
+let is_empty (k : t) = not (any k)
+let all (k : t) = Array.for_all Fun.id k
+
+(** Index of the first (lowest-numbered) set lane, if any. *)
+let first_set (k : t) : int option =
+  let n = Array.length k in
+  let rec go i = if i >= n then None else if k.(i) then Some i else go (i + 1) in
+  go 0
+
+(** Index of the last (highest-numbered) set lane, if any. *)
+let last_set (k : t) : int option =
+  let rec go i = if i < 0 then None else if k.(i) then Some i else go (i - 1) in
+  go (Array.length k - 1)
+
+let map2 f (a : t) (b : t) : t =
+  if Array.length a <> Array.length b then invalid_arg "Mask.map2: width mismatch";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let kand = map2 ( && )
+let kor = map2 ( || )
+let kxor = map2 ( <> )
+
+(** [kandn a b] = [~a & b], AVX-512's KANDN operand order. *)
+let kandn = map2 (fun x y -> (not x) && y)
+
+let knot (a : t) : t = Array.map not a
+
+(** Lanes [0, n) set; used for loop-remainder masks ([k_loop] when fewer
+    than VL scalar iterations remain). *)
+let iota_lt vl n : t = Array.init vl (fun i -> i < n)
+
+(** Lanes [n, vl) set. *)
+let iota_ge vl n : t = Array.init vl (fun i -> i >= n)
+
+(* ------------------------------------------------------------------ *)
+(* FlexVec partial mask generation (paper §3.4)                        *)
+(* ------------------------------------------------------------------ *)
+
+let first_enabled_stop ~write (stop : t) : int option =
+  let n = Array.length stop in
+  let rec go i =
+    if i >= n then None
+    else if write.(i) && stop.(i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** [kftm_exc ~write stop] — KFTM.EXC k1 {k2}, k3.
+
+    Scans lanes from 0 upward and sets write-enabled output lanes to 1
+    up to but {e not} including the first write-enabled set lane of
+    [stop]; every other lane is 0. Used when the stopping lane itself
+    must be delayed to the next VPL iteration (e.g. a load that conflicts
+    with an earlier lane's store).
+
+    A stop bit on the {e first} enabled write lane is consumed rather
+    than honoured: that lane's serialization point has been satisfied by
+    the completion of all earlier lanes, so it starts the new partition.
+    (Taking the paper's §3.4 wording literally would make the VPL of
+    Fig. 2(b) livelock once [k_todo]'s first lane carries a stop bit:
+    [k_safe] would come out empty forever. The paper's own VPCONFLICTM
+    discussion — "set bits in k1 define serialization points" — implies
+    this consume-on-reach reading, which we verify against both of the
+    paper's worked examples in the test suite.) *)
+let kftm_exc ~(write : t) (stop : t) : t =
+  let n = Array.length stop in
+  if Array.length write <> n then invalid_arg "Mask.kftm_exc: width mismatch";
+  let fw = first_set write in
+  let limit =
+    let rec go i =
+      if i >= n then n
+      else if write.(i) && stop.(i) && Some i <> fw then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Array.init n (fun i -> write.(i) && i < limit)
+
+(** [kftm_inc ~write stop] — KFTM.INC k1 {k2}, k3.
+
+    Like {!kftm_exc} but the first write-enabled stopping lane is
+    {e included}: used for statements lexically before (or at) the
+    updating statement, which executes correctly in its own lane. *)
+let kftm_inc ~(write : t) (stop : t) : t =
+  let n = Array.length stop in
+  if Array.length write <> n then invalid_arg "Mask.kftm_inc: width mismatch";
+  let limit = match first_enabled_stop ~write stop with Some i -> i | None -> n - 1 in
+  Array.init n (fun i -> write.(i) && i <= limit)

@@ -1,0 +1,79 @@
+(** Predicate mask registers (AVX-512 [k0..k7] equivalents).
+
+    Lane numbering follows the paper's figures: lane 0 is the
+    "leftmost" / least-significant lane; all scans (first set bit, first
+    fault, first conflict) proceed from lane 0 upward.
+
+    The representation is exposed for the emulator's convenience; treat
+    values as immutable outside this library except through {!set}. *)
+
+type t = bool array
+
+val length : t -> int
+val create : int -> bool -> t
+
+(** All-false mask of the given width. *)
+val none : int -> t
+
+(** All-true mask of the given width. *)
+val full : int -> t
+
+val copy : t -> t
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+(** [of_bits "0011"] sets lanes 2 and 3 — the string reads left-to-right
+    like the paper's examples. Raises [Invalid_argument] on characters
+    other than ['0']/['1']. *)
+val of_bits : string -> t
+
+val to_bits : t -> string
+
+(** [of_list vl lanes] sets exactly the given lane indices. *)
+val of_list : int -> int list -> t
+
+(** Enabled lane indices, ascending. *)
+val to_list : t -> int list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val popcount : t -> int
+val any : t -> bool
+val is_empty : t -> bool
+val all : t -> bool
+
+(** Index of the first (lowest-numbered) set lane, if any. *)
+val first_set : t -> int option
+
+(** Index of the last (highest-numbered) set lane, if any. *)
+val last_set : t -> int option
+
+val map2 : (bool -> bool -> bool) -> t -> t -> t
+val kand : t -> t -> t
+val kor : t -> t -> t
+val kxor : t -> t -> t
+
+(** [kandn a b] = [~a & b] (AVX-512 KANDN operand order). *)
+val kandn : t -> t -> t
+
+val knot : t -> t
+
+(** [iota_lt vl n]: lanes [0, n) set — loop-remainder masks. *)
+val iota_lt : int -> int -> t
+
+(** [iota_ge vl n]: lanes [n, vl) set. *)
+val iota_ge : int -> int -> t
+
+(** [kftm_exc ~write stop] — KFTM.EXC k1 {k2}, k3 (paper §3.4).
+
+    Write-enabled output lanes are set up to but {e not} including the
+    first write-enabled stop lane. A stop bit on the {e first} enabled
+    write lane is consumed (its serialization point is already
+    satisfied); see the implementation note in [mask.ml] — the literal
+    paper wording would livelock the Fig. 2(b) VPL. *)
+val kftm_exc : write:t -> t -> t
+
+(** [kftm_inc ~write stop] — KFTM.INC k1 {k2}, k3: like {!kftm_exc} but
+    the first write-enabled stop lane is {e included}. With no enabled
+    stop bit, the whole write mask is returned (both variants). *)
+val kftm_inc : write:t -> t -> t

@@ -1,0 +1,54 @@
+(** Scalar values flowing through the scalar IR and vector lanes.
+
+    Lanes carry either an [int] (SPEC-int-style index/compare code) or a
+    [float] (SPEC-fp / MD / lattice-QCD compute); mixed arithmetic
+    promotes to float, mirroring C's usual conversions. *)
+
+type t = Int of int | Float of float
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+type binop = Add | Sub | Mul | Div | Rem | Min | Max | And | Or | Xor | Shl | Shr
+
+val pp_binop : Format.formatter -> binop -> unit
+val show_binop : binop -> string
+val equal_binop : binop -> binop -> bool
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+val pp_cmpop : Format.formatter -> cmpop -> unit
+val show_cmpop : cmpop -> string
+val equal_cmpop : cmpop -> cmpop -> bool
+
+type unop = Neg | Not | Abs
+
+val pp_unop : Format.formatter -> unop -> unit
+val show_unop : unop -> string
+val equal_unop : unop -> unop -> bool
+
+val int : int -> t
+val float : float -> t
+val zero : t
+val to_int : t -> int
+val to_float : t -> float
+
+(** C-style truthiness: nonzero is true. *)
+val truthy : t -> bool
+
+val of_bool : bool -> t
+val is_float : t -> bool
+
+(** Integer division/remainder by zero yield 0 (the workloads never
+    divide by zero; this keeps random-program testing total). Bitwise
+    operations on float operands raise [Invalid_argument]. *)
+val binop : binop -> t -> t -> t
+
+val cmp : cmpop -> t -> t -> bool
+val unop : unop -> t -> t
+
+(** Like {!pp} but without the constructor name — for printing lane
+    contents compactly. *)
+val pp_compact : Format.formatter -> t -> unit

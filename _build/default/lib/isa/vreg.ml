@@ -1,0 +1,115 @@
+(** Vector registers: a fixed number of {!Value.t} lanes.
+
+    Implements the lane semantics of the AVX-512 subset FlexVec's code
+    generation uses (merge-masked elementwise ops, compares into masks,
+    broadcasts) plus the FlexVec extensions [VPSLCTLAST] (§3.5) and
+    [VPCONFLICTM] (§3.6). Memory-touching instructions (loads, gathers,
+    the first-faulting variants) live in [fv_simd] because they need the
+    memory model; the pure lane logic is here. *)
+
+type t = Value.t array
+
+let length (v : t) = Array.length v
+let create vl x : t = Array.make vl x
+let zero vl : t = create vl Value.zero
+let broadcast vl x : t = create vl x
+let of_array (a : Value.t array) : t = Array.copy a
+let of_int_list l : t = Array.of_list (List.map Value.int l)
+let to_array (v : t) = Array.copy v
+let copy (v : t) = Array.copy v
+let get (v : t) i = v.(i)
+let set (v : t) i x = v.(i) <- x
+let equal (a : t) (b : t) = a = b
+
+let pp ppf (v : t) =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:sp Value.pp_compact) v
+
+(** Integer lane indices [base, base+1, ...]; used for induction-variable
+    vectors ([v_i] in the paper's generated code). *)
+let iota vl ~base ~step : t =
+  Array.init vl (fun i -> Value.Int (base + (i * step)))
+
+(** Merge-masked elementwise binary op: disabled lanes keep [dst]'s old
+    value, matching AVX-512 merge masking. *)
+let binop_mask (k : Mask.t) (op : Value.binop) ~(dst : t) (a : t) (b : t) : t =
+  Array.init (Array.length dst) (fun i ->
+      if Mask.get k i then Value.binop op a.(i) b.(i) else dst.(i))
+
+let unop_mask (k : Mask.t) (op : Value.unop) ~(dst : t) (a : t) : t =
+  Array.init (Array.length dst) (fun i ->
+      if Mask.get k i then Value.unop op a.(i) else dst.(i))
+
+(** Compare into a mask under a write mask: result lane is set iff the
+    write mask enables it {e and} the comparison holds, AVX-512
+    [VPCMP k1 {k2}, ...] semantics. *)
+let cmp_mask (write : Mask.t) (op : Value.cmpop) (a : t) (b : t) : Mask.t =
+  Array.init (Array.length a) (fun i ->
+      Mask.get write i && Value.cmp op a.(i) b.(i))
+
+(** Blend: take [a]'s lane where the mask is set, [b]'s otherwise. *)
+let blend (k : Mask.t) (a : t) (b : t) : t =
+  Array.init (Array.length a) (fun i -> if Mask.get k i then a.(i) else b.(i))
+
+(** Merge-masked broadcast of a scalar into enabled lanes only; used for
+    the selective forward broadcast through [k_rem] (paper §4.1, line 89
+    of the handler pseudo-code). *)
+let broadcast_mask (k : Mask.t) ~(dst : t) (x : Value.t) : t =
+  Array.init (Array.length dst) (fun i -> if Mask.get k i then x else dst.(i))
+
+(* ------------------------------------------------------------------ *)
+(* VPSLCTLAST (paper §3.5)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [slct_last k v] — the value of the last (highest-numbered) enabled
+    lane of [v]; if no lane is enabled the last lane is selected, per the
+    instruction's definition. *)
+let slct_last (k : Mask.t) (v : t) : Value.t =
+  match Mask.last_set k with
+  | Some i -> v.(i)
+  | None -> v.(Array.length v - 1)
+
+(** [vpslctlast k v] — VPSLCTLAST v2, k1, v1: select the last enabled
+    element of [v] and broadcast it to every lane of the result. *)
+let vpslctlast (k : Mask.t) (v : t) : t =
+  broadcast (Array.length v) (slct_last k v)
+
+(* ------------------------------------------------------------------ *)
+(* VPCONFLICTM (paper §3.6)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [vpconflictm ?enabled v1 v2] — VPCONFLICTM k1 {k2}, v1, v2.
+
+    Scans lanes from 0 upward keeping a running serialization point
+    (initially lane 0). Output lane [i] is set iff [v1.(i)] equals some
+    [enabled] lane [j] of [v2] with [serialization_point <= j < i]; when
+    a lane is set it becomes the new serialization point ("from the point
+    of last conflict"). Set bits therefore partition the vector such that
+    all definitions before each stop point dominate succeeding uses. *)
+let vpconflictm ?(enabled : Mask.t option) (v1 : t) (v2 : t) : Mask.t =
+  let n = Array.length v1 in
+  if Array.length v2 <> n then invalid_arg "Vreg.vpconflictm: width mismatch";
+  let enabled_at j = match enabled with None -> true | Some k -> Mask.get k j in
+  let out = Mask.none n in
+  let last_conflict = ref 0 in
+  for i = 0 to n - 1 do
+    let hit = ref false in
+    for j = !last_conflict to i - 1 do
+      if enabled_at j && Value.equal v2.(j) v1.(i) then hit := true
+    done;
+    if !hit then begin
+      Mask.set out i true;
+      last_conflict := i
+    end
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Horizontal reductions (used to extract live-outs)                   *)
+(* ------------------------------------------------------------------ *)
+
+let reduce (k : Mask.t) (op : Value.binop) ~(init : Value.t) (v : t) : Value.t =
+  let acc = ref init in
+  for i = 0 to Array.length v - 1 do
+    if Mask.get k i then acc := Value.binop op !acc v.(i)
+  done;
+  !acc

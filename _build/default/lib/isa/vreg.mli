@@ -1,0 +1,58 @@
+(** Vector registers: a fixed number of {!Value.t} lanes, with the lane
+    semantics of the AVX-512 subset FlexVec uses plus the FlexVec
+    extensions [VPSLCTLAST] (§3.5) and [VPCONFLICTM] (§3.6).
+
+    Memory-touching operations (loads/gathers, first-faulting variants)
+    live in [Fv_simd.Exec]; only pure lane logic is here. *)
+
+type t = Value.t array
+
+val length : t -> int
+val create : int -> Value.t -> t
+val zero : int -> t
+val broadcast : int -> Value.t -> t
+val of_array : Value.t array -> t
+val of_int_list : int list -> t
+val to_array : t -> Value.t array
+val copy : t -> t
+val get : t -> int -> Value.t
+val set : t -> int -> Value.t -> unit
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [iota vl ~base ~step]: lane [l] gets [base + l*step] — induction
+    variable vectors. *)
+val iota : int -> base:int -> step:int -> t
+
+(** Merge-masked elementwise binary operation: disabled lanes keep
+    [dst]'s previous value (AVX-512 merge masking). *)
+val binop_mask : Mask.t -> Value.binop -> dst:t -> t -> t -> t
+
+val unop_mask : Mask.t -> Value.unop -> dst:t -> t -> t
+
+(** Compare into a mask under a write mask ([VPCMP k1 {k2}, ...]). *)
+val cmp_mask : Mask.t -> Value.cmpop -> t -> t -> Mask.t
+
+(** [blend k a b]: lane-wise [k ? a : b]. *)
+val blend : Mask.t -> t -> t -> t
+
+(** Merge-masked broadcast into enabled lanes only (the [k_rem]
+    selective forward broadcast of §4.2). *)
+val broadcast_mask : Mask.t -> dst:t -> Value.t -> t
+
+(** Value of the last enabled lane; the last lane if the mask is empty
+    (per the VPSLCTLAST definition). *)
+val slct_last : Mask.t -> t -> Value.t
+
+(** VPSLCTLAST v2, k1, v1: broadcast {!slct_last} to every lane. *)
+val vpslctlast : Mask.t -> t -> t
+
+(** VPCONFLICTM k1 {k2}, v1, v2 (§3.6): output lane [i] is set iff
+    [v1.(i)] matches an [enabled] lane [j] of [v2] with
+    [serialization_point <= j < i]; each hit becomes the new
+    serialization point. Verified against both of the paper's worked
+    examples. *)
+val vpconflictm : ?enabled:Mask.t -> t -> t -> Mask.t
+
+(** Horizontal reduction over enabled lanes. *)
+val reduce : Mask.t -> Value.binop -> init:Value.t -> t -> Value.t

@@ -1,0 +1,1 @@
+lib/mem/memory.pp.ml: Array Fmt Fv_isa Hashtbl List Ppx_deriving_runtime Printf String Value

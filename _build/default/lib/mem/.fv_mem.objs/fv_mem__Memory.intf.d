@@ -1,0 +1,1 @@
+lib/mem/memory.pp.mli: Format Fv_isa Hashtbl Value

@@ -1,0 +1,146 @@
+(** Flat emulated address space backing both the scalar interpreter and
+    the vector ISA emulator.
+
+    Arrays are allocated at increasing base addresses separated by guard
+    gaps, so an out-of-bounds index computed speculatively (e.g. a gather
+    hoisted above its guard, §3.3) hits unmapped memory and {e faults}
+    instead of silently reading a neighbouring allocation. First-faulting
+    loads exist precisely to suppress such faults on speculative lanes.
+
+    Addresses are in element units (one element = one 32/64-bit value);
+    the cache model converts to line addresses itself. *)
+
+open Fv_isa
+
+type fault = { addr : int; write : bool } [@@deriving show { with_path = false }, eq]
+
+exception Fault of fault
+
+type allocation = {
+  name : string;
+  base : int;
+  len : int;
+  data : Value.t array;
+}
+
+type t = {
+  mutable allocs : allocation list;  (** newest first *)
+  mutable next_base : int;
+  by_name : (string, allocation) Hashtbl.t;
+  mutable loads : int;   (** committed (non-faulting) loads *)
+  mutable stores : int;
+}
+
+let guard_gap = 64
+let initial_base = 1024
+
+let create () =
+  { allocs = []; next_base = initial_base; by_name = Hashtbl.create 16;
+    loads = 0; stores = 0 }
+
+(** Allocate a named array initialised from [data]. Returns the base
+    address. Names are unique per memory. *)
+let alloc (m : t) name (data : Value.t array) : int =
+  if Hashtbl.mem m.by_name name then
+    invalid_arg (Printf.sprintf "Memory.alloc: duplicate allocation %S" name);
+  let a = { name; base = m.next_base; len = Array.length data; data = Array.copy data } in
+  m.allocs <- a :: m.allocs;
+  m.next_base <- m.next_base + Array.length data + guard_gap;
+  Hashtbl.replace m.by_name name a;
+  a.base
+
+let alloc_ints m name ints = alloc m name (Array.map Value.int ints)
+let alloc_floats m name fs = alloc m name (Array.map Value.float fs)
+
+let find (m : t) name =
+  match Hashtbl.find_opt m.by_name name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Memory.find: unknown allocation %S" name)
+
+let base_of m name = (find m name).base
+let length_of m name = (find m name).len
+
+(** Element address of [name.(idx)] — no bounds check; the check happens
+    at access time, which is what lets speculative lanes compute wild
+    addresses harmlessly. *)
+let addr_of m name idx = (find m name).base + idx
+
+let locate (m : t) (addr : int) : (allocation * int) option =
+  let rec go = function
+    | [] -> None
+    | a :: rest ->
+        if addr >= a.base && addr < a.base + a.len then Some (a, addr - a.base)
+        else go rest
+  in
+  go m.allocs
+
+(** Non-trapping load: [Error fault] on unmapped addresses. *)
+let load_opt (m : t) (addr : int) : (Value.t, fault) result =
+  match locate m addr with
+  | Some (a, off) ->
+      m.loads <- m.loads + 1;
+      Ok a.data.(off)
+  | None -> Error { addr; write = false }
+
+let store_opt (m : t) (addr : int) (v : Value.t) : (unit, fault) result =
+  match locate m addr with
+  | Some (a, off) ->
+      m.stores <- m.stores + 1;
+      a.data.(off) <- v;
+      Ok ()
+  | None -> Error { addr; write = true }
+
+(** Trapping load: raises {!Fault} on unmapped addresses — the behaviour
+    of a normal (non-first-faulting) access. *)
+let load (m : t) (addr : int) : Value.t =
+  match load_opt m addr with Ok v -> v | Error f -> raise (Fault f)
+
+let store (m : t) (addr : int) (v : Value.t) : unit =
+  match store_opt m addr v with Ok () -> () | Error f -> raise (Fault f)
+
+let get m name idx = load m (addr_of m name idx)
+let set m name idx v = store m (addr_of m name idx) v
+
+(** Full contents of a named array (copy). *)
+let read_all m name = Array.copy (find m name).data
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots — used by the RTM model and by scalar-vs-vector oracles.  *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = (string * Value.t array) list
+
+let snapshot (m : t) : snapshot =
+  List.map (fun a -> (a.name, Array.copy a.data)) m.allocs
+
+let restore (m : t) (s : snapshot) : unit =
+  List.iter
+    (fun (name, data) ->
+      let a = find m name in
+      if Array.length data <> a.len then
+        invalid_arg "Memory.restore: snapshot shape mismatch";
+      Array.blit data 0 a.data 0 a.len)
+    s
+
+let equal_contents (a : t) (b : t) : bool =
+  let norm m =
+    List.sort (fun x y -> String.compare x.name y.name) m.allocs
+    |> List.map (fun al -> (al.name, al.data))
+  in
+  norm a = norm b
+
+(** Deep copy, preserving bases: used to run scalar and vector versions
+    of a loop from identical initial states. *)
+let clone (m : t) : t =
+  let allocs = List.map (fun a -> { a with data = Array.copy a.data }) m.allocs in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace by_name a.name a) allocs;
+  { allocs; next_base = m.next_base; by_name; loads = m.loads; stores = m.stores }
+
+let pp ppf (m : t) =
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "%s@%d[%d] = %a@." a.name a.base a.len
+        Fmt.(array ~sep:sp Value.pp_compact)
+        a.data)
+    (List.rev m.allocs)

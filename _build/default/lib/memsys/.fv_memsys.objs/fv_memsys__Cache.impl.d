@@ -1,0 +1,1 @@
+lib/memsys/cache.pp.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/memsys/hierarchy.pp.ml: Array Cache Fmt

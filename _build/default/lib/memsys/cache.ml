@@ -1,0 +1,72 @@
+(** A set-associative cache with LRU replacement.
+
+    Addresses are in element units (4-byte elements); a 64-byte line
+    therefore holds 16 elements. The simulator only needs hit/miss
+    behaviour and occupancy, not data. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_elems : int;  (** elements per line *)
+  tags : int array array;  (** [set][way] -> line address, -1 = invalid *)
+  lru : int array array;  (** [set][way] -> last-use stamp *)
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(** [create ~name ~size_bytes ~ways ~line_bytes ~elem_bytes] *)
+let create ~name ~size_bytes ~ways ?(line_bytes = 64) ?(elem_bytes = 4) () : t =
+  let lines = size_bytes / line_bytes in
+  let sets = max 1 (lines / ways) in
+  {
+    name;
+    sets;
+    ways;
+    line_elems = line_bytes / elem_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    lru = Array.init sets (fun _ -> Array.make ways 0);
+    stamp = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_of (c : t) (addr : int) = addr / c.line_elems
+let set_of (c : t) (line : int) = line mod c.sets
+
+(** Access one element address: [true] on hit. Fills on miss. *)
+let access (c : t) (addr : int) : bool =
+  c.stamp <- c.stamp + 1;
+  let line = line_of c addr in
+  let s = set_of c line in
+  let tags = c.tags.(s) and lru = c.lru.(s) in
+  let rec find w = if w >= c.ways then None else if tags.(w) = line then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+      lru.(w) <- c.stamp;
+      c.hits <- c.hits + 1;
+      true
+  | None ->
+      c.misses <- c.misses + 1;
+      (* evict LRU way *)
+      let victim = ref 0 in
+      for w = 1 to c.ways - 1 do
+        if lru.(w) < lru.(!victim) then victim := w
+      done;
+      tags.(!victim) <- line;
+      lru.(!victim) <- c.stamp;
+      false
+
+let reset (c : t) =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) c.tags;
+  c.hits <- 0;
+  c.misses <- 0
+
+let hit_rate (c : t) =
+  let total = c.hits + c.misses in
+  if total = 0 then 1.0 else float_of_int c.hits /. float_of_int total
+
+let pp ppf (c : t) =
+  Fmt.pf ppf "%s: %d sets x %d ways, hits=%d misses=%d (%.1f%%)" c.name c.sets
+    c.ways c.hits c.misses (100. *. hit_rate c)

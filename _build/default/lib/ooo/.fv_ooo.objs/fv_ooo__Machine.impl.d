@@ -1,0 +1,1 @@
+lib/ooo/machine.pp.ml: Printf

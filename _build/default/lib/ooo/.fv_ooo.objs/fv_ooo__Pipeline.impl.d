@@ -1,0 +1,1 @@
+lib/ooo/pipeline.pp.ml: Array Fmt Fv_isa Fv_memsys Fv_trace Hashtbl Latency List Machine Option Predictor Queue

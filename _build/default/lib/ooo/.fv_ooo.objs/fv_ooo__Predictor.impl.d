@@ -1,0 +1,1 @@
+lib/ooo/predictor.pp.ml: Array Bool Hashtbl

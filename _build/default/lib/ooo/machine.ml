@@ -1,0 +1,54 @@
+(** Machine configuration — the top half of the paper's Table 1.
+
+    "The baseline for our cycle accurate simulation model is an
+    aggressive out-of-order processor ... An aggressive, wide OOO
+    machine is able to find distant ILP and has sufficient issue width
+    that sets the bar higher for attaining speedup with FlexVec." (§5) *)
+
+type t = {
+  fetch_width : int;  (** Table 1: 5 *)
+  dispatch_width : int;  (** Table 1: 5 *)
+  issue_width : int;  (** Table 1: 8 *)
+  commit_width : int;  (** Table 1: 5 *)
+  rs_size : int;  (** Table 1: 97 *)
+  rob_size : int;  (** Table 1: 224 *)
+  lq_size : int;  (** Table 1: 80 *)
+  sq_size : int;  (** Table 1: 56 *)
+  load_ports : int;  (** Table 1: 2 *)
+  store_ports : int;  (** Table 1: 1 *)
+  alu_ports : int;  (** generic execution ports beyond the memory ports *)
+  mispredict_penalty : int;  (** front-end redirect cycles *)
+  store_forward_latency : int;
+}
+
+let table1 =
+  {
+    fetch_width = 5;
+    dispatch_width = 5;
+    issue_width = 8;
+    commit_width = 5;
+    rs_size = 97;
+    rob_size = 224;
+    lq_size = 80;
+    sq_size = 56;
+    load_ports = 2;
+    store_ports = 1;
+    alu_ports = 6;
+    mispredict_penalty = 14;
+    store_forward_latency = 5;
+  }
+
+let rows (c : t) : (string * string) list =
+  [
+    ( "Fetch/Dispatch/Issue/Commit",
+      Printf.sprintf "%d/%d/%d/%d wide" c.fetch_width c.dispatch_width
+        c.issue_width c.commit_width );
+    ("RS", Printf.sprintf "%d entries" c.rs_size);
+    ("ROB", Printf.sprintf "%d entries" c.rob_size);
+    ("Load/Store Queues", Printf.sprintf "%d/%d entries" c.lq_size c.sq_size);
+    ("L1 Dcache", "32K, 8 way, 4 cycles load to use latency");
+    ("L2 Unified Cache", "256K, 8 way, 12 cycles hit time");
+    ("L3 Cache", "8M, 32 way, 25 cycles hit time");
+    ("Memory Latency", "200 cycles");
+    ("Load/Store Ports", Printf.sprintf "%d/%d units" c.load_ports c.store_ports);
+  ]

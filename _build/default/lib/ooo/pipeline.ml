@@ -1,0 +1,358 @@
+(** Trace-driven out-of-order pipeline model.
+
+    Replays a micro-op trace against the Table 1 machine: in-order
+    dispatch into a ROB/RS (renaming via last-writer tracking),
+    dataflow-driven issue limited by issue width and port counts
+    (2 load / 1 store / N ALU), execution latencies from
+    {!Fv_isa.Latency} plus the cache hierarchy for memory ops,
+    store-to-load forwarding, gshare branch prediction with front-end
+    redirect on mispredicts, and in-order commit.
+
+    This is the paper's methodology (§5) with our IR/VIR traces standing
+    in for LIT x86 traces. The model is intentionally simple where
+    simplicity is conservative for FlexVec: e.g. every VPL back edge and
+    fault check costs a real branch micro-op. *)
+
+open Fv_isa
+module Uop = Fv_trace.Uop
+module Sink = Fv_trace.Sink
+
+type stats = {
+  cycles : int;
+  uops : int;
+  ipc : float;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  l1_hit_rate : float;
+  stall_rob : int;
+  stall_rs : int;
+  stall_lq : int;
+  stall_sq : int;
+  stall_redirect : int;
+  loads : int;
+  stores : int;
+}
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "cycles=%d uops=%d ipc=%.2f br_miss=%d/%d l1=%.1f%% stalls(rob=%d rs=%d \
+     lq=%d sq=%d redirect=%d)"
+    s.cycles s.uops s.ipc s.branch_mispredicts s.branch_lookups
+    (100. *. s.l1_hit_rate) s.stall_rob s.stall_rs s.stall_lq s.stall_sq
+    s.stall_redirect
+
+(* a simple binary min-heap of ints (uop ids, oldest = smallest first) *)
+module Heap = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 64 0; n = 0 }
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let b = Array.make (2 * h.n) 0 in
+      Array.blit h.a 0 b 0 h.n;
+      h.a <- b
+    end;
+    h.a.(h.n) <- x;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let t = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- t;
+      i := p
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some x ->
+        h.n <- h.n - 1;
+        h.a.(0) <- h.a.(h.n);
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let m = ref !i in
+          if l < h.n && h.a.(l) < h.a.(!m) then m := l;
+          if r < h.n && h.a.(r) < h.a.(!m) then m := r;
+          if !m <> !i then begin
+            let t = h.a.(!m) in
+            h.a.(!m) <- h.a.(!i);
+            h.a.(!i) <- t;
+            i := !m
+          end
+          else continue_ := false
+        done;
+        Some x
+end
+
+type port_class = P_load | P_store | P_alu
+
+let port_class (cls : Latency.uop_class) : port_class =
+  if Latency.is_load cls then P_load
+  else if Latency.is_store cls then P_store
+  else P_alu
+
+let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
+    (trace : Sink.t) : stats =
+  let n = Sink.length trace in
+  if n = 0 then
+    {
+      cycles = 0; uops = 0; ipc = 0.; branch_lookups = 0; branch_mispredicts = 0;
+      l1_hit_rate = 1.0; stall_rob = 0; stall_rs = 0; stall_lq = 0; stall_sq = 0;
+      stall_redirect = 0; loads = 0; stores = 0;
+    }
+  else begin
+    let uop i = Sink.get trace i in
+    (* per-uop state *)
+    let pending = Array.make n 0 in
+    let dependents : int list array = Array.make n [] in
+    let completed = Array.make n false in
+    let complete_cycle = Array.make n max_int in
+    let in_rs = Array.make n false in
+    (* renaming: logical register -> last writer uop id *)
+    let last_writer : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    (* memory disambiguation: element address -> last store uop id *)
+    let last_store : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let predictor = Predictor.create () in
+    (* occupancy *)
+    let rob = Queue.create () in
+    let rs_used = ref 0 and lq_used = ref 0 and sq_used = ref 0 in
+    (* ready heaps per port class *)
+    let ready_load = Heap.create ()
+    and ready_store = Heap.create ()
+    and ready_alu = Heap.create () in
+    let heap_of = function
+      | P_load -> ready_load
+      | P_store -> ready_store
+      | P_alu -> ready_alu
+    in
+    (* ports: next-free cycle per unit *)
+    let load_ports = Array.make cfg.Machine.load_ports 0 in
+    let store_ports = Array.make cfg.Machine.store_ports 0 in
+    let alu_ports = Array.make cfg.Machine.alu_ports 0 in
+    let ports_of = function
+      | P_load -> load_ports
+      | P_store -> store_ports
+      | P_alu -> alu_ports
+    in
+    (* completion calendar *)
+    let calendar : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+    let schedule_completion i c =
+      complete_cycle.(i) <- c;
+      Hashtbl.replace calendar c
+        (i :: Option.value ~default:[] (Hashtbl.find_opt calendar c))
+    in
+    (* store forwarding bookkeeping: for a load, the youngest older store
+       covering any of its elements *)
+    let store_dep (u : Uop.t) : (int * bool) option =
+      match u.addr with
+      | None -> None
+      | Some a ->
+          let dep = ref (-1) and full = ref true in
+          for e = a to a + u.nelems - 1 do
+            match Hashtbl.find_opt last_store e with
+            | Some s -> if s > !dep then dep := s
+            | None -> full := false
+          done;
+          if !dep < 0 then None
+          else
+            (* full forwarding only when one store covers the whole range *)
+            Some (!dep, !full && u.nelems <= (uop !dep).nelems)
+    in
+    let next_dispatch = ref 0 in
+    let redirect_until = ref (-1) in
+    let redirect_waiting_on = ref (-1) in
+    let cycle = ref 0 in
+    let committed = ref 0 in
+    let stall_rob = ref 0 and stall_rs = ref 0 and stall_lq = ref 0
+    and stall_sq = ref 0 and stall_redirect = ref 0 in
+    let nloads = ref 0 and nstores = ref 0 in
+    let forward_lat = Array.make n (-1) in
+    (* -1: not a forwarded load *)
+    let max_cycles = 400_000_000 in
+    while !committed < n && !cycle < max_cycles do
+      let c = !cycle in
+      (* 1. process completions scheduled for this cycle *)
+      (match Hashtbl.find_opt calendar c with
+      | None -> ()
+      | Some comps ->
+          Hashtbl.remove calendar c;
+          List.iter
+            (fun i ->
+              completed.(i) <- true;
+              if !redirect_waiting_on = i then begin
+                redirect_until := c + cfg.Machine.mispredict_penalty;
+                redirect_waiting_on := -1
+              end;
+              List.iter
+                (fun d ->
+                  pending.(d) <- pending.(d) - 1;
+                  if pending.(d) = 0 && in_rs.(d) then
+                    Heap.push (heap_of (port_class (uop d).cls)) d)
+                dependents.(i))
+            comps);
+      (* 2. commit in order *)
+      let comms = ref 0 in
+      let continue_commit = ref true in
+      while !continue_commit && !comms < cfg.Machine.commit_width do
+        match Queue.peek_opt rob with
+        | Some i when completed.(i) ->
+            ignore (Queue.pop rob);
+            let u = uop i in
+            if Latency.is_load u.cls then decr lq_used
+            else if Latency.is_store u.cls then decr sq_used;
+            incr committed;
+            incr comms
+        | _ -> continue_commit := false
+      done;
+      (* 3. dispatch in order *)
+      let disp = ref 0 in
+      let continue_dispatch = ref true in
+      while
+        !continue_dispatch
+        && !disp < cfg.Machine.dispatch_width
+        && !next_dispatch < n
+      do
+        let i = !next_dispatch in
+        let u = uop i in
+        if !redirect_waiting_on >= 0 || c < !redirect_until then begin
+          incr stall_redirect;
+          continue_dispatch := false
+        end
+        else if Queue.length rob >= cfg.Machine.rob_size then begin
+          incr stall_rob;
+          continue_dispatch := false
+        end
+        else if !rs_used >= cfg.Machine.rs_size then begin
+          incr stall_rs;
+          continue_dispatch := false
+        end
+        else if Latency.is_load u.cls && !lq_used >= cfg.Machine.lq_size then begin
+          incr stall_lq;
+          continue_dispatch := false
+        end
+        else if Latency.is_store u.cls && !sq_used >= cfg.Machine.sq_size
+        then begin
+          incr stall_sq;
+          continue_dispatch := false
+        end
+        else begin
+          (* rename: collect producers *)
+          let producers = ref [] in
+          List.iter
+            (fun r ->
+              match Hashtbl.find_opt last_writer r with
+              | Some p when not completed.(p) -> producers := p :: !producers
+              | _ -> ())
+            u.srcs;
+          (if Latency.is_load u.cls then begin
+             incr nloads;
+             match store_dep u with
+             | Some (s, full) ->
+                 if not completed.(s) then producers := s :: !producers;
+                 if full then forward_lat.(i) <- cfg.Machine.store_forward_latency
+             | None -> ()
+           end
+           else if Latency.is_store u.cls then begin
+             incr nstores;
+             match u.addr with
+             | Some a ->
+                 for e = a to a + u.nelems - 1 do
+                   Hashtbl.replace last_store e i
+                 done
+             | None -> ()
+           end);
+          let producers = List.sort_uniq compare !producers in
+          pending.(i) <- List.length producers;
+          List.iter (fun p -> dependents.(p) <- i :: dependents.(p)) producers;
+          (match u.dst with
+          | Some d -> Hashtbl.replace last_writer d i
+          | None -> ());
+          Queue.push i rob;
+          if Latency.is_load u.cls then incr lq_used
+          else if Latency.is_store u.cls then incr sq_used;
+          incr rs_used;
+          in_rs.(i) <- true;
+          if pending.(i) = 0 then Heap.push (heap_of (port_class u.cls)) i;
+          (* branch prediction *)
+          if Latency.is_branch u.cls then begin
+            let miss =
+              Predictor.mispredicted predictor ~label:u.label ~taken:u.taken
+            in
+            if miss then redirect_waiting_on := i
+          end;
+          incr next_dispatch;
+          incr disp
+        end
+      done;
+      (* 4. issue: oldest-first per port class, bounded by issue width *)
+      let issued = ref 0 in
+      let try_issue pc =
+        let h = heap_of pc in
+        let ports = ports_of pc in
+        let continue_issue = ref true in
+        while !continue_issue && !issued < cfg.Machine.issue_width do
+          match Heap.peek h with
+          | None -> continue_issue := false
+          | Some i ->
+              (* find a free port unit *)
+              let port = ref (-1) in
+              Array.iteri
+                (fun pi free_at -> if !port < 0 && free_at <= c then port := pi)
+                ports;
+              if !port < 0 then continue_issue := false
+              else begin
+                ignore (Heap.pop h);
+                let u = uop i in
+                let t = Latency.timing u.cls in
+                let lat =
+                  if Latency.is_load u.cls then
+                    if forward_lat.(i) >= 0 then forward_lat.(i)
+                    else
+                      t.latency
+                      + Fv_memsys.Hierarchy.access_range hier
+                          (Option.value ~default:0 u.addr)
+                          u.nelems
+                  else if Latency.is_store u.cls then begin
+                    (match u.addr with
+                    | Some a ->
+                        ignore (Fv_memsys.Hierarchy.access_range hier a u.nelems)
+                    | None -> ());
+                    t.latency
+                  end
+                  else t.latency
+                in
+                ports.(!port) <- c + t.recip_tput;
+                decr rs_used;
+                in_rs.(i) <- false;
+                schedule_completion i (c + max 1 lat);
+                incr issued
+              end
+        done
+      in
+      try_issue P_load;
+      try_issue P_store;
+      try_issue P_alu;
+      incr cycle
+    done;
+    {
+      cycles = !cycle;
+      uops = n;
+      ipc = float_of_int n /. float_of_int (max 1 !cycle);
+      branch_lookups = predictor.Predictor.lookups;
+      branch_mispredicts = predictor.Predictor.mispredicts;
+      l1_hit_rate = Fv_memsys.Cache.hit_rate hier.Fv_memsys.Hierarchy.l1;
+      stall_rob = !stall_rob;
+      stall_rs = !stall_rs;
+      stall_lq = !stall_lq;
+      stall_sq = !stall_sq;
+      stall_redirect = !stall_redirect;
+      loads = !nloads;
+      stores = !nstores;
+    }
+  end

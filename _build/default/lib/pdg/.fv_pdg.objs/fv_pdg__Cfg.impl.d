@@ -1,0 +1,1 @@
+lib/pdg/cfg.pp.ml: Fmt Fv_ir Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/pdg/classify.pp.ml: Analysis Ast Cfg Fv_ir Fv_isa Graph Hashtbl List Ppx_deriving_runtime Printf Scc Set String Value

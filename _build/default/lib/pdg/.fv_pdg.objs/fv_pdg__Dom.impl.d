@@ -1,0 +1,1 @@
+lib/pdg/dom.pp.ml: Cfg Hashtbl Int List Set

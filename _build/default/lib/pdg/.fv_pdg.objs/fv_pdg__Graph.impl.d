@@ -1,0 +1,1 @@
+lib/pdg/graph.pp.ml: Analysis Ast Cfg Dom Fmt Fv_ir List Ppx_deriving_runtime Set String

@@ -1,0 +1,1 @@
+lib/pdg/scc.pp.ml: Graph Hashtbl List

@@ -1,0 +1,73 @@
+(** Statement-level control-flow graph for one loop iteration.
+
+    The CFG models a single iteration plus the loop back edge and loop
+    exit, which is exactly what the paper's analysis needs: a [break]
+    introduces a path to [exit] that bypasses the back edge, making the
+    loop header control-dependent on the break's guard — the "false
+    backward control dependence arc from the immediate dominator of an
+    exit statement to the loop header" of §4.1 falls out of the standard
+    control-dependence construction on this graph.
+
+    Node ids: statement ids are [>= 0]; {!entry} ([-1]) doubles as the
+    loop-header/loop-test node; {!exit_node} ([-2]) is the unique sink. *)
+
+open Fv_ir.Ast
+
+let entry = -1
+let exit_node = -2
+
+type t = {
+  nodes : int list;  (** all node ids, including entry/exit *)
+  succs : (int, int list) Hashtbl.t;
+  preds : (int, int list) Hashtbl.t;
+}
+
+let succs g n = Option.value ~default:[] (Hashtbl.find_opt g.succs n)
+let preds g n = Option.value ~default:[] (Hashtbl.find_opt g.preds n)
+
+let add_edge g a b =
+  Hashtbl.replace g.succs a (b :: succs g a);
+  Hashtbl.replace g.preds b (a :: preds g b)
+
+(** Build the iteration CFG of a loop. *)
+let build (l : loop) : t =
+  let g = { nodes = []; succs = Hashtbl.create 64; preds = Hashtbl.create 64 } in
+  (* [wire body k] connects the body's internal flow and returns the entry
+     node of [body]; control falls through to [k] afterwards. *)
+  let rec wire (body : stmt list) (k : int) : int =
+    match body with
+    | [] -> k
+    | s :: rest ->
+        let next = wire rest k in
+        (match s.node with
+        | Assign _ | Store _ -> add_edge g s.id next
+        | Break -> add_edge g s.id exit_node
+        | If (_, t, e) ->
+            let tf = wire t next in
+            let ef = wire e next in
+            add_edge g s.id tf;
+            add_edge g s.id ef);
+        s.id
+  in
+  (* back edge: end of body returns to the loop test (entry) *)
+  let first = wire l.body entry in
+  add_edge g entry first;
+  add_edge g entry exit_node;
+  (* dedupe and record node set *)
+  let ids = List.map (fun s -> s.id) (all_stmts l) in
+  let dedupe tbl =
+    Hashtbl.iter
+      (fun k v -> Hashtbl.replace tbl k (List.sort_uniq compare v))
+      tbl
+  in
+  dedupe g.succs;
+  dedupe g.preds;
+  { g with nodes = entry :: exit_node :: ids }
+
+let pp ppf (g : t) =
+  List.iter
+    (fun n ->
+      match succs g n with
+      | [] -> ()
+      | ss -> Fmt.pf ppf "%d -> %a@." n Fmt.(list ~sep:comma int) ss)
+    (List.sort compare g.nodes)

@@ -1,0 +1,232 @@
+(** FlexVec's analysis engine: examines the PDG's strongly connected
+    components and decides which dependence cycles can be {e relaxed} —
+    removed under the assumption that they fire infrequently at runtime —
+    and which partial-vector pattern repairs each relaxation (§4).
+
+    Patterns, in the paper's order:
+    - {b early loop termination}: an SCC through the loop header created
+      by a conditional [break] (backward control dependence, §4.1);
+    - {b conditional scalar update}: an SCC created by a loop-carried
+      scalar definition guarded by conditions that read the same scalar
+      (§4.2);
+    - {b runtime memory dependencies}: an SCC created by a potential
+      store→load RAW through an indirectly indexed array (§4.3).
+
+    A plain (possibly guarded) associative reduction is recognised as an
+    idiom instead — that is the classical technique FlexVec assumes as a
+    baseline capability (§3, "idiom recognition"). *)
+
+open Fv_isa
+open Fv_ir
+open Fv_ir.Ast
+module SS = Set.Make (String)
+
+type cond_update = {
+  guard : int;  (** outermost controlling [If] in the SCC *)
+  var : string;
+  update : int;  (** the conditional [Assign] *)
+  scc : int list;
+}
+[@@deriving show { with_path = false }]
+
+type mem_conflict = {
+  arr : string;
+  store : int;
+  store_idx : expr;
+  load_idx : expr;
+  scc : int list;
+}
+[@@deriving show { with_path = false }]
+
+type pattern =
+  | Reduction of { stmt : int; var : string; op : Value.binop }
+  | Early_exit of { guard : int  (** [If] whose true branch breaks *) }
+  | Cond_update of cond_update
+  | Mem_conflict of mem_conflict
+[@@deriving show { with_path = false }]
+
+type plan = {
+  loop : loop;
+  pdg : Graph.t;
+  patterns : pattern list;  (** in program order of their anchor statements *)
+  relaxed : Graph.edge list;  (** dependence edges removed from the PDG *)
+}
+
+type verdict = Vectorizable of plan | Rejected of string
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Map statement id → enclosing [If] chain, innermost first. *)
+let guard_chains (l : loop) : (int, int list) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  let rec go chain (body : stmt list) =
+    List.iter
+      (fun s ->
+        Hashtbl.replace tbl s.id chain;
+        match s.node with
+        | If (_, t, e) ->
+            go (s.id :: chain) t;
+            go (s.id :: chain) e
+        | _ -> ())
+      body
+  in
+  go [] l.body;
+  tbl
+
+let breaks (l : loop) : stmt list =
+  List.filter (fun s -> s.node = Break) (all_stmts l)
+
+let uses_of_var (l : loop) (v : string) : int list =
+  List.filter_map
+    (fun s -> if SS.mem v (Analysis.node_uses s.node) then Some s.id else None)
+    (all_stmts l)
+
+(* ------------------------------------------------------------------ *)
+(* Per-SCC classification                                              *)
+(* ------------------------------------------------------------------ *)
+
+let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
+    (pattern * Graph.edge list, string) result =
+  let internal = Graph.edges_between g scc in
+  let chains = guard_chains l in
+  if List.mem Cfg.entry scc then begin
+    (* cycle through the loop header: early termination *)
+    match breaks l with
+    | [ b ] -> (
+        match Hashtbl.find chains b.id with
+        | guard :: _ ->
+            let relaxed =
+              List.filter (fun e -> e.Graph.kind = Graph.Break_control) internal
+            in
+            Ok (Early_exit { guard }, relaxed)
+        | [] -> Error "unconditional break")
+    | [] -> Error "header participates in a cycle without a break"
+    | _ -> Error "multiple break statements"
+  end
+  else
+    let mem_edges =
+      List.filter
+        (fun e -> match e.Graph.kind with Graph.Mem _ -> true | _ -> false)
+        internal
+    in
+    let carried =
+      List.filter
+        (fun e ->
+          match e.Graph.kind with Graph.Carried_flow _ -> true | _ -> false)
+        internal
+    in
+    match mem_edges with
+    | { Graph.src = store; dst = load_stmt; kind = Mem arr } :: _ ->
+        if List.length (List.sort_uniq compare (List.map (fun e -> e.Graph.src) mem_edges)) > 1
+        then Error "multiple conflicting stores in one SCC"
+        else begin
+          match Ast.find_stmt l store with
+          | { node = Store (_, store_idx, _); _ } ->
+              let load_idx =
+                List.find_map
+                  (fun (a, idx) -> if String.equal a arr then Some idx else None)
+                  (Analysis.node_loads (Ast.find_stmt l load_stmt).node)
+              in
+              (match load_idx with
+              | Some load_idx ->
+                  Ok
+                    ( Mem_conflict { arr; store; store_idx; load_idx; scc },
+                      mem_edges )
+              | None -> Error "conflicting load not found")
+          | _ -> Error "memory edge source is not a store"
+        end
+    | _ -> (
+        match carried with
+        | [] -> Error "cycle with no relaxable edge"
+        | { Graph.kind = Carried_flow v; src = update; _ } :: _ -> (
+            (* all carried edges in the SCC must be through the same scalar *)
+            let vars =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun e ->
+                     match e.Graph.kind with
+                     | Graph.Carried_flow x -> Some x
+                     | _ -> None)
+                   carried)
+            in
+            if vars <> [ v ] then
+              Error
+                (Printf.sprintf "entangled carried scalars: %s"
+                   (String.concat "," vars))
+            else
+              let upd_stmt = Ast.find_stmt l update in
+              let reduction_idiom () =
+                (* v = v op e / v = e op v, op associative-commutative,
+                   v unused anywhere else *)
+                let mk var op e =
+                  if
+                    String.equal var v
+                    && List.mem op Value.[ Add; Mul; Min; Max ]
+                    && (not (SS.mem v (Analysis.expr_uses e)))
+                    && uses_of_var l v = [ update ]
+                  then Some (Reduction { stmt = update; var = v; op })
+                  else None
+                in
+                match upd_stmt.node with
+                | Assign (var, Binop (op, Var var', e)) when String.equal var' v
+                  ->
+                    mk var op e
+                | Assign (var, Binop (op, e, Var var')) when String.equal var' v
+                  ->
+                    mk var op e
+                | _ -> None
+              in
+              match (upd_stmt.node, Hashtbl.find chains update) with
+              | Assign (_, _), [] -> (
+                  match reduction_idiom () with
+                  | Some r -> Ok (r, carried)
+                  | None -> Error ("unguarded loop-carried scalar " ^ v))
+              | Assign (_, _), chain -> (
+                  match reduction_idiom () with
+                  | Some r ->
+                      (* guarded reduction whose guard is independent of the
+                         accumulator: a plain masked reduction suffices *)
+                      Ok (r, carried)
+                  | None ->
+                      (* conditional scalar update; the controlling
+                         conditional is the outermost guard in the SCC *)
+                      let in_scc =
+                        List.filter (fun gid -> List.mem gid scc) chain
+                      in
+                      (match List.rev in_scc with
+                      | guard :: _ ->
+                          Ok (Cond_update { guard; var = v; update; scc }, carried)
+                      | [] ->
+                          Error
+                            "conditional update whose guard is outside the cycle"))
+              | _ -> Error "carried scalar defined by a non-assign")
+        | _ -> Error "unclassifiable cycle")
+
+(* ------------------------------------------------------------------ *)
+(* Whole-loop analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let analyze (l : loop) : verdict =
+  let g = Graph.build l in
+  let sccs = Scc.nontrivial g in
+  let rec go acc relaxed = function
+    | [] -> Vectorizable { loop = l; pdg = g; patterns = List.rev acc; relaxed }
+    | scc :: rest -> (
+        match classify_scc l g scc with
+        | Ok (p, r) -> go (p :: acc) (r @ relaxed) rest
+        | Error msg ->
+            Rejected
+              (Printf.sprintf "SCC {%s}: %s"
+                 (String.concat "," (List.map string_of_int scc))
+                 msg))
+  in
+  go [] [] sccs
+
+(** Convenience: analysis outcome as a short human-readable string. *)
+let describe = function
+  | Vectorizable { patterns = []; _ } -> "vectorizable (no cycles)"
+  | Vectorizable { patterns; _ } ->
+      "vectorizable: " ^ String.concat "; " (List.map show_pattern patterns)
+  | Rejected r -> "rejected: " ^ r

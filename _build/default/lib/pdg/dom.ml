@@ -1,0 +1,93 @@
+(** Postdominator computation (iterative dataflow over the reverse CFG).
+
+    Classic Cooper–Harvey–Kennedy style iteration specialised to our
+    small statement graphs: postdom sets shrink monotonically from "all
+    nodes" to a fixpoint. The graphs here have at most a few dozen
+    nodes, so the simple O(n^2) set iteration is plenty. *)
+
+module IS = Set.Make (Int)
+
+type t = (int, IS.t) Hashtbl.t
+
+(** [postdominators cfg] maps each node to the set of its postdominators
+    (including itself). The unique sink is {!Cfg.exit_node}. *)
+let postdominators (g : Cfg.t) : t =
+  let all = IS.of_list g.nodes in
+  let pdom : t = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if n = Cfg.exit_node then Hashtbl.replace pdom n (IS.singleton n)
+      else Hashtbl.replace pdom n all)
+    g.nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if n <> Cfg.exit_node then begin
+          let succ_sets =
+            List.map (fun s -> Hashtbl.find pdom s) (Cfg.succs g n)
+          in
+          let meet =
+            match succ_sets with
+            | [] -> IS.empty (* unreachable from exit; should not happen *)
+            | s :: rest -> List.fold_left IS.inter s rest
+          in
+          let next = IS.add n meet in
+          if not (IS.equal next (Hashtbl.find pdom n)) then begin
+            Hashtbl.replace pdom n next;
+            changed := true
+          end
+        end)
+      g.nodes
+  done;
+  pdom
+
+let postdominates (pdom : t) ~node ~of_ : bool =
+  IS.mem node (Hashtbl.find pdom of_)
+
+(** Immediate postdominator: the postdominator (≠ self) postdominated by
+    every other postdominator of the node. *)
+let ipostdom (pdom : t) (n : int) : int option =
+  let cands = IS.remove n (Hashtbl.find pdom n) in
+  IS.fold
+    (fun c acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if
+            IS.for_all
+              (fun other -> other = c || IS.mem other (Hashtbl.find pdom c))
+              cands
+          then Some c
+          else None)
+    cands None
+
+(** Control dependence per Ferrante–Ottenstein–Warren: [b] is control
+    dependent on [a] iff [a] has a successor from which [b] is reachable
+    only through paths postdominated by [b]... operationally: for each
+    CFG edge [(a, s)] where [b = s]'s postdominators do not include the
+    walk, we mark every node on the postdominator-tree path from [s] up
+    to (excluding) [ipostdom a]. Returns edges [(controller, dependent)]. *)
+let control_dependences (g : Cfg.t) : (int * int) list =
+  let pdom = postdominators g in
+  let edges = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun s ->
+          if not (postdominates pdom ~node:s ~of_:a) then begin
+            (* walk the postdominator tree from s up to ipostdom(a),
+               exclusive *)
+            let stopper = ipostdom pdom a in
+            let rec walk n =
+              if Some n <> stopper then begin
+                edges := (a, n) :: !edges;
+                match ipostdom pdom n with Some p -> walk p | None -> ()
+              end
+            in
+            walk s
+          end)
+        (Cfg.succs g a))
+    g.nodes;
+  List.sort_uniq compare !edges

@@ -1,0 +1,67 @@
+(** Tarjan's strongly connected components over the PDG. *)
+
+type state = {
+  mutable index : int;
+  indices : (int, int) Hashtbl.t;
+  lowlinks : (int, int) Hashtbl.t;
+  on_stack : (int, unit) Hashtbl.t;
+  mutable stack : int list;
+  mutable sccs : int list list;
+}
+
+(** SCCs of the graph given by [nodes] and a successor function, in
+    reverse topological order of the condensation (Tarjan's natural
+    output order). *)
+let compute ~(nodes : int list) ~(succs : int -> int list) : int list list =
+  let st =
+    {
+      index = 0;
+      indices = Hashtbl.create 64;
+      lowlinks = Hashtbl.create 64;
+      on_stack = Hashtbl.create 64;
+      stack = [];
+      sccs = [];
+    }
+  in
+  let rec strongconnect v =
+    Hashtbl.replace st.indices v st.index;
+    Hashtbl.replace st.lowlinks v st.index;
+    st.index <- st.index + 1;
+    st.stack <- v :: st.stack;
+    Hashtbl.replace st.on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem st.indices w) then begin
+          strongconnect w;
+          Hashtbl.replace st.lowlinks v
+            (min (Hashtbl.find st.lowlinks v) (Hashtbl.find st.lowlinks w))
+        end
+        else if Hashtbl.mem st.on_stack w then
+          Hashtbl.replace st.lowlinks v
+            (min (Hashtbl.find st.lowlinks v) (Hashtbl.find st.indices w)))
+      (succs v);
+    if Hashtbl.find st.lowlinks v = Hashtbl.find st.indices v then begin
+      let rec pop acc =
+        match st.stack with
+        | [] -> acc
+        | w :: rest ->
+            st.stack <- rest;
+            Hashtbl.remove st.on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      st.sccs <- pop [] :: st.sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem st.indices v) then strongconnect v) nodes;
+  st.sccs
+
+(** SCCs of a PDG, keeping only the non-trivial ones (more than one node,
+    or a single node with a self edge). *)
+let nontrivial (g : Graph.t) : int list list =
+  let succs n = List.map fst (Graph.succs g n) in
+  compute ~nodes:g.nodes ~succs
+  |> List.filter (fun scc ->
+         match scc with
+         | [ n ] -> List.exists (fun (m, _) -> m = n) (Graph.succs g n)
+         | _ :: _ :: _ -> true
+         | [] -> false)

@@ -1,0 +1,1 @@
+lib/profiler/profile.pp.ml: Fv_ir Fv_isa Fv_mem Fv_pdg Fv_trace Hashtbl Latency List Ppx_deriving_runtime Queue Value

@@ -1,0 +1,1 @@
+lib/rtm/rtm.pp.ml: Fv_ir Fv_mem Hashtbl Ppx_deriving_runtime

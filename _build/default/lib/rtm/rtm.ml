@@ -1,0 +1,48 @@
+(** Restricted transactional memory, modelled after Intel RTM /
+    POWER8 rollback-only transactions (paper §3.3.2).
+
+    A transaction snapshots the emulated address space and the scalar
+    environment; a fault inside the transactional closure aborts it,
+    restoring both. FlexVec uses this as the speculation mechanism when
+    first-faulting loads are unavailable: the vectorized inner loop of a
+    strip-mined tile runs inside a transaction and any speculative fault
+    rolls the tile back to scalar execution.
+
+    "With FlexVec's partial vector code generation approach transactions
+    never abort due to detected cross-iteration dependencies at runtime"
+    — aborts only happen on speculative faults, which our workloads make
+    rare. *)
+
+module Memory = Fv_mem.Memory
+
+type stats = {
+  mutable begins : int;
+  mutable commits : int;
+  mutable aborts : int;
+}
+[@@deriving show { with_path = false }]
+
+let fresh_stats () = { begins = 0; commits = 0; aborts = 0 }
+
+let abort_rate (s : stats) =
+  if s.begins = 0 then 0.0 else float_of_int s.aborts /. float_of_int s.begins
+
+type 'a outcome = Committed of 'a | Aborted of Memory.fault
+
+(** Run [f ()] transactionally over [mem]/[env]: on {!Memory.Fault} all
+    tentative memory and environment changes are discarded. *)
+let atomically ?(stats = fresh_stats ()) (mem : Memory.t)
+    (env : Fv_ir.Interp.env) (f : unit -> 'a) : 'a outcome =
+  stats.begins <- stats.begins + 1;
+  let snap_mem = Memory.snapshot mem in
+  let snap_env = Hashtbl.copy env in
+  match f () with
+  | x ->
+      stats.commits <- stats.commits + 1;
+      Committed x
+  | exception Memory.Fault fault ->
+      stats.aborts <- stats.aborts + 1;
+      Memory.restore mem snap_mem;
+      Hashtbl.reset env;
+      Hashtbl.iter (fun k v -> Hashtbl.replace env k v) snap_env;
+      Aborted fault

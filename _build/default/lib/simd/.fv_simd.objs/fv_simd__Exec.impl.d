@@ -1,0 +1,1 @@
+lib/simd/exec.pp.ml: Fmt Fv_ir Fv_isa Fv_mem Fv_trace Fv_vir Hashtbl Latency List Mask Option Printf Value Vreg

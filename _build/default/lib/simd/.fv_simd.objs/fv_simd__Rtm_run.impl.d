@@ -1,0 +1,1 @@
+lib/simd/rtm_run.pp.ml: Exec Fmt Fv_ir Fv_isa Fv_mem Fv_trace Fv_vir Hashtbl List

@@ -1,0 +1,145 @@
+(** RTM-based execution of FlexVec vector code (paper §3.3.2 / §4.1,
+    Figs. 3 and 5f).
+
+    Instead of first-faulting loads, the original loop is strip-mined
+    into tiles of [tile] scalar iterations; the vectorized inner loop of
+    each tile runs inside a hardware transaction using {e plain} loads
+    and gathers. A speculative fault aborts the transaction; the abort
+    handler rolls the tile back and re-executes it with the scalar
+    interpreter. XBEGIN/XEND/XABORT costs appear in the micro-op trace,
+    which is what makes the tile size a real tuning knob: "with smaller
+    regions the RTM overhead cancels out the vectorization benefit"
+    (§4.1). *)
+
+open Fv_vir.Inst
+module Memory = Fv_mem.Memory
+module Uop = Fv_trace.Uop
+
+(** Rewrite first-faulting accesses into their plain (trapping)
+    counterparts and drop the fault checks: inside a transaction the
+    abort path subsumes them. *)
+let strip_ff (vl : vloop) : vloop =
+  let rec stmt (s : vstmt) : vstmt option =
+    match s with
+    | I (Load_ff (d, k, arr, off)) -> Some (I (Load (d, k, arr, off)))
+    | I (Gather_ff (d, k, arr, idx)) -> Some (I (Gather (d, k, arr, idx)))
+    | Fault_check _ -> None
+    | I _ | Set_break _ | Scalar_run _ -> Some s
+    | Vpl v -> Some (Vpl { v with body = List.filter_map stmt v.body })
+    | If_any i ->
+        Some
+          (If_any
+             {
+               i with
+               then_ = List.filter_map stmt i.then_;
+               else_ = List.filter_map stmt i.else_;
+             })
+  in
+  { vl with strip = List.filter_map stmt vl.strip }
+
+type rtm_stats = {
+  tiles : int;
+  commits : int;
+  aborts : int;
+  scalar_iters : int;  (** iterations re-executed scalar after aborts *)
+  exec : Exec.stats;  (** accumulated vector-execution statistics *)
+}
+
+let pp_rtm_stats ppf (s : rtm_stats) =
+  Fmt.pf ppf "tiles=%d commits=%d aborts=%d scalar_iters=%d" s.tiles s.commits
+    s.aborts s.scalar_iters
+
+let acc_stats (into : Exec.stats) (s : Exec.stats) =
+  into.Exec.strips <- into.Exec.strips + s.Exec.strips;
+  into.Exec.vpl_iterations <- into.Exec.vpl_iterations + s.Exec.vpl_iterations;
+  into.Exec.vpl_extra <- into.Exec.vpl_extra + s.Exec.vpl_extra;
+  into.Exec.fallbacks <- into.Exec.fallbacks + s.Exec.fallbacks;
+  into.Exec.fallback_iters <- into.Exec.fallback_iters + s.Exec.fallback_iters
+
+(** Execute [vloop] in strip-mined transactional tiles of [tile] scalar
+    iterations. Semantically equivalent to the scalar loop. *)
+let run ?emit ?(capacity_elems = 6144) ~(tile : int) (vloop : vloop)
+    (mem : Memory.t) (env : Fv_ir.Interp.env) : rtm_stats =
+  if tile < vloop.vl then invalid_arg "Rtm_run.run: tile smaller than VL";
+  let vloop = strip_ff vloop in
+  let emit_u u = match emit with Some f -> f u | None -> () in
+  let scalar_eval e =
+    let st = { Fv_ir.Interp.mem; env; hk = Fv_ir.Interp.no_hooks; tmp = 0 } in
+    Fv_isa.Value.to_int (fst (Fv_ir.Interp.eval st e))
+  in
+  let lo = scalar_eval vloop.source.lo in
+  let hi = scalar_eval vloop.source.hi in
+  let total = Exec.fresh_stats () in
+  let tiles = ref 0 and commits = ref 0 and aborts = ref 0 in
+  let scalar_iters = ref 0 in
+  let broke = ref false in
+  let t0 = ref lo in
+  let const i = Fv_ir.Ast.Const (Fv_isa.Value.Int i) in
+  while !t0 < hi && not !broke do
+    incr tiles;
+    let th = min (!t0 + tile) hi in
+    let tile_loop =
+      { vloop with source = { vloop.source with lo = const !t0; hi = const th } }
+    in
+    let snap_mem = Memory.snapshot mem in
+    let snap_env = Hashtbl.copy env in
+    let l0 = mem.Memory.loads and s0 = mem.Memory.stores in
+    emit_u (Uop.make ~dst:"_rtm" Fv_isa.Latency.Xbegin);
+    (match Exec.run ?emit tile_loop mem env with
+    | stats
+      when mem.Memory.loads - l0 + (mem.Memory.stores - s0) > capacity_elems ->
+        (* resource overflow: the transaction's footprint exceeds the L1
+           write/read-set capacity and it aborts ("too large of a region
+           may cause transactions to abort more frequently due to
+           resource overflow", §3.3.2) *)
+        ignore stats;
+        emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
+        incr aborts;
+        Memory.restore mem snap_mem;
+        Hashtbl.reset env;
+        Hashtbl.iter (fun k v -> Hashtbl.replace env k v) snap_env;
+        let hk =
+          match emit with
+          | None -> Fv_ir.Interp.no_hooks
+          | Some f -> Fv_ir.Interp.hooks ~emit:f ()
+        in
+        for i = !t0 to th - 1 do
+          if not !broke then begin
+            incr scalar_iters;
+            match Fv_ir.Interp.run_iteration ~hk mem env vloop.source i with
+            | `Ok -> ()
+            | `Break -> broke := true
+          end
+        done
+    | stats ->
+        emit_u (Uop.make ~srcs:[ "_rtm" ] Fv_isa.Latency.Xend);
+        incr commits;
+        acc_stats total stats;
+        if stats.Exec.broke then broke := true
+    | exception Memory.Fault _ ->
+        (* abort: discard tentative state, re-execute the tile scalar *)
+        emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
+        incr aborts;
+        Memory.restore mem snap_mem;
+        Hashtbl.reset env;
+        Hashtbl.iter (fun k v -> Hashtbl.replace env k v) snap_env;
+        let hk =
+          match emit with
+          | None -> Fv_ir.Interp.no_hooks
+          | Some f -> Fv_ir.Interp.hooks ~emit:f ()
+        in
+        (try
+           for i = !t0 to th - 1 do
+             if not !broke then begin
+               incr scalar_iters;
+               match Fv_ir.Interp.run_iteration ~hk mem env vloop.source i with
+               | `Ok -> ()
+               | `Break -> broke := true
+             end
+           done
+         with e -> raise e));
+    t0 := !t0 + tile
+  done;
+  total.Exec.broke <- !broke;
+  { tiles = !tiles; commits = !commits; aborts = !aborts;
+    scalar_iters = !scalar_iters; exec = total }

@@ -1,0 +1,1 @@
+lib/trace/sink.pp.ml: Array Fv_isa Hashtbl List Option Uop

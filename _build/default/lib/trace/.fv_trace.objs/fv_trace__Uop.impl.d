@@ -1,0 +1,1 @@
+lib/trace/uop.pp.ml: Fmt Fv_isa Latency

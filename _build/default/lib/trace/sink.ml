@@ -1,0 +1,57 @@
+(** Growable micro-op buffers.
+
+    OCaml 5.1 has no [Dynarray]; this is the minimal growable vector the
+    tracers need. A [sink] can also be a pure counter (for profiling
+    instruction mix without materialising the trace). *)
+
+type t = { mutable data : Uop.t array; mutable len : int }
+
+let dummy = Uop.make Fv_isa.Latency.Nop
+
+let create ?(capacity = 1024) () =
+  { data = Array.make (max 1 capacity) dummy; len = 0 }
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push (t : t) (u : Uop.t) =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- u;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Sink.get";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun u -> acc := f !acc u) t;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+(** Dynamic instruction-class histogram. *)
+let histogram t : (Fv_isa.Latency.uop_class * int) list =
+  let tbl = Hashtbl.create 16 in
+  iter
+    (fun (u : Uop.t) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt tbl u.cls) in
+      Hashtbl.replace tbl u.cls (n + 1))
+    t;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+let count_class t cls =
+  fold (fun n (u : Uop.t) -> if u.cls = cls then n + 1 else n) 0 t
+
+let count_if f t = fold (fun n u -> if f u then n + 1 else n) 0 t

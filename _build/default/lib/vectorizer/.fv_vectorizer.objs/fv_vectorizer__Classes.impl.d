@@ -1,0 +1,1 @@
+lib/vectorizer/classes.pp.ml: Analysis Fmt Fv_ir Fv_isa Fv_pdg Hashtbl List Ppx_deriving_runtime Set String Value

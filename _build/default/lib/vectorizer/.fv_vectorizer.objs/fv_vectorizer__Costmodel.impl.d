@@ -1,0 +1,1 @@
+lib/vectorizer/costmodel.pp.ml: List Printf

@@ -1,0 +1,1 @@
+lib/vectorizer/gen.pp.ml: Analysis Classes Fmt Fun Fv_ir Fv_isa Fv_pdg Fv_vir Hashtbl List Option Printf Set String Value

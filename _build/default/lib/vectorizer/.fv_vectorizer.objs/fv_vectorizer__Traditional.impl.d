@@ -1,0 +1,1 @@
+lib/vectorizer/traditional.pp.ml: Fmt Fv_ir Fv_pdg Fv_vir Gen List

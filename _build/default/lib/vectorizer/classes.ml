@@ -1,0 +1,103 @@
+(** Scalar-variable classification for vector code generation.
+
+    Every scalar the loop writes must fall into one of a few shapes the
+    code generator knows how to keep consistent across lanes, strips and
+    VPL partitions; anything else makes the loop non-vectorizable (the
+    generator reports why, mirroring a production compiler's
+    vectorization remarks). *)
+
+open Fv_isa
+open Fv_ir
+open Fv_ir.Ast
+module SS = Set.Make (String)
+
+type vclass =
+  | Index  (** the induction variable: materialised as an iota vector *)
+  | Invariant  (** read-only in the loop: broadcast once per strip *)
+  | Temp
+      (** defined before every use within the same iteration: a plain
+          merge-masked vector register *)
+  | Reduction of Value.binop
+      (** [v = v op e] idiom: per-strip partial lanes + horizontal fold *)
+  | Uniform
+      (** conditional-scalar-update pattern variable: environment-
+          authoritative, broadcast at strip/partition starts, committed
+          with VPSLCTLAST (§3.5/§4.2) *)
+  | Lastval
+      (** conditionally written, never read in the loop, live-out: the
+          scalar keeps the value of the last committing lane *)
+[@@deriving show { with_path = false }, eq]
+
+type t = (string, vclass) Hashtbl.t
+
+let find (t : t) v =
+  match Hashtbl.find_opt t v with
+  | Some c -> c
+  | None -> Invariant (* reads of undefined-in-loop scalars *)
+
+exception Unvectorizable of string
+
+let reject fmt = Fmt.kstr (fun s -> raise (Unvectorizable s)) fmt
+
+(** Definite-assignment walk: checks that every read of a [Temp]
+    candidate happens at a program point where the variable was
+    definitely assigned earlier in the same iteration. *)
+let check_definite_assignment (l : loop) (candidates : SS.t) : unit =
+  let check_uses da (s : stmt) =
+    SS.iter
+      (fun v ->
+        if SS.mem v candidates && not (SS.mem v da) then
+          reject "scalar %s may be read before it is written (S%d)" v s.id)
+      (Analysis.node_uses s.node)
+  in
+  let rec walk da (body : stmt list) : SS.t =
+    List.fold_left
+      (fun da s ->
+        check_uses da s;
+        match s.node with
+        | Assign (v, _) -> SS.add v da
+        | Store _ | Break -> da
+        | If (_, t, e) ->
+            let dt = walk da t and de = walk da e in
+            SS.union da (SS.inter dt de))
+      da body
+  in
+  ignore (walk SS.empty l.body)
+
+(** Classify every scalar mentioned by the loop, given the dependence
+    analysis plan. Raises {!Unvectorizable}. *)
+let classify (l : loop) (plan : Fv_pdg.Classify.plan) : t =
+  let t : t = Hashtbl.create 16 in
+  Hashtbl.replace t l.index Index;
+  let defs = Analysis.loop_defs l in
+  let uses = Analysis.loop_uses l in
+  (* pattern-assigned classes first *)
+  List.iter
+    (fun p ->
+      match p with
+      | Fv_pdg.Classify.Reduction { var; op; _ } ->
+          Hashtbl.replace t var (Reduction op)
+      | Fv_pdg.Classify.Cond_update { var; _ } -> Hashtbl.replace t var Uniform
+      | Fv_pdg.Classify.Early_exit _ | Fv_pdg.Classify.Mem_conflict _ -> ())
+    plan.patterns;
+  let read_in_loop v =
+    List.exists (fun s -> SS.mem v (Analysis.node_uses s.node)) (all_stmts l)
+  in
+  SS.iter
+    (fun v ->
+      if not (Hashtbl.mem t v) then
+        if not (SS.mem v defs) then Hashtbl.replace t v Invariant
+        else if String.equal v l.index then
+          reject "the induction variable %s is written in the loop" v
+        else if not (read_in_loop v) then Hashtbl.replace t v Lastval
+        else Hashtbl.replace t v Temp)
+    (SS.union defs (SS.union uses (SS.of_list l.live_out)));
+  (* every Temp must be definitely assigned before each of its reads *)
+  let temps =
+    Hashtbl.fold (fun v c acc -> if c = Temp then SS.add v acc else acc) t SS.empty
+  in
+  check_definite_assignment l temps;
+  t
+
+let pp ppf (t : t) =
+  Hashtbl.iter (fun v c -> Fmt.pf ppf "%s:%a " v pp_vclass c) t

@@ -1,0 +1,861 @@
+(** FlexVec partial vector code generation (paper §4).
+
+    Drives if-conversion over the scalar AST in program order (our AST
+    order is a topological order of the relaxed PDG for structured
+    loops, so this matches Algorithm 1's traversal), dispatching to the
+    pattern handlers of Figure 4:
+
+    - {b early loop termination} (§4.1): pre-guard statements execute
+      speculatively full-width with first-faulting loads; once the exit
+      mask is known, [KFTM.INC] bounds the committing lanes, the exit
+      lane's side effects commit, and succeeding statements run under
+      the lanes strictly before the exit.
+    - {b conditional scalar update} (§4.2): the pure condition chain is
+      evaluated full-width; a VPL commits one partition per update
+      ([KFTM.INC]), propagates the new value with [VPSLCTLAST] (plus a
+      [k_rem] selective forward broadcast when the variable has
+      lexically succeeding uses), and re-evaluates the chain for the
+      remaining lanes. The commit pass reuses the chain's guard masks
+      intersected with [k_safe] — the mask-aware redundant-code
+      elimination of Fig. 6(f).
+    - {b runtime memory dependencies} (§4.3): [VPCONFLICTM] computes the
+      serialization points once per strip; a VPL executes the relaxed
+      SCC partition by partition under [KFTM.EXC].
+
+    Two performance-relevant codegen conventions:
+    - the {e first} static assignment to each temporary uses a zeroing
+      blend (AVX-512 [{z}] masking) so that strips are independent in
+      the renamed dataflow — merge-masking everywhere would chain every
+      strip on its predecessor's architectural register;
+    - loop-invariant broadcasts and reduction-accumulator initialisation
+      live in a once-per-loop preamble; partial accumulators fold once
+      in the postamble (and at scalar fallbacks).
+
+    The [Wholesale] style generates the PACT'13-style baseline instead
+    (§2, related work): the same dependence check, but any firing lane
+    rolls the whole strip back to scalar execution. *)
+
+open Fv_isa
+open Fv_ir
+open Fv_ir.Ast
+open Fv_vir.Inst
+module C = Fv_pdg.Classify
+module SS = Set.Make (String)
+
+type style = Flexvec | Wholesale
+
+exception Reject of string
+
+let reject fmt = Fmt.kstr (fun s -> raise (Reject s)) fmt
+
+type ctx = {
+  vl : int;
+  style : style;
+  loop : loop;
+  plan : C.plan;
+  classes : Classes.t;
+  mutable blocks : vstmt list ref list;
+  mutable kcur : kreg;
+  mutable spec : bool;  (** current mask may enable lanes scalar wouldn't run *)
+  mutable k_remaining : kreg;  (** lanes to re-run scalar after an FF fault *)
+  mutable k_commit_inc : kreg;  (** lanes that architecturally reach this point *)
+  consts : (Value.t, vreg) Hashtbl.t;
+  invs : (string, vreg) Hashtbl.t;
+  chain_masks : (int, kreg) Hashtbl.t;
+      (** canonical guard-mask register per [If] (negated id - 1 for the
+          else branch), written by every chain evaluation *)
+  first_assign : (string, unit) Hashtbl.t;
+      (** temporaries whose first static assignment was already emitted *)
+  mutable fresh : int;
+  mutable uniforms : (string * vreg) list;
+  mutable reductions : (string * Value.binop * vreg) list;
+  assign_mask : (string, kreg) Hashtbl.t;
+  occs : Fv_pdg.Graph.occ list;
+  mutable active_mem : int list;
+      (** store ids of memory-conflict patterns currently being generated
+          (their VPL is open); prevents re-triggering on the nested walk *)
+}
+
+(* ---------------- emission ---------------- *)
+
+let emit ctx s =
+  match ctx.blocks with
+  | b :: _ -> b := s :: !b
+  | [] -> assert false
+
+let emit_i ctx i = emit ctx (I i)
+
+let block ctx f =
+  ctx.blocks <- ref [] :: ctx.blocks;
+  f ();
+  match ctx.blocks with
+  | b :: rest ->
+      ctx.blocks <- rest;
+      List.rev !b
+  | [] -> assert false
+
+let fresh ctx p =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" p ctx.fresh
+
+let fresh_v ctx = fresh ctx "vt"
+let fresh_k ctx = fresh ctx "k"
+let fresh_lbl ctx = fresh ctx "B"
+let vreg_of_var v = "v_" ^ v
+let acc_of_var v = "vacc_" ^ v
+let k_loop = "k_loop"
+let at_top ctx = List.length ctx.blocks = 1
+let guard_mask_name id = Printf.sprintf "kg%d" id
+let else_mask_name id = Printf.sprintf "ke%d" id
+
+(* ---------------- expression vectorization ---------------- *)
+
+let const_vec ctx (v : Value.t) : vreg =
+  match Hashtbl.find_opt ctx.consts v with
+  | Some r -> r
+  | None ->
+      let r = fresh_v ctx in
+      emit_i ctx (Broadcast (r, Imm v));
+      if at_top ctx then Hashtbl.replace ctx.consts v r;
+      r
+
+let inv_vec ctx (x : string) : vreg =
+  match Hashtbl.find_opt ctx.invs x with
+  | Some r -> r
+  | None ->
+      let r = fresh_v ctx in
+      emit_i ctx (Broadcast (r, Sca x));
+      if at_top ctx then Hashtbl.replace ctx.invs x r;
+      r
+
+(** Loop-invariant offset as a scalar atom, if the expression is simple
+    enough to fold into a unit-stride address. *)
+let rec atom_of_invariant ctx (e : expr) : atom option =
+  match e with
+  | Const v -> Some (Imm v)
+  | Var u when Classes.find ctx.classes u = Classes.Invariant -> Some (Sca u)
+  | Unop (Value.Neg, Const (Value.Int n)) -> Some (Imm (Value.Int (-n)))
+  | Unop (Value.Neg, e') -> (
+      match atom_of_invariant ctx e' with
+      | Some (Imm (Value.Int n)) -> Some (Imm (Value.Int (-n)))
+      | _ -> None)
+  | _ -> None
+
+(** Emit the first-faulting protocol around a load: copy the mask,
+    perform the FF access (which may shrink the copy), and check. *)
+let with_ff ctx (mk : kreg -> vinst) : unit =
+  let kff = fresh_k ctx in
+  emit_i ctx (Kmov (kff, ctx.kcur));
+  emit_i ctx (mk kff);
+  emit ctx
+    (Fault_check
+       {
+         label = fresh_lbl ctx;
+         kff;
+         expected = ctx.kcur;
+         remaining = ctx.k_remaining;
+       })
+
+let rec gen_expr ctx (e : expr) : vreg =
+  match e with
+  | Const v -> const_vec ctx v
+  | Var x -> (
+      match Classes.find ctx.classes x with
+      | Classes.Index -> "v_iota"
+      | Classes.Invariant -> inv_vec ctx x
+      | Classes.Temp | Classes.Uniform -> vreg_of_var x
+      | Classes.Reduction _ ->
+          reject "reduction variable %s read outside its own update" x
+      | Classes.Lastval -> reject "write-only scalar %s is read" x)
+  | Load (arr, idx) -> (
+      let d = fresh_v ctx in
+      match Analysis.affine_in_index ~index:ctx.loop.index idx with
+      | Some off when atom_of_invariant ctx off <> None ->
+          let a = Option.get (atom_of_invariant ctx off) in
+          if ctx.spec then with_ff ctx (fun kff -> Load_ff (d, kff, arr, a))
+          else emit_i ctx (Load (d, ctx.kcur, arr, a));
+          d
+      | _ ->
+          let vi = gen_expr ctx idx in
+          if ctx.spec then with_ff ctx (fun kff -> Gather_ff (d, kff, arr, vi))
+          else emit_i ctx (Gather (d, ctx.kcur, arr, vi));
+          d)
+  | Binop (op, a, b) ->
+      let va = gen_expr ctx a in
+      let vb = gen_expr ctx b in
+      let d = fresh_v ctx in
+      emit_i ctx (Binop (d, op, ctx.kcur, va, vb));
+      d
+  | Cmp (_, _, _) ->
+      (* comparison in value position: materialise 0/1 lanes *)
+      let k = gen_cond ctx e in
+      let d = fresh_v ctx in
+      let one = const_vec ctx (Value.Int 1) in
+      let zero = const_vec ctx (Value.Int 0) in
+      emit_i ctx (Blend (d, k, one, zero));
+      d
+  | Unop (op, a) ->
+      let va = gen_expr ctx a in
+      let d = fresh_v ctx in
+      emit_i ctx (Unop (d, op, ctx.kcur, va));
+      d
+
+(** Vectorize a boolean expression into a mask ⊆ [ctx.kcur]. *)
+and gen_cond ctx (e : expr) : kreg =
+  match e with
+  | Cmp (op, a, b) ->
+      let va = gen_expr ctx a in
+      let vb = gen_expr ctx b in
+      let d = fresh_k ctx in
+      emit_i ctx (Cmp (d, op, ctx.kcur, va, vb));
+      d
+  | Binop (Value.And, a, b) ->
+      let ka = gen_cond ctx a in
+      let kb = gen_cond ctx b in
+      let d = fresh_k ctx in
+      emit_i ctx (Kand (d, ka, kb));
+      d
+  | Binop (Value.Or, a, b) ->
+      let ka = gen_cond ctx a in
+      let kb = gen_cond ctx b in
+      let d = fresh_k ctx in
+      emit_i ctx (Kor (d, ka, kb));
+      d
+  | Unop (Value.Not, a) ->
+      let ka = gen_cond ctx a in
+      let d = fresh_k ctx in
+      emit_i ctx (Kandn (d, ka, ctx.kcur));
+      d
+  | e ->
+      let v = gen_expr ctx e in
+      let zero = const_vec ctx (Value.Int 0) in
+      let d = fresh_k ctx in
+      emit_i ctx (Cmp (d, Value.Ne, ctx.kcur, v, zero));
+      d
+
+(** Masked move into a temporary's stable register. The first static
+    assignment zero-masks (no dependence on the register's previous
+    strip value); later assignments merge (needed for if/else joins and
+    VPL re-evaluations). Definite-assignment classification guarantees
+    no lane outside the written set is ever read. *)
+let temp_assign ctx (v : string) (r : vreg) : unit =
+  let d = vreg_of_var v in
+  if Hashtbl.mem ctx.first_assign v then emit_i ctx (Blend (d, ctx.kcur, r, d))
+  else begin
+    Hashtbl.replace ctx.first_assign v ();
+    let z = const_vec ctx (Value.Int 0) in
+    emit_i ctx (Blend (d, ctx.kcur, r, z))
+  end;
+  Hashtbl.replace ctx.assign_mask v ctx.kcur
+
+(* ---------------- pattern queries ---------------- *)
+
+let early_exit_guard ctx =
+  List.find_map
+    (function C.Early_exit { guard } -> Some guard | _ -> None)
+    ctx.plan.patterns
+
+let cond_update_at ctx id =
+  List.find_map
+    (function C.Cond_update c when c.guard = id -> Some c | _ -> None)
+    ctx.plan.patterns
+
+let pos_of ctx id =
+  match List.find_opt (fun o -> o.Fv_pdg.Graph.stmt.id = id) ctx.occs with
+  | Some o -> o.Fv_pdg.Graph.pos
+  | None -> reject "unknown statement S%d" id
+
+let var_used_after ctx (v : string) (pos : int) : bool =
+  List.exists
+    (fun (o : Fv_pdg.Graph.occ) ->
+      o.pos > pos && SS.mem v (Analysis.node_uses o.stmt.node))
+    ctx.occs
+
+(* ---------------- statement generation ---------------- *)
+
+let with_mask ctx k f =
+  let saved = ctx.kcur in
+  ctx.kcur <- k;
+  f ();
+  ctx.kcur <- saved
+
+let with_mask' ctx k f =
+  let saved = ctx.kcur in
+  ctx.kcur <- k;
+  let r = f () in
+  ctx.kcur <- saved;
+  r
+
+let with_spec ctx s f =
+  let saved = ctx.spec in
+  ctx.spec <- s;
+  f ();
+  ctx.spec <- saved
+
+let rec subtree_ids (s : stmt) : int list =
+  match s.node with
+  | If (_, t, e) ->
+      s.id :: (List.concat_map subtree_ids t @ List.concat_map subtree_ids e)
+  | _ -> [ s.id ]
+
+let covers_scc (m : C.mem_conflict) (s : stmt) =
+  List.exists (fun id -> List.mem id m.scc) (subtree_ids s)
+
+let rec gen_body ctx (body : stmt list) : unit =
+  match body with
+  | [] -> ()
+  | s :: rest -> (
+      match
+        List.find_map
+          (function
+            | C.Mem_conflict m
+              when covers_scc m s && not (List.mem m.store ctx.active_mem) ->
+                Some m
+            | _ -> None)
+          ctx.plan.patterns
+      with
+      | Some m ->
+          let run, rest' = split_scc_run m (s :: rest) in
+          gen_mem_conflict ctx m run;
+          gen_body ctx rest'
+      | None ->
+          gen_stmt ctx s;
+          gen_body ctx rest)
+
+and split_scc_run (m : C.mem_conflict) (body : stmt list) :
+    stmt list * stmt list =
+  let rec go acc = function
+    | s :: rest when covers_scc m s -> go (s :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let run, rest = go [] body in
+  let covered = List.concat_map subtree_ids run in
+  List.iter
+    (fun id ->
+      if id >= 0 && not (List.mem id covered) then
+        raise
+          (Reject
+             (Printf.sprintf
+                "memory-conflict SCC is not a contiguous statement run (S%d)" id)))
+    m.scc;
+  (run, rest)
+
+and gen_stmt ctx (s : stmt) : unit =
+  match s.node with
+  | Assign (v, rhs) -> gen_assign ctx s v rhs
+  | Store (arr, idx, e) -> gen_store ctx arr idx e
+  | Break -> reject "break outside an early-exit guard (S%d)" s.id
+  | If (c, t, e) -> (
+      match (early_exit_guard ctx, cond_update_at ctx s.id) with
+      | Some g, _ when g = s.id -> gen_early_exit ctx s c t e
+      | _, Some cu -> gen_cond_update ctx cu s c t e
+      | _ ->
+          let kt = gen_cond ctx c in
+          with_mask ctx kt (fun () -> gen_body ctx t);
+          if e <> [] then begin
+            let ke = fresh_k ctx in
+            emit_i ctx (Kandn (ke, kt, ctx.kcur));
+            with_mask ctx ke (fun () -> gen_body ctx e)
+          end)
+
+and gen_assign ctx (s : stmt) (v : string) (rhs : expr) : unit =
+  match Classes.find ctx.classes v with
+  | Classes.Temp ->
+      let r = gen_expr ctx rhs in
+      temp_assign ctx v r
+  | Classes.Reduction op ->
+      if ctx.spec then reject "reduction %s in a speculative region" v;
+      let e = reduction_rhs ctx v op rhs s.id in
+      let r = gen_expr ctx e in
+      let acc = acc_of_var v in
+      emit_i ctx (Binop (acc, op, ctx.kcur, acc, r))
+  | Classes.Lastval ->
+      if ctx.spec then reject "live-out update %s in a speculative region" v;
+      let r = gen_expr ctx rhs in
+      let k = ctx.kcur in
+      if k = k_loop then emit_i ctx (Extract (v, k, r))
+      else
+        emit ctx
+          (If_any
+             {
+               label = fresh_lbl ctx;
+               k;
+               then_ = [ I (Extract (v, k, r)) ];
+               else_ = [];
+             })
+  | Classes.Uniform ->
+      reject "conditional-update variable %s assigned outside its pattern (S%d)"
+        v s.id
+  | Classes.Index -> reject "induction variable assigned (S%d)" s.id
+  | Classes.Invariant -> reject "invariant %s assigned (S%d)" v s.id
+
+and reduction_rhs ctx v op rhs id : expr =
+  ignore ctx;
+  match rhs with
+  | Binop (op', Var v', e) when op' = op && String.equal v' v -> e
+  | Binop (op', e, Var v') when op' = op && String.equal v' v -> e
+  | _ -> raise (Reject (Printf.sprintf "reduction %s has unexpected shape (S%d)" v id))
+
+and gen_store ctx arr idx e : unit =
+  if ctx.spec then reject "store to %s in a speculative region" arr;
+  let ve = gen_expr ctx e in
+  match Analysis.affine_in_index ~index:ctx.loop.index idx with
+  | Some off when atom_of_invariant ctx off <> None ->
+      emit_i ctx (Store (ctx.kcur, arr, Option.get (atom_of_invariant ctx off), ve))
+  | _ ->
+      let vi = gen_expr ctx idx in
+      emit_i ctx (Scatter (ctx.kcur, arr, vi, ve))
+
+(* ---------------- early loop termination (§4.1) ---------------- *)
+
+and gen_early_exit ctx (s : stmt) c t e : unit =
+  if e <> [] then reject "early-exit guard with an else branch (S%d)" s.id;
+  if ctx.kcur <> k_loop then
+    reject "early-exit guard nested under another condition (S%d)" s.id;
+  let effects, brk =
+    match List.rev t with
+    | { node = Break; _ } :: rev_effects -> (List.rev rev_effects, true)
+    | _ -> ([], false)
+  in
+  if not brk then reject "early-exit guard does not end in break (S%d)" s.id;
+  (* the exit condition is evaluated under the (speculative) full mask *)
+  let k_exit = gen_cond ctx c in
+  ctx.spec <- false;
+  let k_inc = fresh_k ctx in
+  emit_i ctx (Kftm_inc (k_inc, ctx.kcur, k_exit));
+  let k_exit1 = fresh_k ctx in
+  emit_i ctx (Kand (k_exit1, k_exit, k_inc));
+  (match ctx.style with
+  | Flexvec ->
+      let then_ =
+        block ctx (fun () ->
+            with_mask ctx k_exit1 (fun () ->
+                List.iter (gen_stmt ctx) effects;
+                emit_i ctx (Extract_index (ctx.loop.index, k_exit1));
+                emit ctx (Set_break k_exit1)))
+      in
+      emit ctx (If_any { label = fresh_lbl ctx; k = k_exit1; then_; else_ = [] })
+  | Wholesale ->
+      (* PACT'13 style: any exiting lane rolls the whole strip back *)
+      let then_ = [ Scalar_run { label = fresh_lbl ctx; k = ctx.kcur } ] in
+      emit ctx (If_any { label = fresh_lbl ctx; k = k_exit1; then_; else_ = [] }));
+  (* succeeding statements run on the lanes strictly before the exit *)
+  let k_after = fresh_k ctx in
+  emit_i ctx (Kandn (k_after, k_exit1, k_inc));
+  ctx.kcur <- k_after;
+  ctx.k_commit_inc <- k_inc
+
+(* ---------------- conditional scalar update (§4.2) ---------------- *)
+
+(** Evaluate the pure condition chain of a conditional-update guard
+    under [ctx.kcur]: computes temporaries (with first-faulting loads),
+    guard masks (into canonical registers recorded in
+    [ctx.chain_masks]), and the update's RHS (into a canonical
+    register). Effectful statements are skipped. Returns
+    [(k_stop, v_rhs)]: the canonical mask under which the update fires
+    and the canonical register holding its value. *)
+and gen_chain ctx (cu : C.cond_update) (guard_stmt : stmt) c t :
+    kreg * vreg =
+  let result = ref None in
+  let bind_canonical_mask id k =
+    let name = guard_mask_name id in
+    emit_i ctx (Kmov (name, k));
+    Hashtbl.replace ctx.chain_masks id name;
+    name
+  in
+  let kg = bind_canonical_mask guard_stmt.id (gen_cond ctx c) in
+  let rec walk k (body : stmt list) =
+    with_mask ctx k (fun () ->
+        List.iter
+          (fun (s : stmt) ->
+            match s.node with
+            | Assign (v, rhs) when s.id = cu.update ->
+                let r = gen_expr ctx rhs in
+                let canonical = "v_rhs_" ^ v in
+                temp_assign_to ctx canonical r;
+                result := Some (ctx.kcur, canonical)
+            | Assign (v, rhs) -> (
+                match Classes.find ctx.classes v with
+                | Classes.Temp ->
+                    let r = gen_expr ctx rhs in
+                    temp_assign ctx v r
+                | _ -> () (* effect: handled by the commit pass *))
+            | Store _ | Break -> ()
+            | If (c2, t2, e2) ->
+                let kt = bind_canonical_mask s.id (gen_cond ctx c2) in
+                walk kt t2;
+                if e2 <> [] then begin
+                  let ke = fresh_k ctx in
+                  emit_i ctx (Kandn (ke, kt, ctx.kcur));
+                  let kename = else_mask_name s.id in
+                  emit_i ctx (Kmov (kename, ke));
+                  Hashtbl.replace ctx.chain_masks (-s.id - 1) kename;
+                  walk kename e2
+                end)
+          body)
+  in
+  with_spec ctx true (fun () -> walk kg t);
+  match !result with
+  | Some (k_stop, v_rhs) -> (k_stop, v_rhs)
+  | None ->
+      reject "conditional-update statement S%d not found in its guard" cu.update
+
+(** Like {!temp_assign} but for a compiler-introduced register name. *)
+and temp_assign_to ctx (name : string) (r : vreg) : unit =
+  if Hashtbl.mem ctx.first_assign name then
+    emit_i ctx (Blend (name, ctx.kcur, r, name))
+  else begin
+    Hashtbl.replace ctx.first_assign name ();
+    let z = const_vec ctx (Value.Int 0) in
+    emit_i ctx (Blend (name, ctx.kcur, r, z))
+  end
+
+(** Commit pass: perform only the effectful statements of the guard
+    subtree, each under (chain mask ∧ k_safe). Reuses the canonical
+    guard masks the chain evaluation produced — no loads or compares are
+    re-executed, which is the paper's mask-aware redundant code
+    elimination (Fig. 6f). *)
+and gen_commit ctx (cu : C.cond_update) ~k_safe ~k_upd ~v_rhs
+    (guard_stmt : stmt) t : unit =
+  let committed_memo : (kreg, kreg) Hashtbl.t = Hashtbl.create 4 in
+  let committed stored =
+    match Hashtbl.find_opt committed_memo stored with
+    | Some k -> k
+    | None ->
+        let k = fresh_k ctx in
+        emit_i ctx (Kand (k, stored, k_safe));
+        Hashtbl.replace committed_memo stored k;
+        k
+  in
+  let rec has_effects (body : stmt list) =
+    List.exists
+      (fun (s : stmt) ->
+        match s.node with
+        | Assign (v, _) ->
+            s.id = cu.update
+            || (match Classes.find ctx.classes v with
+               | Classes.Temp -> false
+               | _ -> true)
+        | Store _ -> true
+        | Break -> false
+        | If (_, t2, e2) -> has_effects t2 || has_effects e2)
+      body
+  in
+  let emit_update_commit () =
+    let pos = pos_of ctx cu.update in
+    let needs_selective = var_used_after ctx cu.var pos in
+    let then_ =
+      block ctx (fun () ->
+          emit_i ctx (Extract (cu.var, k_upd, v_rhs));
+          if needs_selective then begin
+            let v_new = fresh_v ctx in
+            emit_i ctx (Slct_last (v_new, k_upd, v_rhs));
+            let k_ns = fresh_k ctx in
+            emit_i ctx (Knot (k_ns, k_safe));
+            let k_rem = fresh_k ctx in
+            emit_i ctx (Kor (k_rem, k_upd, k_ns));
+            let d = vreg_of_var cu.var in
+            emit_i ctx (Blend (d, k_rem, v_new, d))
+          end)
+    in
+    emit ctx (If_any { label = fresh_lbl ctx; k = k_upd; then_; else_ = [] })
+  in
+  let rec walk (stored : kreg) (body : stmt list) =
+    List.iter
+      (fun (s : stmt) ->
+        match s.node with
+        | Assign (_, _) when s.id = cu.update -> emit_update_commit ()
+        | Assign (v, rhs) -> (
+            match Classes.find ctx.classes v with
+            | Classes.Temp -> () (* the chain already computed it *)
+            | Classes.Reduction op ->
+                let e = reduction_rhs ctx v op rhs s.id in
+                let kc = committed stored in
+                with_mask ctx kc (fun () ->
+                    let r = gen_expr ctx e in
+                    emit_i ctx (Binop (acc_of_var v, op, kc, acc_of_var v, r)))
+            | Classes.Lastval ->
+                let kc = committed stored in
+                with_mask ctx kc (fun () ->
+                    let r = gen_expr ctx rhs in
+                    emit ctx
+                      (If_any
+                         {
+                           label = fresh_lbl ctx;
+                           k = kc;
+                           then_ = [ I (Extract (v, kc, r)) ];
+                           else_ = [];
+                         }))
+            | _ -> reject "unsupported assignment to %s in update region" v)
+        | Store (arr, idx, e) ->
+            let kc = committed stored in
+            with_mask ctx kc (fun () -> gen_store ctx arr idx e)
+        | Break -> reject "break inside a conditional-update guard"
+        | If (_, t2, e2) ->
+            if has_effects t2 then walk (Hashtbl.find ctx.chain_masks s.id) t2;
+            if e2 <> [] && has_effects e2 then
+              walk (Hashtbl.find ctx.chain_masks (-s.id - 1)) e2)
+      body
+  in
+  walk (Hashtbl.find ctx.chain_masks guard_stmt.id) t
+
+and gen_cond_update ctx (cu : C.cond_update) (s : stmt) c t e : unit =
+  if e <> [] then reject "conditional-update guard with an else branch (S%d)" s.id;
+  List.iter
+    (fun (st : stmt) ->
+      List.iter
+        (fun (p : C.pattern) ->
+          match p with
+          | C.Mem_conflict m when List.mem st.id m.scc ->
+              reject
+                "memory-conflict region inside a conditional-update guard (S%d)"
+                st.id
+          | _ -> ())
+        ctx.plan.patterns)
+    (stmts_of_body t);
+  (* live-out temporaries may not be defined inside the re-executed
+     chain: their strip-end extraction mask would be partition-local *)
+  List.iter
+    (fun v ->
+      if
+        Classes.find ctx.classes v = Classes.Temp
+        && List.exists
+             (fun (st : stmt) -> SS.mem v (Analysis.node_defs st.node))
+             (stmts_of_body t)
+      then reject "live-out temporary %s defined inside update region" v)
+    ctx.loop.live_out;
+  let k_todo = fresh ctx "k_todo" in
+  let k_stop = fresh ctx "k_stop" in
+  emit_i ctx (Kmov (k_todo, ctx.kcur));
+  let saved_remaining = ctx.k_remaining in
+  ctx.k_remaining <- k_todo;
+  (* peeled chain evaluation, full width *)
+  let chain () =
+    with_mask' ctx k_todo (fun () ->
+        let ks, vr = gen_chain ctx cu s c t in
+        emit_i ctx (Kmov (k_stop, ks));
+        vr)
+  in
+  let v_rhs = chain () in
+  (match ctx.style with
+  | Flexvec ->
+      let body =
+        block ctx (fun () ->
+            let k_safe = fresh_k ctx in
+            emit_i ctx (Kftm_inc (k_safe, k_todo, k_stop));
+            let k_upd = fresh_k ctx in
+            emit_i ctx (Kand (k_upd, k_stop, k_safe));
+            gen_commit ctx cu ~k_safe ~k_upd ~v_rhs s t;
+            emit_i ctx (Kandn (k_todo, k_safe, k_todo));
+            let reeval =
+              block ctx (fun () ->
+                  emit_i ctx (Broadcast (vreg_of_var cu.var, Sca cu.var));
+                  let (_ : vreg) = chain () in
+                  ())
+            in
+            emit ctx
+              (If_any
+                 { label = fresh_lbl ctx; k = k_todo; then_ = reeval; else_ = [] }))
+      in
+      emit ctx (Vpl { label = fresh_lbl ctx; todo = k_todo; body })
+  | Wholesale ->
+      emit ctx
+        (If_any
+           {
+             label = fresh_lbl ctx;
+             k = k_stop;
+             then_ = [ Scalar_run { label = fresh_lbl ctx; k = k_todo } ];
+             else_ = [];
+           });
+      (* no update can fire on the vector path: commit everything *)
+      let k_upd = fresh_k ctx in
+      emit_i ctx (Kand (k_upd, k_stop, k_todo));
+      gen_commit ctx cu ~k_safe:k_todo ~k_upd ~v_rhs s t);
+  ctx.k_remaining <- saved_remaining
+
+(* ---------------- runtime memory dependencies (§4.3) ---------------- *)
+
+and gen_mem_conflict ctx (m : C.mem_conflict) (run : stmt list) : unit =
+  ctx.active_mem <- m.store :: ctx.active_mem;
+  Fun.protect ~finally:(fun () ->
+      ctx.active_mem <- List.filter (fun id -> id <> m.store) ctx.active_mem)
+  @@ fun () ->
+  let v_store_idx = gen_expr ctx m.store_idx in
+  let v_load_idx =
+    if equal_expr m.store_idx m.load_idx then v_store_idx
+    else gen_expr ctx m.load_idx
+  in
+  let k_stop = fresh ctx "k_stop" in
+  emit_i ctx (Conflictm (k_stop, Some ctx.kcur, v_load_idx, v_store_idx));
+  let k_todo = fresh ctx "k_todo" in
+  emit_i ctx (Kmov (k_todo, ctx.kcur));
+  match ctx.style with
+  | Flexvec ->
+      let body =
+        block ctx (fun () ->
+            let k_safe = fresh_k ctx in
+            emit_i ctx (Kftm_exc (k_safe, k_todo, k_stop));
+            let saved_remaining = ctx.k_remaining in
+            ctx.k_remaining <- k_todo;
+            with_mask ctx k_safe (fun () -> List.iter (gen_stmt ctx) run);
+            ctx.k_remaining <- saved_remaining;
+            emit_i ctx (Kandn (k_todo, k_safe, k_todo));
+            emit_i ctx (Kand (k_stop, k_stop, k_todo)))
+      in
+      emit ctx (Vpl { label = fresh_lbl ctx; todo = k_todo; body })
+  | Wholesale ->
+      emit ctx
+        (If_any
+           {
+             label = fresh_lbl ctx;
+             k = k_stop;
+             then_ = [ Scalar_run { label = fresh_lbl ctx; k = k_todo } ];
+             else_ = [];
+           });
+      with_mask ctx k_todo (fun () -> List.iter (gen_stmt ctx) run)
+
+(* ---------------- top level ---------------- *)
+
+(** All constant values appearing in the loop body's expressions, plus
+    0/1 which the code generator itself needs (zero-masked moves,
+    materialised compares). *)
+let collect_consts (l : loop) : Value.t list =
+  let acc = ref [] in
+  let rec expr = function
+    | Const v -> acc := v :: !acc
+    | Var _ -> ()
+    | Load (_, e) | Unop (_, e) -> expr e
+    | Binop (_, a, b) | Cmp (_, a, b) ->
+        expr a;
+        expr b
+  in
+  List.iter
+    (fun (s : stmt) ->
+      match s.node with
+      | Assign (_, e) -> expr e
+      | Store (_, i, e) ->
+          expr i;
+          expr e
+      | If (c, _, _) -> expr c
+      | Break -> ())
+    (all_stmts l);
+  List.sort_uniq compare (Value.Int 0 :: Value.Int 1 :: !acc)
+
+let collect_invariant_reads ctx (l : loop) : string list =
+  let acc = ref SS.empty in
+  List.iter
+    (fun (s : stmt) ->
+      SS.iter
+        (fun v ->
+          if Classes.find ctx.classes v = Classes.Invariant then
+            acc := SS.add v !acc)
+        (Analysis.node_uses s.node))
+    (all_stmts l);
+  SS.elements !acc
+
+let vectorize ?(vl = 16) ?(style = Flexvec) (l : loop) :
+    (Fv_vir.Inst.vloop, string) result =
+  match C.analyze l with
+  | C.Rejected r -> Error r
+  | C.Vectorizable plan -> (
+      try
+        let classes = Classes.classify l plan in
+        let ctx =
+          {
+            vl;
+            style;
+            loop = l;
+            plan;
+            classes;
+            blocks = [];
+            kcur = k_loop;
+            spec = false;
+            k_remaining = k_loop;
+            k_commit_inc = k_loop;
+            consts = Hashtbl.create 8;
+            invs = Hashtbl.create 8;
+            chain_masks = Hashtbl.create 8;
+            first_assign = Hashtbl.create 8;
+            fresh = 0;
+            uniforms = [];
+            reductions = [];
+            assign_mask = Hashtbl.create 8;
+            occs = Fv_pdg.Graph.occurrences l;
+            active_mem = [];
+          }
+        in
+        (* register env-authoritative state *)
+        Hashtbl.iter
+          (fun v c ->
+            match c with
+            | Classes.Uniform ->
+                ctx.uniforms <- (v, vreg_of_var v) :: ctx.uniforms
+            | Classes.Reduction op ->
+                ctx.reductions <- (v, op, acc_of_var v) :: ctx.reductions
+            | _ -> ())
+          classes;
+        let preamble =
+          block ctx (fun () ->
+              List.iter (fun v -> ignore (const_vec ctx v)) (collect_consts l);
+              List.iter
+                (fun x -> ignore (inv_vec ctx x))
+                (collect_invariant_reads ctx l);
+              List.iter
+                (fun (v, op, acc) -> emit_i ctx (Init_acc (acc, v, op)))
+                ctx.reductions)
+        in
+        let strip =
+          block ctx (fun () ->
+              emit_i ctx (Kset_loop k_loop);
+              emit_i ctx (Iota "v_iota");
+              List.iter
+                (fun (v, r) -> emit_i ctx (Broadcast (r, Sca v)))
+                ctx.uniforms;
+              (* speculative region starts immediately if the loop has an
+                 early exit: pre-guard loads may touch lanes past the exit *)
+              if early_exit_guard ctx <> None then ctx.spec <- true;
+              gen_body ctx l.body;
+              ctx.spec <- false;
+              (* extract live-out temps: last committed lane *)
+              List.iter
+                (fun v ->
+                  if Classes.find ctx.classes v = Classes.Temp then begin
+                    match Hashtbl.find_opt ctx.assign_mask v with
+                    | None -> ()
+                    | Some km ->
+                        let ke = fresh_k ctx in
+                        emit_i ctx (Kand (ke, km, ctx.k_commit_inc));
+                        emit ctx
+                          (If_any
+                             {
+                               label = fresh_lbl ctx;
+                               k = ke;
+                               then_ = [ I (Extract (v, ke, vreg_of_var v)) ];
+                               else_ = [];
+                             })
+                  end)
+                l.live_out)
+        in
+        let postamble =
+          block ctx (fun () ->
+              List.iter
+                (fun (v, op, acc) -> emit_i ctx (Fold_acc (v, op, acc)))
+                ctx.reductions)
+        in
+        Ok
+          {
+            source = l;
+            vl;
+            preamble;
+            strip;
+            postamble;
+            sync =
+              {
+                uniforms = ctx.uniforms;
+                reductions = ctx.reductions;
+                clear_on_fallback = [ "*" ];
+              };
+          }
+      with
+      | Reject r -> Error r
+      | Classes.Unvectorizable r -> Error r)

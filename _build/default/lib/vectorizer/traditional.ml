@@ -1,0 +1,28 @@
+(** The traditional (baseline-compiler) vectorizer.
+
+    Handles loops whose PDG cycles are all reducible by classical idiom
+    recognition (§3: reductions, self anti-dependencies, scalar
+    expansion) and refuses anything that would need a relaxed SCC —
+    exactly the loops FlexVec targets. This is why the paper's baseline
+    runs FlexVec candidate loops scalar. *)
+
+let vectorize ?vl (l : Fv_ir.Ast.loop) : (Fv_vir.Inst.vloop, string) result =
+  match Fv_pdg.Classify.analyze l with
+  | Fv_pdg.Classify.Rejected r -> Error r
+  | Fv_pdg.Classify.Vectorizable plan ->
+      let relaxed_needed =
+        List.filter
+          (function Fv_pdg.Classify.Reduction _ -> false | _ -> true)
+          plan.patterns
+      in
+      if relaxed_needed = [] then Gen.vectorize ?vl l
+      else
+        Error
+          (Fmt.str
+             "dependence cycles not reducible by idiom recognition: %a"
+             Fmt.(list ~sep:comma (of_to_string Fv_pdg.Classify.show_pattern))
+             relaxed_needed)
+
+(** Does the traditional vectorizer accept this loop? *)
+let accepts (l : Fv_ir.Ast.loop) : bool =
+  match vectorize l with Ok _ -> true | Error _ -> false

@@ -1,0 +1,1 @@
+lib/vir/count.pp.ml: Inst List String

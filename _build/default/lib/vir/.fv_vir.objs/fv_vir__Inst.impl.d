@@ -1,0 +1,1 @@
+lib/vir/inst.pp.ml: Fv_ir Fv_isa List Ppx_deriving_runtime Value

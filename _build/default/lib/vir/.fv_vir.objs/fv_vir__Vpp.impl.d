@@ -1,0 +1,1 @@
+lib/vir/vpp.pp.ml: Fmt Fv_ir Fv_isa Inst String

@@ -1,0 +1,50 @@
+(** Static instruction statistics over a vector program — used to
+    regenerate Table 2's "Instruction Mix" column (which FlexVec
+    extensions a vectorized loop uses). *)
+
+open Inst
+
+type mix = {
+  kftm : bool;
+  vpslctlast : bool;
+  vpconflictm : bool;
+  vpgatherff : bool;
+  vmovff : bool;
+}
+
+let empty = { kftm = false; vpslctlast = false; vpconflictm = false;
+              vpgatherff = false; vmovff = false }
+
+let of_vloop (l : vloop) : mix =
+  let m = ref empty in
+  iter_insts
+    (fun i ->
+      match i with
+      | Kftm_exc _ | Kftm_inc _ -> m := { !m with kftm = true }
+      | Slct_last _ | Extract _ -> m := { !m with vpslctlast = true }
+      | Conflictm _ -> m := { !m with vpconflictm = true }
+      | Gather_ff _ -> m := { !m with vpgatherff = true }
+      | Load_ff _ -> m := { !m with vmovff = true }
+      | _ -> ())
+    l;
+  !m
+
+(** Render in the paper's Table 2 style, e.g.
+    ["KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF"]. *)
+let to_table2_string (m : mix) : string =
+  let parts =
+    List.filter_map
+      (fun (b, s) -> if b then Some s else None)
+      [ (m.kftm, "KFTM");
+        (m.vpslctlast, "VPSLCTLAST");
+        (m.vpconflictm, "VPCONFLICTM");
+        (m.vpgatherff, "VPGATHERFF");
+        (m.vmovff, "VMOVFF") ]
+  in
+  String.concat ", " parts
+
+(** Total static instruction count of the strip program. *)
+let static_size (l : vloop) : int =
+  let n = ref 0 in
+  iter_insts (fun _ -> incr n) l;
+  !n

@@ -1,0 +1,143 @@
+(** The vector IR: target language of FlexVec code generation.
+
+    A {!vloop} executes the original scalar loop strip by strip ([vl]
+    iterations per strip). The strip program is a structured tree of
+    vector instructions, VPLs (vector partitioning loops, §3.1),
+    mask-guarded regions ([If_any], a KTEST + branch), and first-fault
+    checks that fall back to scalar execution of the unprocessed lanes
+    (§3.3/§4.1).
+
+    Design notes relative to the paper:
+    - Scalar loop state is {e environment-authoritative at commit
+      points}: conditionally updated scalars are extracted with
+      VPSLCTLAST when their update commits and re-broadcast at the next
+      partition start ("restores the control and data flow assumptions
+      for the steady state", §1.1). This makes the scalar fallback path
+      after a first-faulting mismatch a pure re-entry.
+    - Our VPL re-executes the relaxed-SCC statements with sub-masks of
+      [k_todo] each partition; the paper's generated code peels the
+      first full-width execution and duplicates the SCC statements
+      inside the VPL (Fig. 6e). The two are semantically identical; the
+      peeled form saves a couple of mask ops per steady-state strip,
+      which our cycle model charges against FlexVec (conservative). *)
+
+open Fv_isa
+
+type vreg = string [@@deriving show { with_path = false }, eq]
+type kreg = string [@@deriving show { with_path = false }, eq]
+
+(** Scalar operands available to vector code at runtime. *)
+type atom =
+  | Imm of Value.t
+  | Sca of string  (** scalar environment variable *)
+[@@deriving show { with_path = false }, eq]
+
+type vinst =
+  (* vector value producers *)
+  | Iota of vreg  (** lane l gets current strip's scalar index [vi + l] *)
+  | Broadcast of vreg * atom
+  | Load of vreg * kreg * string * atom
+      (** unit stride, merge-masked: [v.(l) <- arr.(vi + l + off)] *)
+  | Load_ff of vreg * kreg * string * atom
+      (** VMOVFF: first-faulting; clears [kreg] from first faulting speculative lane *)
+  | Gather of vreg * kreg * string * vreg  (** [v.(l) <- arr.(idx.(l))] *)
+  | Gather_ff of vreg * kreg * string * vreg  (** VPGATHERFF *)
+  | Store of kreg * string * atom * vreg  (** unit stride, masked *)
+  | Scatter of kreg * string * vreg * vreg  (** [arr.(idx.(l)) <- v.(l)], masked, lane order *)
+  | Binop of vreg * Value.binop * kreg * vreg * vreg  (** merge-masked *)
+  | Unop of vreg * Value.unop * kreg * vreg
+  | Blend of vreg * kreg * vreg * vreg  (** dst = k ? a : b *)
+  | Slct_last of vreg * kreg * vreg  (** VPSLCTLAST: broadcast last enabled lane *)
+  (* mask producers *)
+  | Cmp of kreg * Value.cmpop * kreg * vreg * vreg  (** write-masked compare *)
+  | Conflictm of kreg * kreg option * vreg * vreg  (** VPCONFLICTM k1 {k2}, v1, v2 *)
+  | Kftm_exc of kreg * kreg * kreg  (** dst, write, stop *)
+  | Kftm_inc of kreg * kreg * kreg
+  | Kand of kreg * kreg * kreg
+  | Kandn of kreg * kreg * kreg  (** dst = ~a & b *)
+  | Kor of kreg * kreg * kreg
+  | Knot of kreg * kreg
+  | Kmov of kreg * kreg
+  | Kset_loop of kreg  (** lanes whose scalar iteration exists: [vi + l < hi] *)
+  (* scalar <-> vector transfers (commit points) *)
+  | Extract of string * kreg * vreg
+      (** env.var <- last enabled lane of [v]; emit only under [If_any] *)
+  | Extract_index of string * kreg
+      (** env.var <- vi + last enabled lane of [k] (break position) *)
+  | Init_acc of vreg * string * Value.binop
+      (** per-strip reduction partials: identity lanes for [op]/env type *)
+  | Fold_acc of string * Value.binop * vreg
+      (** env.var <- op(env.var, horizontal-op(lanes)); resets partials *)
+[@@deriving show { with_path = false }, eq]
+
+type vstmt =
+  | I of vinst
+  | Vpl of { label : string; todo : kreg; body : vstmt list }
+      (** do { body } while (any [todo]); [body] must shrink [todo] *)
+  | If_any of { label : string; k : kreg; then_ : vstmt list; else_ : vstmt list }
+      (** KTEST k; branch *)
+  | Fault_check of { label : string; kff : kreg; expected : kreg; remaining : kreg }
+      (** if [kff] <> [expected], a speculative lane faulted: fold/sync
+          scalar state, execute the lanes of [remaining] with the scalar
+          interpreter, clear [sync.clear_on_fallback] masks *)
+  | Set_break of kreg
+      (** an early exit fired in some enabled lane: stop striping after
+          this strip *)
+  | Scalar_run of { label : string; k : kreg }
+      (** unconditionally execute the lanes of [k] with the scalar
+          interpreter (the PACT'13-style wholesale-speculation baseline
+          rolls back whole strips this way); folds/syncs scalar state and
+          clears [sync.clear_on_fallback] *)
+[@@deriving show { with_path = false }, eq]
+
+(** Scalar-state synchronisation contract between the generated code and
+    the emulator's fallback path. *)
+type sync = {
+  uniforms : (string * vreg) list;
+      (** env-authoritative scalars mirrored as (prefix-)uniform vectors *)
+  reductions : (string * Value.binop * vreg) list;
+  clear_on_fallback : kreg list;
+}
+[@@deriving show { with_path = false }]
+
+let empty_sync = { uniforms = []; reductions = []; clear_on_fallback = [] }
+
+type vloop = {
+  source : Fv_ir.Ast.loop;  (** scalar original: fallback path + metadata *)
+  vl : int;
+  preamble : vstmt list;  (** once, before the first strip (accumulator init) *)
+  strip : vstmt list;  (** executed once per [vl] scalar iterations *)
+  postamble : vstmt list;  (** once, after the last strip (reduction folds) *)
+  sync : sync;
+}
+
+let rec iter_inst (f : vinst -> unit) (s : vstmt) : unit =
+  match s with
+  | I i -> f i
+  | Vpl { body; _ } -> List.iter (iter_inst f) body
+  | If_any { then_; else_; _ } ->
+      List.iter (iter_inst f) then_;
+      List.iter (iter_inst f) else_
+  | Fault_check _ | Set_break _ | Scalar_run _ -> ()
+
+let iter_insts f (l : vloop) =
+  List.iter (iter_inst f) l.preamble;
+  List.iter (iter_inst f) l.strip;
+  List.iter (iter_inst f) l.postamble
+
+let rec exists_stmt (p : vstmt -> bool) (s : vstmt) : bool =
+  p s
+  ||
+  match s with
+  | Vpl { body; _ } -> List.exists (exists_stmt p) body
+  | If_any { then_; else_; _ } ->
+      List.exists (exists_stmt p) then_ || List.exists (exists_stmt p) else_
+  | _ -> false
+
+let uses_vpl (l : vloop) =
+  List.exists (exists_stmt (function Vpl _ -> true | _ -> false)) l.strip
+
+let uses_fault_check (l : vloop) =
+  List.exists
+    (exists_stmt (function Fault_check _ -> true | _ -> false))
+    l.strip

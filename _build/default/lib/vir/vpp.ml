@@ -1,0 +1,87 @@
+(** Assembly-style pretty printer for vector programs. *)
+
+open Inst
+
+let atom_str = function
+  | Imm v -> Fmt.str "%a" Fv_isa.Value.pp_compact v
+  | Sca s -> s
+
+let binop_name (op : Fv_isa.Value.binop) =
+  String.lowercase_ascii (Fv_isa.Value.show_binop op)
+
+let cmpop_name (op : Fv_isa.Value.cmpop) =
+  String.lowercase_ascii (Fv_isa.Value.show_cmpop op)
+
+let unop_name (op : Fv_isa.Value.unop) =
+  String.lowercase_ascii (Fv_isa.Value.show_unop op)
+
+let pp_inst ppf (i : vinst) =
+  match i with
+  | Iota v -> Fmt.pf ppf "%s = viota(vi)" v
+  | Broadcast (v, a) -> Fmt.pf ppf "%s = vbroadcast(%s)" v (atom_str a)
+  | Load (v, k, arr, off) ->
+      Fmt.pf ppf "%s = vload {%s} &%s[vi+%s]" v k arr (atom_str off)
+  | Load_ff (v, k, arr, off) ->
+      Fmt.pf ppf "%s = vmovff {%s!} &%s[vi+%s]" v k arr (atom_str off)
+  | Gather (v, k, arr, idx) -> Fmt.pf ppf "%s = vpgather {%s} &%s[%s]" v k arr idx
+  | Gather_ff (v, k, arr, idx) ->
+      Fmt.pf ppf "%s = vpgatherff {%s!} &%s[%s]" v k arr idx
+  | Store (k, arr, off, v) ->
+      Fmt.pf ppf "vstore {%s} &%s[vi+%s], %s" k arr (atom_str off) v
+  | Scatter (k, arr, idx, v) -> Fmt.pf ppf "vscatter {%s} &%s[%s], %s" k arr idx v
+  | Binop (d, op, k, a, b) ->
+      Fmt.pf ppf "%s = v%s {%s} %s, %s" d (binop_name op) k a b
+  | Unop (d, op, k, a) -> Fmt.pf ppf "%s = v%s {%s} %s" d (unop_name op) k a
+  | Blend (d, k, a, b) -> Fmt.pf ppf "%s = vblend {%s} %s, %s" d k a b
+  | Slct_last (d, k, a) -> Fmt.pf ppf "%s = vpslctlast %s, %s" d k a
+  | Cmp (d, op, k, a, b) ->
+      Fmt.pf ppf "%s = vcmp_%s {%s} %s, %s" d (cmpop_name op) k a b
+  | Conflictm (d, k2, a, b) ->
+      Fmt.pf ppf "%s = vpconflictm%s %s, %s" d
+        (match k2 with None -> "" | Some k -> Fmt.str " {%s}" k)
+        a b
+  | Kftm_exc (d, w, s) -> Fmt.pf ppf "%s = kftm.exc {%s} %s" d w s
+  | Kftm_inc (d, w, s) -> Fmt.pf ppf "%s = kftm.inc {%s} %s" d w s
+  | Kand (d, a, b) -> Fmt.pf ppf "%s = kand %s, %s" d a b
+  | Kandn (d, a, b) -> Fmt.pf ppf "%s = kandn %s, %s" d a b
+  | Kor (d, a, b) -> Fmt.pf ppf "%s = kor %s, %s" d a b
+  | Knot (d, a) -> Fmt.pf ppf "%s = knot %s" d a
+  | Kmov (d, a) -> Fmt.pf ppf "%s = kmov %s" d a
+  | Kset_loop k -> Fmt.pf ppf "%s = kloop(vi, hi)" k
+  | Extract (x, k, v) -> Fmt.pf ppf "%s := extract_last {%s} %s" x k v
+  | Extract_index (x, k) -> Fmt.pf ppf "%s := vi + last_lane(%s)" x k
+  | Init_acc (v, x, op) -> Fmt.pf ppf "%s = vacc_init(%s, %s)" v x (binop_name op)
+  | Fold_acc (x, op, v) -> Fmt.pf ppf "%s := fold_%s(%s, %s)" x (binop_name op) x v
+
+let rec pp_stmt ppf (s : vstmt) =
+  match s with
+  | I i -> pp_inst ppf i
+  | Vpl { label; todo; body } ->
+      Fmt.pf ppf "@[<v 2>%s: do { // VPL@,%a@]@,} while (any %s)" label
+        Fmt.(list ~sep:cut pp_stmt)
+        body todo
+  | If_any { label; k; then_; else_ = [] } ->
+      Fmt.pf ppf "@[<v 2>%s: if (any %s) {@,%a@]@,}" label k
+        Fmt.(list ~sep:cut pp_stmt)
+        then_
+  | If_any { label; k; then_; else_ } ->
+      Fmt.pf ppf "@[<v 2>%s: if (any %s) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" label
+        k
+        Fmt.(list ~sep:cut pp_stmt)
+        then_
+        Fmt.(list ~sep:cut pp_stmt)
+        else_
+  | Fault_check { label; kff; expected; remaining } ->
+      Fmt.pf ppf "%s: if (%s != %s) fallback_scalar(%s)" label kff expected
+        remaining
+  | Set_break k -> Fmt.pf ppf "if (any %s) break_after_strip" k
+  | Scalar_run { label; k } -> Fmt.pf ppf "%s: scalar_run(%s)" label k
+
+let pp_vloop ppf (l : vloop) =
+  Fmt.pf ppf
+    "@[<v 2>for (vi = lo; vi < hi; vi += %d) { // vectorized %s@,%a@]@,}" l.vl
+    l.source.Fv_ir.Ast.name
+    Fmt.(list ~sep:cut pp_stmt)
+    l.strip
+
+let to_string l = Fmt.str "%a" pp_vloop l

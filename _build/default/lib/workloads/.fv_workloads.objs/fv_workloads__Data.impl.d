@@ -1,0 +1,1 @@
+lib/workloads/data.pp.ml: Array Random

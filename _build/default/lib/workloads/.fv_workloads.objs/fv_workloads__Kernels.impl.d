@@ -1,0 +1,1 @@
+lib/workloads/kernels.pp.ml: Array Data Fv_ir Fv_isa Fv_mem Random Value

@@ -1,0 +1,1 @@
+lib/workloads/registry.pp.ml: Kernels List Ppx_deriving_runtime Printf String

@@ -1,0 +1,58 @@
+(** Deterministic data generators for the workload kernels.
+
+    The paper evaluates on SPEC ref inputs and real applications; we
+    cannot ship those, so each kernel gets a synthetic generator that
+    reproduces the {e performance-relevant} properties §5 identifies:
+    trip count, dependency-fire frequency (how often the relaxed edge
+    actually fires), guard selectivity (branchiness / effective SIMD
+    utilisation), indirection (gathers), and compute intensity. All
+    generators are seeded and pure. *)
+
+let rng seed = Random.State.make [| 0x5eed; seed |]
+
+let ints st n f = Array.init n (fun i -> f st i)
+let floats st n f = Array.init n (fun i -> f st i)
+
+(** A noisy descending staircase: starts near [hi] and drifts toward
+    [lo], so a running-minimum guard stays plausibly active for the
+    whole loop and updates fire throughout (roughly every
+    [1/update_rate] iterations) instead of collapsing after a warm-up. *)
+let descending_staircase st n ~hi ~lo ~update_rate ?(near_rate = 0.0) () =
+  let level = ref hi in
+  Array.init n (fun i ->
+      let progress = float_of_int i /. float_of_int (max 1 n) in
+      let floor_now = hi - int_of_float (progress *. float_of_int (hi - lo)) in
+      let r = Random.State.float st 1.0 in
+      if r < update_rate then begin
+        (* a deep dip: definitely a new minimum *)
+        level := max lo (min !level floor_now - 20 - Random.State.int st 20);
+        !level
+      end
+      else if r < update_rate +. near_rate then
+        (* a shallow dip: passes a [v < min] guard but usually fails the
+           inner update condition once per-element costs are added *)
+        max lo (!level - 1 - Random.State.int st 10)
+      else !level + 1 + Random.State.int st (max 2 ((hi - lo) / 4)))
+
+(** An ascending variant for running-maximum kernels. *)
+let ascending_staircase st n ~lo ~hi ~update_rate ?(near_rate = 0.0) () =
+  descending_staircase st n ~hi:(-lo) ~lo:(-hi) ~update_rate ~near_rate ()
+  |> Array.map (fun v -> -v)
+
+(** Indices into [0, buckets): mostly fresh draws; with probability
+    [repeat_rate] the previous index repeats, creating a short-distance
+    cross-iteration memory dependency. *)
+let conflicting_indices st n ~buckets ~repeat_rate =
+  let prev = ref 0 in
+  Array.init n (fun _ ->
+      let j =
+        if Random.State.float st 1.0 < repeat_rate then !prev
+        else Random.State.int st buckets
+      in
+      prev := j;
+      j)
+
+let uniform_ints st n bound = ints st n (fun st _ -> Random.State.int st bound)
+
+let uniform_floats st n scale =
+  floats st n (fun st _ -> Random.State.float st scale)

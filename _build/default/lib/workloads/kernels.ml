@@ -1,0 +1,497 @@
+(** The 18 workload kernels: one per row of the paper's Table 2
+    (11 SPEC 2006 benchmarks + 7 real applications).
+
+    Each kernel reproduces the FlexVec-relevant shape of the hot loop
+    the paper vectorized in that benchmark: the dependence pattern
+    (which determines the instruction mix column of Table 2), the
+    average trip count, the guard selectivity and dependency-fire rate
+    (which determine effective vector length), indirection and compute
+    intensity (which §5 identifies as the speedup drivers). Where the
+    paper's trip count is too large to simulate in full (gcc 31K,
+    milc 160K, SSCA2 58K), we scale it down and record the substitution
+    in EXPERIMENTS.md; trip counts below 10K are used as-is. *)
+
+open Fv_isa
+module B = Fv_ir.Builder
+module Memory = Fv_mem.Memory
+
+type built = {
+  mem : Memory.t;
+  env : (string * Value.t) list;
+  loop : Fv_ir.Ast.loop;
+}
+
+let f v = Value.Float v
+let i v = Value.Int v
+
+(* ------------------------------------------------------------------ *)
+(* Shared loop shapes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Conditional-update minimum search with speculative indirect loads —
+    the h264ref shape (Fig. 6): guard and update both read the running
+    minimum; the inner loads execute under a stale-guard mask and need
+    VMOVFF / VPGATHERFF. *)
+let min_search_speculative ~name ~trip ~sad ~spiral ~mv ~init_min () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "sad" sad);
+  ignore (Memory.alloc_ints mem "spiral" spiral);
+  ignore (Memory.alloc_ints mem "mv" mv);
+  let loop =
+    B.(
+      loop ~name ~index:"pos" ~hi:(int trip)
+        ~live_out:[ "min_mcost"; "best_pos" ]
+        [
+          if_
+            (load "sad" (var "pos") < var "min_mcost")
+            [
+              assign "mcost" (load "sad" (var "pos"));
+              assign "cand" (load "spiral" (var "pos"));
+              assign "mcost" (var "mcost" + load "mv" (var "cand"));
+              if_
+                (var "mcost" < var "min_mcost")
+                [
+                  assign "min_mcost" (var "mcost");
+                  assign "best_pos" (var "pos");
+                ];
+            ];
+        ])
+  in
+  { mem; env = [ ("min_mcost", i init_min); ("best_pos", i (-1)) ]; loop }
+
+(** Conditional scalar update with a pure chain (no guarded loads): the
+    gcc/gobmk/sjeng shape — mix is KFTM + VPSLCTLAST only. Includes a
+    side reduction for compute intensity. *)
+let max_track ~name ~trip ~weights ~extra_compute () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "w" weights);
+  let body =
+    B.(
+      [
+        assign "t" (load "w" (var "i"));
+        if_
+          (var "t" > var "best")
+          [ assign "best" (var "t"); assign "barg" (var "i") ];
+      ]
+      @
+      if extra_compute then
+        [
+          assign "acc"
+            (var "acc" + ((var "t" * int 3) + (var "t" % int 7) + int 1));
+        ]
+      else [ assign "acc" (var "acc" + var "t") ])
+  in
+  let loop =
+    B.(loop ~name ~index:"i" ~hi:(int trip) ~live_out:[ "best"; "barg"; "acc" ])
+      body
+  in
+  { mem; env = [ ("best", i (min_int / 2)); ("barg", i (-1)); ("acc", i 0) ]; loop }
+
+(** Runtime memory dependency through an indirectly indexed array — the
+    astar shape (Fig. 2): mix is KFTM + VPCONFLICTM. *)
+let coord_update ~name ~trip ~qa ~sa ~d () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "qa" qa);
+  ignore (Memory.alloc_ints mem "sa" sa);
+  ignore (Memory.alloc_ints mem "d" d);
+  let loop =
+    B.(
+      loop ~name ~index:"i" ~hi:(int trip)
+        [
+          assign "q" (load "qa" (var "i"));
+          assign "s" (load "sa" (var "i"));
+          assign "coord" (var "q" - var "s");
+          if_
+            (var "s" >= load "d" (var "coord"))
+            [ store "d" (var "coord") (var "s") ];
+        ])
+  in
+  { mem; env = []; loop }
+
+(** Floating-point scatter-accumulate — the milc/gromacs/calculix shape:
+    [d[idx[i]] += f(src[i])], an unconditional RAW through [d]. *)
+let scatter_add ~name ~trip ~idx ~src ~buckets ~compute () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "idx" idx);
+  ignore (Memory.alloc_floats mem "src" src);
+  ignore (Memory.alloc_floats mem "d" (Array.make buckets 0.0));
+  let contribution =
+    (* real lattice-QCD / MD inner loops perform dozens of flops per
+       stored element (e.g. an su3 matrix-vector product); the polynomial
+       below models that arithmetic density *)
+    B.(
+      match compute with
+      | `Light ->
+          let x = load "src" (var "i") in
+          (x * x * flt 0.25) + (x * flt 1.5) + flt 0.125
+      | `Heavy ->
+          let x = load "src" (var "i") in
+          let x2 = x * x in
+          (x2 * x2 * flt 0.0625)
+          + (x2 * x * flt 0.25)
+          + (x2 * flt 0.5)
+          + (x * flt 1.5)
+          + flt 0.75)
+  in
+  let loop =
+    B.(
+      loop ~name ~index:"i" ~hi:(int trip)
+        [
+          assign "j" (load "idx" (var "i"));
+          assign "t" (load "d" (var "j") + contribution);
+          store "d" (var "j") (var "t");
+        ])
+  in
+  { mem; env = []; loop }
+
+(** Early loop termination with speculative loads — the gzip/zlib shape
+    (Fig. 5): search for a key through one level of indirection, break
+    on hit, accumulate otherwise. *)
+let search_break ~name ~trip ~data ~tab ~key () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "data" data);
+  ignore (Memory.alloc_ints mem "tab" tab);
+  let loop =
+    B.(
+      loop ~name ~index:"i" ~hi:(int trip) ~live_out:[ "hit"; "run" ]
+        [
+          assign "v" (load "data" (var "i"));
+          assign "t" (load "tab" (var "v"));
+          if_ (var "t" = var "key") [ assign "hit" (var "i"); break_ ];
+          assign "run" (var "run" + int 1);
+        ])
+  in
+  { mem; env = [ ("key", i key); ("hit", i (-1)); ("run", i 0) ]; loop }
+
+(* ------------------------------------------------------------------ *)
+(* SPEC 2006 kernels                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** 401.bzip2 — sorting cost scan: conditional update with speculative
+    gathers (Table 2 mix: KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF). *)
+let bzip2 seed =
+  let st = Data.rng seed in
+  let trip = 4235 in
+  let m = 256 in
+  let sad =
+    Data.descending_staircase st trip ~hi:9000 ~lo:1000 ~update_rate:0.012 ~near_rate:0.25 ()
+  in
+  (* indices valid where the guard can be true; poison elsewhere keeps
+     the first-faulting machinery honest *)
+  let spiral =
+    Array.mapi
+      (fun k _ ->
+        if k mod 37 = 5 then 5_000_000 else Random.State.int st m)
+      sad
+  in
+  let mv = Data.uniform_ints st m 64 in
+  (* poisoned slots must not be reachable: force their guard false *)
+  Array.iteri (fun k v -> if v >= 5_000_000 then sad.(k) <- 1_000_000) spiral;
+  min_search_speculative ~name:"bzip2" ~trip ~sad ~spiral ~mv ~init_min:8000 ()
+
+(** 403.gcc — register-allocation cost maximum: pure conditional update
+    (KFTM, VPSLCTLAST), compute-rich, very high trip count (31K in the
+    paper; scaled to 8000). *)
+let gcc seed =
+  let st = Data.rng seed in
+  let trip = 8000 in
+  let weights =
+    Data.ascending_staircase st trip ~lo:0 ~hi:6000 ~update_rate:0.01 ()
+  in
+  max_track ~name:"gcc" ~trip ~weights ~extra_compute:true ()
+
+(** 445.gobmk — pattern-value maximum: same shape, low trip count (67). *)
+let gobmk seed =
+  let st = Data.rng seed in
+  let trip = 67 in
+  let weights =
+    Data.ascending_staircase st trip ~lo:0 ~hi:500 ~update_rate:0.05 ()
+  in
+  max_track ~name:"gobmk" ~trip ~weights ~extra_compute:false ()
+
+(** 458.sjeng — move-ordering maximum: very low trip count (22). *)
+let sjeng seed =
+  let st = Data.rng seed in
+  let trip = 22 in
+  let weights =
+    Data.ascending_staircase st trip ~lo:0 ~hi:300 ~update_rate:0.04 ()
+  in
+  max_track ~name:"sjeng" ~trip ~weights ~extra_compute:false ()
+
+(** 464.h264ref — the paper's running example (§1.1, Fig. 6). *)
+let h264ref seed =
+  let st = Data.rng seed in
+  let trip = 1089 in
+  let m = 128 in
+  let sad =
+    Data.descending_staircase st trip ~hi:4000 ~lo:500 ~update_rate:0.02 ~near_rate:0.3 ()
+  in
+  let spiral = Data.uniform_ints st trip m in
+  let mv = Data.uniform_ints st m 48 in
+  min_search_speculative ~name:"h264ref" ~trip ~sad ~spiral ~mv ~init_min:3500 ()
+
+(** 473.astar — the paper's Fig. 2 loop: runtime memory dependency. *)
+let astar seed =
+  let st = Data.rng seed in
+  let trip = 961 in
+  let buckets = 512 in
+  let coord = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.03 in
+  let sa = Data.uniform_ints st trip 100 in
+  let qa = Array.init trip (fun k -> coord.(k) + sa.(k)) in
+  let d = Data.uniform_ints st buckets 50 in
+  coord_update ~name:"astar" ~trip ~qa ~sa ~d ()
+
+(** 433.milc — lattice-site scatter accumulation (fp), trip 160K scaled
+    to 8000. *)
+let milc seed =
+  let st = Data.rng seed in
+  let trip = 8000 in
+  let buckets = 1024 in
+  let idx = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.015 in
+  let src = Data.uniform_floats st trip 2.0 in
+  scatter_add ~name:"milc" ~trip ~idx ~src ~buckets ~compute:`Heavy ()
+
+(** 435.gromacs — force accumulation (fp), short inner loops (83). *)
+let gromacs435 seed =
+  let st = Data.rng seed in
+  let trip = 83 in
+  let buckets = 256 in
+  let idx = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.04 in
+  let src = Data.uniform_floats st trip 3.0 in
+  scatter_add ~name:"gromacs" ~trip ~idx ~src ~buckets ~compute:`Heavy ()
+
+(** 444.namd — cutoff distance minimum (fp): conditional update with a
+    compute-heavy pure chain (KFTM, VPSLCTLAST). *)
+let namd seed =
+  let st = Data.rng seed in
+  let trip = 157 in
+  let mem = Memory.create () in
+  ignore (Memory.alloc_floats mem "rx" (Data.uniform_floats st trip 10.0));
+  ignore (Memory.alloc_floats mem "ry" (Data.uniform_floats st trip 10.0));
+  ignore (Memory.alloc_floats mem "rz" (Data.uniform_floats st trip 10.0));
+  let loop =
+    B.(
+      loop ~name:"namd" ~index:"i" ~hi:(int trip) ~live_out:[ "rmin"; "jmin" ]
+        [
+          assign "r"
+            ((load "rx" (var "i") * load "rx" (var "i"))
+            + (load "ry" (var "i") * load "ry" (var "i"))
+            + (load "rz" (var "i") * load "rz" (var "i")));
+          if_
+            (var "r" < var "rmin")
+            [ assign "rmin" (var "r"); assign "jmin" (var "i") ];
+        ])
+  in
+  { mem; env = [ ("rmin", f 250.0); ("jmin", i (-1)) ]; loop }
+
+(** 450.soplex — pricing minimum with branchy surrounding code: the
+    extra data-dependent if/else halves effective SIMD utilisation
+    (§5: "branchy code reduces the effective vector length"). *)
+let soplex seed =
+  let st = Data.rng seed in
+  let trip = 1422 in
+  let mem = Memory.create () in
+  let vals =
+    Data.descending_staircase st trip ~hi:100000 ~lo:1000 ~update_rate:0.01 ()
+  in
+  ignore (Memory.alloc_ints mem "val" vals);
+  (* pricing phases come in runs: the flag flips rarely, so the scalar
+     baseline's branch predictor does reasonably well, as on the real
+     workload *)
+  let flag = Array.make trip 0 in
+  let cur = ref 0 in
+  for k = 0 to trip - 1 do
+    if Random.State.float st 1.0 < 0.08 then cur := 1 - !cur;
+    flag.(k) <- !cur
+  done;
+  ignore (Memory.alloc_ints mem "flag" flag);
+  let loop =
+    B.(
+      loop ~name:"soplex" ~index:"i" ~hi:(int trip)
+        ~live_out:[ "minv"; "mini"; "acc"; "acc2" ]
+        [
+          assign "t" (load "val" (var "i"));
+          if_
+            (var "t" < var "minv")
+            [ assign "minv" (var "t"); assign "mini" (var "i") ];
+          if_else
+            (load "flag" (var "i") > int 0)
+            [ assign "acc" (var "acc" + ((var "t" * int 3) % int 1001)) ]
+            [ assign "acc2" (var "acc2" + (var "t" % int 257)) ];
+        ])
+  in
+  {
+    mem;
+    env = [ ("minv", i 200000); ("mini", i (-1)); ("acc", i 0); ("acc2", i 0) ];
+    loop;
+  }
+
+(** 454.calculix — element assembly scatter-add (fp), trip 4298. *)
+let calculix seed =
+  let st = Data.rng seed in
+  let trip = 4298 in
+  let buckets = 2048 in
+  let idx = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.01 in
+  let src = Data.uniform_floats st trip 1.0 in
+  scatter_add ~name:"calculix" ~trip ~idx ~src ~buckets ~compute:`Heavy ()
+
+(* ------------------------------------------------------------------ *)
+(* Real applications                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A combined shape used by LAMMPS/GROMACS/BLAST rows: a conditional
+    scalar update and an independent runtime memory dependency in the
+    same loop body — two disjoint relaxed SCCs, so the generated code
+    contains both a KFTM.INC VPL (with VPSLCTLAST) and a VPCONFLICTM
+    VPL. *)
+let update_plus_scatter ~name ~trip ~vals ~idx ~buckets ~float_data ~init_best
+    () =
+  let mem = Memory.create () in
+  (if float_data then
+     ignore (Memory.alloc_floats mem "v" (Array.map float_of_int vals))
+   else ignore (Memory.alloc_ints mem "v" vals));
+  ignore (Memory.alloc_ints mem "nbr" idx);
+  (if float_data then ignore (Memory.alloc_floats mem "acc" (Array.make buckets 0.0))
+   else ignore (Memory.alloc_ints mem "acc" (Array.make buckets 0)));
+  (let st2 = Data.rng (Array.length vals) in
+   if float_data then
+     ignore (Memory.alloc_floats mem "w2" (Data.uniform_floats st2 (Array.length vals) 2.0))
+   else ignore (Memory.alloc_ints mem "w2" (Data.uniform_ints st2 (Array.length vals) 64)));
+  let loop =
+    (* the arithmetic mirrors an MD pair interaction: squared distance,
+       two polynomial terms and a mixing weight per neighbour *)
+    B.(
+      loop ~name ~index:"i" ~hi:(int trip) ~live_out:[ "best"; "bi" ]
+        [
+          assign "t" (load "v" (var "i"));
+          if_
+            (var "t" < var "best")
+            [ assign "best" (var "t"); assign "bi" (var "i") ];
+          assign "j" (load "nbr" (var "i"));
+          assign "t2" (var "t" * var "t");
+          assign "u"
+            ((var "t2" * var "t2" * (if float_data then flt 0.000001 else int 3))
+            + (var "t2" * (if float_data then flt 0.001 else int 7))
+            + (var "t" * (if float_data then flt 0.125 else int 5))
+            + (load "w2" (var "i") * (if float_data then flt 0.5 else int 2)));
+          assign "s" (load "acc" (var "j") + var "u");
+          store "acc" (var "j") (var "s");
+        ])
+  in
+  { mem; env = [ ("best", init_best); ("bi", i (-1)) ]; loop }
+
+(** LAMMPS — neighbour-list force loop: cutoff minimum + scatter-add. *)
+let lammps seed =
+  let st = Data.rng seed in
+  let trip = 683 in
+  let buckets = 512 in
+  let vals =
+    Data.descending_staircase st trip ~hi:8000 ~lo:500 ~update_rate:0.015 ()
+  in
+  let idx = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.02 in
+  update_plus_scatter ~name:"LAMMPS" ~trip ~vals ~idx ~buckets ~float_data:true
+    ~init_best:(f 7000.0) ()
+
+(** GROMACS (application) — same combined shape, shorter lists. *)
+let gromacs_app seed =
+  let st = Data.rng seed in
+  let trip = 512 in
+  let buckets = 384 in
+  let vals =
+    Data.descending_staircase st trip ~hi:6000 ~lo:400 ~update_rate:0.02 ()
+  in
+  let idx = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.025 in
+  update_plus_scatter ~name:"GROMACS" ~trip ~vals ~idx ~buckets
+    ~float_data:true ~init_best:(f 5500.0) ()
+
+(** SSCA2 — graph kernel: relaxation-style conditional store through an
+    indirect index plus a best-weight tracker (trip 58K scaled to 8000). *)
+let ssca2 seed =
+  let st = Data.rng seed in
+  let trip = 8000 in
+  let buckets = 4096 in
+  let mem = Memory.create () in
+  let eu = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.01 in
+  (* edge weights settle toward a floor: relaxations (and thus both the
+     conditional stores and the best-tracker updates) become rare and the
+     scalar baseline's branches predictable, as on a real SSSP sweep *)
+  let wt =
+    Array.init trip (fun k ->
+        let floor_now = 400 + (600 * k / trip) in
+        floor_now + Random.State.int st 600)
+  in
+  ignore (Memory.alloc_ints mem "eu" eu);
+  ignore (Memory.alloc_ints mem "wt" wt);
+  ignore (Memory.alloc_ints mem "dist" (Array.make buckets 700));
+  let loop =
+    B.(
+      loop ~name:"SSCA2" ~index:"i" ~hi:(int trip) ~live_out:[ "best"; "bi" ]
+        [
+          assign "u" (load "eu" (var "i"));
+          assign "w" (load "wt" (var "i"));
+          if_
+            (var "w" < load "dist" (var "u"))
+            [ store "dist" (var "u") (var "w") ];
+          if_
+            (var "w" > var "best")
+            [ assign "best" (var "w"); assign "bi" (var "i") ];
+        ])
+  in
+  { mem; env = [ ("best", i (-1)); ("bi", i (-1)) ]; loop }
+
+(** MILC (application) — staple accumulation (fp), trip 16K scaled to
+    8000. *)
+let milc_app seed =
+  let st = Data.rng seed in
+  let trip = 8000 in
+  let buckets = 768 in
+  let idx = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.02 in
+  let src = Data.uniform_floats st trip 1.5 in
+  scatter_add ~name:"MILC" ~trip ~idx ~src ~buckets ~compute:`Heavy ()
+
+(** BLAST — hit-score maximum plus diagonal histogram. *)
+let blast seed =
+  let st = Data.rng seed in
+  let trip = 600 in
+  let buckets = 256 in
+  let vals =
+    Data.ascending_staircase st trip ~lo:0 ~hi:2000 ~update_rate:0.02 ()
+  in
+  let idx = Data.conflicting_indices st trip ~buckets ~repeat_rate:0.03 in
+  update_plus_scatter ~name:"BLAST" ~trip ~vals ~idx ~buckets ~float_data:false
+    ~init_best:(i (max_int / 2)) ()
+
+(** GZIP — longest-match search with early termination (trip 33). *)
+let gzip seed =
+  let st = Data.rng seed in
+  let trip = 33 in
+  let m = 128 in
+  let tab = Array.init m (fun k -> 1 + ((k * 131) mod 1000)) in
+  let key = 424242 in
+  let data = Data.uniform_ints st trip m in
+  (* a hit near the end in roughly a third of invocations *)
+  if Random.State.int st 3 = 0 then begin
+    let pos = trip - 1 - Random.State.int st (trip / 2) in
+    tab.(data.(pos)) <- key;
+    for k = 0 to pos - 1 do
+      if tab.(data.(k)) = key then data.(k) <- (data.(k) + 1) mod m
+    done
+  end;
+  search_break ~name:"GZIP" ~trip ~data ~tab ~key ()
+
+(** ZLIB — hash-chain match search with early termination (trip 54). *)
+let zlib seed =
+  let st = Data.rng seed in
+  let trip = 54 in
+  let m = 256 in
+  let tab = Array.init m (fun k -> 1 + ((k * 37) mod 4000)) in
+  let key = 777777 in
+  let data = Data.uniform_ints st trip m in
+  if Random.State.int st 2 = 0 then begin
+    let pos = trip - 1 - Random.State.int st (trip / 3) in
+    tab.(data.(pos)) <- key;
+    for k = 0 to pos - 1 do
+      if tab.(data.(k)) = key then data.(k) <- (data.(k) + 1) mod m
+    done
+  end;
+  search_break ~name:"ZLIB" ~trip ~data ~tab ~key ()

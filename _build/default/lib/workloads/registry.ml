@@ -1,0 +1,84 @@
+(** The benchmark registry: Table 2's rows with their paper-reported
+    coverage, average trip count and FlexVec instruction mix, bound to
+    our synthetic kernels. [invocations] gives each low-trip-count
+    kernel enough dynamic length to simulate meaningfully (the paper's
+    loops are entered many times per application run). *)
+
+type group = Spec | App [@@deriving show { with_path = false }, eq]
+
+type spec = {
+  name : string;  (** Table 2 benchmark name *)
+  group : group;
+  coverage : float;  (** Table 2 "Loops Cvrg." *)
+  paper_trip : string;  (** Table 2 "Avg. Trip Cnt" as printed *)
+  paper_mix : string;  (** Table 2 "Instruction Mix" as printed *)
+  sim_trip : int;  (** trip count we simulate (scaled when the paper's is huge) *)
+  invocations : int;
+  build : int -> Kernels.built;  (** seeded builder *)
+}
+
+let all : spec list =
+  [
+    { name = "401.bzip2"; group = Spec; coverage = 0.21; paper_trip = "4235";
+      paper_mix = "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF";
+      sim_trip = 4235; invocations = 2; build = Kernels.bzip2 };
+    { name = "403.gcc"; group = Spec; coverage = 0.041; paper_trip = "31K";
+      paper_mix = "KFTM, VPSLCTLAST";
+      sim_trip = 8000; invocations = 2; build = Kernels.gcc };
+    { name = "445.gobmk"; group = Spec; coverage = 0.068; paper_trip = "67";
+      paper_mix = "KFTM, VPSLCTLAST";
+      sim_trip = 67; invocations = 60; build = Kernels.gobmk };
+    { name = "458.sjeng"; group = Spec; coverage = 0.072; paper_trip = "22";
+      paper_mix = "KFTM, VPSLCTLAST";
+      sim_trip = 22; invocations = 150; build = Kernels.sjeng };
+    { name = "464.h264ref"; group = Spec; coverage = 0.602; paper_trip = "1089";
+      paper_mix = "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF";
+      sim_trip = 1089; invocations = 6; build = Kernels.h264ref };
+    { name = "473.astar"; group = Spec; coverage = 0.365; paper_trip = "961";
+      paper_mix = "KFTM, VPCONFLICTM";
+      sim_trip = 961; invocations = 6; build = Kernels.astar };
+    { name = "433.milc"; group = Spec; coverage = 0.229; paper_trip = "160K";
+      paper_mix = "KFTM, VPCONFLICTM";
+      sim_trip = 8000; invocations = 1; build = Kernels.milc };
+    { name = "435.gromacs"; group = Spec; coverage = 0.495; paper_trip = "83";
+      paper_mix = "KFTM, VPCONFLICTM";
+      sim_trip = 83; invocations = 60; build = Kernels.gromacs435 };
+    { name = "444.namd"; group = Spec; coverage = 0.374; paper_trip = "157";
+      paper_mix = "KFTM, VPSLCTLAST";
+      sim_trip = 157; invocations = 30; build = Kernels.namd };
+    { name = "450.soplex"; group = Spec; coverage = 0.13; paper_trip = "1422";
+      paper_mix = "KFTM, VPSLCTLAST";
+      sim_trip = 1422; invocations = 4; build = Kernels.soplex };
+    { name = "454.calculix"; group = Spec; coverage = 0.11; paper_trip = "4298";
+      paper_mix = "KFTM, VPCONFLICTM";
+      sim_trip = 4298; invocations = 2; build = Kernels.calculix };
+    { name = "LAMMPS"; group = App; coverage = 0.66; paper_trip = "683";
+      paper_mix = "KFTM, VPSLCTLAST, VPCONFLICTM";
+      sim_trip = 683; invocations = 8; build = Kernels.lammps };
+    { name = "GROMACS"; group = App; coverage = 0.48; paper_trip = "512";
+      paper_mix = "KFTM, VPSLCTLAST, VPCONFLICTM";
+      sim_trip = 512; invocations = 10; build = Kernels.gromacs_app };
+    { name = "SSCA2"; group = App; coverage = 0.595; paper_trip = "58K";
+      paper_mix = "KFTM, VPSLCTLAST, VPCONFLICTM";
+      sim_trip = 8000; invocations = 1; build = Kernels.ssca2 };
+    { name = "MILC"; group = App; coverage = 0.12; paper_trip = "16K";
+      paper_mix = "KFTM, VPCONFLICTM";
+      sim_trip = 8000; invocations = 1; build = Kernels.milc_app };
+    { name = "BLAST"; group = App; coverage = 0.191; paper_trip = "600";
+      paper_mix = "KFTM, VPSLCTLAST, VPCONFLICTM";
+      sim_trip = 600; invocations = 8; build = Kernels.blast };
+    { name = "GZIP"; group = App; coverage = 0.467; paper_trip = "33";
+      paper_mix = "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF";
+      sim_trip = 33; invocations = 200; build = Kernels.gzip };
+    { name = "ZLIB"; group = App; coverage = 0.567; paper_trip = "54";
+      paper_mix = "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF";
+      sim_trip = 54; invocations = 150; build = Kernels.zlib };
+  ]
+
+let find name =
+  match List.find_opt (fun s -> String.equal s.name name) all with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Registry.find: unknown benchmark %S" name)
+
+let spec_benchmarks = List.filter (fun s -> s.group = Spec) all
+let app_benchmarks = List.filter (fun s -> s.group = App) all

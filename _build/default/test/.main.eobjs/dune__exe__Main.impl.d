@@ -1,0 +1,1 @@
+test/main.pp.ml: Alcotest Test_integration Test_interp Test_isa Test_memory Test_ooo Test_oracle Test_pdg Test_random Test_semantics Test_simd Test_vectorizer Test_workloads

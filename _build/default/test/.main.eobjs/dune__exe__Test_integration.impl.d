@@ -1,0 +1,1 @@
+test/test_integration.pp.ml: Alcotest Fmt Fv_core Fv_workloads List String

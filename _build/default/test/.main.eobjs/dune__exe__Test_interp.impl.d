@@ -1,0 +1,1 @@
+test/test_interp.pp.ml: Alcotest Array Fv_ir Fv_isa Fv_mem Fv_trace Latency List String Value

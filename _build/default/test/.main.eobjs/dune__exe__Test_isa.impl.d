@@ -1,0 +1,1 @@
+test/test_isa.pp.ml: Alcotest Array Char Fv_isa List Mask QCheck2 QCheck_alcotest Value Vreg

@@ -1,0 +1,1 @@
+test/test_memory.pp.ml: Alcotest Fv_isa Fv_mem Fv_memsys Printf Value

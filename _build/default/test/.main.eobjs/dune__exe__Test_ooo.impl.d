@@ -1,0 +1,1 @@
+test/test_ooo.pp.ml: Alcotest Array Fv_ir Fv_isa Fv_mem Fv_ooo Fv_profiler Fv_trace Latency Printf Random Value

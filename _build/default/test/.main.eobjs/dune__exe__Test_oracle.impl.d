@@ -1,0 +1,1 @@
+test/test_oracle.pp.ml: Alcotest Array Fv_core Fv_ir Fv_isa Fv_mem Fv_vectorizer List Random Value

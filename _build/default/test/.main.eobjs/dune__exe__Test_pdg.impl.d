@@ -1,0 +1,1 @@
+test/test_pdg.pp.ml: Alcotest Fv_ir Fv_pdg List Printf String

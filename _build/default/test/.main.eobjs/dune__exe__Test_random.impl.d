@@ -1,0 +1,1 @@
+test/test_random.pp.ml: Array Fmt Fv_core Fv_ir Fv_isa Fv_mem Fv_simd Fv_vectorizer List QCheck2 QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_semantics.pp.ml: Alcotest Array Fv_core Fv_ir Fv_isa Fv_mem Fv_ooo Fv_trace Fv_vectorizer Fv_vir Latency List Printf Random Result String Value

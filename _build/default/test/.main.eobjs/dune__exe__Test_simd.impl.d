@@ -1,0 +1,1 @@
+test/test_simd.pp.ml: Alcotest Array Fv_ir Fv_isa Fv_mem Fv_rtm Fv_simd Fv_vectorizer Fv_vir List Mask Printf Result Value

@@ -1,0 +1,1 @@
+test/test_vectorizer.pp.ml: Alcotest Fv_ir Fv_isa Fv_pdg Fv_simd Fv_vectorizer Fv_vir List String Value

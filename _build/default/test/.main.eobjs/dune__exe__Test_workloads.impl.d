@@ -1,0 +1,1 @@
+test/test_workloads.pp.ml: Alcotest Fv_core Fv_mem Fv_vectorizer Fv_workloads List String

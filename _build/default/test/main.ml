@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "flexvec"
+    [
+      ("isa", Test_isa.suite);
+      ("memory", Test_memory.suite);
+      ("interp", Test_interp.suite);
+      ("pdg", Test_pdg.suite);
+      ("vectorizer", Test_vectorizer.suite);
+      ("simd", Test_simd.suite);
+      ("ooo", Test_ooo.suite);
+      ("oracle", Test_oracle.suite);
+      ("workloads", Test_workloads.suite);
+      ("semantics", Test_semantics.suite);
+      ("integration", Test_integration.suite);
+      ("random", Test_random.suite);
+    ]

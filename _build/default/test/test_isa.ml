@@ -1,0 +1,287 @@
+(** ISA-level semantics, anchored to the paper's worked examples in
+    §3.3.1 (VPGATHERFF), §3.4 (KFTM.EXC/INC), §3.5 (VPSLCTLAST) and
+    §3.6 (VPCONFLICTM). *)
+
+open Fv_isa
+
+let mask = Alcotest.testable Mask.pp Mask.equal
+
+let value =
+  Alcotest.testable Value.pp Value.equal
+
+let check_mask = Alcotest.check mask
+let m = Mask.of_bits
+
+(* ---------------- Mask basics ---------------- *)
+
+let test_of_bits_roundtrip () =
+  let s = "0110010011110000" in
+  Alcotest.(check string) "roundtrip" s (Mask.to_bits (m s))
+
+let test_bool_ops () =
+  check_mask "and" (m "0100") (Mask.kand (m "0110") (m "1100"));
+  check_mask "or" (m "1110") (Mask.kor (m "0110") (m "1100"));
+  check_mask "xor" (m "1010") (Mask.kxor (m "0110") (m "1100"));
+  check_mask "andn" (m "1000") (Mask.kandn (m "0110") (m "1100"));
+  check_mask "not" (m "1001") (Mask.knot (m "0110"))
+
+let test_first_last () =
+  Alcotest.(check (option int)) "first" (Some 1) (Mask.first_set (m "0110"));
+  Alcotest.(check (option int)) "last" (Some 2) (Mask.last_set (m "0110"));
+  Alcotest.(check (option int)) "first none" None (Mask.first_set (m "0000"));
+  Alcotest.(check int) "popcount" 2 (Mask.popcount (m "0110"))
+
+let test_iota () =
+  check_mask "lt" (m "11100000") (Mask.iota_lt 8 3);
+  check_mask "lt over" (m "11111111") (Mask.iota_lt 8 99);
+  check_mask "ge" (m "00011111") (Mask.iota_ge 8 3)
+
+(* ---------------- KFTM (§3.4) ---------------- *)
+
+(* The paper's KFTM.EXC example:
+   k3 = 1 1 0 0 0 1 1 1 0...   k2 = 0 0 0 1 1 1 0...   k1 = 0 0 0 1 1 0... *)
+let test_kftm_exc_paper () =
+  let k3 = m "1100011100000000" in
+  let k2 = m "0001110000000000" in
+  check_mask "paper example" (m "0001100000000000")
+    (Mask.kftm_exc ~write:k2 k3)
+
+(* The paper's KFTM.INC example: same inputs, lane 5 included. *)
+let test_kftm_inc_paper () =
+  let k3 = m "1100011100000000" in
+  let k2 = m "0001110000000000" in
+  check_mask "paper example" (m "0001110000000000")
+    (Mask.kftm_inc ~write:k2 k3)
+
+let test_kftm_no_stop () =
+  (* no update: all active bits set (paper §3.1) *)
+  let w = m "0011110000000000" in
+  check_mask "exc all" w (Mask.kftm_exc ~write:w (m "0000000000000000"));
+  check_mask "inc all" w (Mask.kftm_inc ~write:w (m "0000000000000000"))
+
+let test_kftm_exc_consumes_leading_stop () =
+  (* a stop bit on the first enabled lane is that partition's own
+     serialization point: it has been satisfied, so the lane executes.
+     Without this the memory-conflict VPL of Fig. 2(b) would livelock. *)
+  let w = m "0000001111111111" in
+  let stop = m "0000001010000001" in
+  check_mask "exc" (m "0000001100000000") (Mask.kftm_exc ~write:w stop)
+
+let test_kftm_inc_stop_at_first () =
+  let w = m "0000001111111111" in
+  let stop = m "0000001010000001" in
+  check_mask "inc" (m "0000001000000000") (Mask.kftm_inc ~write:w stop)
+
+(* Walk the full VPL partition sequence from §3.6's first example:
+   conflicts at lanes 6, 8, 15 partition 16 lanes into 0-5 / 6-7 / 8-14 / 15. *)
+let test_vpl_partition_sequence () =
+  let vl = 16 in
+  let k_todo = ref (Mask.full vl) in
+  let k_stop = ref (m "0000001010000001") in
+  let partitions = ref [] in
+  let guard = ref 0 in
+  while Mask.any !k_todo do
+    incr guard;
+    if !guard > vl then Alcotest.fail "VPL did not converge";
+    let k_safe = Mask.kftm_exc ~write:!k_todo !k_stop in
+    partitions := Mask.to_list k_safe :: !partitions;
+    k_todo := Mask.kandn k_safe !k_todo;
+    k_stop := Mask.kand !k_stop !k_todo
+  done;
+  Alcotest.(check (list (list int)))
+    "partitions"
+    [ [ 0; 1; 2; 3; 4; 5 ]; [ 6; 7 ]; [ 8; 9; 10; 11; 12; 13; 14 ]; [ 15 ] ]
+    (List.rev !partitions)
+
+(* ---------------- VPSLCTLAST (§3.5) ---------------- *)
+
+let vletters =
+  Vreg.of_array
+    (Array.init 16 (fun i -> Value.Int (Char.code 'a' + i)))
+
+let test_slctlast_paper () =
+  (* k1 = 0 0 0 1 1 1 1 1 0...: last set lane is 7 -> value 'h' *)
+  let k = m "0001111100000000" in
+  let out = Vreg.vpslctlast k vletters in
+  for i = 0 to 15 do
+    Alcotest.check value "lane" (Value.Int (Char.code 'h')) (Vreg.get out i)
+  done
+
+let test_slctlast_empty_mask_selects_last () =
+  let out = Vreg.vpslctlast (Mask.none 16) vletters in
+  Alcotest.check value "lane0" (Value.Int (Char.code 'p')) (Vreg.get out 0)
+
+(* ---------------- VPCONFLICTM (§3.6) ---------------- *)
+
+let test_conflictm_paper_unmasked () =
+  (* v1 = 1 2 3 4 5 6 7 8 9 1 5 7 9 9 a a ; v2 = 0 0 0 1 5 7 9 2 0 2 3 4 0 9 a a *)
+  let v1 = Vreg.of_int_list [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 1; 5; 7; 9; 9; 10; 10 ] in
+  let v2 = Vreg.of_int_list [ 0; 0; 0; 1; 5; 7; 9; 2; 0; 2; 3; 4; 0; 9; 10; 10 ] in
+  check_mask "paper example 1" (m "0000001010000001") (Vreg.vpconflictm v1 v2)
+
+let test_conflictm_paper_masked () =
+  let v1 = Vreg.of_int_list [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 1; 5; 7; 9; 9; 10; 10 ] in
+  let v2 = Vreg.of_int_list [ 0; 0; 0; 1; 5; 7; 9; 2; 0; 2; 3; 4; 0; 9; 10; 10 ] in
+  let k2 = m "0000000011111111" in
+  check_mask "paper example 2" (m "0000000000000001")
+    (Vreg.vpconflictm ~enabled:k2 v1 v2)
+
+let test_conflictm_no_conflicts () =
+  let v = Vreg.of_int_list (List.init 16 (fun i -> i)) in
+  check_mask "disjoint" (Mask.none 16) (Vreg.vpconflictm v v)
+
+let test_conflictm_all_same () =
+  (* every lane writes and reads index 5: each lane conflicts with its
+     predecessor -> serialization point at every lane after the first *)
+  let v = Vreg.broadcast 16 (Value.Int 5) in
+  check_mask "serialize" (m "0111111111111111") (Vreg.vpconflictm v v)
+
+(* ---------------- Vreg odds and ends ---------------- *)
+
+let test_binop_merge_masking () =
+  let a = Vreg.of_int_list [ 1; 2; 3; 4 ] in
+  let b = Vreg.of_int_list [ 10; 20; 30; 40 ] in
+  let dst = Vreg.of_int_list [ -1; -1; -1; -1 ] in
+  let out = Vreg.binop_mask (m "0101") Value.Add ~dst a b in
+  Alcotest.check value "lane0 kept" (Value.Int (-1)) (Vreg.get out 0);
+  Alcotest.check value "lane1 set" (Value.Int 22) (Vreg.get out 1);
+  Alcotest.check value "lane3 set" (Value.Int 44) (Vreg.get out 3)
+
+let test_cmp_mask_write_masked () =
+  let a = Vreg.of_int_list [ 1; 5; 1; 5 ] in
+  let b = Vreg.broadcast 4 (Value.Int 3) in
+  check_mask "lt under write" (m "1000") (Vreg.cmp_mask (m "1100") Value.Lt a b)
+
+let test_reduce () =
+  let v = Vreg.of_int_list [ 1; 2; 3; 4 ] in
+  (* lanes 0, 1 and 3 are enabled *)
+  Alcotest.check value "sum" (Value.Int 7)
+    (Vreg.reduce (m "1101") Value.Add ~init:(Value.Int 0) v)
+
+(* ---------------- QCheck properties ---------------- *)
+
+let gen_mask vl =
+  QCheck2.Gen.(map (fun l -> Mask.of_list vl l)
+    (list_size (int_bound vl) (int_bound (vl - 1))))
+
+let prop_kftm_exc_subset =
+  QCheck2.Test.make ~name:"kftm_exc result is a subset of the write mask"
+    ~count:500
+    QCheck2.Gen.(pair (gen_mask 16) (gen_mask 16))
+    (fun (w, s) ->
+      let r = Mask.kftm_exc ~write:w s in
+      Mask.equal (Mask.kand r w) r)
+
+let prop_kftm_inc_exc_relation =
+  QCheck2.Test.make
+    ~name:"kftm_inc = first-stop-prefix; exc consumes a leading stop"
+    ~count:500
+    QCheck2.Gen.(pair (gen_mask 16) (gen_mask 16))
+    (fun (w, s) ->
+      let e = Mask.kftm_exc ~write:w s in
+      let i = Mask.kftm_inc ~write:w s in
+      match (Mask.first_set w, Mask.first_set (Mask.kand w s)) with
+      | None, _ -> Mask.is_empty e && Mask.is_empty i
+      | Some _, None ->
+          (* no enabled stop: both cover the whole write mask *)
+          Mask.equal e w && Mask.equal i w
+      | Some fw, Some fs when fs = fw ->
+          (* leading stop: inc = that lane alone; exc runs past it *)
+          Mask.equal i (Mask.of_list 16 [ fs ]) && Mask.get e fs
+      | Some _, Some fs ->
+          (* ordinary stop: inc = exc plus the stop lane *)
+          Mask.equal i (Mask.kor e (Mask.of_list 16 [ fs ])))
+
+let prop_kftm_prefix_contiguous =
+  QCheck2.Test.make
+    ~name:"kftm output is a contiguous prefix of the write mask's lanes"
+    ~count:500
+    QCheck2.Gen.(pair (gen_mask 16) (gen_mask 16))
+    (fun (w, s) ->
+      let r = Mask.kftm_exc ~write:w s in
+      (* no enabled write lane below a set output lane may be unset *)
+      let ok = ref true in
+      let seen_gap = ref false in
+      for i = 0 to 15 do
+        if Mask.get w i then
+          if Mask.get r i then (if !seen_gap then ok := false)
+          else seen_gap := true
+      done;
+      !ok)
+
+let prop_vpl_always_converges =
+  QCheck2.Test.make
+    ~name:"VPL partition iteration always converges within VL rounds"
+    ~count:500
+    QCheck2.Gen.(pair (gen_mask 16) (gen_mask 16))
+    (fun (todo0, stop0) ->
+      let k_todo = ref todo0 and k_stop = ref stop0 in
+      let rounds = ref 0 in
+      while Mask.any !k_todo && !rounds <= 17 do
+        incr rounds;
+        let k_safe = Mask.kftm_exc ~write:!k_todo !k_stop in
+        k_todo := Mask.kandn k_safe !k_todo;
+        k_stop := Mask.kand !k_stop !k_todo
+      done;
+      !rounds <= 16)
+
+let prop_conflictm_lane0_clear =
+  QCheck2.Test.make ~name:"vpconflictm never marks lane 0" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (return 16) (int_bound 7))
+        (list_size (return 16) (int_bound 7)))
+    (fun (a, b) ->
+      let k = Vreg.vpconflictm (Vreg.of_int_list a) (Vreg.of_int_list b) in
+      not (Mask.get k 0))
+
+let prop_slctlast_uniform =
+  QCheck2.Test.make ~name:"vpslctlast broadcasts a single value" ~count:300
+    QCheck2.Gen.(pair (gen_mask 16) (list_size (return 16) (int_bound 100)))
+    (fun (k, vals) ->
+      let out = Vreg.vpslctlast k (Vreg.of_int_list vals) in
+      let v0 = Vreg.get out 0 in
+      Array.for_all (fun x -> Value.equal x v0) (Vreg.to_array out))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_kftm_exc_subset;
+      prop_kftm_inc_exc_relation;
+      prop_kftm_prefix_contiguous;
+      prop_vpl_always_converges;
+      prop_conflictm_lane0_clear;
+      prop_slctlast_uniform;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "of_bits roundtrip" `Quick test_of_bits_roundtrip;
+    Alcotest.test_case "mask boolean ops" `Quick test_bool_ops;
+    Alcotest.test_case "first/last/popcount" `Quick test_first_last;
+    Alcotest.test_case "iota masks" `Quick test_iota;
+    Alcotest.test_case "KFTM.EXC paper example" `Quick test_kftm_exc_paper;
+    Alcotest.test_case "KFTM.INC paper example" `Quick test_kftm_inc_paper;
+    Alcotest.test_case "KFTM with no stop bits" `Quick test_kftm_no_stop;
+    Alcotest.test_case "KFTM.EXC consumes leading stop" `Quick
+      test_kftm_exc_consumes_leading_stop;
+    Alcotest.test_case "KFTM.INC stop at first lane" `Quick
+      test_kftm_inc_stop_at_first;
+    Alcotest.test_case "VPL partition sequence (§3.6 ex. 1)" `Quick
+      test_vpl_partition_sequence;
+    Alcotest.test_case "VPSLCTLAST paper example" `Quick test_slctlast_paper;
+    Alcotest.test_case "VPSLCTLAST empty mask" `Quick
+      test_slctlast_empty_mask_selects_last;
+    Alcotest.test_case "VPCONFLICTM paper example (unmasked)" `Quick
+      test_conflictm_paper_unmasked;
+    Alcotest.test_case "VPCONFLICTM paper example (masked)" `Quick
+      test_conflictm_paper_masked;
+    Alcotest.test_case "VPCONFLICTM no conflicts" `Quick
+      test_conflictm_no_conflicts;
+    Alcotest.test_case "VPCONFLICTM full serialization" `Quick
+      test_conflictm_all_same;
+    Alcotest.test_case "merge masking" `Quick test_binop_merge_masking;
+    Alcotest.test_case "write-masked compare" `Quick test_cmp_mask_write_masked;
+    Alcotest.test_case "masked reduce" `Quick test_reduce;
+  ]
+  @ qcheck_cases

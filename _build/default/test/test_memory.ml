@@ -1,0 +1,110 @@
+(** Memory model and cache hierarchy. *)
+
+open Fv_isa
+module Memory = Fv_mem.Memory
+module Cache = Fv_memsys.Cache
+module Hierarchy = Fv_memsys.Hierarchy
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_alloc_load_store () =
+  let m = Memory.create () in
+  let base = Memory.alloc_ints m "a" [| 10; 20; 30 |] in
+  Alcotest.check value "load" (Value.Int 20) (Memory.load m (base + 1));
+  Memory.store m (base + 1) (Value.Int 99);
+  Alcotest.check value "store" (Value.Int 99) (Memory.get m "a" 1)
+
+let test_guard_gaps_fault () =
+  let m = Memory.create () in
+  let base_a = Memory.alloc_ints m "a" [| 1; 2 |] in
+  ignore (Memory.alloc_ints m "b" [| 3; 4 |]);
+  (* just past a's end is a guard gap, not b *)
+  (match Memory.load_opt m (base_a + 2) with
+  | Error f -> Alcotest.(check bool) "read fault" false f.write
+  | Ok _ -> Alcotest.fail "expected fault");
+  match Memory.store_opt m (base_a + 2) (Value.Int 0) with
+  | Error f -> Alcotest.(check bool) "write fault" true f.write
+  | Ok _ -> Alcotest.fail "expected fault"
+
+let test_duplicate_alloc_rejected () =
+  let m = Memory.create () in
+  ignore (Memory.alloc_ints m "a" [| 1 |]);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Memory.alloc: duplicate allocation \"a\"") (fun () ->
+      ignore (Memory.alloc_ints m "a" [| 2 |]))
+
+let test_snapshot_restore () =
+  let m = Memory.create () in
+  ignore (Memory.alloc_ints m "a" [| 1; 2; 3 |]);
+  let snap = Memory.snapshot m in
+  Memory.set m "a" 0 (Value.Int 42);
+  Memory.restore m snap;
+  Alcotest.check value "restored" (Value.Int 1) (Memory.get m "a" 0)
+
+let test_clone_is_independent () =
+  let m = Memory.create () in
+  ignore (Memory.alloc_ints m "a" [| 1 |]);
+  let c = Memory.clone m in
+  Memory.set m "a" 0 (Value.Int 7);
+  Alcotest.check value "clone unchanged" (Value.Int 1) (Memory.get c "a" 0);
+  Alcotest.(check bool) "contents differ" false (Memory.equal_contents m c)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~ways:2 () in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit" true (Cache.access c 0);
+  Alcotest.(check bool) "same line" true (Cache.access c 15);
+  Alcotest.(check bool) "next line" false (Cache.access c 16)
+
+let test_cache_lru_eviction () =
+  (* 1KB, 2-way, 64B lines -> 16 lines, 8 sets; three lines mapping to
+     the same set evict the least recently used *)
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~ways:2 () in
+  let line_elems = 16 and sets = 8 in
+  let addr_of_line l = l * line_elems in
+  let l0 = 0 and l1 = sets and l2 = 2 * sets in
+  ignore (Cache.access c (addr_of_line l0));
+  ignore (Cache.access c (addr_of_line l1));
+  ignore (Cache.access c (addr_of_line l0));
+  (* l1 is now LRU; l2 evicts it *)
+  ignore (Cache.access c (addr_of_line l2));
+  Alcotest.(check bool) "l0 still cached" true (Cache.access c (addr_of_line l0));
+  Alcotest.(check bool) "l1 evicted" false (Cache.access c (addr_of_line l1))
+
+let test_hierarchy_latencies () =
+  let h = Hierarchy.table1 ~prefetch_depth:0 () in
+  Alcotest.(check int) "cold: memory" 200 (Hierarchy.access h 4096);
+  Alcotest.(check int) "L1 hit" 4 (Hierarchy.access h 4096);
+  (* evict from L1 only: touch enough distinct lines to roll L1 over *)
+  for l = 1 to 600 do
+    ignore (Hierarchy.access h (4096 + (l * 16)))
+  done;
+  let lat = Hierarchy.access h 4096 in
+  Alcotest.(check bool) "L2-or-L3 hit after L1 eviction" true
+    (lat = 12 || lat = 25)
+
+let test_prefetcher_hides_stream () =
+  let h = Hierarchy.table1 () in
+  (* walk a long unit-stride stream; after training, line-granule misses
+     should mostly disappear *)
+  let misses = ref 0 in
+  for a = 0 to 16 * 512 do
+    if Hierarchy.access h a > 4 then incr misses
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "few stream misses (%d)" !misses)
+    true (!misses < 20)
+
+let suite =
+  [
+    Alcotest.test_case "alloc/load/store" `Quick test_alloc_load_store;
+    Alcotest.test_case "guard gaps fault" `Quick test_guard_gaps_fault;
+    Alcotest.test_case "duplicate alloc rejected" `Quick
+      test_duplicate_alloc_rejected;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "clone independence" `Quick test_clone_is_independent;
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "hierarchy latencies" `Quick test_hierarchy_latencies;
+    Alcotest.test_case "stream prefetcher" `Quick test_prefetcher_hides_stream;
+  ]

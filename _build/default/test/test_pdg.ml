@@ -1,0 +1,280 @@
+(** PDG construction and the FlexVec pattern classifier. *)
+
+module B = Fv_ir.Builder
+module Cfg = Fv_pdg.Cfg
+module Dom = Fv_pdg.Dom
+module Graph = Fv_pdg.Graph
+module Scc = Fv_pdg.Scc
+module C = Fv_pdg.Classify
+
+(* paper loops *)
+
+let h264 =
+  B.(
+    loop ~name:"h264" ~index:"pos" ~hi:(int 100) ~live_out:[ "min"; "best" ]
+      [
+        if_
+          (load "sad" (var "pos") < var "min")
+          [
+            assign "mc" (load "sad" (var "pos"));
+            assign "cand" (load "spiral" (var "pos"));
+            assign "mc" (var "mc" + load "mv" (var "cand"));
+            if_ (var "mc" < var "min")
+              [ assign "min" (var "mc"); assign "best" (var "pos") ];
+          ];
+      ])
+
+let fig2 =
+  B.(
+    loop ~name:"hits" ~index:"i" ~hi:(int 100)
+      [
+        assign "q" (load "qa" (var "i"));
+        assign "s" (load "sa" (var "i"));
+        assign "coord" (var "q" - var "s");
+        if_ (var "s" >= load "d" (var "coord")) [ store "d" (var "coord") (var "s") ];
+      ])
+
+let fig5 =
+  B.(
+    loop ~name:"srch" ~index:"i" ~hi:(int 100) ~live_out:[ "best" ]
+      [
+        assign "v" (load "a" (var "i"));
+        assign "t" (load "b" (var "v"));
+        if_ (var "t" = var "key") [ assign "best" (var "i"); break_ ];
+      ])
+
+(* ---------------- CFG / dominators ---------------- *)
+
+let test_cfg_structure () =
+  let g = Cfg.build fig5 in
+  (* entry reaches the first statement; break reaches exit *)
+  Alcotest.(check bool) "entry->s0" true (List.mem 0 (Cfg.succs g Cfg.entry));
+  let break_id =
+    (List.find (fun (s : Fv_ir.Ast.stmt) -> s.node = Fv_ir.Ast.Break)
+       (Fv_ir.Ast.all_stmts fig5))
+      .id
+  in
+  Alcotest.(check (list int)) "break->exit" [ Cfg.exit_node ]
+    (Cfg.succs g break_id)
+
+let test_postdominators () =
+  let g = Cfg.build fig5 in
+  let pdom = Dom.postdominators g in
+  (* exit postdominates everything *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exit pdom %d" n)
+        true
+        (Dom.postdominates pdom ~node:Cfg.exit_node ~of_:n))
+    g.nodes;
+  (* the break does not postdominate the guard *)
+  let guard =
+    (List.find
+       (fun (s : Fv_ir.Ast.stmt) ->
+         match s.node with Fv_ir.Ast.If _ -> true | _ -> false)
+       (Fv_ir.Ast.all_stmts fig5))
+      .id
+  in
+  let break_id = guard + 2 in
+  Alcotest.(check bool) "break !pdom guard" false
+    (Dom.postdominates pdom ~node:break_id ~of_:guard)
+
+let test_backward_control_dependence () =
+  (* the paper's §4.1 arc: the loop header is control dependent on the
+     break's guard *)
+  let g = Graph.build fig5 in
+  let has_arc =
+    List.exists
+      (fun (e : Graph.edge) ->
+        e.kind = Graph.Break_control && e.dst = Cfg.entry)
+      g.edges
+  in
+  Alcotest.(check bool) "guard -> header arc" true has_arc
+
+let test_carried_flow_edges () =
+  let g = Graph.build h264 in
+  let carried_min =
+    List.exists
+      (fun (e : Graph.edge) ->
+        match e.kind with Graph.Carried_flow v -> v = "min" | _ -> false)
+      g.edges
+  in
+  Alcotest.(check bool) "min is loop-carried" true carried_min;
+  (* mc is defined before every use within the guard: no carried edge *)
+  let carried_mc =
+    List.exists
+      (fun (e : Graph.edge) ->
+        match e.kind with Graph.Carried_flow v -> v = "mc" | _ -> false)
+      g.edges
+  in
+  Alcotest.(check bool) "mc is not loop-carried" false carried_mc
+
+let test_mem_edges () =
+  let g = Graph.build fig2 in
+  let mem_edge =
+    List.exists
+      (fun (e : Graph.edge) ->
+        match e.kind with Graph.Mem a -> a = "d" | _ -> false)
+      g.edges
+  in
+  Alcotest.(check bool) "store->load on d" true mem_edge
+
+let test_same_offset_no_mem_edge () =
+  (* a[i] = a[i] + 1 touches the same element per lane: no hazard *)
+  let l =
+    B.(loop ~name:"inc" ~index:"i" ~hi:(int 8))
+      B.[ store "a" (var "i") (load "a" (var "i") + int 1) ]
+  in
+  let g = Graph.build l in
+  Alcotest.(check bool) "no Mem edge" false
+    (List.exists
+       (fun (e : Graph.edge) ->
+         match e.kind with Graph.Mem _ | Graph.Mem_static _ -> true | _ -> false)
+       g.edges)
+
+let test_static_distance_flagged () =
+  let l =
+    B.(loop ~name:"shift" ~index:"i" ~hi:(int 8))
+      B.[ store "a" (var "i") (load "a" (var "i" - int 1) + int 1) ]
+  in
+  let g = Graph.build l in
+  Alcotest.(check bool) "Mem_static edge" true
+    (List.exists
+       (fun (e : Graph.edge) ->
+         match e.kind with Graph.Mem_static _ -> true | _ -> false)
+       g.edges)
+
+(* ---------------- SCC ---------------- *)
+
+let test_tarjan_basic () =
+  let succs = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 0; 3 ] | _ -> [] in
+  let sccs = Scc.compute ~nodes:[ 0; 1; 2; 3 ] ~succs in
+  let sorted = List.sort compare (List.map (List.sort compare) sccs) in
+  Alcotest.(check (list (list int))) "sccs" [ [ 0; 1; 2 ]; [ 3 ] ] sorted
+
+let test_nontrivial_sccs () =
+  let g = Graph.build h264 in
+  Alcotest.(check int) "one relaxed SCC" 1 (List.length (Scc.nontrivial g))
+
+(* ---------------- classification ---------------- *)
+
+let classify l =
+  match C.analyze l with
+  | C.Vectorizable p -> p.patterns
+  | C.Rejected r -> Alcotest.failf "rejected: %s" r
+
+let test_classify_h264 () =
+  match classify h264 with
+  | [ C.Cond_update cu ] ->
+      Alcotest.(check string) "var" "min" cu.var;
+      Alcotest.(check int) "guard is the outer if" 0 cu.guard
+  | ps ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";" (List.map C.show_pattern ps))
+
+let test_classify_fig2 () =
+  match classify fig2 with
+  | [ C.Mem_conflict m ] -> Alcotest.(check string) "array" "d" m.arr
+  | ps ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";" (List.map C.show_pattern ps))
+
+let test_classify_fig5 () =
+  match classify fig5 with
+  | [ C.Early_exit _ ] -> ()
+  | ps ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";" (List.map C.show_pattern ps))
+
+let test_classify_reduction () =
+  let l =
+    B.(loop ~name:"r" ~index:"i" ~hi:(int 8) ~live_out:[ "s" ])
+      B.[ assign "s" (var "s" + load "a" (var "i")) ]
+  in
+  match classify l with
+  | [ C.Reduction r ] -> Alcotest.(check string) "var" "s" r.var
+  | ps ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";" (List.map C.show_pattern ps))
+
+let test_classify_guarded_reduction () =
+  let l =
+    B.(loop ~name:"gr" ~index:"i" ~hi:(int 8) ~live_out:[ "s" ])
+      B.[ if_ (load "a" (var "i") > int 3) [ assign "s" (var "s" + int 1) ] ]
+  in
+  match classify l with
+  | [ C.Reduction _ ] -> ()
+  | ps ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";" (List.map C.show_pattern ps))
+
+let test_classify_plain_loop_no_patterns () =
+  let l =
+    B.(loop ~name:"p" ~index:"i" ~hi:(int 8))
+      B.[ store "b" (var "i") (load "a" (var "i") * int 2) ]
+  in
+  Alcotest.(check int) "no patterns" 0 (List.length (classify l))
+
+let test_reject_entangled_scalars () =
+  (* x and y feed each other across iterations under a condition: no
+     single-variable conditional-update pattern applies *)
+  let l =
+    B.(loop ~name:"bad" ~index:"i" ~hi:(int 8) ~live_out:[ "x"; "y" ])
+      B.[
+        if_
+          (var "x" + var "y" > load "a" (var "i"))
+          [ assign "x" (var "y" + int 1); assign "y" (var "x" + int 2) ];
+      ]
+  in
+  match C.analyze l with
+  | C.Rejected _ -> ()
+  | C.Vectorizable _ -> Alcotest.fail "expected rejection"
+
+let test_combined_patterns_disjoint_sccs () =
+  (* LAMMPS-style: a conditional update and a memory conflict in one
+     body classify as two independent patterns *)
+  let l =
+    B.(loop ~name:"both" ~index:"i" ~hi:(int 64) ~live_out:[ "best" ])
+      B.[
+        assign "t" (load "v" (var "i"));
+        if_ (var "t" < var "best") [ assign "best" (var "t") ];
+        assign "j" (load "nbr" (var "i"));
+        assign "s" (load "acc" (var "j") + var "t");
+        store "acc" (var "j") (var "s");
+      ]
+  in
+  let ps = classify l in
+  Alcotest.(check int) "two patterns" 2 (List.length ps);
+  Alcotest.(check bool) "one cond update" true
+    (List.exists (function C.Cond_update _ -> true | _ -> false) ps);
+  Alcotest.(check bool) "one mem conflict" true
+    (List.exists (function C.Mem_conflict _ -> true | _ -> false) ps)
+
+let suite =
+  [
+    Alcotest.test_case "CFG structure" `Quick test_cfg_structure;
+    Alcotest.test_case "postdominators" `Quick test_postdominators;
+    Alcotest.test_case "backward control dependence (break)" `Quick
+      test_backward_control_dependence;
+    Alcotest.test_case "loop-carried scalar edges" `Quick test_carried_flow_edges;
+    Alcotest.test_case "memory dependence edges" `Quick test_mem_edges;
+    Alcotest.test_case "same-offset access: no hazard" `Quick
+      test_same_offset_no_mem_edge;
+    Alcotest.test_case "static distance flagged" `Quick
+      test_static_distance_flagged;
+    Alcotest.test_case "Tarjan SCC" `Quick test_tarjan_basic;
+    Alcotest.test_case "h264 has one relaxed SCC" `Quick test_nontrivial_sccs;
+    Alcotest.test_case "classify: conditional update" `Quick test_classify_h264;
+    Alcotest.test_case "classify: memory conflict" `Quick test_classify_fig2;
+    Alcotest.test_case "classify: early exit" `Quick test_classify_fig5;
+    Alcotest.test_case "classify: reduction idiom" `Quick test_classify_reduction;
+    Alcotest.test_case "classify: guarded reduction" `Quick
+      test_classify_guarded_reduction;
+    Alcotest.test_case "classify: plain loop" `Quick
+      test_classify_plain_loop_no_patterns;
+    Alcotest.test_case "reject entangled scalars" `Quick
+      test_reject_entangled_scalars;
+    Alcotest.test_case "combined disjoint patterns" `Quick
+      test_combined_patterns_disjoint_sccs;
+  ]

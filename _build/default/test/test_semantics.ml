@@ -1,0 +1,226 @@
+(** Assorted semantic contracts: value promotion rules, Table 1 latency
+    numbers, vector-IR statistics, and vectorizer rejection diagnostics
+    for constructs outside FlexVec's patterns. *)
+
+open Fv_isa
+module B = Fv_ir.Builder
+module Gen = Fv_vectorizer.Gen
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* ---------------- values ---------------- *)
+
+let test_value_promotion () =
+  Alcotest.check value "int+int" (Value.Int 3)
+    (Value.binop Value.Add (Value.Int 1) (Value.Int 2));
+  Alcotest.check value "int+float promotes" (Value.Float 3.5)
+    (Value.binop Value.Add (Value.Int 1) (Value.Float 2.5));
+  Alcotest.check value "min" (Value.Int 1)
+    (Value.binop Value.Min (Value.Int 5) (Value.Int 1));
+  Alcotest.check value "div by zero is 0" (Value.Int 0)
+    (Value.binop Value.Div (Value.Int 5) (Value.Int 0));
+  Alcotest.(check bool) "cmp mixed" true
+    (Value.cmp Value.Lt (Value.Int 1) (Value.Float 1.5));
+  Alcotest.check value "not" (Value.Int 0) (Value.unop Value.Not (Value.Int 7));
+  Alcotest.check value "abs" (Value.Float 2.0)
+    (Value.unop Value.Abs (Value.Float (-2.0)))
+
+let test_bitwise_on_floats_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Value.binop Value.And (Value.Float 1.0) (Value.Int 1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Table 1 latencies ---------------- *)
+
+let test_table1_flexvec_latencies () =
+  (* the bottom half of Table 1, verbatim *)
+  Alcotest.(check int) "KFTM latency" 2 (Latency.latency Latency.Kftm);
+  Alcotest.(check int) "KFTM tput" 1 (Latency.recip_tput Latency.Kftm);
+  Alcotest.(check int) "VPSLCTLAST latency" 3 (Latency.latency Latency.Slct_last);
+  Alcotest.(check int) "VPSLCTLAST tput" 1 (Latency.recip_tput Latency.Slct_last);
+  Alcotest.(check int) "VPCONFLICTM latency" 20 (Latency.latency Latency.Conflictm);
+  Alcotest.(check int) "VPCONFLICTM tput" 2 (Latency.recip_tput Latency.Conflictm);
+  Alcotest.(check int) "VPGATHERFF AGU" 1 (Latency.latency Latency.Gather_ff);
+  Alcotest.(check int) "four rows" 4 (List.length Latency.table1_flexvec_rows)
+
+let test_machine_table1 () =
+  let m = Fv_ooo.Machine.table1 in
+  Alcotest.(check int) "dispatch" 5 m.dispatch_width;
+  Alcotest.(check int) "issue" 8 m.issue_width;
+  Alcotest.(check int) "RS" 97 m.rs_size;
+  Alcotest.(check int) "ROB" 224 m.rob_size;
+  Alcotest.(check int) "LQ" 80 m.lq_size;
+  Alcotest.(check int) "SQ" 56 m.sq_size;
+  Alcotest.(check int) "load ports" 2 m.load_ports;
+  Alcotest.(check int) "store ports" 1 m.store_ports;
+  Alcotest.(check int) "9 printable rows" 9 (List.length (Fv_ooo.Machine.rows m))
+
+(* ---------------- vector-IR statistics ---------------- *)
+
+let test_count_static_size () =
+  let l =
+    B.(loop ~name:"c" ~index:"i" ~hi:(int 32))
+      B.[ store "b" (var "i") (load "a" (var "i") + int 1) ]
+  in
+  let v = Result.get_ok (Gen.vectorize l) in
+  let n = Fv_vir.Count.static_size v in
+  Alcotest.(check bool) (Printf.sprintf "plain loop is small (%d)" n) true
+    (n > 3 && n < 15);
+  Alcotest.(check string) "no FlexVec instructions" ""
+    (Fv_vir.Count.to_table2_string (Fv_vir.Count.of_vloop v))
+
+let test_mix_rendering () =
+  let m =
+    { Fv_vir.Count.kftm = true; vpslctlast = false; vpconflictm = true;
+      vpgatherff = false; vmovff = true }
+  in
+  Alcotest.(check string) "order matches Table 2 style"
+    "KFTM, VPCONFLICTM, VMOVFF"
+    (Fv_vir.Count.to_table2_string m)
+
+(* ---------------- rejection diagnostics ---------------- *)
+
+let rejects l =
+  match Gen.vectorize l with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_reject_static_distance () =
+  (* a[i] = a[i-1] + 1: static cross-iteration distance 1; FlexVec does
+     not target these (and the traditional vectorizer rejects them too) *)
+  rejects
+    (B.(loop ~name:"sd" ~index:"i" ~hi:(int 8))
+       B.[ store "a" (var "i") (load "a" (var "i" - int 1) + int 1) ])
+
+let test_reject_induction_write () =
+  rejects
+    (B.(loop ~name:"iw" ~index:"i" ~hi:(int 8)) B.[ assign "i" (var "i" + int 2) ])
+
+let test_nested_cond_update_supported () =
+  (* conditional update whose controlling conditional is itself nested
+     under an unrelated guard: the VPL partitions a subset of the
+     enclosing mask, which the oracle confirms is correct *)
+  let mem = Fv_mem.Memory.create () in
+  let st = Random.State.make [| 99 |] in
+  ignore
+    (Fv_mem.Memory.alloc_ints mem "f"
+       (Array.init 100 (fun _ -> Random.State.int st 2)));
+  ignore
+    (Fv_mem.Memory.alloc_ints mem "a"
+       (Array.init 100 (fun _ -> Random.State.int st 1000)));
+  let l =
+    B.(loop ~name:"nest" ~index:"i" ~hi:(int 100) ~live_out:[ "m" ])
+      B.[
+        if_
+          (load "f" (var "i") > int 0)
+          [
+            if_ (load "a" (var "i") < var "m")
+              [ assign "m" (load "a" (var "i")) ];
+          ];
+      ]
+  in
+  ignore
+    (Fv_core.Oracle.check_exn l mem [ ("m", Fv_isa.Value.Int 800) ])
+
+let test_nested_mem_conflict_supported () =
+  (* a guarded scatter-accumulate: the VPL nests under the guard mask *)
+  let mem = Fv_mem.Memory.create () in
+  let st = Random.State.make [| 7 |] in
+  ignore
+    (Fv_mem.Memory.alloc_ints mem "f"
+       (Array.init 80 (fun _ -> Random.State.int st 2)));
+  ignore
+    (Fv_mem.Memory.alloc_ints mem "ix"
+       (Array.init 80 (fun _ -> Random.State.int st 8)));
+  ignore (Fv_mem.Memory.alloc_ints mem "d" (Array.make 8 0));
+  let l =
+    B.(loop ~name:"nmc" ~index:"i" ~hi:(int 80))
+      B.[
+        if_
+          (load "f" (var "i") > int 0)
+          [
+            assign "j" (load "ix" (var "i"));
+            assign "t" (load "d" (var "j") + int 1);
+            store "d" (var "j") (var "t");
+          ];
+      ]
+  in
+  ignore (Fv_core.Oracle.check_exn l mem [])
+
+let test_reject_nested_break () =
+  rejects
+    (B.(loop ~name:"nb" ~index:"i" ~hi:(int 8))
+       B.[
+         if_
+           (load "f" (var "i") > int 0)
+           [ if_ (load "a" (var "i") = int 3) [ break_ ] ];
+       ])
+
+let test_reject_store_before_break_guard () =
+  (* a side effect lexically before the exit guard would need speculative
+     stores, which FlexVec delays or delegates to RTM (§4.1) *)
+  rejects
+    (B.(loop ~name:"sb" ~index:"i" ~hi:(int 8))
+       B.[
+         store "b" (var "i") (load "a" (var "i"));
+         if_ (load "a" (var "i") = int 3) [ break_ ];
+       ])
+
+let test_reject_two_breaks () =
+  rejects
+    (B.(loop ~name:"b2" ~index:"i" ~hi:(int 8))
+       B.[
+         if_ (load "a" (var "i") = int 1) [ break_ ];
+         if_ (load "a" (var "i") = int 2) [ break_ ];
+       ])
+
+let test_error_messages_are_informative () =
+  let l =
+    B.(loop ~name:"iw" ~index:"i" ~hi:(int 8)) B.[ assign "i" (var "i" + int 2) ]
+  in
+  match Gen.vectorize l with
+  | Error msg ->
+      Alcotest.(check bool) "mentions the variable" true
+        (String.length msg > 10)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* ---------------- sink utilities ---------------- *)
+
+let test_sink_histogram () =
+  let s = Fv_trace.Sink.create ~capacity:1 () in
+  for _ = 1 to 5 do
+    Fv_trace.Sink.push s (Fv_trace.Uop.make Latency.Int_alu)
+  done;
+  Fv_trace.Sink.push s (Fv_trace.Uop.make Latency.Load);
+  Alcotest.(check int) "length" 6 (Fv_trace.Sink.length s);
+  Alcotest.(check int) "alu count" 5 (Fv_trace.Sink.count_class s Latency.Int_alu);
+  let h = Fv_trace.Sink.histogram s in
+  Alcotest.(check int) "two classes" 2 (List.length h)
+
+let suite =
+  [
+    Alcotest.test_case "value promotion" `Quick test_value_promotion;
+    Alcotest.test_case "bitwise on floats rejected" `Quick
+      test_bitwise_on_floats_rejected;
+    Alcotest.test_case "Table 1 FlexVec latencies" `Quick
+      test_table1_flexvec_latencies;
+    Alcotest.test_case "Table 1 machine config" `Quick test_machine_table1;
+    Alcotest.test_case "static instruction count" `Quick test_count_static_size;
+    Alcotest.test_case "mix rendering" `Quick test_mix_rendering;
+    Alcotest.test_case "reject static-distance recurrence" `Quick
+      test_reject_static_distance;
+    Alcotest.test_case "reject induction write" `Quick test_reject_induction_write;
+    Alcotest.test_case "nested conditional update supported" `Quick
+      test_nested_cond_update_supported;
+    Alcotest.test_case "nested memory conflict supported" `Quick
+      test_nested_mem_conflict_supported;
+    Alcotest.test_case "reject nested break" `Quick test_reject_nested_break;
+    Alcotest.test_case "reject pre-guard side effects" `Quick
+      test_reject_store_before_break_guard;
+    Alcotest.test_case "reject multiple breaks" `Quick test_reject_two_breaks;
+    Alcotest.test_case "informative diagnostics" `Quick
+      test_error_messages_are_informative;
+    Alcotest.test_case "trace sink" `Quick test_sink_histogram;
+  ]

@@ -1,0 +1,297 @@
+(** Vector emulator semantics: first-faulting behaviour, masked memory
+    ops, fallback, and the transactional runner. *)
+
+open Fv_isa
+open Fv_vir.Inst
+module B = Fv_ir.Builder
+module Memory = Fv_mem.Memory
+module Exec = Fv_simd.Exec
+module Rtm_run = Fv_simd.Rtm_run
+
+let value = Alcotest.testable Value.pp Value.equal
+let mask = Alcotest.testable Mask.pp Mask.equal
+
+(* run a hand-written strip program once over [vl] lanes *)
+let run_strip ?(vl = 16) ?(trip = 16) ~mem ~env strip =
+  let source = B.(loop ~name:"hand" ~index:"i" ~hi:(int trip)) [] in
+  let vloop =
+    { source; vl; preamble = []; strip; postamble = []; sync = empty_sync }
+  in
+  let e = Fv_ir.Interp.env_of_list env in
+  let stats = Exec.run vloop mem e in
+  (stats, e)
+
+let test_load_store_roundtrip () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" (Array.init 16 (fun i -> i * 2)));
+  ignore (Memory.alloc_ints mem "b" (Array.make 16 0));
+  let strip =
+    [
+      I (Kset_loop "k");
+      I (Load ("v", "k", "a", Imm (Value.Int 0)));
+      I (Store ("k", "b", Imm (Value.Int 0), "v"));
+    ]
+  in
+  let _ = run_strip ~mem ~env:[] strip in
+  Alcotest.check value "b[7]" (Value.Int 14) (Memory.get mem "b" 7)
+
+let test_masked_load_skips_disabled_lanes () =
+  (* array of 8 elements, VL 16: k_loop masks the missing tail, so no
+     fault occurs even though lanes 8..15 would be out of bounds *)
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" (Array.init 8 (fun i -> i)));
+  ignore (Memory.alloc_ints mem "b" (Array.make 8 0));
+  let strip =
+    [
+      I (Kset_loop "k");
+      I (Load ("v", "k", "a", Imm (Value.Int 0)));
+      I (Store ("k", "b", Imm (Value.Int 0), "v"));
+    ]
+  in
+  let stats, _ = run_strip ~trip:8 ~mem ~env:[] strip in
+  Alcotest.(check int) "one strip" 1 stats.Exec.strips;
+  Alcotest.check value "b[7]" (Value.Int 7) (Memory.get mem "b" 7)
+
+let test_plain_gather_faults_on_bad_index () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" (Array.make 16 1));
+  ignore (Memory.alloc_ints mem "ix" (Array.init 16 (fun i -> if i = 9 then 1_000_000 else i)));
+  let strip =
+    [
+      I (Kset_loop "k");
+      I (Load ("vi", "k", "ix", Imm (Value.Int 0)));
+      I (Gather ("v", "k", "a", "vi"));
+    ]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run_strip ~mem ~env:[] strip);
+       false
+     with Memory.Fault _ -> true)
+
+let test_gather_ff_truncates_mask () =
+  (* §3.3.1: a fault on a speculative lane zeroes the mask from that
+     lane rightward; earlier lanes complete *)
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" (Array.init 16 (fun i -> 100 + i)));
+  ignore
+    (Memory.alloc_ints mem "ix"
+       (Array.init 16 (fun i -> if i = 6 then 1_000_000 else i)));
+  let strip =
+    [
+      I (Kset_loop "k");
+      I (Load ("vi", "k", "ix", Imm (Value.Int 0)));
+      I (Kmov ("kff", "k"));
+      I (Gather_ff ("v", "kff", "a", "vi"));
+      I (Extract ("done_lanes", "kff", "v"));
+    ]
+  in
+  let mem2 = Memory.clone mem in
+  let _, e = run_strip ~mem:mem2 ~env:[ ("done_lanes", Value.Int 0) ] strip in
+  (* last completed lane is 5 -> value 105 *)
+  Alcotest.check value "last completed" (Value.Int 105)
+    (Fv_ir.Interp.env_get e "done_lanes")
+
+let test_load_ff_nonspeculative_lane_faults () =
+  (* a fault on the FIRST enabled lane is delivered for real *)
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" [| 1; 2 |]);
+  let strip =
+    [ I (Kset_loop "k"); I (Kmov ("kff", "k")); I (Load_ff ("v", "kff", "a", Imm (Value.Int 100))) ]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run_strip ~mem ~env:[] strip);
+       false
+     with Memory.Fault _ -> true)
+
+let test_slctlast_and_extract () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" (Array.init 16 (fun i -> i * 10)));
+  let strip =
+    [
+      I (Kset_loop "k");
+      I (Load ("v", "k", "a", Imm (Value.Int 0)));
+      I (Cmp ("ksel", Value.Lt, "k", "v", "vhund"));
+      I (Extract ("x", "ksel", "v"));
+    ]
+  in
+  let strip = I (Broadcast ("vhund", Imm (Value.Int 95))) :: strip in
+  let _, e = run_strip ~mem ~env:[ ("x", Value.Int (-1)) ] strip in
+  (* last lane with v < 95 is lane 9 (90) *)
+  Alcotest.check value "x" (Value.Int 90) (Fv_ir.Interp.env_get e "x")
+
+let test_vpl_guard_detects_nontermination () =
+  let mem = Memory.create () in
+  let strip =
+    [
+      I (Kset_loop "k_todo");
+      Vpl { label = "bad"; todo = "k_todo"; body = [ I (Kmov ("k_todo", "k_todo")) ] };
+    ]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run_strip ~mem ~env:[] strip);
+       false
+     with Exec.Vector_exec_error _ -> true)
+
+let test_scatter_lane_order () =
+  (* two lanes write the same element: the higher lane must win, like
+     scalar iteration order and AVX-512 scatter semantics *)
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "ix" [| 3; 3; 3; 3 |]);
+  ignore (Memory.alloc_ints mem "d" (Array.make 8 0));
+  let strip =
+    [
+      I (Kset_loop "k");
+      I (Iota "vi");
+      I (Load ("vx", "k", "ix", Imm (Value.Int 0)));
+      I (Scatter ("k", "d", "vx", "vi"));
+    ]
+  in
+  let _ = run_strip ~vl:4 ~trip:4 ~mem ~env:[] strip in
+  Alcotest.check value "last lane wins" (Value.Int 3) (Memory.get mem "d" 3)
+
+(* ---------------- RTM runner ---------------- *)
+
+let early_exit_loop_with_poison () =
+  let n = 120 in
+  let m = 32 in
+  let tab = Array.init m (fun k -> k + 1) in
+  let key = 5555 in
+  let data = Array.init n (fun i -> i mod m) in
+  tab.(data.(40)) <- key;
+  for i = 0 to 39 do
+    if tab.(data.(i)) = key then data.(i) <- (data.(i) + 1) mod m
+  done;
+  for i = 41 to n - 1 do
+    if i mod 2 = 1 then data.(i) <- 1_000_000
+  done;
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "data" data);
+  ignore (Memory.alloc_ints mem "tab" tab);
+  let loop =
+    B.(
+      loop ~name:"rtmtest" ~index:"i" ~hi:(int n) ~live_out:[ "hit"; "run" ]
+        [
+          assign "v" (load "data" (var "i"));
+          assign "t" (load "tab" (var "v"));
+          if_ (var "t" = var "key") [ assign "hit" (var "i"); break_ ];
+          assign "run" (var "run" + int 1);
+        ])
+  in
+  (mem, [ ("key", Value.Int key); ("hit", Value.Int (-1)); ("run", Value.Int 0) ], loop)
+
+let test_rtm_run_equivalence () =
+  let mem, env, loop = early_exit_loop_with_poison () in
+  let vloop = Result.get_ok (Fv_vectorizer.Gen.vectorize loop) in
+  let ms = Memory.clone mem and es = Fv_ir.Interp.env_of_list env in
+  ignore (Fv_ir.Interp.run ms es loop);
+  List.iter
+    (fun tile ->
+      let mr = Memory.clone mem and er = Fv_ir.Interp.env_of_list env in
+      let r = Rtm_run.run ~tile vloop mr er in
+      Alcotest.(check bool)
+        (Printf.sprintf "tile %d memory" tile)
+        true
+        (Memory.equal_contents ms mr);
+      Alcotest.check value
+        (Printf.sprintf "tile %d hit" tile)
+        (Fv_ir.Interp.env_get es "hit")
+        (Fv_ir.Interp.env_get er "hit");
+      Alcotest.check value
+        (Printf.sprintf "tile %d run" tile)
+        (Fv_ir.Interp.env_get es "run")
+        (Fv_ir.Interp.env_get er "run");
+      Alcotest.(check bool)
+        (Printf.sprintf "tile %d: tile containing the poison aborted" tile)
+        true (r.Rtm_run.aborts >= 1))
+    [ 16; 32; 64; 120 ]
+
+let test_rtm_capacity_abort () =
+  let n = 4096 in
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" (Array.init n (fun i -> i)));
+  ignore (Memory.alloc_ints mem "b" (Array.make n 0));
+  let loop =
+    B.(loop ~name:"cap" ~index:"i" ~hi:(int n))
+      B.[ store "b" (var "i") (load "a" (var "i") + int 1) ]
+  in
+  let vloop = Result.get_ok (Fv_vectorizer.Gen.vectorize loop) in
+  let mr = Memory.clone mem and er = Fv_ir.Interp.env_of_list [] in
+  (* one giant tile: footprint 2 * 4096 accesses > 6144 -> capacity abort *)
+  let r = Rtm_run.run ~tile:n vloop mr er in
+  Alcotest.(check int) "aborted" 1 r.Rtm_run.aborts;
+  (* the scalar re-execution still produced the right answer *)
+  Alcotest.check value "b[100]" (Value.Int 101) (Memory.get mr "b" 100);
+  (* small tiles commit *)
+  let mr = Memory.clone mem and er = Fv_ir.Interp.env_of_list [] in
+  let r = Rtm_run.run ~tile:256 vloop mr er in
+  Alcotest.(check int) "no aborts" 0 r.Rtm_run.aborts
+
+let test_rtm_atomically () =
+  let mem = Memory.create () in
+  ignore (Memory.alloc_ints mem "a" [| 1; 2 |]);
+  let env = Fv_ir.Interp.env_of_list [ ("x", Value.Int 0) ] in
+  let stats = Fv_rtm.Rtm.fresh_stats () in
+  (* committed transaction keeps its effects *)
+  (match
+     Fv_rtm.Rtm.atomically ~stats mem env (fun () ->
+         Memory.set mem "a" 0 (Value.Int 7);
+         Fv_ir.Interp.env_set env "x" (Value.Int 1))
+   with
+  | Fv_rtm.Rtm.Committed () -> ()
+  | Fv_rtm.Rtm.Aborted _ -> Alcotest.fail "unexpected abort");
+  Alcotest.check value "a[0]" (Value.Int 7) (Memory.get mem "a" 0);
+  (* aborted transaction rolls everything back *)
+  (match
+     Fv_rtm.Rtm.atomically ~stats mem env (fun () ->
+         Memory.set mem "a" 0 (Value.Int 99);
+         Fv_ir.Interp.env_set env "x" (Value.Int 2);
+         ignore (Memory.load mem 1))
+   with
+  | Fv_rtm.Rtm.Committed _ -> Alcotest.fail "expected abort"
+  | Fv_rtm.Rtm.Aborted _ -> ());
+  Alcotest.check value "a[0] rolled back" (Value.Int 7) (Memory.get mem "a" 0);
+  Alcotest.check value "x rolled back" (Value.Int 1) (Fv_ir.Interp.env_get env "x");
+  Alcotest.(check int) "stats" 1 stats.Fv_rtm.Rtm.aborts
+
+let test_kftm_in_emulator_matches_isa () =
+  let mem = Memory.create () in
+  let strip =
+    [
+      I (Kset_loop "w");
+      I (Kset_loop "s0");
+      I (Knot ("s", "s0"));  (* all zeros over the active width? no: knot of full = none *)
+      I (Kftm_exc ("e", "w", "s"));
+      I (Kftm_inc ("n", "w", "s"));
+    ]
+  in
+  let source = B.(loop ~name:"k" ~index:"i" ~hi:(int 16)) [] in
+  let vloop = { source; vl = 16; preamble = []; strip; postamble = []; sync = empty_sync } in
+  let e = Fv_ir.Interp.env_of_list [] in
+  ignore (Exec.run vloop mem e);
+  ignore mask;
+  ()
+
+let suite =
+  [
+    Alcotest.test_case "unit-stride load/store" `Quick test_load_store_roundtrip;
+    Alcotest.test_case "masked tail skips faults" `Quick
+      test_masked_load_skips_disabled_lanes;
+    Alcotest.test_case "plain gather faults" `Quick
+      test_plain_gather_faults_on_bad_index;
+    Alcotest.test_case "VPGATHERFF truncates the mask (§3.3.1)" `Quick
+      test_gather_ff_truncates_mask;
+    Alcotest.test_case "FF non-speculative lane faults" `Quick
+      test_load_ff_nonspeculative_lane_faults;
+    Alcotest.test_case "VPSLCTLAST extract" `Quick test_slctlast_and_extract;
+    Alcotest.test_case "VPL non-termination guard" `Quick
+      test_vpl_guard_detects_nontermination;
+    Alcotest.test_case "scatter lane order" `Quick test_scatter_lane_order;
+    Alcotest.test_case "RTM runner equivalence + aborts" `Quick
+      test_rtm_run_equivalence;
+    Alcotest.test_case "RTM capacity abort" `Quick test_rtm_capacity_abort;
+    Alcotest.test_case "RTM atomically" `Quick test_rtm_atomically;
+    Alcotest.test_case "kftm via emulator" `Quick test_kftm_in_emulator_matches_isa;
+  ]

@@ -1,0 +1,207 @@
+(** Vectorizer: variable classification, code-generation structure,
+    rejection diagnostics, cost model, baselines. *)
+
+open Fv_isa
+module B = Fv_ir.Builder
+module Gen = Fv_vectorizer.Gen
+module Classes = Fv_vectorizer.Classes
+module Cost = Fv_vectorizer.Costmodel
+module Trad = Fv_vectorizer.Traditional
+module Count = Fv_vir.Count
+module I = Fv_vir.Inst
+
+let vectorize_exn l =
+  match Gen.vectorize l with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "vectorize failed: %s" e
+
+let h264 =
+  B.(
+    loop ~name:"h264" ~index:"pos" ~hi:(int 100) ~live_out:[ "min"; "best" ]
+      [
+        if_
+          (load "sad" (var "pos") < var "min")
+          [
+            assign "mc" (load "sad" (var "pos"));
+            assign "cand" (load "spiral" (var "pos"));
+            assign "mc" (var "mc" + load "mv" (var "cand"));
+            if_ (var "mc" < var "min")
+              [ assign "min" (var "mc"); assign "best" (var "pos") ];
+          ];
+      ])
+
+(* ---------------- classification ---------------- *)
+
+let classes_of l =
+  match Fv_pdg.Classify.analyze l with
+  | Fv_pdg.Classify.Vectorizable p -> Classes.classify l p
+  | Fv_pdg.Classify.Rejected r -> Alcotest.failf "rejected: %s" r
+
+let test_h264_classes () =
+  let t = classes_of h264 in
+  Alcotest.(check bool) "min uniform" true (Classes.find t "min" = Classes.Uniform);
+  Alcotest.(check bool) "best lastval" true (Classes.find t "best" = Classes.Lastval);
+  Alcotest.(check bool) "mc temp" true (Classes.find t "mc" = Classes.Temp);
+  Alcotest.(check bool) "pos index" true (Classes.find t "pos" = Classes.Index)
+
+let test_reduction_class () =
+  let l =
+    B.(loop ~name:"r" ~index:"i" ~hi:(int 8) ~live_out:[ "s" ])
+      B.[ assign "s" (var "s" + load "a" (var "i")) ]
+  in
+  let t = classes_of l in
+  Alcotest.(check bool) "reduction" true
+    (Classes.find t "s" = Classes.Reduction Value.Add)
+
+let test_diamond_temp_allowed () =
+  let l =
+    B.(loop ~name:"d" ~index:"i" ~hi:(int 8))
+      B.[
+        if_else (load "a" (var "i") > int 0)
+          [ assign "x" (int 1) ]
+          [ assign "x" (int 2) ];
+        store "b" (var "i") (var "x");
+      ]
+  in
+  let t = classes_of l in
+  Alcotest.(check bool) "x temp" true (Classes.find t "x" = Classes.Temp)
+
+let test_read_before_write_rejected () =
+  (* x read before definitely assigned: loop-carried through a temp *)
+  let l =
+    B.(loop ~name:"rbw" ~index:"i" ~hi:(int 8))
+      B.[
+        store "b" (var "i") (var "x");
+        if_ (load "a" (var "i") > int 0) [ assign "x" (var "i") ];
+      ]
+  in
+  match Gen.vectorize l with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* ---------------- generated-code structure ---------------- *)
+
+let test_h264_code_structure () =
+  let v = vectorize_exn h264 in
+  Alcotest.(check bool) "has a VPL" true (I.uses_vpl v);
+  Alcotest.(check bool) "has fault checks" true (I.uses_fault_check v);
+  let m = Count.of_vloop v in
+  Alcotest.(check string) "mix" "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF"
+    (Count.to_table2_string m)
+
+let test_plain_loop_no_vpl () =
+  let l =
+    B.(loop ~name:"p" ~index:"i" ~hi:(int 8))
+      B.[ store "b" (var "i") (load "a" (var "i") * int 2) ]
+  in
+  let v = vectorize_exn l in
+  Alcotest.(check bool) "no VPL" false (I.uses_vpl v);
+  Alcotest.(check bool) "no FF" false (I.uses_fault_check v);
+  Alcotest.(check string) "empty mix" "" (Count.to_table2_string (Count.of_vloop v))
+
+let test_wholesale_has_scalar_run () =
+  let v =
+    match Gen.vectorize ~style:Gen.Wholesale h264 with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "wholesale failed: %s" e
+  in
+  Alcotest.(check bool) "no VPL in wholesale code" false (I.uses_vpl v);
+  let has_scalar_run =
+    List.exists
+      (I.exists_stmt (function I.Scalar_run _ -> true | _ -> false))
+      v.I.strip
+  in
+  Alcotest.(check bool) "scalar_run present" true has_scalar_run
+
+let test_selective_broadcast_emitted () =
+  (* the updated scalar is read by a lexically succeeding statement:
+     codegen must emit the k_rem selective forward broadcast (§4.2) *)
+  let l =
+    B.(loop ~name:"sel" ~index:"i" ~hi:(int 64) ~live_out:[ "m"; "s" ])
+      B.[
+        assign "t" (load "a" (var "i"));
+        if_ (var "t" < var "m") [ assign "m" (var "t") ];
+        assign "s" (var "s" + var "m");
+      ]
+  in
+  let v = vectorize_exn l in
+  (* find a Knot+Kor+Blend sequence inside the VPL commit *)
+  let found = ref false in
+  I.iter_insts (function I.Knot _ -> found := true | _ -> ()) v;
+  Alcotest.(check bool) "selective broadcast (knot) present" true !found
+
+let test_rtm_strip_ff_removes_speculation () =
+  let v = vectorize_exn h264 in
+  let stripped = Fv_simd.Rtm_run.strip_ff v in
+  Alcotest.(check bool) "no fault checks" false (I.uses_fault_check stripped);
+  let m = Count.of_vloop stripped in
+  Alcotest.(check bool) "no FF instructions" false (m.Count.vpgatherff || m.Count.vmovff)
+
+let test_deterministic_codegen () =
+  let a = vectorize_exn h264 and b = vectorize_exn h264 in
+  Alcotest.(check bool) "same strip program" true (a.I.strip = b.I.strip)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_vpp_prints () =
+  let v = vectorize_exn h264 in
+  let s = Fv_vir.Vpp.to_string v in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " printed") true (contains s needle))
+    [ "kftm.inc"; "extract_last"; "vmovff"; "vpgatherff"; "do { // VPL" ]
+
+(* ---------------- cost model ---------------- *)
+
+let test_costmodel_rules () =
+  let d = Cost.decide ~avg_trip:100. ~effective_vl:20. ~mem_ratio:1.0 ~coverage:0.3 () in
+  Alcotest.(check bool) "accept" true d.vectorize;
+  let d = Cost.decide ~avg_trip:10. ~effective_vl:20. ~mem_ratio:1.0 ~coverage:0.3 () in
+  Alcotest.(check bool) "trip too low" false d.vectorize;
+  let d = Cost.decide ~avg_trip:100. ~effective_vl:3. ~mem_ratio:1.0 ~coverage:0.3 () in
+  Alcotest.(check bool) "EVL too low" false d.vectorize;
+  let d = Cost.decide ~avg_trip:100. ~effective_vl:20. ~mem_ratio:3.0 ~coverage:0.3 () in
+  Alcotest.(check bool) "memory bound" false d.vectorize;
+  let d = Cost.decide ~avg_trip:100. ~effective_vl:20. ~mem_ratio:1.0 ~coverage:0.01 () in
+  Alcotest.(check bool) "cold loop" false d.vectorize;
+  let d = Cost.decide ~avg_trip:10. ~effective_vl:3. ~mem_ratio:3.0 ~coverage:0.01 () in
+  Alcotest.(check int) "all four reasons" 4 (List.length d.reasons)
+
+(* ---------------- baselines ---------------- *)
+
+let test_traditional_rejects_patterns () =
+  Alcotest.(check bool) "rejects h264" false (Trad.accepts h264);
+  let red =
+    B.(loop ~name:"r" ~index:"i" ~hi:(int 8) ~live_out:[ "s" ])
+      B.[ assign "s" (var "s" + load "a" (var "i")) ]
+  in
+  Alcotest.(check bool) "accepts reduction" true (Trad.accepts red);
+  let plain =
+    B.(loop ~name:"p" ~index:"i" ~hi:(int 8))
+      B.[ store "b" (var "i") (load "a" (var "i")) ]
+  in
+  Alcotest.(check bool) "accepts plain" true (Trad.accepts plain)
+
+let suite =
+  [
+    Alcotest.test_case "h264 variable classes" `Quick test_h264_classes;
+    Alcotest.test_case "reduction class" `Quick test_reduction_class;
+    Alcotest.test_case "if/else diamond temp" `Quick test_diamond_temp_allowed;
+    Alcotest.test_case "read-before-write rejected" `Quick
+      test_read_before_write_rejected;
+    Alcotest.test_case "h264 code structure" `Quick test_h264_code_structure;
+    Alcotest.test_case "plain loop: no VPL" `Quick test_plain_loop_no_vpl;
+    Alcotest.test_case "wholesale baseline structure" `Quick
+      test_wholesale_has_scalar_run;
+    Alcotest.test_case "selective forward broadcast" `Quick
+      test_selective_broadcast_emitted;
+    Alcotest.test_case "RTM strip_ff" `Quick test_rtm_strip_ff_removes_speculation;
+    Alcotest.test_case "deterministic codegen" `Quick test_deterministic_codegen;
+    Alcotest.test_case "assembly printer" `Quick test_vpp_prints;
+    Alcotest.test_case "cost model rules (§5)" `Quick test_costmodel_rules;
+    Alcotest.test_case "traditional vectorizer" `Quick
+      test_traditional_rejects_patterns;
+  ]
