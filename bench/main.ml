@@ -16,36 +16,66 @@
      prefetch-ablation — stream prefetcher on/off (§5 memory subsystem)
      micro          — Bechamel micro-benchmarks
 
-   Run a subset with: bench/main.exe table2 figure8 *)
+   Run a subset with:   bench/main.exe table2 figure8
+   Options (validated up front, before anything runs):
+     --domains N    worker domains for the parallel sections
+     --json FILE    write a combined JSON report of every section run
+   Every section additionally writes BENCH_<section>.json (the
+   machine-readable trajectory file) next to the human tables. *)
 
 open Fv_core
+module J = Report.Json
 
 let section name =
   Printf.printf "\n=== %s %s\n%!" name (String.make (max 1 (70 - String.length name)) '=')
 
+(* Each section prints its human tables and returns the body fields of
+   its JSON report; the driver wraps them in the common envelope
+   (section name, domain count, wall-clock seconds). *)
+
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
+let table1 ~domains:_ () =
   section "table1: simulated machine (paper Table 1)";
+  let machine = Fv_ooo.Machine.rows Fv_ooo.Machine.table1 in
   let rows =
-    [ "Component"; "Configuration" ]
-    :: List.map (fun (a, b) -> [ a; b ]) (Fv_ooo.Machine.rows Fv_ooo.Machine.table1)
+    [ "Component"; "Configuration" ] :: List.map (fun (a, b) -> [ a; b ]) machine
   in
   print_string (Report.table rows);
   print_newline ();
+  let latencies =
+    List.map
+      (fun (name, cls) ->
+        let t = Fv_isa.Latency.timing cls in
+        (name, t.Fv_isa.Latency.latency, t.Fv_isa.Latency.recip_tput))
+      Fv_isa.Latency.table1_flexvec_rows
+  in
   let rows =
     [ "FlexVec Instruction"; "Latency(cycles), Throughput" ]
     :: List.map
-         (fun (name, cls) ->
-           let t = Fv_isa.Latency.timing cls in
-           [ name; Printf.sprintf "%d, %d" t.latency t.recip_tput ])
-         Fv_isa.Latency.table1_flexvec_rows
+         (fun (name, lat, tput) -> [ name; Printf.sprintf "%d, %d" lat tput ])
+         latencies
   in
-  print_string (Report.table rows)
+  print_string (Report.table rows);
+  [
+    ( "machine",
+      J.Obj (List.map (fun (a, b) -> (a, J.Str b)) machine) );
+    ( "flexvec_latencies",
+      J.List
+        (List.map
+           (fun (name, lat, tput) ->
+             J.Obj
+               [
+                 ("instruction", J.Str name);
+                 ("latency", J.Int lat);
+                 ("recip_tput", J.Int tput);
+               ])
+           latencies) );
+  ]
 
-let figure8 () =
+let figure8 ~domains () =
   section "figure8: application speedup over the AVX-512 baseline";
-  let r = Figure8.run () in
+  let r = Figure8.run ?domains () in
   let rows =
     [ "Benchmark"; "Cvrg"; "Hot speedup"; "Overall"; "Vectorized?"; "Mix emitted" ]
     :: List.map
@@ -62,17 +92,28 @@ let figure8 () =
          r.rows
   in
   print_string (Report.table rows);
+  List.iter
+    (fun (row : Figure8.row) ->
+      Option.iter
+        (fun e -> Printf.printf "WARNING %s: %s\n" row.spec.name e)
+        row.flexvec.oracle_error)
+    r.rows;
   Printf.printf "\nGeomean (11 SPEC 2006): %.3fx   [paper: 1.09x]\n"
     r.spec_geomean;
   Printf.printf "Geomean (7 applications): %.3fx   [paper: 1.11x]\n\n"
     r.app_geomean;
   print_endline
     (Report.bar_chart
-       (List.map (fun (row : Figure8.row) -> (row.spec.name, row.overall)) r.rows))
+       (List.map (fun (row : Figure8.row) -> (row.spec.name, row.overall)) r.rows));
+  [
+    ("rows", J.List (List.map J.of_figure8_row r.rows));
+    ("spec_geomean", J.Float r.spec_geomean);
+    ("app_geomean", J.Float r.app_geomean);
+  ]
 
-let table2 () =
+let table2 ~domains () =
   section "table2: coverage, trip count and instruction mix";
-  let rows = Table2.run () in
+  let rows = Table2.run ?domains () in
   let header =
     [ "Benchmark"; "Cvrg (paper)"; "Trip (paper)"; "Trip (sim)"; "EVL";
       "Mix emitted"; "= paper?" ]
@@ -94,11 +135,15 @@ let table2 () =
   print_string (Report.table (header :: body));
   let matches = List.length (List.filter (fun (r : Table2.row) -> r.mix_matches) rows) in
   Printf.printf "\ninstruction mixes matching the paper: %d / %d\n" matches
-    (List.length rows)
+    (List.length rows);
+  [
+    ("rows", J.List (List.map J.of_table2_row rows));
+    ("mixes_matching_paper", J.Int matches);
+  ]
 
-let rtm_sweep () =
+let rtm_sweep ~domains () =
   section "rtm-sweep: transactional-speculation tile size (paper: 128-256 within 1-2% of FF)";
-  let pts = Sweeps.rtm_tile_sweep () in
+  let pts = Sweeps.rtm_tile_sweep ?domains () in
   let rows =
     [ "Tile"; "RTM cycles"; "FF cycles"; "RTM/FF"; "vs scalar" ]
     :: List.map
@@ -112,31 +157,36 @@ let rtm_sweep () =
            ])
          pts
   in
-  print_string (Report.table rows)
+  print_string (Report.table rows);
+  [ ("rows", J.List (List.map J.of_rtm_point pts)) ]
 
-let strategy_sweep () =
+let strategy_sweep ~domains () =
   section "strategy-sweep: FlexVec vs PACT'13 wholesale speculation";
-  List.iter
-    (fun (label, pattern) ->
-      Printf.printf "\n-- %s pattern --\n" label;
-      let pts = Sweeps.strategy_sweep ~pattern () in
-      let rows =
-        [ "Dep rate"; "FlexVec speedup"; "Wholesale speedup" ]
-        :: List.map
-             (fun (p : Sweeps.strategy_point) ->
-               [
-                 Printf.sprintf "%.3f" p.rate;
-                 Report.f2 p.flexvec_speedup ^ "x";
-                 Report.f2 p.wholesale_speedup ^ "x";
-               ])
-             pts
-      in
-      print_string (Report.table rows))
-    [ ("conditional update", `Cond_update); ("memory conflict", `Mem_conflict) ]
+  let per_pattern =
+    List.map
+      (fun (label, pattern) ->
+        Printf.printf "\n-- %s pattern --\n" label;
+        let pts = Sweeps.strategy_sweep ?domains ~pattern () in
+        let rows =
+          [ "Dep rate"; "FlexVec speedup"; "Wholesale speedup" ]
+          :: List.map
+               (fun (p : Sweeps.strategy_point) ->
+                 [
+                   Printf.sprintf "%.3f" p.rate;
+                   Report.f2 p.flexvec_speedup ^ "x";
+                   Report.f2 p.wholesale_speedup ^ "x";
+                 ])
+               pts
+        in
+        print_string (Report.table rows);
+        (label, J.List (List.map J.of_strategy_point pts)))
+      [ ("conditional update", `Cond_update); ("memory conflict", `Mem_conflict) ]
+  in
+  [ ("patterns", J.Obj per_pattern) ]
 
-let trip_sweep () =
+let trip_sweep ~domains () =
   section "trip-sweep: speedup vs loop trip count (paper: gains need high trip counts)";
-  let pts = Sweeps.trip_sweep () in
+  let pts = Sweeps.trip_sweep ?domains () in
   let rows =
     [ "Trip count"; "FlexVec hot speedup" ]
     :: List.map
@@ -144,11 +194,12 @@ let trip_sweep () =
            [ string_of_int p.trip; Report.f2 p.speedup ^ "x" ])
          pts
   in
-  print_string (Report.table rows)
+  print_string (Report.table rows);
+  [ ("rows", J.List (List.map J.of_trip_point pts)) ]
 
-let evl_sweep () =
+let evl_sweep ~domains () =
   section "evl-sweep: speedup vs effective vector length";
-  let pts = Sweeps.evl_sweep () in
+  let pts = Sweeps.evl_sweep ?domains () in
   let rows =
     [ "Update rate"; "Effective VL"; "FlexVec hot speedup" ]
     :: List.map
@@ -160,11 +211,12 @@ let evl_sweep () =
            ])
          pts
   in
-  print_string (Report.table rows)
+  print_string (Report.table rows);
+  [ ("rows", J.List (List.map J.of_evl_point pts)) ]
 
-let vl_sweep () =
+let vl_sweep ~domains () =
   section "vl-sweep: ablation over hardware vector length";
-  let pts = Sweeps.vl_sweep () in
+  let pts = Sweeps.vl_sweep ?domains () in
   let rows =
     [ "VL (lanes)"; "FlexVec hot speedup" ]
     :: List.map
@@ -172,11 +224,12 @@ let vl_sweep () =
            [ string_of_int p.vl; Report.f2 p.speedup ^ "x" ])
          pts
   in
-  print_string (Report.table rows)
+  print_string (Report.table rows);
+  [ ("rows", J.List (List.map J.of_vl_point pts)) ]
 
-let strategies () =
+let strategies ~domains () =
   section "strategies: Figure 8 under each speculation mechanism";
-  let pts = Sweeps.benchmark_strategies () in
+  let pts = Sweeps.benchmark_strategies ?domains () in
   let rows =
     [ "Benchmark"; "FlexVec (FF)"; "Wholesale (PACT'13)"; "FlexVec (RTM 256)" ]
     :: List.map
@@ -191,14 +244,25 @@ let strategies () =
   in
   print_string (Report.table rows);
   let g f = Figure8.geomean (List.map f pts) in
-  Printf.printf "\ngeomeans: flexvec %.3fx | wholesale %.3fx | rtm %.3fx\n"
-    (g (fun p -> p.Sweeps.flexvec_overall))
-    (g (fun p -> p.Sweeps.wholesale_overall))
-    (g (fun p -> p.Sweeps.rtm_overall))
+  let gfv = g (fun p -> p.Sweeps.flexvec_overall)
+  and gws = g (fun p -> p.Sweeps.wholesale_overall)
+  and grtm = g (fun p -> p.Sweeps.rtm_overall) in
+  Printf.printf "\ngeomeans: flexvec %.3fx | wholesale %.3fx | rtm %.3fx\n" gfv
+    gws grtm;
+  [
+    ("rows", J.List (List.map J.of_bench_strategies pts));
+    ( "geomeans",
+      J.Obj
+        [
+          ("flexvec", J.Float gfv);
+          ("wholesale", J.Float gws);
+          ("rtm", J.Float grtm);
+        ] );
+  ]
 
-let prefetch_ablation () =
+let prefetch_ablation ~domains () =
   section "prefetch-ablation: the memory subsystem matters for vector access (§5)";
-  let pts = Sweeps.prefetch_ablation () in
+  let pts = Sweeps.prefetch_ablation ?domains () in
   let rows =
     [ "Prefetcher"; "Scalar cycles"; "FlexVec cycles"; "Speedup" ]
     :: List.map
@@ -211,13 +275,14 @@ let prefetch_ablation () =
            ])
          pts
   in
-  print_string (Report.table rows)
+  print_string (Report.table rows);
+  [ ("rows", J.List (List.map J.of_prefetch_point pts)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
+let micro ~domains:_ () =
   section "micro: Bechamel micro-benchmarks of emulated primitives";
   let open Bechamel in
   let open Fv_isa in
@@ -267,12 +332,33 @@ let micro () =
     Analyze.all ols Toolkit.Instance.monotonic_clock raw
   in
   let results = benchmark (Test.make_grouped ~name:"flexvec" ~fmt:"%s %s" tests) in
-  Hashtbl.iter
-    (fun name ols ->
-      match Bechamel.Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "%-55s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "%-55s (no estimate)\n" name)
-    results
+  let estimates =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some [ est ] -> (name, Some est) :: acc
+        | _ -> (name, None) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-55s %12.1f ns/run\n" name est
+      | None -> Printf.printf "%-55s (no estimate)\n" name)
+    estimates;
+  [
+    ( "rows",
+      J.List
+        (List.map
+           (fun (name, est) ->
+             J.Obj
+               [
+                 ("name", J.Str name);
+                 ("ns_per_run", J.opt (fun x -> J.Float x) est);
+               ])
+           estimates) );
+  ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -292,17 +378,48 @@ let sections =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown section %S (available: %s)\n" name
-            (String.concat ", " (List.map fst sections));
-          exit 1)
-    requested
+  let available = List.map fst sections in
+  match
+    Harness.parse_args ~available (List.tl (Array.to_list Sys.argv))
+  with
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  | Ok plan ->
+      (* fail on an unwritable --json destination now, not after every
+         section has already burned its simulation time *)
+      (match plan.json with
+      | Some path -> (
+          try close_out (open_out path)
+          with Sys_error e ->
+            Printf.eprintf "--json: cannot write %s (%s)\n" path e;
+            exit 1)
+      | None -> ());
+      let domains_used =
+        match plan.domains with
+        | Some d -> d
+        | None -> Fv_parallel.Pool.default_domains ()
+      in
+      let reports =
+        List.map
+          (fun name ->
+            let f = List.assoc name sections in
+            let body, wall = Report.timed (fun () -> f ~domains:plan.domains ()) in
+            let j =
+              J.report ~section:name ~domains:domains_used ~wall_seconds:wall
+                body
+            in
+            J.to_file (Printf.sprintf "BENCH_%s.json" name) j;
+            j)
+          plan.sections
+      in
+      Option.iter
+        (fun path ->
+          J.to_file path
+            (J.Obj
+               [
+                 ("schema_version", J.Int 1);
+                 ("domains", J.Int domains_used);
+                 ("sections", J.List reports);
+               ]))
+        plan.json

@@ -147,9 +147,38 @@ let simulate_cmd =
 
 (* ---------------- figure8 / table2 ---------------- *)
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel row evaluation (default: \
+           recommended domain count minus one).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write a machine-readable JSON report to $(docv).")
+
+let domains_used = function
+  | Some d -> d
+  | None -> Fv_parallel.Pool.default_domains ()
+
+let write_json ~section ~domains ~wall_seconds body = function
+  | None -> ()
+  | Some path ->
+      Fv_core.Report.Json.to_file path
+        (Fv_core.Report.Json.report ~section ~domains:(domains_used domains)
+           ~wall_seconds body)
+
 let figure8_cmd =
-  let run () =
-    let r = Fv_core.Figure8.run () in
+  let run domains json =
+    let r, wall =
+      Fv_core.Report.timed (fun () -> Fv_core.Figure8.run ?domains ())
+    in
     List.iter
       (fun (row : Fv_core.Figure8.row) ->
         Printf.printf "%-14s hot=%5.2fx overall=%6.3fx%s\n" row.spec.name
@@ -158,12 +187,21 @@ let figure8_cmd =
            else "  (not vectorized: " ^ String.concat "; " row.decision.reasons ^ ")"))
       r.rows;
     Printf.printf "geomean SPEC: %.3fx   apps: %.3fx\n" r.spec_geomean
-      r.app_geomean
+      r.app_geomean;
+    write_json ~section:"figure8" ~domains ~wall_seconds:wall
+      (match Fv_core.Report.Json.of_figure8_result r with
+      | Fv_core.Report.Json.Obj fields -> fields
+      | j -> [ ("result", j) ])
+      json
   in
-  Cmd.v (Cmd.info "figure8" ~doc:"Reproduce Figure 8.") Term.(const run $ const ())
+  Cmd.v (Cmd.info "figure8" ~doc:"Reproduce Figure 8.")
+    Term.(const run $ domains_arg $ json_arg)
 
 let table2_cmd =
-  let run () =
+  let run domains json =
+    let rows, wall =
+      Fv_core.Report.timed (fun () -> Fv_core.Table2.run ?domains ())
+    in
     List.iter
       (fun (r : Fv_core.Table2.row) ->
         Printf.printf "%-14s cvg=%5.1f%% trip=%8.1f evl=%7.1f mix=[%s] %s\n"
@@ -171,9 +209,17 @@ let table2_cmd =
           (100. *. r.measured_coverage)
           r.measured_trip r.measured_evl r.measured_mix
           (if r.mix_matches then "(matches paper)" else "(DIFFERS from paper)"))
-      (Fv_core.Table2.run ())
+      rows;
+    write_json ~section:"table2" ~domains ~wall_seconds:wall
+      [
+        ( "rows",
+          Fv_core.Report.Json.List
+            (List.map Fv_core.Report.Json.of_table2_row rows) );
+      ]
+      json
   in
-  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2.") Term.(const run $ const ())
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2.")
+    Term.(const run $ domains_arg $ json_arg)
 
 let () =
   let info =

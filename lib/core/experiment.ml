@@ -35,7 +35,14 @@ type hot_run = {
   pipe : Pipeline.stats;
   exec : Fv_simd.Exec.stats option;  (** vector-execution stats, if vectorized *)
   mix : Fv_vir.Count.mix option;
-  fell_back_to_scalar : bool;  (** strategy could not vectorize the loop *)
+  fell_back_to_scalar : bool;
+      (** a vectorizing strategy could not vectorize (or failed its
+          oracle) and degraded to scalar execution; always [false] for
+          the [Scalar] baseline, which never had anywhere to fall from *)
+  oracle_error : string option;
+      (** correctness-oracle failure, if any: the run degraded to the
+          scalar path instead of aborting, so one bad workload cannot
+          take down a whole parallel Figure 8 sweep *)
 }
 
 (** Trace one strategy's execution of the hot loop and replay it on the
@@ -44,60 +51,65 @@ let run_hot ?(vl = 16) (strategy : strategy) (l : Fv_ir.Ast.loop)
     (mem : Memory.t) (env : (string * Value.t) list) : hot_run =
   let sink = Fv_trace.Sink.create ~capacity:4096 () in
   let emit u = Fv_trace.Sink.push sink u in
-  let scalar_trace () =
+  let scalar_trace ?(fallback = true) ?error () =
     let m = Memory.clone mem and e = Interp.env_of_list env in
     let hk = Interp.hooks ~emit () in
     ignore (Interp.run ~hk m e l);
-    (None, None, true)
+    (None, None, fallback, error)
   in
-  let exec, mix, fell_back =
+  let exec, mix, fell_back, oracle_error =
     match strategy with
-    | Scalar -> scalar_trace ()
+    | Scalar -> scalar_trace ~fallback:false ()
     | Traditional -> (
         match Fv_vectorizer.Traditional.vectorize ~vl l with
         | Error _ -> scalar_trace ()
         | Ok vloop ->
             let m = Memory.clone mem and e = Interp.env_of_list env in
             let stats = Fv_simd.Exec.run ~emit vloop m e in
-            (Some stats, Some (Fv_vir.Count.of_vloop vloop), false))
+            (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None))
     | Flexvec | Wholesale -> (
         let style = Option.get (style_of strategy) in
         match Fv_vectorizer.Gen.vectorize ~vl ~style l with
         | Error _ -> scalar_trace ()
-        | Ok vloop ->
-            (* correctness gate: the vector program must match the oracle *)
-            (match Oracle.check ~vl ~style l (Memory.clone mem) env with
-            | Ok _ -> ()
+        | Ok vloop -> (
+            (* correctness gate: the vector program must match the
+               oracle; on a mismatch the run degrades to the measured
+               scalar path and records the failure *)
+            match Oracle.check ~vl ~style l (Memory.clone mem) env with
             | Error f ->
-                failwith
-                  (Fmt.str "experiment on %s: oracle failed: %a"
-                     l.Fv_ir.Ast.name Oracle.pp_failure f));
-            let m = Memory.clone mem and e = Interp.env_of_list env in
-            let stats = Fv_simd.Exec.run ~emit vloop m e in
-            (Some stats, Some (Fv_vir.Count.of_vloop vloop), false))
+                scalar_trace
+                  ~error:
+                    (Fmt.str "experiment on %s: oracle failed: %a"
+                       l.Fv_ir.Ast.name Oracle.pp_failure f)
+                  ()
+            | Ok _ ->
+                let m = Memory.clone mem and e = Interp.env_of_list env in
+                let stats = Fv_simd.Exec.run ~emit vloop m e in
+                (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)))
     | Rtm tile -> (
         match Fv_vectorizer.Gen.vectorize ~vl l with
         | Error _ -> scalar_trace ()
-        | Ok vloop ->
+        | Ok vloop -> (
             (* RTM oracle: run scalar and transactional versions and
                compare final state *)
             let ms = Memory.clone mem and es = Interp.env_of_list env in
             ignore (Interp.run ms es l);
             let mr = Memory.clone mem and er = Interp.env_of_list env in
             ignore (Fv_simd.Rtm_run.run ~tile vloop mr er);
-            (match
-               ( Oracle.compare_memories ms mr,
-                 Oracle.compare_env l es er )
-             with
-            | Ok (), Ok () -> ()
+            match
+              (Oracle.compare_memories ms mr, Oracle.compare_env l es er)
+            with
             | Error e, _ | _, Error e ->
-                failwith
-                  (Fmt.str "experiment on %s (RTM): oracle failed: %s"
-                     l.Fv_ir.Ast.name e));
-            let m = Memory.clone mem and e = Interp.env_of_list env in
-            let rtm = Fv_simd.Rtm_run.run ~emit ~tile vloop m e in
-            (Some rtm.Fv_simd.Rtm_run.exec,
-             Some (Fv_vir.Count.of_vloop vloop), false))
+                scalar_trace
+                  ~error:
+                    (Fmt.str "experiment on %s (RTM): oracle failed: %s"
+                       l.Fv_ir.Ast.name e)
+                  ()
+            | Ok (), Ok () ->
+                let m = Memory.clone mem and e = Interp.env_of_list env in
+                let rtm = Fv_simd.Rtm_run.run ~emit ~tile vloop m e in
+                (Some rtm.Fv_simd.Rtm_run.exec,
+                 Some (Fv_vir.Count.of_vloop vloop), false, None)))
   in
   let pipe = Pipeline.run sink in
   {
@@ -108,11 +120,15 @@ let run_hot ?(vl = 16) (strategy : strategy) (l : Fv_ir.Ast.loop)
     exec;
     mix;
     fell_back_to_scalar = fell_back;
+    oracle_error;
   }
 
-(** Hot-region speedup of [s] over the scalar baseline. *)
+(** Hot-region speedup of [s] over the scalar baseline. Total: both
+    operands are clamped to at least one cycle, so a degenerate
+    zero-cycle run (empty trace) yields a finite, positive ratio — two
+    empty runs compare as 1.0x — instead of silently reporting 0.0x. *)
 let hot_speedup ~(baseline : hot_run) (s : hot_run) : float =
-  float_of_int baseline.cycles /. float_of_int (max 1 s.cycles)
+  float_of_int (max 1 baseline.cycles) /. float_of_int (max 1 s.cycles)
 
 (** Amdahl scaling: overall application speedup when the hot region
     covers fraction [coverage] of baseline execution. *)
@@ -137,17 +153,38 @@ let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
   let emit u = Fv_trace.Sink.push sink u in
   let vloop_for style = Fv_vectorizer.Gen.vectorize ~vl ~style l in
   let mix = ref None and exec = ref None and fell_back = ref false in
+  (* correctness gate once per workload; a failure degrades the whole
+     run to the scalar path (recorded below) instead of aborting, so
+     one bad workload cannot kill a parallel Figure 8 run *)
+  let oracle_error =
+    match style_of strategy with
+    | None -> None
+    | Some style -> (
+        match
+          Oracle.check ~vl ~style l
+            (Memory.clone first.Fv_workloads.Kernels.mem)
+            first.Fv_workloads.Kernels.env
+        with
+        | Ok _ | Error (Oracle.Not_vectorizable _) -> None
+        | Error f ->
+            Some
+              (Fmt.str "workload %s: oracle failed: %a" l.Fv_ir.Ast.name
+                 Oracle.pp_failure f))
+  in
   let run_one (b : Fv_workloads.Kernels.built) =
     let mem = b.Fv_workloads.Kernels.mem
     and env = b.Fv_workloads.Kernels.env in
-    let scalar () =
+    let scalar ?(fallback = true) () =
       let m = Memory.clone mem and e = Interp.env_of_list env in
       let hk = Interp.hooks ~emit () in
       ignore (Interp.run ~hk m e l);
-      fell_back := true
+      (* only a vectorizing strategy that degrades is a fallback: the
+         scalar baseline reporting itself as one was a reporting bug *)
+      if fallback then fell_back := true
     in
     match strategy with
-    | Scalar -> scalar ()
+    | _ when oracle_error <> None -> scalar ()
+    | Scalar -> scalar ~fallback:false ()
     | Traditional -> (
         match Fv_vectorizer.Traditional.vectorize ~vl l with
         | Error _ -> scalar ()
@@ -171,20 +208,6 @@ let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
             exec := Some r.Fv_simd.Rtm_run.exec;
             mix := Some (Fv_vir.Count.of_vloop vloop))
   in
-  (* correctness gate once per workload *)
-  (match style_of strategy with
-  | Some style -> (
-      match
-        Oracle.check ~vl ~style l
-          (Memory.clone first.Fv_workloads.Kernels.mem)
-          first.Fv_workloads.Kernels.env
-      with
-      | Ok _ | Error (Oracle.Not_vectorizable _) -> ()
-      | Error f ->
-          failwith
-            (Fmt.str "workload %s: oracle failed: %a" l.Fv_ir.Ast.name
-               Oracle.pp_failure f))
-  | None -> ());
   (* between invocations real applications execute cold code; model it
      as a short serial dependency chain so the OOO cannot overlap
      distinct invocations of the hot loop (otherwise tiny-trip-count
@@ -208,4 +231,5 @@ let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
     exec = !exec;
     mix = !mix;
     fell_back_to_scalar = !fell_back;
+    oracle_error;
   }

@@ -74,8 +74,14 @@ type result = {
   app_geomean : float;
 }
 
-let run ?vl ?seed ?(benchmarks = R.all) () : result =
-  let rows = List.map (run_row ?vl ?seed) benchmarks in
+(** Run every benchmark row, fanned out across [?domains] worker
+    domains (each row builds its own kernel, memory and trace sink, so
+    rows share no mutable state). Output order matches [benchmarks]
+    regardless of completion order. *)
+let run ?vl ?seed ?domains ?(benchmarks = R.all) () : result =
+  let rows =
+    Fv_parallel.Pool.map_ordered ?domains (run_row ?vl ?seed) benchmarks
+  in
   let of_group g =
     List.filter_map
       (fun r -> if r.spec.R.group = g then Some r.overall else None)

@@ -1,0 +1,90 @@
+(** Command-line plan for the bench harness, factored out of
+    [bench/main.ml] so the parsing and up-front validation are unit
+    testable. The historical bug this guards against: an unknown
+    section name used to [exit 1] only when dispatch reached it, i.e.
+    {e after} every earlier (valid) section had already run — wasting
+    minutes of simulation before reporting a typo. All names are now
+    validated before anything runs. *)
+
+type plan = {
+  sections : string list;  (** validated, in request order; never empty *)
+  domains : int option;  (** [--domains N]; [None] = pool default *)
+  json : string option;  (** [--json FILE]: combined report destination *)
+}
+
+let flag_value ~flag rest =
+  match rest with
+  | v :: rest' -> Ok (v, rest')
+  | [] -> Error (Printf.sprintf "%s expects a value" flag)
+
+let parse_domains s =
+  match int_of_string_opt s with
+  | Some d when d >= 1 -> Ok d
+  | Some _ -> Error "--domains expects a positive integer"
+  | None -> Error (Printf.sprintf "--domains: %S is not an integer" s)
+
+(** Parse bench arguments (everything after [Sys.argv.(0)]). Accepts
+    section names interleaved with [--domains N] and [--json FILE]
+    (also [--flag=value] spellings). No section name means "run them
+    all". Every requested section is validated against [available]
+    before the plan is returned, so the caller runs nothing on a bad
+    request. *)
+let parse_args ~(available : string list) (args : string list) :
+    (plan, string) result =
+  let split_eq a =
+    match String.index_opt a '=' with
+    | Some i ->
+        ( String.sub a 0 i,
+          Some (String.sub a (i + 1) (String.length a - i - 1)) )
+    | None -> (a, None)
+  in
+  let rec go sections domains json = function
+    | [] -> Ok { sections = List.rev sections; domains; json }
+    | a :: rest -> (
+        match split_eq a with
+        | "--domains", inline -> (
+            let value =
+              match inline with
+              | Some v -> Ok (v, rest)
+              | None -> flag_value ~flag:"--domains" rest
+            in
+            match value with
+            | Error e -> Error e
+            | Ok (v, rest') -> (
+                match parse_domains v with
+                | Error e -> Error e
+                | Ok d -> go sections (Some d) json rest'))
+        | "--json", inline -> (
+            let value =
+              match inline with
+              | Some v -> Ok (v, rest)
+              | None -> flag_value ~flag:"--json" rest
+            in
+            match value with
+            | Error e -> Error e
+            | Ok (v, rest') -> go sections domains (Some v) rest')
+        | _ when String.length a > 2 && String.sub a 0 2 = "--" ->
+            Error (Printf.sprintf "unknown option %s" a)
+        | _ -> go (a :: sections) domains json rest)
+  in
+  match go [] None None args with
+  | Error _ as e -> e
+  | Ok plan -> (
+      let unknown =
+        List.filter (fun s -> not (List.mem s available)) plan.sections
+      in
+      match unknown with
+      | [] ->
+          Ok
+            {
+              plan with
+              sections =
+                (if plan.sections = [] then available else plan.sections);
+            }
+      | _ ->
+          Error
+            (Printf.sprintf "unknown section%s %s (available: %s)"
+               (if List.length unknown > 1 then "s" else "")
+               (String.concat ", "
+                  (List.map (Printf.sprintf "%S") unknown))
+               (String.concat ", " available)))

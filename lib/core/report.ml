@@ -1,4 +1,7 @@
-(** Plain-text table rendering for the bench harness and CLI. *)
+(** Plain-text table rendering for the bench harness and CLI, plus the
+    machine-readable JSON report layer ({!Json}) that serializes every
+    evaluation row type into the [BENCH_<section>.json] trajectory
+    files. *)
 
 let hline widths =
   "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
@@ -7,7 +10,10 @@ let pad w s =
   let s = if String.length s > w then String.sub s 0 w else s in
   s ^ String.make (w - String.length s) ' '
 
-(** Render rows (first row = header) as an ASCII table. *)
+(** Render rows (first row = header) as an ASCII table. The header
+    fixes the column count: ragged data rows are normalized to it —
+    extra cells are clamped off, missing cells render blank — so a
+    malformed row can no longer crash the whole report. *)
 let table (rows : string list list) : string =
   match rows with
   | [] -> ""
@@ -23,9 +29,12 @@ let table (rows : string list list) : string =
               0 rows)
       in
       let render_row row =
-        "| "
-        ^ String.concat " | " (List.mapi (fun c s -> pad (List.nth widths c) s) row)
-        ^ " |"
+        let cells =
+          List.mapi
+            (fun c w -> pad w (Option.value ~default:"" (List.nth_opt row c)))
+            widths
+        in
+        "| " ^ String.concat " | " cells ^ " |"
       in
       let buf = Buffer.create 1024 in
       Buffer.add_string buf (hline widths);
@@ -58,3 +67,263 @@ let bar_chart ?(width = 40) (rows : (string * float) list) : string =
          let n = int_of_float (v /. vmax *. float_of_int width) in
          Printf.sprintf "%s | %s %.2fx" (pad label_w name) (String.make n '#') v)
        rows)
+
+(** [timed f] runs [f ()] and returns its result with the wall-clock
+    seconds it took (not CPU time: a parallel section burns more CPU
+    seconds than wall seconds, and wall is what the report tracks). *)
+let timed (f : unit -> 'a) : 'a * float =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* JSON reports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Minimal JSON tree + writer (no external dependency) and serializers
+    for every row type the evaluation produces. Schema: every
+    [BENCH_<section>.json] file is an object with at least
+    [schema_version], [section], [domains] (worker-domain count used),
+    [wall_seconds], and a section-specific [rows] array. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape (s : string) : string =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* JSON has no NaN/Infinity literals *)
+        if Float.is_finite f then
+          Buffer.add_string buf (Printf.sprintf "%.12g" f)
+        else Buffer.add_string buf "null"
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (Str k);
+            Buffer.add_char buf ':';
+            write buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string (t : t) : string =
+    let buf = Buffer.create 4096 in
+    write buf t;
+    Buffer.contents buf
+
+  let to_file (path : string) (t : t) : unit =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string t);
+        output_char oc '\n')
+
+  let opt f = function None -> Null | Some x -> f x
+
+  (* ---- serializers for the evaluation row types ---- *)
+
+  let of_pipeline_stats (s : Fv_ooo.Pipeline.stats) : t =
+    Obj
+      [
+        ("cycles", Int s.cycles);
+        ("uops", Int s.uops);
+        ("ipc", Float s.ipc);
+        ("branch_lookups", Int s.branch_lookups);
+        ("branch_mispredicts", Int s.branch_mispredicts);
+        ("l1_hit_rate", Float s.l1_hit_rate);
+        ("stall_rob", Int s.stall_rob);
+        ("stall_rs", Int s.stall_rs);
+        ("stall_lq", Int s.stall_lq);
+        ("stall_sq", Int s.stall_sq);
+        ("stall_redirect", Int s.stall_redirect);
+        ("loads", Int s.loads);
+        ("stores", Int s.stores);
+      ]
+
+  let of_exec_stats (s : Fv_simd.Exec.stats) : t =
+    Obj
+      [
+        ("strips", Int s.strips);
+        ("vpl_iterations", Int s.vpl_iterations);
+        ("vpl_extra", Int s.vpl_extra);
+        ("fallbacks", Int s.fallbacks);
+        ("fallback_iters", Int s.fallback_iters);
+        ("broke", Bool s.broke);
+      ]
+
+  let of_mix (m : Fv_vir.Count.mix) : t =
+    Str (Fv_vir.Count.to_table2_string m)
+
+  let of_hot_run (r : Experiment.hot_run) : t =
+    Obj
+      [
+        ("strategy", Str (Experiment.show_strategy r.strategy));
+        ("cycles", Int r.cycles);
+        ("uops", Int r.uops);
+        ("pipe", of_pipeline_stats r.pipe);
+        ("exec", opt of_exec_stats r.exec);
+        ("mix", opt of_mix r.mix);
+        ("fell_back_to_scalar", Bool r.fell_back_to_scalar);
+        ("oracle_error", opt (fun s -> Str s) r.oracle_error);
+      ]
+
+  let of_profile (p : Fv_profiler.Profile.t) : t =
+    Obj
+      [
+        ("invocations", Int p.invocations);
+        ("trips", Int p.trips);
+        ("avg_trip", Float p.avg_trip);
+        ("dep_events", Int p.dep_events);
+        ("effective_vl", Float p.effective_vl);
+        ("hot_uops", Int p.hot_uops);
+        ("mem_ratio", Float p.mem_ratio);
+        ("branch_taken_ratio", Float p.branch_taken_ratio);
+        ("coverage", Float p.coverage);
+      ]
+
+  let of_decision (d : Fv_vectorizer.Costmodel.decision) : t =
+    Obj
+      [
+        ("vectorize", Bool d.vectorize);
+        ("reasons", List (List.map (fun s -> Str s) d.reasons));
+      ]
+
+  let of_figure8_row (r : Figure8.row) : t =
+    Obj
+      [
+        ("benchmark", Str r.spec.Fv_workloads.Registry.name);
+        ("coverage", Float r.spec.Fv_workloads.Registry.coverage);
+        ("profile", of_profile r.profile);
+        ("decision", of_decision r.decision);
+        ("baseline", of_hot_run r.baseline);
+        ("flexvec", of_hot_run r.flexvec);
+        ("hot_speedup", Float r.hot);
+        ("overall_speedup", Float r.overall);
+        ("mix_emitted", Str r.mix_measured);
+      ]
+
+  let of_figure8_result (r : Figure8.result) : t =
+    Obj
+      [
+        ("rows", List (List.map of_figure8_row r.rows));
+        ("spec_geomean", Float r.spec_geomean);
+        ("app_geomean", Float r.app_geomean);
+      ]
+
+  let of_table2_row (r : Table2.row) : t =
+    Obj
+      [
+        ("benchmark", Str r.spec.Fv_workloads.Registry.name);
+        ("paper_coverage", Float r.spec.Fv_workloads.Registry.coverage);
+        ("paper_trip", Str r.spec.Fv_workloads.Registry.paper_trip);
+        ("paper_mix", Str r.spec.Fv_workloads.Registry.paper_mix);
+        ("measured_trip", Float r.measured_trip);
+        ("measured_evl", Float r.measured_evl);
+        ("measured_coverage", Float r.measured_coverage);
+        ("measured_mix", Str r.measured_mix);
+        ("mix_matches", Bool r.mix_matches);
+      ]
+
+  let of_rtm_point (p : Sweeps.rtm_point) : t =
+    Obj
+      [
+        ("tile", Int p.tile);
+        ("rtm_cycles", Int p.rtm_cycles);
+        ("ff_cycles", Int p.ff_cycles);
+        ("scalar_cycles", Int p.scalar_cycles);
+        ("rel_to_ff", Float p.rel_to_ff);
+      ]
+
+  let of_strategy_point (p : Sweeps.strategy_point) : t =
+    Obj
+      [
+        ("dep_rate", Float p.rate);
+        ("scalar_cycles", Int p.scalar_c);
+        ("flexvec_cycles", Int p.flexvec_c);
+        ("wholesale_cycles", Int p.wholesale_c);
+        ("flexvec_speedup", Float p.flexvec_speedup);
+        ("wholesale_speedup", Float p.wholesale_speedup);
+      ]
+
+  let of_trip_point (p : Sweeps.trip_point) : t =
+    Obj [ ("trip", Int p.trip); ("speedup", Float p.speedup) ]
+
+  let of_evl_point (p : Sweeps.evl_point) : t =
+    Obj
+      [
+        ("update_rate", Float p.update_rate);
+        ("effective_vl", Float p.effective_vl);
+        ("speedup", Float p.speedup);
+      ]
+
+  let of_vl_point (p : Sweeps.vl_point) : t =
+    Obj [ ("vl", Int p.vl); ("speedup", Float p.speedup) ]
+
+  let of_prefetch_point (p : Sweeps.prefetch_point) : t =
+    Obj
+      [
+        ("prefetch", Bool p.prefetch);
+        ("scalar_cycles", Int p.scalar_cycles2);
+        ("flexvec_cycles", Int p.flexvec_cycles2);
+        ("speedup", Float p.speedup2);
+      ]
+
+  let of_bench_strategies (p : Sweeps.bench_strategies) : t =
+    Obj
+      [
+        ("benchmark", Str p.bench);
+        ("flexvec_overall", Float p.flexvec_overall);
+        ("wholesale_overall", Float p.wholesale_overall);
+        ("rtm_overall", Float p.rtm_overall);
+      ]
+
+  (** Wrap a section's body fields into the common report envelope. *)
+  let report ~(section : string) ~(domains : int) ~(wall_seconds : float)
+      (body : (string * t) list) : t =
+    Obj
+      ([
+         ("schema_version", Int 1);
+         ("section", Str section);
+         ("domains", Int domains);
+         ("wall_seconds", Float wall_seconds);
+       ]
+      @ body)
+end

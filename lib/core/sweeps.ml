@@ -67,12 +67,12 @@ type rtm_point = {
 }
 
 let rtm_tile_sweep ?(tiles = [ 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ])
-    ?(trip = 8192) ?(seed = 5) () : rtm_point list =
+    ?(trip = 8192) ?(seed = 5) ?domains () : rtm_point list =
   let build s = tunable_early_exit ~trip s in
   let inv = 4 in
   let scalar = E.run_workload ~invocations:inv ~seed E.Scalar build in
   let ff = E.run_workload ~invocations:inv ~seed E.Flexvec build in
-  List.map
+  Fv_parallel.Pool.map_ordered ?domains
     (fun tile ->
       let rtm = E.run_workload ~invocations:inv ~seed (E.Rtm tile) build in
       {
@@ -98,9 +98,9 @@ type strategy_point = {
 }
 
 let strategy_sweep ?(rates = [ 0.0; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.4 ])
-    ?(trip = 4096) ?(seed = 11) ~(pattern : [ `Cond_update | `Mem_conflict ])
-    () : strategy_point list =
-  List.map
+    ?(trip = 4096) ?(seed = 11) ?domains
+    ~(pattern : [ `Cond_update | `Mem_conflict ]) () : strategy_point list =
+  Fv_parallel.Pool.map_ordered ?domains
     (fun rate ->
       let build s =
         match pattern with
@@ -129,8 +129,8 @@ let strategy_sweep ?(rates = [ 0.0; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.4 ])
 type trip_point = { trip : int; speedup : float }
 
 let trip_sweep ?(trips = [ 8; 16; 32; 64; 128; 512; 2048; 8192 ]) ?(seed = 3)
-    () : trip_point list =
-  List.map
+    ?domains () : trip_point list =
+  Fv_parallel.Pool.map_ordered ?domains
     (fun trip ->
       let build s = tunable_cond_update ~trip ~update_rate:0.01 ~near_rate:0.2 s in
       (* total dynamic work held roughly constant *)
@@ -147,8 +147,8 @@ let trip_sweep ?(trips = [ 8; 16; 32; 64; 128; 512; 2048; 8192 ]) ?(seed = 3)
 type evl_point = { update_rate : float; effective_vl : float; speedup : float }
 
 let evl_sweep ?(rates = [ 0.002; 0.01; 0.03; 0.06; 0.12; 0.25; 0.5 ])
-    ?(trip = 4096) ?(seed = 17) () : evl_point list =
-  List.map
+    ?(trip = 4096) ?(seed = 17) ?domains () : evl_point list =
+  Fv_parallel.Pool.map_ordered ?domains
     (fun rate ->
       let build s = tunable_cond_update ~trip ~update_rate:rate ~near_rate:0.1 s in
       let b = build seed in
@@ -174,11 +174,11 @@ type vl_point = { vl : int; speedup : float }
 (** How much of FlexVec's benefit needs the full 512-bit width? The
     paper's examples all use 16 lanes; narrower configurations pay the
     same per-strip mask machinery over fewer elements. *)
-let vl_sweep ?(vls = [ 4; 8; 16 ]) ?(trip = 4096) ?(seed = 23) () :
+let vl_sweep ?(vls = [ 4; 8; 16 ]) ?(trip = 4096) ?(seed = 23) ?domains () :
     vl_point list =
   let build s = tunable_cond_update ~trip ~update_rate:0.01 ~near_rate:0.2 s in
   let scalar = E.run_workload ~invocations:3 ~seed E.Scalar build in
-  List.map
+  Fv_parallel.Pool.map_ordered ?domains
     (fun vl ->
       let fv = E.run_workload ~vl ~invocations:3 ~seed E.Flexvec build in
       { vl; speedup = E.hot_speedup ~baseline:scalar fv })
@@ -200,7 +200,8 @@ type prefetch_point = {
     same traces against a hierarchy without the stream prefetcher: both
     versions get slower, the wide unit-stride vector accesses much more
     so. *)
-let prefetch_ablation ?(trip = 4096) ?(seed = 29) () : prefetch_point list =
+let prefetch_ablation ?(trip = 4096) ?(seed = 29) ?domains () :
+    prefetch_point list =
   let build s = tunable_cond_update ~trip ~update_rate:0.01 ~near_rate:0.2 s in
   let trace strategy =
     let sink = Fv_trace.Sink.create ~capacity:65536 () in
@@ -219,7 +220,9 @@ let prefetch_ablation ?(trip = 4096) ?(seed = 29) () : prefetch_point list =
     sink
   in
   let scalar_trace = trace `Scalar and flexvec_trace = trace `Flexvec in
-  List.map
+  (* both points replay the same two traces; Pipeline.run only reads
+     the sink, so concurrent replay is safe *)
+  Fv_parallel.Pool.map_ordered ?domains
     (fun prefetch ->
       let depth = if prefetch then 4 else 0 in
       let run t =
@@ -253,9 +256,9 @@ type bench_strategies = {
     FlexVec-over-RTM with the paper's recommended 256-iteration tiles.
     The paper argues FlexVec dominates; this makes the comparison
     apples-to-apples on every Table 2 benchmark. *)
-let benchmark_strategies ?(seed = 42) ?(tile = 256) () :
+let benchmark_strategies ?(seed = 42) ?(tile = 256) ?domains () :
     bench_strategies list =
-  List.map
+  Fv_parallel.Pool.map_ordered ?domains
     (fun (spec : Fv_workloads.Registry.spec) ->
       let run strategy =
         E.run_workload ~invocations:spec.invocations ~seed strategy spec.build

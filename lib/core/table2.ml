@@ -42,5 +42,5 @@ let run_row ?(seed = 42) (spec : R.spec) : row =
     mix_matches = String.equal measured_mix spec.paper_mix;
   }
 
-let run ?seed ?(benchmarks = R.all) () : row list =
-  List.map (run_row ?seed) benchmarks
+let run ?seed ?domains ?(benchmarks = R.all) () : row list =
+  Fv_parallel.Pool.map_ordered ?domains (run_row ?seed) benchmarks

@@ -1,0 +1,67 @@
+(** A fixed-size OCaml 5 domain pool for the embarrassingly-parallel
+    shape of the evaluation harness: every Figure 8 / Table 2 row and
+    every sweep point is an independent pure computation (its own kernel
+    build, its own [Memory.clone], its own trace sink), so rows can be
+    fanned out across domains with no shared mutable state.
+
+    Work distribution is dynamic: an atomic cursor hands out one input
+    index at a time, so a slow row (433.milc's 8000-trip loops) does not
+    serialise the fast rows behind a static block split. Results are
+    written into a preallocated slot per input, which makes the output
+    order-preserving by construction. *)
+
+(** Number of workers used when [?domains] is not given: all but one of
+    the recommended domain count, leaving a core for the spawning
+    domain (and never fewer than one worker). *)
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+type 'b slot = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
+
+(** [map_ordered ?domains f xs] is [List.map f xs], evaluated by a pool
+    of [domains] worker domains (default {!default_domains}). The
+    output preserves input order regardless of completion order. If any
+    application of [f] raises, all domains are still joined, and then
+    the exception of the {e earliest} failing input (with its original
+    backtrace) is re-raised. [f] must not rely on shared mutable state
+    across elements. *)
+let map_ordered ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let requested =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when requested = 1 -> List.map f xs
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let slots = Array.make n Pending in
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            (slots.(i) <-
+              (match f items.(i) with
+              | y -> Done y
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+            go ()
+          end
+        in
+        go ()
+      in
+      let workers =
+        List.init (min requested n) (fun _ -> Domain.spawn worker)
+      in
+      List.iter Domain.join workers;
+      Array.iter
+        (function
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Pending | Done _ -> ())
+        slots;
+      Array.to_list
+        (Array.map
+           (function
+             | Done y -> y
+             | Pending | Raised _ -> assert false (* joined without error *))
+           slots)

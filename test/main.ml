@@ -12,5 +12,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("semantics", Test_semantics.suite);
       ("integration", Test_integration.suite);
+      ("parallel", Test_parallel.suite);
       ("random", Test_random.suite);
     ]

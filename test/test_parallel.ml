@@ -1,0 +1,216 @@
+(** The domain pool ({!Fv_parallel.Pool}), the parallel evaluation
+    harness built on it (parallel output must be byte-identical to
+    [~domains:1]), and regressions for the experiment-pipeline
+    reporting bugs fixed alongside it. *)
+
+module P = Fv_parallel.Pool
+module E = Fv_core.Experiment
+module R = Fv_workloads.Registry
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  nl = 0
+  || (nl <= hl
+     && (let found = ref false in
+         for i = 0 to hl - nl do
+           if (not !found) && String.sub haystack i nl = needle then
+             found := true
+         done;
+         !found))
+
+(* ---------------- pool ---------------- *)
+
+let test_map_ordered_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "parallel map equals List.map, in order"
+    (List.map (fun x -> (x * x) + 1) xs)
+    (P.map_ordered ~domains:4 (fun x -> (x * x) + 1) xs)
+
+let test_map_ordered_edges () =
+  Alcotest.(check (list int)) "empty" [] (P.map_ordered ~domains:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (P.map_ordered ~domains:4 succ [ 7 ]);
+  Alcotest.(check (list int))
+    "more domains than work" [ 1; 2; 3 ]
+    (P.map_ordered ~domains:64 succ [ 0; 1; 2 ]);
+  Alcotest.(check (list int))
+    "one domain degrades to serial" [ 1; 2; 3 ]
+    (P.map_ordered ~domains:1 succ [ 0; 1; 2 ])
+
+let test_exception_propagation () =
+  (* several elements raise; after joining every domain the pool must
+     re-raise the exception of the earliest failing input *)
+  Alcotest.check_raises "earliest failure wins" (Failure "boom3") (fun () ->
+      ignore
+        (P.map_ordered ~domains:3
+           (fun x ->
+             if x mod 5 = 3 then failwith (Printf.sprintf "boom%d" x) else x)
+           (List.init 16 Fun.id)))
+
+(* ---------------- parallel harness == serial harness ---------------- *)
+
+let fig8_row_fingerprint (r : Fv_core.Figure8.row) : string =
+  Printf.sprintf "%s|%d|%d|%d|%d|%.9f|%.9f|%s|%b|%b" r.spec.R.name
+    r.baseline.E.cycles r.baseline.E.uops r.flexvec.E.cycles r.flexvec.E.uops
+    r.hot r.overall r.mix_measured r.decision.vectorize
+    r.flexvec.E.fell_back_to_scalar
+
+let test_figure8_parallel_equals_serial () =
+  let benchmarks = [ R.find "445.gobmk"; R.find "458.sjeng" ] in
+  let serial = Fv_core.Figure8.run ~domains:1 ~benchmarks () in
+  let parallel = Fv_core.Figure8.run ~domains:4 ~benchmarks () in
+  Alcotest.(check (list string))
+    "figure8 rows identical under 4 domains"
+    (List.map fig8_row_fingerprint serial.rows)
+    (List.map fig8_row_fingerprint parallel.rows);
+  Alcotest.(check (float 1e-12))
+    "spec geomean identical" serial.spec_geomean parallel.spec_geomean
+
+let test_trip_sweep_parallel_equals_serial () =
+  let trips = [ 256; 1024 ] in
+  let fingerprint (p : Fv_core.Sweeps.trip_point) =
+    Printf.sprintf "%d|%.9f" p.trip p.speedup
+  in
+  Alcotest.(check (list string))
+    "trip sweep identical under 4 domains"
+    (List.map fingerprint (Fv_core.Sweeps.trip_sweep ~trips ~domains:1 ()))
+    (List.map fingerprint (Fv_core.Sweeps.trip_sweep ~trips ~domains:4 ()))
+
+(* ---------------- reporting-bug regressions ---------------- *)
+
+let small_build seed =
+  Fv_core.Sweeps.tunable_cond_update ~trip:256 ~update_rate:0.02 ~near_rate:0.2
+    seed
+
+let test_scalar_baseline_is_not_a_fallback () =
+  (* the Scalar strategy runs the scalar path by definition; it used to
+     report itself as a fallback *)
+  let r = E.run_workload ~invocations:2 ~seed:1 E.Scalar small_build in
+  Alcotest.(check bool) "workload scalar: no fallback" false
+    r.fell_back_to_scalar;
+  Alcotest.(check bool) "workload scalar: no oracle error" true
+    (r.oracle_error = None);
+  let b = small_build 1 in
+  let h =
+    E.run_hot E.Scalar b.Fv_workloads.Kernels.loop b.Fv_workloads.Kernels.mem
+      b.Fv_workloads.Kernels.env
+  in
+  Alcotest.(check bool) "hot scalar: no fallback" false h.fell_back_to_scalar;
+  (* a vectorizing strategy that succeeds is not a fallback either *)
+  let fv = E.run_workload ~invocations:2 ~seed:1 E.Flexvec small_build in
+  Alcotest.(check bool) "flexvec: vectorized, no fallback" false
+    fv.fell_back_to_scalar;
+  Alcotest.(check bool) "flexvec: oracle passed" true (fv.oracle_error = None)
+
+let test_hot_speedup_total () =
+  let r = E.run_workload ~invocations:1 ~seed:1 E.Scalar small_build in
+  let zero = { r with E.cycles = 0 } in
+  let finite x = Float.is_finite x && x > 0.0 in
+  Alcotest.(check (float 1e-12))
+    "both zero compares as 1.0x" 1.0
+    (E.hot_speedup ~baseline:zero zero);
+  Alcotest.(check bool) "zero baseline stays total" true
+    (finite (E.hot_speedup ~baseline:zero r));
+  Alcotest.(check bool) "zero run stays total" true
+    (finite (E.hot_speedup ~baseline:r zero));
+  Alcotest.(check (float 1e-12))
+    "zero run speedup = baseline cycles"
+    (float_of_int r.E.cycles)
+    (E.hot_speedup ~baseline:r zero)
+
+let test_report_table_ragged_rows () =
+  (* a data row with MORE cells than the header used to raise
+     Failure "nth"; extra cells are now clamped off *)
+  let t =
+    Fv_core.Report.table
+      [ [ "a"; "b" ]; [ "1"; "2"; "SURPLUS" ]; [ "only" ]; [] ]
+  in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' t) in
+  Alcotest.(check bool) "renders" true (String.length t > 0);
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "all lines same width" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  Alcotest.(check bool) "clamped cell does not leak" true
+    (not
+       (List.exists
+          (fun l ->
+            match String.index_opt l 'S' with Some _ -> true | None -> false)
+          lines));
+  Alcotest.(check string) "empty table" "" (Fv_core.Report.table [])
+
+let test_harness_validates_up_front () =
+  let available = [ "figure8"; "table2"; "micro" ] in
+  (match Fv_core.Harness.parse_args ~available [ "figure8"; "nope"; "micro" ] with
+  | Ok _ -> Alcotest.fail "unknown section must be rejected before running"
+  | Error msg ->
+      Alcotest.(check bool) "names the bad section" true
+        (contains ~needle:"nope" msg));
+  (match
+     Fv_core.Harness.parse_args ~available
+       [ "table2"; "--domains"; "4"; "--json"; "out.json"; "figure8" ]
+   with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check (list string))
+        "sections in request order" [ "table2"; "figure8" ] plan.sections;
+      Alcotest.(check (option int)) "domains" (Some 4) plan.domains;
+      Alcotest.(check (option string)) "json" (Some "out.json") plan.json);
+  (match Fv_core.Harness.parse_args ~available [ "--domains=2" ] with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check (option int)) "inline =value" (Some 2) plan.domains;
+      Alcotest.(check (list string)) "no sections means all" available
+        plan.sections);
+  let rejected args =
+    match Fv_core.Harness.parse_args ~available args with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "missing --domains value" true (rejected [ "--domains" ]);
+  Alcotest.(check bool) "non-integer --domains" true
+    (rejected [ "--domains"; "many" ]);
+  Alcotest.(check bool) "zero --domains" true (rejected [ "--domains"; "0" ]);
+  Alcotest.(check bool) "unknown option" true (rejected [ "--frobnicate" ])
+
+let test_json_report_shape () =
+  let open Fv_core.Report.Json in
+  let r = E.run_workload ~invocations:1 ~seed:1 E.Flexvec small_build in
+  let s =
+    to_string
+      (report ~section:"t" ~domains:3 ~wall_seconds:0.25
+         [ ("run", of_hot_run r) ])
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "report has %s" needle) true
+        (contains ~needle s))
+    [
+      "\"schema_version\":1"; "\"section\":\"t\""; "\"domains\":3";
+      "\"wall_seconds\":0.25"; "\"cycles\""; "\"ipc\"";
+      "\"fell_back_to_scalar\":false"; "\"oracle_error\":null";
+    ];
+  Alcotest.(check string) "string escaping" "\"a\\\"b\\n\""
+    (to_string (Str "a\"b\n"));
+  Alcotest.(check string) "non-finite floats become null" "null"
+    (to_string (Float Float.nan))
+
+let suite =
+  [
+    Alcotest.test_case "pool preserves order" `Quick
+      test_map_ordered_preserves_order;
+    Alcotest.test_case "pool edge cases" `Quick test_map_ordered_edges;
+    Alcotest.test_case "pool propagates first exception" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "figure8: parallel == serial" `Slow
+      test_figure8_parallel_equals_serial;
+    Alcotest.test_case "trip sweep: parallel == serial" `Slow
+      test_trip_sweep_parallel_equals_serial;
+    Alcotest.test_case "scalar baseline is not a fallback" `Quick
+      test_scalar_baseline_is_not_a_fallback;
+    Alcotest.test_case "hot_speedup is total" `Quick test_hot_speedup_total;
+    Alcotest.test_case "report table survives ragged rows" `Quick
+      test_report_table_ragged_rows;
+    Alcotest.test_case "bench sections validated up front" `Quick
+      test_harness_validates_up_front;
+    Alcotest.test_case "JSON report shape" `Quick test_json_report_shape;
+  ]
