@@ -19,6 +19,8 @@
    Run a subset with:   bench/main.exe table2 figure8
    Options (validated up front, before anything runs):
      --domains N    worker domains for the parallel sections
+     --mode M       pipeline scheduler: event (default) or step; the
+                    two produce identical statistics
      --json FILE    write a combined JSON report of every section run
    Every section additionally writes BENCH_<section>.json (the
    machine-readable trajectory file) next to the human tables. *)
@@ -35,7 +37,7 @@ let section name =
 
 (* ------------------------------------------------------------------ *)
 
-let table1 ~domains:_ () =
+let table1 ~domains:_ ~mode:_ () =
   section "table1: simulated machine (paper Table 1)";
   let machine = Fv_ooo.Machine.rows Fv_ooo.Machine.table1 in
   let rows =
@@ -73,9 +75,9 @@ let table1 ~domains:_ () =
            latencies) );
   ]
 
-let figure8 ~domains () =
+let figure8 ~domains ~mode () =
   section "figure8: application speedup over the AVX-512 baseline";
-  let r = Figure8.run ?domains () in
+  let r = Figure8.run ~mode ?domains () in
   let rows =
     [ "Benchmark"; "Cvrg"; "Hot speedup"; "Overall"; "Vectorized?"; "Mix emitted" ]
     :: List.map
@@ -111,7 +113,7 @@ let figure8 ~domains () =
     ("app_geomean", J.Float r.app_geomean);
   ]
 
-let table2 ~domains () =
+let table2 ~domains ~mode:_ () =
   section "table2: coverage, trip count and instruction mix";
   let rows = Table2.run ?domains () in
   let header =
@@ -141,9 +143,9 @@ let table2 ~domains () =
     ("mixes_matching_paper", J.Int matches);
   ]
 
-let rtm_sweep ~domains () =
+let rtm_sweep ~domains ~mode () =
   section "rtm-sweep: transactional-speculation tile size (paper: 128-256 within 1-2% of FF)";
-  let pts = Sweeps.rtm_tile_sweep ?domains () in
+  let pts = Sweeps.rtm_tile_sweep ~mode ?domains () in
   let rows =
     [ "Tile"; "RTM cycles"; "FF cycles"; "RTM/FF"; "vs scalar" ]
     :: List.map
@@ -160,13 +162,13 @@ let rtm_sweep ~domains () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_rtm_point pts)) ]
 
-let strategy_sweep ~domains () =
+let strategy_sweep ~domains ~mode () =
   section "strategy-sweep: FlexVec vs PACT'13 wholesale speculation";
   let per_pattern =
     List.map
       (fun (label, pattern) ->
         Printf.printf "\n-- %s pattern --\n" label;
-        let pts = Sweeps.strategy_sweep ?domains ~pattern () in
+        let pts = Sweeps.strategy_sweep ~mode ?domains ~pattern () in
         let rows =
           [ "Dep rate"; "FlexVec speedup"; "Wholesale speedup" ]
           :: List.map
@@ -184,9 +186,9 @@ let strategy_sweep ~domains () =
   in
   [ ("patterns", J.Obj per_pattern) ]
 
-let trip_sweep ~domains () =
+let trip_sweep ~domains ~mode () =
   section "trip-sweep: speedup vs loop trip count (paper: gains need high trip counts)";
-  let pts = Sweeps.trip_sweep ?domains () in
+  let pts = Sweeps.trip_sweep ~mode ?domains () in
   let rows =
     [ "Trip count"; "FlexVec hot speedup" ]
     :: List.map
@@ -197,9 +199,9 @@ let trip_sweep ~domains () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_trip_point pts)) ]
 
-let evl_sweep ~domains () =
+let evl_sweep ~domains ~mode () =
   section "evl-sweep: speedup vs effective vector length";
-  let pts = Sweeps.evl_sweep ?domains () in
+  let pts = Sweeps.evl_sweep ~mode ?domains () in
   let rows =
     [ "Update rate"; "Effective VL"; "FlexVec hot speedup" ]
     :: List.map
@@ -214,9 +216,9 @@ let evl_sweep ~domains () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_evl_point pts)) ]
 
-let vl_sweep ~domains () =
+let vl_sweep ~domains ~mode () =
   section "vl-sweep: ablation over hardware vector length";
-  let pts = Sweeps.vl_sweep ?domains () in
+  let pts = Sweeps.vl_sweep ~mode ?domains () in
   let rows =
     [ "VL (lanes)"; "FlexVec hot speedup" ]
     :: List.map
@@ -227,9 +229,9 @@ let vl_sweep ~domains () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_vl_point pts)) ]
 
-let strategies ~domains () =
+let strategies ~domains ~mode () =
   section "strategies: Figure 8 under each speculation mechanism";
-  let pts = Sweeps.benchmark_strategies ?domains () in
+  let pts = Sweeps.benchmark_strategies ~mode ?domains () in
   let rows =
     [ "Benchmark"; "FlexVec (FF)"; "Wholesale (PACT'13)"; "FlexVec (RTM 256)" ]
     :: List.map
@@ -260,9 +262,9 @@ let strategies ~domains () =
         ] );
   ]
 
-let prefetch_ablation ~domains () =
+let prefetch_ablation ~domains ~mode () =
   section "prefetch-ablation: the memory subsystem matters for vector access (§5)";
-  let pts = Sweeps.prefetch_ablation ?domains () in
+  let pts = Sweeps.prefetch_ablation ~mode ?domains () in
   let rows =
     [ "Prefetcher"; "Scalar cycles"; "FlexVec cycles"; "Speedup" ]
     :: List.map
@@ -282,7 +284,7 @@ let prefetch_ablation ~domains () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro ~domains:_ () =
+let micro ~domains:_ ~mode:_ () =
   section "micro: Bechamel micro-benchmarks of emulated primitives";
   let open Bechamel in
   let open Fv_isa in
@@ -404,10 +406,13 @@ let () =
         List.map
           (fun name ->
             let f = List.assoc name sections in
-            let body, wall = Report.timed (fun () -> f ~domains:plan.domains ()) in
+            let body, wall =
+              Report.timed (fun () ->
+                  f ~domains:plan.domains ~mode:plan.mode ())
+            in
             let j =
-              J.report ~section:name ~domains:domains_used ~wall_seconds:wall
-                body
+              J.report ~section:name ~domains:domains_used ~mode:plan.mode
+                ~wall_seconds:wall body
             in
             J.to_file (Printf.sprintf "BENCH_%s.json" name) j;
             j)
@@ -418,8 +423,13 @@ let () =
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 1);
+                 ("schema_version", J.Int 2);
                  ("domains", J.Int domains_used);
+                 ( "mode",
+                   J.Str
+                     (match plan.mode with
+                     | `Event -> "event"
+                     | `Step -> "step") );
                  ("sections", J.List reports);
                ]))
         plan.json

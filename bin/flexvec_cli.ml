@@ -170,9 +170,10 @@ let domains_used = function
 let write_json ~section ~domains ~wall_seconds body = function
   | None -> ()
   | Some path ->
+      (* the CLI always simulates with the default (event) scheduler *)
       Fv_core.Report.Json.to_file path
         (Fv_core.Report.Json.report ~section ~domains:(domains_used domains)
-           ~wall_seconds body)
+           ~mode:`Event ~wall_seconds body)
 
 let figure8_cmd =
   let run domains json =

@@ -46,9 +46,12 @@ type hot_run = {
 }
 
 (** Trace one strategy's execution of the hot loop and replay it on the
-    OOO model. Always verifies against the scalar oracle first. *)
-let run_hot ?(vl = 16) (strategy : strategy) (l : Fv_ir.Ast.loop)
-    (mem : Memory.t) (env : (string * Value.t) list) : hot_run =
+    OOO model. Always verifies against the scalar oracle first. [mode]
+    selects the pipeline scheduler (event-driven by default; the two
+    produce identical statistics). *)
+let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event) (strategy : strategy)
+    (l : Fv_ir.Ast.loop) (mem : Memory.t) (env : (string * Value.t) list) :
+    hot_run =
   let sink = Fv_trace.Sink.create ~capacity:4096 () in
   let emit u = Fv_trace.Sink.push sink u in
   let scalar_trace ?(fallback = true) ?error () =
@@ -111,7 +114,7 @@ let run_hot ?(vl = 16) (strategy : strategy) (l : Fv_ir.Ast.loop)
                 (Some rtm.Fv_simd.Rtm_run.exec,
                  Some (Fv_vir.Count.of_vloop vloop), false, None)))
   in
-  let pipe = Pipeline.run sink in
+  let pipe = Pipeline.run ~mode sink in
   {
     strategy;
     cycles = pipe.Pipeline.cycles;
@@ -126,9 +129,14 @@ let run_hot ?(vl = 16) (strategy : strategy) (l : Fv_ir.Ast.loop)
 (** Hot-region speedup of [s] over the scalar baseline. Total: both
     operands are clamped to at least one cycle, so a degenerate
     zero-cycle run (empty trace) yields a finite, positive ratio — two
-    empty runs compare as 1.0x — instead of silently reporting 0.0x. *)
+    empty runs compare as 1.0x — instead of silently reporting 0.0x.
+    If either replay hit the simulation watchdog its cycle count is a
+    lower bound, not a measurement, so the ratio is meaningless —
+    degrade to a neutral 1.0 rather than report a fabricated speedup
+    (the [truncated] flags in the JSON report say which side died). *)
 let hot_speedup ~(baseline : hot_run) (s : hot_run) : float =
-  float_of_int (max 1 baseline.cycles) /. float_of_int (max 1 s.cycles)
+  if baseline.pipe.Pipeline.truncated || s.pipe.Pipeline.truncated then 1.0
+  else float_of_int (max 1 baseline.cycles) /. float_of_int (max 1 s.cycles)
 
 (** Amdahl scaling: overall application speedup when the hot region
     covers fraction [coverage] of baseline execution. *)
@@ -144,14 +152,26 @@ let overall_speedup ~coverage ~hot =
     paper's hot loops are entered many times per application run. The
     vectorized code is generated once (from the first build); each
     invocation gets freshly seeded data. *)
-let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
-    (strategy : strategy)
+let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
+    ~(invocations : int) ~(seed : int) (strategy : strategy)
     (build : int -> Fv_workloads.Kernels.built) : hot_run =
   let first = build seed in
   let l = first.Fv_workloads.Kernels.loop in
   let sink = Fv_trace.Sink.create ~capacity:65536 () in
   let emit u = Fv_trace.Sink.push sink u in
-  let vloop_for style = Fv_vectorizer.Gen.vectorize ~vl ~style l in
+  (* vectorization is a pure function of the loop: compile once per
+     workload, not once per invocation *)
+  let vloop_for =
+    let cache = ref [] in
+    fun style ->
+      match List.assq_opt style !cache with
+      | Some r -> r
+      | None ->
+          let r = Fv_vectorizer.Gen.vectorize ~vl ~style l in
+          cache := (style, r) :: !cache;
+          r
+  in
+  let traditional_vloop = lazy (Fv_vectorizer.Traditional.vectorize ~vl l) in
   let mix = ref None and exec = ref None and fell_back = ref false in
   (* correctness gate once per workload; a failure degrades the whole
      run to the scalar path (recorded below) instead of aborting, so
@@ -186,19 +206,19 @@ let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
     | _ when oracle_error <> None -> scalar ()
     | Scalar -> scalar ~fallback:false ()
     | Traditional -> (
-        match Fv_vectorizer.Traditional.vectorize ~vl l with
+        match Lazy.force traditional_vloop with
         | Error _ -> scalar ()
         | Ok vloop ->
             let m = Memory.clone mem and e = Interp.env_of_list env in
             exec := Some (Fv_simd.Exec.run ~emit vloop m e);
-            mix := Some (Fv_vir.Count.of_vloop vloop))
+            if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Flexvec | Wholesale -> (
         match vloop_for (Option.get (style_of strategy)) with
         | Error _ -> scalar ()
         | Ok vloop ->
             let m = Memory.clone mem and e = Interp.env_of_list env in
             exec := Some (Fv_simd.Exec.run ~emit vloop m e);
-            mix := Some (Fv_vir.Count.of_vloop vloop))
+            if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Rtm tile -> (
         match vloop_for Fv_vectorizer.Gen.Flexvec with
         | Error _ -> scalar ()
@@ -206,7 +226,7 @@ let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
             let m = Memory.clone mem and e = Interp.env_of_list env in
             let r = Fv_simd.Rtm_run.run ~emit ~tile vloop m e in
             exec := Some r.Fv_simd.Rtm_run.exec;
-            mix := Some (Fv_vir.Count.of_vloop vloop))
+            if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
   in
   (* between invocations real applications execute cold code; model it
      as a short serial dependency chain so the OOO cannot overlap
@@ -222,7 +242,7 @@ let run_workload ?(vl = 16) ~(invocations : int) ~(seed : int)
     invocation_gap ();
     run_one (build (seed + k))
   done;
-  let pipe = Pipeline.run sink in
+  let pipe = Pipeline.run ~mode sink in
   {
     strategy;
     cycles = pipe.Pipeline.cycles;

@@ -27,7 +27,7 @@ let geomean = function
   | xs ->
       exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
 
-let run_row ?(vl = 16) ?(seed = 42) (spec : R.spec) : row =
+let run_row ?(vl = 16) ?(seed = 42) ?mode (spec : R.spec) : row =
   let built = spec.build seed in
   (* profiling: the cold region's dynamic size is chosen so that the
      measured coverage equals Table 2's (the paper measures coverage
@@ -40,22 +40,19 @@ let run_row ?(vl = 16) ?(seed = 42) (spec : R.spec) : row =
     int_of_float
       (float_of_int probe.hot_uops *. (1.0 -. spec.coverage) /. spec.coverage)
   in
-  let profile =
-    Fv_profiler.Profile.profile ~invocations:(min spec.invocations 4)
-      ~other_uops built.K.loop built.K.mem built.K.env
-  in
+  let profile = Fv_profiler.Profile.with_other_uops probe ~other_uops in
   let decision =
     Fv_vectorizer.Costmodel.decide ~avg_trip:profile.avg_trip
       ~effective_vl:profile.effective_vl ~mem_ratio:profile.mem_ratio
       ~coverage:profile.coverage ()
   in
   let baseline =
-    Experiment.run_workload ~vl ~invocations:spec.invocations ~seed
+    Experiment.run_workload ~vl ?mode ~invocations:spec.invocations ~seed
       Experiment.Scalar spec.build
   in
   let flexvec =
     if decision.vectorize then
-      Experiment.run_workload ~vl ~invocations:spec.invocations ~seed
+      Experiment.run_workload ~vl ?mode ~invocations:spec.invocations ~seed
         Experiment.Flexvec spec.build
     else baseline
   in
@@ -78,9 +75,9 @@ type result = {
     domains (each row builds its own kernel, memory and trace sink, so
     rows share no mutable state). Output order matches [benchmarks]
     regardless of completion order. *)
-let run ?vl ?seed ?domains ?(benchmarks = R.all) () : result =
+let run ?vl ?seed ?mode ?domains ?(benchmarks = R.all) () : result =
   let rows =
-    Fv_parallel.Pool.map_ordered ?domains (run_row ?vl ?seed) benchmarks
+    Fv_parallel.Pool.map_ordered ?domains (run_row ?vl ?seed ?mode) benchmarks
   in
   let of_group g =
     List.filter_map

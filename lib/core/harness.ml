@@ -10,6 +10,11 @@ type plan = {
   sections : string list;  (** validated, in request order; never empty *)
   domains : int option;  (** [--domains N]; [None] = pool default *)
   json : string option;  (** [--json FILE]: combined report destination *)
+  mode : [ `Event | `Step ];
+      (** [--mode event|step]: pipeline scheduler for every simulated
+          section. The two produce identical statistics; [`Step] exists
+          for differential debugging and costs proportionally to
+          simulated cycles instead of pipeline events. *)
 }
 
 let flag_value ~flag rest =
@@ -23,9 +28,14 @@ let parse_domains s =
   | Some _ -> Error "--domains expects a positive integer"
   | None -> Error (Printf.sprintf "--domains: %S is not an integer" s)
 
+let parse_mode = function
+  | "event" -> Ok `Event
+  | "step" -> Ok `Step
+  | s -> Error (Printf.sprintf "--mode: %S is not \"event\" or \"step\"" s)
+
 (** Parse bench arguments (everything after [Sys.argv.(0)]). Accepts
-    section names interleaved with [--domains N] and [--json FILE]
-    (also [--flag=value] spellings). No section name means "run them
+    section names interleaved with [--domains N], [--json FILE] and
+    [--mode event|step] (also [--flag=value] spellings). No section name means "run them
     all". Every requested section is validated against [available]
     before the plan is returned, so the caller runs nothing on a bad
     request. *)
@@ -38,8 +48,8 @@ let parse_args ~(available : string list) (args : string list) :
           Some (String.sub a (i + 1) (String.length a - i - 1)) )
     | None -> (a, None)
   in
-  let rec go sections domains json = function
-    | [] -> Ok { sections = List.rev sections; domains; json }
+  let rec go sections domains json mode = function
+    | [] -> Ok { sections = List.rev sections; domains; json; mode }
     | a :: rest -> (
         match split_eq a with
         | "--domains", inline -> (
@@ -53,7 +63,7 @@ let parse_args ~(available : string list) (args : string list) :
             | Ok (v, rest') -> (
                 match parse_domains v with
                 | Error e -> Error e
-                | Ok d -> go sections (Some d) json rest'))
+                | Ok d -> go sections (Some d) json mode rest'))
         | "--json", inline -> (
             let value =
               match inline with
@@ -62,12 +72,24 @@ let parse_args ~(available : string list) (args : string list) :
             in
             match value with
             | Error e -> Error e
-            | Ok (v, rest') -> go sections domains (Some v) rest')
+            | Ok (v, rest') -> go sections domains (Some v) mode rest')
+        | "--mode", inline -> (
+            let value =
+              match inline with
+              | Some v -> Ok (v, rest)
+              | None -> flag_value ~flag:"--mode" rest
+            in
+            match value with
+            | Error e -> Error e
+            | Ok (v, rest') -> (
+                match parse_mode v with
+                | Error e -> Error e
+                | Ok m -> go sections domains json m rest'))
         | _ when String.length a > 2 && String.sub a 0 2 = "--" ->
             Error (Printf.sprintf "unknown option %s" a)
-        | _ -> go (a :: sections) domains json rest)
+        | _ -> go (a :: sections) domains json mode rest)
   in
-  match go [] None None args with
+  match go [] None None `Event args with
   | Error _ as e -> e
   | Ok plan -> (
       let unknown =

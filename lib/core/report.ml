@@ -84,7 +84,13 @@ let timed (f : unit -> 'a) : 'a * float =
     for every row type the evaluation produces. Schema: every
     [BENCH_<section>.json] file is an object with at least
     [schema_version], [section], [domains] (worker-domain count used),
-    [wall_seconds], and a section-specific [rows] array. *)
+    [mode] (pipeline scheduler), [wall_seconds], and a section-specific
+    [rows] array.
+
+    Version history:
+    - 2: pipeline stats gained [truncated] (simulation-watchdog flag)
+      and the envelope gained [mode].
+    - 1: initial envelope. *)
 module Json = struct
   type t =
     | Null
@@ -176,6 +182,7 @@ module Json = struct
         ("stall_redirect", Int s.stall_redirect);
         ("loads", Int s.loads);
         ("stores", Int s.stores);
+        ("truncated", Bool s.truncated);
       ]
 
   let of_exec_stats (s : Fv_simd.Exec.stats) : t =
@@ -316,13 +323,15 @@ module Json = struct
       ]
 
   (** Wrap a section's body fields into the common report envelope. *)
-  let report ~(section : string) ~(domains : int) ~(wall_seconds : float)
+  let report ~(section : string) ~(domains : int)
+      ~(mode : [ `Event | `Step ]) ~(wall_seconds : float)
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 1);
+         ("schema_version", Int 2);
          ("section", Str section);
          ("domains", Int domains);
+         ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));
          ("wall_seconds", Float wall_seconds);
        ]
       @ body)

@@ -24,10 +24,7 @@ let run_row ?(seed = 42) (spec : R.spec) : row =
     int_of_float
       (float_of_int probe.hot_uops *. (1.0 -. spec.coverage) /. spec.coverage)
   in
-  let p =
-    Fv_profiler.Profile.profile ~invocations:(min spec.invocations 4)
-      ~other_uops built.K.loop built.K.mem built.K.env
-  in
+  let p = Fv_profiler.Profile.with_other_uops probe ~other_uops in
   let measured_mix =
     match Fv_vectorizer.Gen.vectorize built.K.loop with
     | Ok vloop -> Fv_vir.Count.to_table2_string (Fv_vir.Count.of_vloop vloop)

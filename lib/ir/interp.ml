@@ -60,11 +60,37 @@ type state = {
   env : env;
   hk : hooks;
   mutable tmp : int;  (** fresh temp-register counter for the uop trace *)
+  mutable stmt_labels : string array;
+      (** memoized ["s<id>"] branch labels, indexed by statement id — an
+          [If] executes once per iteration and must not pay a fresh
+          format/concat each time *)
 }
 
+let stmt_label st id =
+  if id >= Array.length st.stmt_labels then begin
+    let n = Array.length st.stmt_labels in
+    let b = Array.make (max 8 (2 * (id + 1))) "" in
+    Array.blit st.stmt_labels 0 b 0 n;
+    st.stmt_labels <- b
+  end;
+  let s = st.stmt_labels.(id) in
+  if String.length s > 0 then s
+  else begin
+    let s = "s" ^ string_of_int id in
+    st.stmt_labels.(id) <- s;
+    s
+  end
+
 let fresh st =
-  st.tmp <- st.tmp + 1;
-  Printf.sprintf "st%d" st.tmp
+  (* hot path: [^] + [string_of_int] is several times cheaper than
+     interpreting a format string per temp register — and with no trace
+     sink attached the name is never observed at all (oracle and
+     profiling-only runs), so skip even that *)
+  match st.hk.emit with
+  | None -> "_"
+  | Some _ ->
+      st.tmp <- st.tmp + 1;
+      "st" ^ string_of_int st.tmp
 
 let emit st (u : Fv_trace.Uop.t) =
   match st.hk.emit with Some f -> f u | None -> ()
@@ -78,18 +104,10 @@ let mul_class a b =
 (** Evaluate an expression; returns its value and the logical register
     holding it in the trace. [dst] names the destination of the final
     micro-op (used so a scalar assignment's consumers depend on the
-    variable name). *)
+    variable name). Each case is written out flat — this is the hottest
+    function in trace generation, and a shared [bind_dst] helper costs
+    two closure allocations per expression node. *)
 let rec eval ?dst (st : state) (e : expr) : Value.t * string =
-  let bind_dst ~mk_uop v r_default =
-    match (st.hk.emit, dst) with
-    | None, _ -> (v, r_default)
-    | Some _, Some d ->
-        mk_uop d;
-        (v, d)
-    | Some _, None ->
-        mk_uop r_default;
-        (v, r_default)
-  in
   match e with
   | Const v -> (
       match dst with
@@ -110,34 +128,52 @@ let rec eval ?dst (st : state) (e : expr) : Value.t * string =
       let v = Fv_mem.Memory.load st.mem addr in
       st.hk.on_load addr;
       let r = fresh st in
-      bind_dst v r ~mk_uop:(fun d ->
-          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ir ] ~addr Latency.Load))
+      (match st.hk.emit with
+      | None -> (v, r)
+      | Some f ->
+          let d = match dst with Some d -> d | None -> r in
+          f (Fv_trace.Uop.make ~dst:d ~srcs:[ ir ] ~addr Latency.Load);
+          (v, d))
   | Binop (op, a, b) ->
       let av, ar = eval st a in
       let bv, br = eval st b in
       let v = Value.binop op av bv in
-      let cls =
-        match op with
-        | Mul -> mul_class av bv
-        | Div -> if Value.is_float av || Value.is_float bv then Latency.Fp_div else Latency.Int_mul
-        | _ -> alu_class av bv
-      in
       let r = fresh st in
-      bind_dst v r ~mk_uop:(fun d ->
-          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ar; br ] cls))
+      (match st.hk.emit with
+      | None -> (v, r)
+      | Some f ->
+          let cls =
+            match op with
+            | Mul -> mul_class av bv
+            | Div ->
+                if Value.is_float av || Value.is_float bv then Latency.Fp_div
+                else Latency.Int_mul
+            | _ -> alu_class av bv
+          in
+          let d = match dst with Some d -> d | None -> r in
+          f (Fv_trace.Uop.make ~dst:d ~srcs:[ ar; br ] cls);
+          (v, d))
   | Cmp (op, a, b) ->
       let av, ar = eval st a in
       let bv, br = eval st b in
       let v = Value.of_bool (Value.cmp op av bv) in
       let r = fresh st in
-      bind_dst v r ~mk_uop:(fun d ->
-          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ar; br ] (alu_class av bv)))
+      (match st.hk.emit with
+      | None -> (v, r)
+      | Some f ->
+          let d = match dst with Some d -> d | None -> r in
+          f (Fv_trace.Uop.make ~dst:d ~srcs:[ ar; br ] (alu_class av bv));
+          (v, d))
   | Unop (op, a) ->
       let av, ar = eval st a in
       let v = Value.unop op av in
       let r = fresh st in
-      bind_dst v r ~mk_uop:(fun d ->
-          emit st (Fv_trace.Uop.make ~dst:d ~srcs:[ ar ] (alu_class av av)))
+      (match st.hk.emit with
+      | None -> (v, r)
+      | Some f ->
+          let d = match dst with Some d -> d | None -> r in
+          f (Fv_trace.Uop.make ~dst:d ~srcs:[ ar ] (alu_class av av));
+          (v, d))
 
 let rec exec_stmt (st : state) (s : stmt) : unit =
   st.hk.on_stmt s.id;
@@ -158,19 +194,18 @@ let rec exec_stmt (st : state) (s : stmt) : unit =
       let taken = Value.truthy cv in
       st.hk.on_branch ~id:s.id ~taken;
       emit st
-        (Fv_trace.Uop.branch ~label:(Printf.sprintf "s%d" s.id) ~taken
-           ~srcs:[ cr ]);
+        (Fv_trace.Uop.branch ~label:(stmt_label st s.id) ~taken ~srcs:[ cr ]);
       List.iter (exec_stmt st) (if taken then t else e)
 
 (** Run the loop to completion. Returns the number of iterations entered
     (the dynamic trip count). *)
 let run ?(hk = no_hooks) (mem : Fv_mem.Memory.t) (env : env) (l : loop) : int =
   if not (is_numbered l) then invalid_arg "Interp.run: loop is not numbered";
-  let st = { mem; env; hk; tmp = 0 } in
+  let st = { mem; env; hk; tmp = 0; stmt_labels = [||] } in
   let lo = Value.to_int (fst (eval st l.lo)) in
   let hi = Value.to_int (fst (eval st l.hi)) in
   let trips = ref 0 in
-  let label = Printf.sprintf "loop.%s" l.name in
+  let label = "loop." ^ l.name in
   (try
      let i = ref lo in
      while !i < hi do
@@ -193,7 +228,7 @@ let run ?(hk = no_hooks) (mem : Fv_mem.Memory.t) (env : env) (l : loop) : int =
     [`Break] if the iteration executed a break. *)
 let run_iteration ?(hk = no_hooks) (mem : Fv_mem.Memory.t) (env : env)
     (l : loop) (i : int) : [ `Ok | `Break ] =
-  let st = { mem; env; hk; tmp = 0 } in
+  let st = { mem; env; hk; tmp = 0; stmt_labels = [||] } in
   env_set env l.index (Value.Int i);
   hk.on_iter i;
   try

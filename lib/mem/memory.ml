@@ -29,6 +29,10 @@ type t = {
   by_name : (string, allocation) Hashtbl.t;
   mutable loads : int;   (** committed (non-faulting) loads *)
   mutable stores : int;
+  mutable hot : allocation option;
+      (** last allocation hit by an address lookup — loops touch the
+          same few arrays millions of times, so checking it first makes
+          the common access O(1) instead of a list walk *)
 }
 
 let guard_gap = 64
@@ -36,7 +40,7 @@ let initial_base = 1024
 
 let create () =
   { allocs = []; next_base = initial_base; by_name = Hashtbl.create 16;
-    loads = 0; stores = 0 }
+    loads = 0; stores = 0; hot = None }
 
 (** Allocate a named array initialised from [data]. Returns the base
     address. Names are unique per memory. *)
@@ -65,38 +69,54 @@ let length_of m name = (find m name).len
     addresses harmlessly. *)
 let addr_of m name idx = (find m name).base + idx
 
-let locate (m : t) (addr : int) : (allocation * int) option =
-  let rec go = function
-    | [] -> None
-    | a :: rest ->
-        if addr >= a.base && addr < a.base + a.len then Some (a, addr - a.base)
-        else go rest
-  in
-  go m.allocs
+(* allocation containing [addr], or [Not_found]; allocation-free on the
+   hot (cache-hit) path *)
+let locate_alloc (m : t) (addr : int) : allocation =
+  match m.hot with
+  | Some a when addr >= a.base && addr < a.base + a.len -> a
+  | _ ->
+      let rec go = function
+        | [] -> raise Not_found
+        | a :: rest ->
+            if addr >= a.base && addr < a.base + a.len then begin
+              m.hot <- Some a;
+              a
+            end
+            else go rest
+      in
+      go m.allocs
 
 (** Non-trapping load: [Error fault] on unmapped addresses. *)
 let load_opt (m : t) (addr : int) : (Value.t, fault) result =
-  match locate m addr with
-  | Some (a, off) ->
+  match locate_alloc m addr with
+  | a ->
       m.loads <- m.loads + 1;
-      Ok a.data.(off)
-  | None -> Error { addr; write = false }
+      Ok a.data.(addr - a.base)
+  | exception Not_found -> Error { addr; write = false }
 
 let store_opt (m : t) (addr : int) (v : Value.t) : (unit, fault) result =
-  match locate m addr with
-  | Some (a, off) ->
+  match locate_alloc m addr with
+  | a ->
       m.stores <- m.stores + 1;
-      a.data.(off) <- v;
+      a.data.(addr - a.base) <- v;
       Ok ()
-  | None -> Error { addr; write = true }
+  | exception Not_found -> Error { addr; write = true }
 
 (** Trapping load: raises {!Fault} on unmapped addresses — the behaviour
     of a normal (non-first-faulting) access. *)
 let load (m : t) (addr : int) : Value.t =
-  match load_opt m addr with Ok v -> v | Error f -> raise (Fault f)
+  match locate_alloc m addr with
+  | a ->
+      m.loads <- m.loads + 1;
+      a.data.(addr - a.base)
+  | exception Not_found -> raise (Fault { addr; write = false })
 
 let store (m : t) (addr : int) (v : Value.t) : unit =
-  match store_opt m addr v with Ok () -> () | Error f -> raise (Fault f)
+  match locate_alloc m addr with
+  | a ->
+      m.stores <- m.stores + 1;
+      a.data.(addr - a.base) <- v
+  | exception Not_found -> raise (Fault { addr; write = true })
 
 let get m name idx = load m (addr_of m name idx)
 let set m name idx v = store m (addr_of m name idx) v
@@ -135,7 +155,8 @@ let clone (m : t) : t =
   let allocs = List.map (fun a -> { a with data = Array.copy a.data }) m.allocs in
   let by_name = Hashtbl.create 16 in
   List.iter (fun a -> Hashtbl.replace by_name a.name a) allocs;
-  { allocs; next_base = m.next_base; by_name; loads = m.loads; stores = m.stores }
+  { allocs; next_base = m.next_base; by_name; loads = m.loads;
+    stores = m.stores; hot = None }
 
 let pp ppf (m : t) =
   List.iter

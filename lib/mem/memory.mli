@@ -29,6 +29,7 @@ type t = {
   by_name : (string, allocation) Hashtbl.t;
   mutable loads : int;  (** committed (non-faulting) load count *)
   mutable stores : int;
+  mutable hot : allocation option;  (** last-hit lookup cache *)
 }
 
 val create : unit -> t

@@ -5,17 +5,44 @@
     dataflow-driven issue limited by issue width and port counts
     (2 load / 1 store / N ALU), execution latencies from
     {!Fv_isa.Latency} plus the cache hierarchy for memory ops,
-    store-to-load forwarding, gshare branch prediction with front-end
-    redirect on mispredicts, and in-order commit.
+    store-to-load forwarding bounded by the store-queue window, gshare
+    branch prediction with front-end redirect on mispredicts, and
+    in-order commit.
 
     This is the paper's methodology (§5) with our IR/VIR traces standing
     in for LIT x86 traces. The model is intentionally simple where
     simplicity is conservative for FlexVec: e.g. every VPL back edge and
-    fault check costs a real branch micro-op. *)
+    fault check costs a real branch micro-op.
+
+    Two scheduling modes produce bit-identical statistics:
+
+    - [`Event] (the default) keeps a next-event heap (completions) and
+      fast-forwards the cycle counter over provably inactive cycles —
+      cycles in which no micro-op can complete, commit, dispatch or
+      issue — accounting the skipped dispatch-stall cycles
+      arithmetically. Simulated time is then proportional to the number
+      of *events*, not the number of *cycles*, which matters for
+      memory-bound traces (a 200-cycle miss is one event, not 200 loop
+      iterations).
+    - [`Step] increments the cycle counter by one and re-checks every
+      structure each cycle — the original (slow) reference scheduler,
+      kept for differential testing.
+
+    The replay loop runs a few million micro-ops per bench section, so
+    the machine structures are flat arrays rather than the obvious
+    [Hashtbl]/[Queue] encodings. A single pre-pass interns logical
+    register names to dense ids so renaming is an int-array lookup
+    instead of a string hash per operand; the ROB is a ring buffer; the
+    completion calendar is a power-of-two ring of cycle buckets (the
+    completion horizon is bounded by the worst-case miss latency, and
+    the ring grows if a pathological hierarchy exceeds it); and memory
+    disambiguation is a direct-mapped [addr -> store id] array. *)
 
 open Fv_isa
 module Uop = Fv_trace.Uop
 module Sink = Fv_trace.Sink
+
+type mode = [ `Event  (** event-driven scheduler (default) *) | `Step ]
 
 type stats = {
   cycles : int;
@@ -31,17 +58,24 @@ type stats = {
   stall_redirect : int;
   loads : int;
   stores : int;
+  truncated : bool;
+      (** the [max_cycles] watchdog fired before every micro-op
+          committed: [cycles]/[ipc] describe an unfinished run and must
+          not be compared against completed runs *)
 }
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "cycles=%d uops=%d ipc=%.2f br_miss=%d/%d l1=%.1f%% stalls(rob=%d rs=%d \
-     lq=%d sq=%d redirect=%d)"
+     lq=%d sq=%d redirect=%d)%s"
     s.cycles s.uops s.ipc s.branch_mispredicts s.branch_lookups
     (100. *. s.l1_hit_rate) s.stall_rob s.stall_rs s.stall_lq s.stall_sq
     s.stall_redirect
+    (if s.truncated then " TRUNCATED" else "")
 
-(* a simple binary min-heap of ints (uop ids, oldest = smallest first) *)
+(* a simple binary min-heap of ints (uop ids / cycle numbers, smallest
+   first; duplicates allowed). [top]/[drop_min] are only valid when
+   [n > 0]; callers check, so no option allocation on the hot path. *)
 module Heap = struct
   type t = { mutable a : int array; mutable n : int }
 
@@ -64,30 +98,26 @@ module Heap = struct
       i := p
     done
 
-  let peek h = if h.n = 0 then None else Some h.a.(0)
+  let top h = Array.unsafe_get h.a 0
 
-  let pop h =
-    match peek h with
-    | None -> None
-    | Some x ->
-        h.n <- h.n - 1;
-        h.a.(0) <- h.a.(h.n);
-        let i = ref 0 in
-        let continue_ = ref true in
-        while !continue_ do
-          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-          let m = ref !i in
-          if l < h.n && h.a.(l) < h.a.(!m) then m := l;
-          if r < h.n && h.a.(r) < h.a.(!m) then m := r;
-          if !m <> !i then begin
-            let t = h.a.(!m) in
-            h.a.(!m) <- h.a.(!i);
-            h.a.(!i) <- t;
-            i := !m
-          end
-          else continue_ := false
-        done;
-        Some x
+  let drop_min h =
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && h.a.(l) < h.a.(!m) then m := l;
+      if r < h.n && h.a.(r) < h.a.(!m) then m := r;
+      if !m <> !i then begin
+        let t = h.a.(!m) in
+        h.a.(!m) <- h.a.(!i);
+        h.a.(!i) <- t;
+        i := !m
+      end
+      else continue_ := false
+    done
 end
 
 type port_class = P_load | P_store | P_alu
@@ -97,30 +127,143 @@ let port_class (cls : Latency.uop_class) : port_class =
   else if Latency.is_store cls then P_store
   else P_alu
 
+(* byte encoding of [port_class] used in the per-uop side arrays *)
+let b_load = 0
+and b_store = 1
+and b_alu = 2
+
 let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
-    (trace : Sink.t) : stats =
+    ?(mode : mode = `Event) ?(max_cycles = 400_000_000) (trace : Sink.t) :
+    stats =
   let n = Sink.length trace in
   if n = 0 then
     {
       cycles = 0; uops = 0; ipc = 0.; branch_lookups = 0; branch_mispredicts = 0;
       l1_hit_rate = 1.0; stall_rob = 0; stall_rs = 0; stall_lq = 0; stall_sq = 0;
-      stall_redirect = 0; loads = 0; stores = 0;
+      stall_redirect = 0; loads = 0; stores = 0; truncated = false;
     }
   else begin
-    let uop i = Sink.get trace i in
+    let uops_arr = Sink.to_array trace in
+    let uop i = Array.unsafe_get uops_arr i in
+    (* ---- pre-pass: intern register names, flatten source lists, and
+       cache per-uop classes so the replay loop never hashes a string or
+       chases an option for renaming ---- *)
+    let reg_ids : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+    let nregs = ref 0 in
+    (* one-entry physical-equality cache in front of the table: many
+       name occurrences are the same shared string (string literals,
+       the loop index variable, back-to-back filler ops) *)
+    let last_s = ref "" and last_id = ref (-1) in
+    let intern r =
+      if r == !last_s then !last_id
+      else begin
+        let id =
+          try Hashtbl.find reg_ids r
+          with Not_found ->
+            let id = !nregs in
+            incr nregs;
+            Hashtbl.add reg_ids r id;
+            id
+        in
+        last_s := r;
+        last_id := id;
+        id
+      end
+    in
+    let nsrcs = ref 0 in
+    for i = 0 to n - 1 do
+      nsrcs := !nsrcs + List.length (uop i).Uop.srcs
+    done;
+    let dst_id = Array.make n (-1) in
+    let src_off = Array.make (n + 1) 0 in
+    let src_ids = Array.make (max 1 !nsrcs) 0 in
+    let pcls = Bytes.create n in
+    let is_br = Bytes.create n in
+    let pos = ref 0 in
+    let rec add_srcs = function
+      | [] -> ()
+      | r :: tl ->
+          src_ids.(!pos) <- intern r;
+          incr pos;
+          add_srcs tl
+    in
+    for i = 0 to n - 1 do
+      let u = uop i in
+      src_off.(i) <- !pos;
+      add_srcs u.Uop.srcs;
+      (match u.Uop.dst with Some d -> dst_id.(i) <- intern d | None -> ());
+      Bytes.unsafe_set pcls i
+        (Char.unsafe_chr
+           (if Latency.is_load u.Uop.cls then b_load
+            else if Latency.is_store u.Uop.cls then b_store
+            else b_alu));
+      Bytes.unsafe_set is_br i
+        (if Latency.is_branch u.Uop.cls then '\001' else '\000')
+    done;
+    src_off.(n) <- !pos;
+    let pcls_of i = Char.code (Bytes.unsafe_get pcls i) in
     (* per-uop state *)
     let pending = Array.make n 0 in
     let dependents : int list array = Array.make n [] in
-    let completed = Array.make n false in
-    let complete_cycle = Array.make n max_int in
-    let in_rs = Array.make n false in
-    (* renaming: logical register -> last writer uop id *)
-    let last_writer : (string, int) Hashtbl.t = Hashtbl.create 256 in
-    (* memory disambiguation: element address -> last store uop id *)
-    let last_store : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let completed = Bytes.make n '\000' in
+    let is_completed i = Bytes.unsafe_get completed i <> '\000' in
+    let in_rs = Bytes.make n '\000' in
+    (* renaming: logical register id -> last writer uop id (-1: none) *)
+    let last_writer = Array.make (max 1 !nregs) (-1) in
+    (* memory disambiguation: element address -> last *in-flight* store
+       uop id (-1: none), direct-mapped since the address space is a
+       small bump-allocated range. Entries are pruned when their store
+       commits (leaves the SQ), so a load can neither forward from nor
+       depend on a store that drained long ago — previously this table
+       grew without bound across the concatenated invocations of a
+       workload trace and granted forwarding from stores of earlier
+       invocations. Negative addresses (unmapped speculative accesses)
+       spill to a hashtable. *)
+    let ls_arr = ref (Array.make 4096 (-1)) in
+    let ls_neg : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let ls_get e =
+      if e >= 0 then begin
+        let a = !ls_arr in
+        if e < Array.length a then Array.unsafe_get a e else -1
+      end
+      else match Hashtbl.find_opt ls_neg e with Some s -> s | None -> -1
+    in
+    let ls_set e i =
+      if e >= 0 then begin
+        (if e >= Array.length !ls_arr then begin
+           let ns = ref (2 * Array.length !ls_arr) in
+           while e >= !ns do ns := 2 * !ns done;
+           let b = Array.make !ns (-1) in
+           Array.blit !ls_arr 0 b 0 (Array.length !ls_arr);
+           ls_arr := b
+         end);
+        (!ls_arr).(e) <- i
+      end
+      else Hashtbl.replace ls_neg e i
+    in
+    (* drop [e -> i] if still present (the store commits) *)
+    let ls_clear e i =
+      if e >= 0 then begin
+        let a = !ls_arr in
+        if e < Array.length a && a.(e) = i then a.(e) <- -1
+      end
+      else
+        match Hashtbl.find_opt ls_neg e with
+        | Some s when s = i -> Hashtbl.remove ls_neg e
+        | _ -> ()
+    in
     let predictor = Predictor.create () in
-    (* occupancy *)
-    let rob = Queue.create () in
+    (* ROB: ring buffer of uop ids (capacity: rob_size rounded up to a
+       power of two so the index wrap is a mask) *)
+    let rob_cap =
+      let c = ref 1 in
+      while !c < cfg.Machine.rob_size do
+        c := 2 * !c
+      done;
+      !c
+    in
+    let rob = Array.make rob_cap 0 in
+    let rob_head = ref 0 and rob_len = ref 0 in
     let rs_used = ref 0 and lq_used = ref 0 and sq_used = ref 0 in
     (* ready heaps per port class *)
     let ready_load = Heap.create ()
@@ -131,6 +274,11 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       | P_store -> ready_store
       | P_alu -> ready_alu
     in
+    let heap_of_b b =
+      if b = b_load then ready_load
+      else if b = b_store then ready_store
+      else ready_alu
+    in
     (* ports: next-free cycle per unit *)
     let load_ports = Array.make cfg.Machine.load_ports 0 in
     let store_ports = Array.make cfg.Machine.store_ports 0 in
@@ -140,29 +288,42 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       | P_store -> store_ports
       | P_alu -> alu_ports
     in
-    (* completion calendar *)
-    let calendar : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
-    let schedule_completion i c =
-      complete_cycle.(i) <- c;
-      Hashtbl.replace calendar c
-        (i :: Option.value ~default:[] (Hashtbl.find_opt calendar c))
+    (* Completion calendar: a power-of-two ring of cycle buckets plus a
+       next-event heap over the live bucket times. Live completions all
+       lie within the worst-case miss latency of the current cycle, far
+       below the ring size, so two live times never alias — if an
+       exotic hierarchy ever exceeds the horizon the ring doubles. *)
+    let cal_size = ref 1024 in
+    let cal_time = ref (Array.make !cal_size (-1)) in
+    let cal_uops : int list array ref = ref (Array.make !cal_size []) in
+    let events = Heap.create () in
+    let grow_calendar () =
+      let old_n = !cal_size and old_t = !cal_time and old_u = !cal_uops in
+      cal_size := 2 * old_n;
+      cal_time := Array.make !cal_size (-1);
+      cal_uops := Array.make !cal_size [];
+      for idx = 0 to old_n - 1 do
+        let t = old_t.(idx) in
+        if t >= 0 then begin
+          let j = t land (!cal_size - 1) in
+          (!cal_time).(j) <- t;
+          (!cal_uops).(j) <- old_u.(idx)
+        end
+      done
     in
-    (* store forwarding bookkeeping: for a load, the youngest older store
-       covering any of its elements *)
-    let store_dep (u : Uop.t) : (int * bool) option =
-      match u.addr with
-      | None -> None
-      | Some a ->
-          let dep = ref (-1) and full = ref true in
-          for e = a to a + u.nelems - 1 do
-            match Hashtbl.find_opt last_store e with
-            | Some s -> if s > !dep then dep := s
-            | None -> full := false
-          done;
-          if !dep < 0 then None
-          else
-            (* full forwarding only when one store covers the whole range *)
-            Some (!dep, !full && u.nelems <= (uop !dep).nelems)
+    let rec schedule_completion i t =
+      let idx = t land (!cal_size - 1) in
+      let tm = (!cal_time).(idx) in
+      if tm = t then (!cal_uops).(idx) <- i :: (!cal_uops).(idx)
+      else if tm < 0 then begin
+        (!cal_time).(idx) <- t;
+        (!cal_uops).(idx) <- [ i ];
+        Heap.push events t
+      end
+      else begin
+        grow_calendar ();
+        schedule_completion i t
+      end
     in
     let next_dispatch = ref 0 in
     let redirect_until = ref (-1) in
@@ -174,41 +335,77 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
     let nloads = ref 0 and nstores = ref 0 in
     let forward_lat = Array.make n (-1) in
     (* -1: not a forwarded load *)
-    let max_cycles = 400_000_000 in
-    while !committed < n && !cycle < max_cycles do
-      let c = !cycle in
+    (* producer scratch buffer: the deduplicated producer set of the uop
+       being dispatched (order is irrelevant — each distinct producer
+       gets one dependence edge) *)
+    let pbuf = ref (Array.make 16 0) in
+    let pcnt = ref 0 in
+    let add_producer p =
+      let b = !pbuf in
+      let m = !pcnt in
+      let dup = ref false in
+      for k = 0 to m - 1 do
+        if b.(k) = p then dup := true
+      done;
+      if not !dup then begin
+        (if m = Array.length b then begin
+           let nb = Array.make (2 * m) 0 in
+           Array.blit b 0 nb 0 m;
+           pbuf := nb
+         end);
+        (!pbuf).(m) <- p;
+        pcnt := m + 1
+      end
+    in
+
+    (* One cycle of the machine; identical in both modes. *)
+    let do_cycle c =
       (* 1. process completions scheduled for this cycle *)
-      (match Hashtbl.find_opt calendar c with
-      | None -> ()
-      | Some comps ->
-          Hashtbl.remove calendar c;
-          List.iter
-            (fun i ->
-              completed.(i) <- true;
-              if !redirect_waiting_on = i then begin
-                redirect_until := c + cfg.Machine.mispredict_penalty;
-                redirect_waiting_on := -1
-              end;
-              List.iter
-                (fun d ->
-                  pending.(d) <- pending.(d) - 1;
-                  if pending.(d) = 0 && in_rs.(d) then
-                    Heap.push (heap_of (port_class (uop d).cls)) d)
-                dependents.(i))
-            comps);
-      (* 2. commit in order *)
+      let cidx = c land (!cal_size - 1) in
+      if (!cal_time).(cidx) = c then begin
+        let comps = (!cal_uops).(cidx) in
+        (!cal_time).(cidx) <- -1;
+        (!cal_uops).(cidx) <- [];
+        List.iter
+          (fun i ->
+            Bytes.unsafe_set completed i '\001';
+            if !redirect_waiting_on = i then begin
+              redirect_until := c + cfg.Machine.mispredict_penalty;
+              redirect_waiting_on := -1
+            end;
+            List.iter
+              (fun d ->
+                pending.(d) <- pending.(d) - 1;
+                if pending.(d) = 0 && Bytes.unsafe_get in_rs d <> '\000' then
+                  Heap.push (heap_of_b (pcls_of d)) d)
+              dependents.(i))
+          comps
+      end;
+      (* 2. commit in order; a committing store leaves the SQ, so its
+         disambiguation entries are dropped *)
       let comms = ref 0 in
       let continue_commit = ref true in
       while !continue_commit && !comms < cfg.Machine.commit_width do
-        match Queue.peek_opt rob with
-        | Some i when completed.(i) ->
-            ignore (Queue.pop rob);
+        if !rob_len > 0 && is_completed rob.(!rob_head) then begin
+          let i = rob.(!rob_head) in
+          rob_head := (!rob_head + 1) land (rob_cap - 1);
+          decr rob_len;
+          let b = pcls_of i in
+          if b = b_load then decr lq_used
+          else if b = b_store then begin
+            decr sq_used;
             let u = uop i in
-            if Latency.is_load u.cls then decr lq_used
-            else if Latency.is_store u.cls then decr sq_used;
-            incr committed;
-            incr comms
-        | _ -> continue_commit := false
+            match u.Uop.addr with
+            | Some a ->
+                for e = a to a + u.Uop.nelems - 1 do
+                  ls_clear e i
+                done
+            | None -> ()
+          end;
+          incr committed;
+          incr comms
+        end
+        else continue_commit := false
       done;
       (* 3. dispatch in order *)
       let disp = ref 0 in
@@ -219,12 +416,12 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
         && !next_dispatch < n
       do
         let i = !next_dispatch in
-        let u = uop i in
+        let b = pcls_of i in
         if !redirect_waiting_on >= 0 || c < !redirect_until then begin
           incr stall_redirect;
           continue_dispatch := false
         end
-        else if Queue.length rob >= cfg.Machine.rob_size then begin
+        else if !rob_len >= cfg.Machine.rob_size then begin
           incr stall_rob;
           continue_dispatch := false
         end
@@ -232,57 +429,81 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
           incr stall_rs;
           continue_dispatch := false
         end
-        else if Latency.is_load u.cls && !lq_used >= cfg.Machine.lq_size then begin
+        else if b = b_load && !lq_used >= cfg.Machine.lq_size then begin
           incr stall_lq;
           continue_dispatch := false
         end
-        else if Latency.is_store u.cls && !sq_used >= cfg.Machine.sq_size
-        then begin
+        else if b = b_store && !sq_used >= cfg.Machine.sq_size then begin
           incr stall_sq;
           continue_dispatch := false
         end
         else begin
           (* rename: collect producers *)
-          let producers = ref [] in
-          List.iter
-            (fun r ->
-              match Hashtbl.find_opt last_writer r with
-              | Some p when not completed.(p) -> producers := p :: !producers
-              | _ -> ())
-            u.srcs;
-          (if Latency.is_load u.cls then begin
+          pcnt := 0;
+          for k = src_off.(i) to src_off.(i + 1) - 1 do
+            let p = last_writer.(Array.unsafe_get src_ids k) in
+            if p >= 0 && not (is_completed p) then add_producer p
+          done;
+          (if b = b_load then begin
              incr nloads;
-             match store_dep u with
-             | Some (s, full) ->
-                 if not completed.(s) then producers := s :: !producers;
-                 if full then forward_lat.(i) <- cfg.Machine.store_forward_latency
+             (* store forwarding: the youngest in-flight older store
+                overlapping any of the load's elements. Full forwarding
+                requires that single store's address range to cover the
+                load's whole range — a partially-overlapping store,
+                however wide, forces the load to wait and then read the
+                cache. *)
+             let u = uop i in
+             match u.Uop.addr with
              | None -> ()
-           end
-           else if Latency.is_store u.cls then begin
-             incr nstores;
-             match u.addr with
              | Some a ->
-                 for e = a to a + u.nelems - 1 do
-                   Hashtbl.replace last_store e i
+                 let dep = ref (-1) in
+                 for e = a to a + u.Uop.nelems - 1 do
+                   let s = ls_get e in
+                   if s > !dep then dep := s
+                 done;
+                 if !dep >= 0 then begin
+                   let s = !dep in
+                   if not (is_completed s) then add_producer s;
+                   let d = uop s in
+                   let covers =
+                     match d.Uop.addr with
+                     | Some da -> da <= a && a + u.Uop.nelems <= da + d.Uop.nelems
+                     | None -> false
+                   in
+                   if covers then
+                     forward_lat.(i) <- cfg.Machine.store_forward_latency
+                 end
+           end
+           else if b = b_store then begin
+             incr nstores;
+             let u = uop i in
+             match u.Uop.addr with
+             | Some a ->
+                 for e = a to a + u.Uop.nelems - 1 do
+                   ls_set e i
                  done
              | None -> ()
            end);
-          let producers = List.sort_uniq compare !producers in
-          pending.(i) <- List.length producers;
-          List.iter (fun p -> dependents.(p) <- i :: dependents.(p)) producers;
-          (match u.dst with
-          | Some d -> Hashtbl.replace last_writer d i
-          | None -> ());
-          Queue.push i rob;
-          if Latency.is_load u.cls then incr lq_used
-          else if Latency.is_store u.cls then incr sq_used;
+          pending.(i) <- !pcnt;
+          for k = 0 to !pcnt - 1 do
+            let p = (!pbuf).(k) in
+            dependents.(p) <- i :: dependents.(p)
+          done;
+          (let d = dst_id.(i) in
+           if d >= 0 then last_writer.(d) <- i);
+          rob.((!rob_head + !rob_len) land (rob_cap - 1)) <- i;
+          incr rob_len;
+          if b = b_load then incr lq_used
+          else if b = b_store then incr sq_used;
           incr rs_used;
-          in_rs.(i) <- true;
-          if pending.(i) = 0 then Heap.push (heap_of (port_class u.cls)) i;
+          Bytes.unsafe_set in_rs i '\001';
+          if !pcnt = 0 then Heap.push (heap_of_b b) i;
           (* branch prediction *)
-          if Latency.is_branch u.cls then begin
+          if Bytes.unsafe_get is_br i <> '\000' then begin
+            let u = uop i in
             let miss =
-              Predictor.mispredicted predictor ~label:u.label ~taken:u.taken
+              Predictor.mispredicted predictor ~label:u.Uop.label
+                ~taken:u.Uop.taken
             in
             if miss then redirect_waiting_on := i
           end;
@@ -295,50 +516,134 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       let try_issue pc =
         let h = heap_of pc in
         let ports = ports_of pc in
+        let np = Array.length ports in
         let continue_issue = ref true in
         while !continue_issue && !issued < cfg.Machine.issue_width do
-          match Heap.peek h with
-          | None -> continue_issue := false
-          | Some i ->
-              (* find a free port unit *)
-              let port = ref (-1) in
-              Array.iteri
-                (fun pi free_at -> if !port < 0 && free_at <= c then port := pi)
-                ports;
-              if !port < 0 then continue_issue := false
-              else begin
-                ignore (Heap.pop h);
-                let u = uop i in
-                let t = Latency.timing u.cls in
-                let lat =
-                  if Latency.is_load u.cls then
-                    if forward_lat.(i) >= 0 then forward_lat.(i)
-                    else
-                      t.latency
-                      + Fv_memsys.Hierarchy.access_range hier
-                          (Option.value ~default:0 u.addr)
-                          u.nelems
-                  else if Latency.is_store u.cls then begin
-                    (match u.addr with
-                    | Some a ->
-                        ignore (Fv_memsys.Hierarchy.access_range hier a u.nelems)
-                    | None -> ());
+          if h.Heap.n = 0 then continue_issue := false
+          else begin
+            let i = Heap.top h in
+            (* find a free port unit *)
+            let port = ref (-1) in
+            let pi = ref 0 in
+            while !port < 0 && !pi < np do
+              if Array.unsafe_get ports !pi <= c then port := !pi;
+              incr pi
+            done;
+            if !port < 0 then continue_issue := false
+            else begin
+              Heap.drop_min h;
+              let u = uop i in
+              let t = Latency.timing u.Uop.cls in
+              let b = pcls_of i in
+              let lat =
+                if b = b_load then
+                  if forward_lat.(i) >= 0 then forward_lat.(i)
+                  else
                     t.latency
-                  end
-                  else t.latency
-                in
-                ports.(!port) <- c + t.recip_tput;
-                decr rs_used;
-                in_rs.(i) <- false;
-                schedule_completion i (c + max 1 lat);
-                incr issued
-              end
+                    + Fv_memsys.Hierarchy.access_range hier
+                        (match u.Uop.addr with Some a -> a | None -> 0)
+                        u.Uop.nelems
+                else if b = b_store then begin
+                  (match u.Uop.addr with
+                  | Some a ->
+                      ignore
+                        (Fv_memsys.Hierarchy.access_range hier a u.Uop.nelems)
+                  | None -> ());
+                  t.latency
+                end
+                else t.latency
+              in
+              ports.(!port) <- c + t.recip_tput;
+              decr rs_used;
+              Bytes.unsafe_set in_rs i '\000';
+              schedule_completion i (c + max 1 lat);
+              incr issued
+            end
+          end
         done
       in
       try_issue P_load;
       try_issue P_store;
-      try_issue P_alu;
-      incr cycle
+      try_issue P_alu
+    in
+
+    (* Event-driven fast-forward: after executing cycle [c], find the
+       earliest future cycle at which the stepped model could do
+       anything at all. Between [c] and that cycle the machine state is
+       provably frozen, so the only stepped-model effect to replicate is
+       the one dispatch-stall increment per blocked cycle. *)
+    let advance () =
+      let c = !cycle in
+      let cand = ref max_int in
+      let add t = if t > c && t < !cand then cand := t in
+      (* next completion event (drop keys already processed) *)
+      while events.Heap.n > 0 && Heap.top events <= c do
+        Heap.drop_min events
+      done;
+      if events.Heap.n > 0 then add (Heap.top events);
+      (* commit possible next cycle? *)
+      if !rob_len > 0 && is_completed rob.(!rob_head) then add (c + 1);
+      (* dispatch possible once the redirect window closes? *)
+      if !next_dispatch < n then begin
+        let b = pcls_of !next_dispatch in
+        let blocked =
+          !rob_len >= cfg.Machine.rob_size
+          || !rs_used >= cfg.Machine.rs_size
+          || (b = b_load && !lq_used >= cfg.Machine.lq_size)
+          || (b = b_store && !sq_used >= cfg.Machine.sq_size)
+        in
+        if !redirect_waiting_on < 0 && not blocked then
+          add (max (c + 1) !redirect_until)
+      end;
+      (* issue possible once a port frees up? *)
+      let issue_cand pc =
+        if (heap_of pc).Heap.n > 0 then begin
+          let ports = ports_of pc in
+          let earliest = ref max_int in
+          for pi = 0 to Array.length ports - 1 do
+            let f = Array.unsafe_get ports pi in
+            if f < !earliest then earliest := f
+          done;
+          if !earliest < max_int then add (max (c + 1) !earliest)
+        end
+      in
+      issue_cand P_load;
+      issue_cand P_store;
+      issue_cand P_alu;
+      let target = if !cand = max_int then max_cycles else min !cand max_cycles in
+      (* replicate the stepped model's one-stall-per-blocked-cycle
+         accounting over the skipped cycles c+1 .. target-1 *)
+      let skipped = target - c - 1 in
+      if skipped > 0 && !next_dispatch < n then begin
+        if !redirect_waiting_on >= 0 then
+          stall_redirect := !stall_redirect + skipped
+        else begin
+          let r = min skipped (max 0 (!redirect_until - (c + 1))) in
+          stall_redirect := !stall_redirect + r;
+          let rest = skipped - r in
+          if rest > 0 then begin
+            let b = pcls_of !next_dispatch in
+            if !rob_len >= cfg.Machine.rob_size then
+              stall_rob := !stall_rob + rest
+            else if !rs_used >= cfg.Machine.rs_size then
+              stall_rs := !stall_rs + rest
+            else if b = b_load && !lq_used >= cfg.Machine.lq_size then
+              stall_lq := !stall_lq + rest
+            else if b = b_store && !sq_used >= cfg.Machine.sq_size then
+              stall_sq := !stall_sq + rest
+            (* otherwise dispatch would have been possible inside the
+               skipped range, contradicting the candidate set — the
+               differential tests guard this invariant *)
+          end
+        end
+      end;
+      cycle := target
+    in
+    while !committed < n && !cycle < max_cycles do
+      do_cycle !cycle;
+      match mode with
+      | `Step -> incr cycle
+      | `Event -> if !committed >= n then incr cycle else advance ()
     done;
     {
       cycles = !cycle;
@@ -354,5 +659,6 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       stall_redirect = !stall_redirect;
       loads = !nloads;
       stores = !nstores;
+      truncated = !committed < n;
     }
   end

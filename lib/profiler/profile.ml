@@ -34,6 +34,19 @@ type t = {
 }
 [@@deriving show { with_path = false }]
 
+(** Reinterpret an existing profile with a cold-region budget of
+    [other_uops] micro-ops around the hot loop. Coverage is the only
+    field that depends on the cold region, so this is equivalent to
+    re-running [profile ~other_uops] — which reproduces every other
+    count identically from the same deterministic inputs — at none of
+    the interpretation cost. *)
+let with_other_uops (p : t) ~other_uops : t =
+  {
+    p with
+    coverage =
+      float_of_int p.hot_uops /. float_of_int (max 1 (p.hot_uops + other_uops));
+  }
+
 (** Profile one or more invocations of [l]. [other_uops] models the
     dynamic size of the rest of the program around the hot loop (the
     paper computes coverage from rdtsc over whole-application runs; we
@@ -118,13 +131,18 @@ let profile ?(invocations = 1) ?(other_uops = 0) (l : Fv_ir.Ast.loop)
   let hk =
     Fv_ir.Interp.hooks ~on_iter ~on_stmt ~on_branch ~on_load ~on_store ~emit ()
   in
-  for _ = 1 to invocations do
-    Hashtbl.reset recent_stores;
-    Queue.clear iter_stores;
-    let m = Fv_mem.Memory.clone mem in
-    let e = Fv_ir.Interp.env_of_list env in
-    ignore (Fv_ir.Interp.run ~hk m e l)
-  done;
+  (* every profiled invocation clones the same initial [mem]/[env], so
+     the interpreter's dynamic behaviour is invocation-invariant:
+     interpret once and scale the totals — observably identical to
+     looping [invocations] times, at 1/invocations of the cost *)
+  Hashtbl.reset recent_stores;
+  Queue.clear iter_stores;
+  let m = Fv_mem.Memory.clone mem in
+  let e = Fv_ir.Interp.env_of_list env in
+  ignore (Fv_ir.Interp.run ~hk m e l);
+  List.iter
+    (fun r -> r := !r * invocations)
+    [ trips; deps; mem_uops; compute_uops; total_uops; branches; taken ];
   let fi = float_of_int in
   let avg_trip = fi !trips /. fi (max 1 invocations) in
   let deps_per_inv = fi !deps /. fi (max 1 invocations) in

@@ -83,8 +83,13 @@ let atom_srcs = function Imm _ -> [] | Sca x -> [ x ]
 let emit st u = match st.emit with Some f -> f u | None -> ()
 
 let fresh st =
-  st.tmp <- st.tmp + 1;
-  Printf.sprintf "vt%d" st.tmp
+  (* temp names only exist inside the trace; with no sink attached
+     (oracle runs) skip the string build *)
+  match st.emit with
+  | None -> "_"
+  | Some _ ->
+      st.tmp <- st.tmp + 1;
+      "vt" ^ string_of_int st.tmp
 
 let lanes_float (k : Mask.t) (v : Vreg.t) =
   let fl = ref false in
@@ -422,7 +427,7 @@ let run ?emit:trace_sink (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.en
     (* lo/hi are loop-invariant: evaluate with the scalar interpreter's
        expression evaluator via a throwaway state *)
     let st =
-      { Fv_ir.Interp.mem; env; hk = Fv_ir.Interp.no_hooks; tmp = 0 }
+      { Fv_ir.Interp.mem; env; hk = Fv_ir.Interp.no_hooks; tmp = 0; stmt_labels = [||] }
     in
     Value.to_int (fst (Fv_ir.Interp.eval st e))
   in

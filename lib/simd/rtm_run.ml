@@ -64,7 +64,7 @@ let run ?emit ?(capacity_elems = 6144) ~(tile : int) (vloop : vloop)
   let vloop = strip_ff vloop in
   let emit_u u = match emit with Some f -> f u | None -> () in
   let scalar_eval e =
-    let st = { Fv_ir.Interp.mem; env; hk = Fv_ir.Interp.no_hooks; tmp = 0 } in
+    let st = { Fv_ir.Interp.mem; env; hk = Fv_ir.Interp.no_hooks; tmp = 0; stmt_labels = [||] } in
     Fv_isa.Value.to_int (fst (Fv_ir.Interp.eval st e))
   in
   let lo = scalar_eval vloop.source.lo in

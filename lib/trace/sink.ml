@@ -28,6 +28,12 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Sink.get";
   t.data.(i)
 
+(** The trace as a fresh array of exactly [length t] uops. The pipeline
+    replays a trace with random access on its hot path; one bulk copy up
+    front is far cheaper than a bounds-checked {!get} per replayed
+    micro-op. *)
+let to_array t = Array.sub t.data 0 t.len
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.data.(i)

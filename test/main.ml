@@ -8,6 +8,7 @@ let () =
       ("vectorizer", Test_vectorizer.suite);
       ("simd", Test_simd.suite);
       ("ooo", Test_ooo.suite);
+      ("pipeline-events", Test_pipeline_events.suite);
       ("oracle", Test_oracle.suite);
       ("workloads", Test_workloads.suite);
       ("semantics", Test_semantics.suite);

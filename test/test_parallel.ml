@@ -160,7 +160,17 @@ let test_harness_validates_up_front () =
   | Ok plan ->
       Alcotest.(check (option int)) "inline =value" (Some 2) plan.domains;
       Alcotest.(check (list string)) "no sections means all" available
-        plan.sections);
+        plan.sections;
+      Alcotest.(check bool) "default scheduler is event" true
+        (plan.mode = `Event));
+  (match Fv_core.Harness.parse_args ~available [ "--mode"; "step" ] with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check bool) "--mode step" true (plan.mode = `Step));
+  (match Fv_core.Harness.parse_args ~available [ "--mode=event" ] with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check bool) "--mode=event" true (plan.mode = `Event));
   let rejected args =
     match Fv_core.Harness.parse_args ~available args with
     | Error _ -> true
@@ -170,6 +180,8 @@ let test_harness_validates_up_front () =
   Alcotest.(check bool) "non-integer --domains" true
     (rejected [ "--domains"; "many" ]);
   Alcotest.(check bool) "zero --domains" true (rejected [ "--domains"; "0" ]);
+  Alcotest.(check bool) "bad --mode value" true (rejected [ "--mode"; "fast" ]);
+  Alcotest.(check bool) "missing --mode value" true (rejected [ "--mode" ]);
   Alcotest.(check bool) "unknown option" true (rejected [ "--frobnicate" ])
 
 let test_json_report_shape () =
@@ -177,7 +189,7 @@ let test_json_report_shape () =
   let r = E.run_workload ~invocations:1 ~seed:1 E.Flexvec small_build in
   let s =
     to_string
-      (report ~section:"t" ~domains:3 ~wall_seconds:0.25
+      (report ~section:"t" ~domains:3 ~mode:`Event ~wall_seconds:0.25
          [ ("run", of_hot_run r) ])
   in
   List.iter
@@ -185,7 +197,8 @@ let test_json_report_shape () =
       Alcotest.(check bool) (Printf.sprintf "report has %s" needle) true
         (contains ~needle s))
     [
-      "\"schema_version\":1"; "\"section\":\"t\""; "\"domains\":3";
+      "\"schema_version\":2"; "\"section\":\"t\""; "\"domains\":3";
+      "\"mode\":\"event\""; "\"truncated\":false";
       "\"wall_seconds\":0.25"; "\"cycles\""; "\"ipc\"";
       "\"fell_back_to_scalar\":false"; "\"oracle_error\":null";
     ];
