@@ -14,6 +14,7 @@
      vl-sweep       — ablation over hardware vector length
      strategies     — Figure 8 under FlexVec / wholesale / RTM
      prefetch-ablation — stream prefetcher on/off (§5 memory subsystem)
+     fault-sweep    — RTM abort/retry/fallback vs injected fault rate
      micro          — Bechamel micro-benchmarks
 
    Run a subset with:   bench/main.exe table2 figure8
@@ -22,6 +23,13 @@
      --mode M       pipeline scheduler: event (default) or step; the
                     two produce identical statistics
      --json FILE    write a combined JSON report of every section run
+     --fault-rate R inject faults with per-access probability R into
+                    the recovery-capable strategies (default 0 = off)
+     --fault-seed N injection determinism seed (default 1)
+     --rtm-retries N transactional re-attempts per injected-fault abort
+                    before scalar fallback (default 2)
+     --row-timeout S per-row wall-clock budget (seconds) for parallel
+                    sections; an overdue row becomes an error row
    Every section additionally writes BENCH_<section>.json (the
    machine-readable trajectory file) next to the human tables. *)
 
@@ -37,7 +45,7 @@ let section name =
 
 (* ------------------------------------------------------------------ *)
 
-let table1 ~domains:_ ~mode:_ () =
+let table1 (_ : Harness.plan) () =
   section "table1: simulated machine (paper Table 1)";
   let machine = Fv_ooo.Machine.rows Fv_ooo.Machine.table1 in
   let rows =
@@ -75,9 +83,13 @@ let table1 ~domains:_ ~mode:_ () =
            latencies) );
   ]
 
-let figure8 ~domains ~mode () =
+let figure8 (plan : Harness.plan) () =
   section "figure8: application speedup over the AVX-512 baseline";
-  let r = Figure8.run ~mode ?domains () in
+  let r =
+    Figure8.run ~mode:plan.Harness.mode ?domains:plan.Harness.domains
+      ?faults:(Harness.fault_plan plan) ~rtm_retries:plan.Harness.rtm_retries
+      ?timeout_s:plan.Harness.row_timeout ()
+  in
   let rows =
     [ "Benchmark"; "Cvrg"; "Hot speedup"; "Overall"; "Vectorized?"; "Mix emitted" ]
     :: List.map
@@ -100,6 +112,9 @@ let figure8 ~domains ~mode () =
         (fun e -> Printf.printf "WARNING %s: %s\n" row.spec.name e)
         row.flexvec.oracle_error)
     r.rows;
+  List.iter
+    (fun (name, msg) -> Printf.printf "ERROR %s: row failed: %s\n" name msg)
+    r.errors;
   Printf.printf "\nGeomean (11 SPEC 2006): %.3fx   [paper: 1.09x]\n"
     r.spec_geomean;
   Printf.printf "Geomean (7 applications): %.3fx   [paper: 1.11x]\n\n"
@@ -109,11 +124,16 @@ let figure8 ~domains ~mode () =
        (List.map (fun (row : Figure8.row) -> (row.spec.name, row.overall)) r.rows));
   [
     ("rows", J.List (List.map J.of_figure8_row r.rows));
+    ( "errors",
+      J.List
+        (List.map (fun (name, msg) -> J.of_error_row ~label:name msg) r.errors)
+    );
     ("spec_geomean", J.Float r.spec_geomean);
     ("app_geomean", J.Float r.app_geomean);
   ]
 
-let table2 ~domains ~mode:_ () =
+let table2 (plan : Harness.plan) () =
+  let domains = plan.Harness.domains in
   section "table2: coverage, trip count and instruction mix";
   let rows = Table2.run ?domains () in
   let header =
@@ -143,9 +163,12 @@ let table2 ~domains ~mode:_ () =
     ("mixes_matching_paper", J.Int matches);
   ]
 
-let rtm_sweep ~domains ~mode () =
+let rtm_sweep (plan : Harness.plan) () =
   section "rtm-sweep: transactional-speculation tile size (paper: 128-256 within 1-2% of FF)";
-  let pts = Sweeps.rtm_tile_sweep ~mode ?domains () in
+  let pts =
+    Sweeps.rtm_tile_sweep ~mode:plan.Harness.mode ?domains:plan.Harness.domains
+      ?faults:(Harness.fault_plan plan) ~rtm_retries:plan.Harness.rtm_retries ()
+  in
   let rows =
     [ "Tile"; "RTM cycles"; "FF cycles"; "RTM/FF"; "vs scalar" ]
     :: List.map
@@ -162,7 +185,8 @@ let rtm_sweep ~domains ~mode () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_rtm_point pts)) ]
 
-let strategy_sweep ~domains ~mode () =
+let strategy_sweep (plan : Harness.plan) () =
+  let domains = plan.Harness.domains and mode = plan.Harness.mode in
   section "strategy-sweep: FlexVec vs PACT'13 wholesale speculation";
   let per_pattern =
     List.map
@@ -186,7 +210,8 @@ let strategy_sweep ~domains ~mode () =
   in
   [ ("patterns", J.Obj per_pattern) ]
 
-let trip_sweep ~domains ~mode () =
+let trip_sweep (plan : Harness.plan) () =
+  let domains = plan.Harness.domains and mode = plan.Harness.mode in
   section "trip-sweep: speedup vs loop trip count (paper: gains need high trip counts)";
   let pts = Sweeps.trip_sweep ~mode ?domains () in
   let rows =
@@ -199,7 +224,8 @@ let trip_sweep ~domains ~mode () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_trip_point pts)) ]
 
-let evl_sweep ~domains ~mode () =
+let evl_sweep (plan : Harness.plan) () =
+  let domains = plan.Harness.domains and mode = plan.Harness.mode in
   section "evl-sweep: speedup vs effective vector length";
   let pts = Sweeps.evl_sweep ~mode ?domains () in
   let rows =
@@ -216,7 +242,8 @@ let evl_sweep ~domains ~mode () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_evl_point pts)) ]
 
-let vl_sweep ~domains ~mode () =
+let vl_sweep (plan : Harness.plan) () =
+  let domains = plan.Harness.domains and mode = plan.Harness.mode in
   section "vl-sweep: ablation over hardware vector length";
   let pts = Sweeps.vl_sweep ~mode ?domains () in
   let rows =
@@ -229,9 +256,13 @@ let vl_sweep ~domains ~mode () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_vl_point pts)) ]
 
-let strategies ~domains ~mode () =
+let strategies (plan : Harness.plan) () =
   section "strategies: Figure 8 under each speculation mechanism";
-  let pts = Sweeps.benchmark_strategies ~mode ?domains () in
+  let pts =
+    Sweeps.benchmark_strategies ~mode:plan.Harness.mode
+      ?domains:plan.Harness.domains ?faults:(Harness.fault_plan plan)
+      ~rtm_retries:plan.Harness.rtm_retries ()
+  in
   let rows =
     [ "Benchmark"; "FlexVec (FF)"; "Wholesale (PACT'13)"; "FlexVec (RTM 256)" ]
     :: List.map
@@ -262,7 +293,8 @@ let strategies ~domains ~mode () =
         ] );
   ]
 
-let prefetch_ablation ~domains ~mode () =
+let prefetch_ablation (plan : Harness.plan) () =
+  let domains = plan.Harness.domains and mode = plan.Harness.mode in
   section "prefetch-ablation: the memory subsystem matters for vector access (§5)";
   let pts = Sweeps.prefetch_ablation ~mode ?domains () in
   let rows =
@@ -280,11 +312,71 @@ let prefetch_ablation ~domains ~mode () =
   print_string (Report.table rows);
   [ ("rows", J.List (List.map J.of_prefetch_point pts)) ]
 
+let fault_sweep (plan : Harness.plan) () =
+  section
+    "fault-sweep: RTM abort / retry / scalar fallback under injected faults";
+  let rates = [ 0.0; 0.0005; 0.002; 0.008; 0.03 ] in
+  let tiles = [ 64; 256; 1024 ] in
+  let results =
+    Sweeps.fault_sweep ~rates ~tiles ~seed:plan.Harness.fault_seed
+      ~retries:plan.Harness.rtm_retries ?domains:plan.Harness.domains ()
+  in
+  let points =
+    List.concat_map (fun t -> List.map (fun r -> (t, r)) rates) tiles
+  in
+  let labelled = List.combine points results in
+  let ok_rows =
+    List.filter_map
+      (function _, Ok (p : Sweeps.fault_point) -> Some p | _, Error _ -> None)
+      labelled
+  in
+  let errors =
+    List.filter_map
+      (function
+        | (tile, rate), Error f ->
+            Some
+              ( Printf.sprintf "tile=%d rate=%g" tile rate,
+                Fv_parallel.Pool.failure_message f )
+        | _, Ok _ -> None)
+      labelled
+  in
+  let rows =
+    [ "Tile"; "Rate"; "Tiles"; "Commits"; "Aborts"; "Cap."; "Retries";
+      "Retried OK"; "Scalar iters"; "Injected"; "Abort rate"; "Retry succ" ]
+    :: List.map
+         (fun (p : Sweeps.fault_point) ->
+           [
+             string_of_int p.f_tile;
+             Printf.sprintf "%.4f" p.f_rate;
+             string_of_int p.f_tiles;
+             string_of_int p.f_commits;
+             string_of_int p.f_aborts;
+             string_of_int p.f_capacity_aborts;
+             string_of_int p.f_retries;
+             string_of_int p.f_retried_commits;
+             string_of_int p.f_scalar_iters;
+             string_of_int p.f_injected;
+             Report.pct p.f_abort_rate;
+             Report.pct p.f_retry_success;
+           ])
+         ok_rows
+  in
+  print_string (Report.table rows);
+  List.iter
+    (fun (label, msg) -> Printf.printf "ERROR %s: %s\n" label msg)
+    errors;
+  [
+    ("rows", J.List (List.map J.of_fault_point ok_rows));
+    ( "errors",
+      J.List
+        (List.map (fun (label, msg) -> J.of_error_row ~label msg) errors) );
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro ~domains:_ ~mode:_ () =
+let micro (_ : Harness.plan) () =
   section "micro: Bechamel micro-benchmarks of emulated primitives";
   let open Bechamel in
   let open Fv_isa in
@@ -376,6 +468,7 @@ let sections =
     ("vl-sweep", vl_sweep);
     ("strategies", strategies);
     ("prefetch-ablation", prefetch_ablation);
+    ("fault-sweep", fault_sweep);
     ("micro", micro);
   ]
 
@@ -406,12 +499,11 @@ let () =
         List.map
           (fun name ->
             let f = List.assoc name sections in
-            let body, wall =
-              Report.timed (fun () ->
-                  f ~domains:plan.domains ~mode:plan.mode ())
-            in
+            let body, wall = Report.timed (fun () -> f plan ()) in
             let j =
               J.report ~section:name ~domains:domains_used ~mode:plan.mode
+                ~fault_rate:plan.fault_rate ~fault_seed:plan.fault_seed
+                ~rtm_retries:plan.rtm_retries ?row_timeout:plan.row_timeout
                 ~wall_seconds:wall body
             in
             J.to_file (Printf.sprintf "BENCH_%s.json" name) j;
@@ -423,7 +515,7 @@ let () =
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 2);
+                 ("schema_version", J.Int 3);
                  ("domains", J.Int domains_used);
                  ( "mode",
                    J.Str

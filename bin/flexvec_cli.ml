@@ -38,6 +38,28 @@ let tile_arg =
     value & opt int 256
     & info [ "tile" ] ~docv:"N" ~doc:"RTM strip-mining tile size.")
 
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"R"
+        ~doc:
+          "Inject faults with per-access probability $(docv) (in [0,1]) \
+           into the recovery-capable strategies; 0 disables injection.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Determinism seed for fault injection.")
+
+let rtm_retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "rtm-retries" ] ~docv:"N"
+        ~doc:
+          "Transactional re-attempts after an injected-fault abort before \
+           falling back to scalar re-execution.")
+
 let to_strategy s tile =
   match s with
   | `Scalar -> Fv_core.Experiment.Scalar
@@ -117,16 +139,20 @@ let profile_cmd =
 (* ---------------- simulate ---------------- *)
 
 let simulate_cmd =
-  let run name seed strategy tile =
+  let run name seed strategy tile fault_rate fault_seed rtm_retries =
     let spec = R.find name in
+    let faults =
+      if fault_rate = 0.0 then None
+      else Some (Fv_faults.Plan.make ~rate:fault_rate ~seed:fault_seed ())
+    in
     let base =
       Fv_core.Experiment.run_workload ~invocations:spec.invocations ~seed
         Fv_core.Experiment.Scalar spec.build
     in
     let s = to_strategy strategy tile in
     let r =
-      Fv_core.Experiment.run_workload ~invocations:spec.invocations ~seed s
-        spec.build
+      Fv_core.Experiment.run_workload ?faults ~rtm_retries
+        ~invocations:spec.invocations ~seed s spec.build
     in
     Fmt.pr "scalar : %a@." Fv_ooo.Pipeline.pp_stats base.pipe;
     Fmt.pr "%-7s: %a@."
@@ -135,6 +161,11 @@ let simulate_cmd =
     (match r.exec with
     | Some e -> Fmt.pr "vector execution: %a@." Fv_simd.Exec.pp_stats e
     | None -> ());
+    (match r.rtm with
+    | Some rtm -> Fmt.pr "rtm: %a@." Fv_simd.Rtm_run.pp_rtm_stats rtm
+    | None -> ());
+    if faults <> None then
+      Fmt.pr "injected faults delivered: %d@." r.injected_faults;
     let hot = Fv_core.Experiment.hot_speedup ~baseline:base r in
     Fmt.pr "hot-region speedup: %.2fx@." hot;
     Fmt.pr "overall (coverage %.1f%%): %.3fx@." (100. *. spec.coverage)
@@ -143,7 +174,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a benchmark on the Table 1 machine under a strategy.")
-    Term.(const run $ bench_arg $ seed_arg $ strategy_arg $ tile_arg)
+    Term.(
+      const run $ bench_arg $ seed_arg $ strategy_arg $ tile_arg
+      $ fault_rate_arg $ fault_seed_arg $ rtm_retries_arg)
 
 (* ---------------- figure8 / table2 ---------------- *)
 

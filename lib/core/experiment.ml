@@ -43,17 +43,44 @@ type hot_run = {
       (** correctness-oracle failure, if any: the run degraded to the
           scalar path instead of aborting, so one bad workload cannot
           take down a whole parallel Figure 8 sweep *)
+  rtm : Fv_simd.Rtm_run.rtm_stats option;
+      (** accumulated transactional statistics, for [Rtm _] runs *)
+  injected_faults : int;
+      (** injected faults delivered to this run's traced executions
+          (0 unless a fault plan was supplied) *)
 }
+
+(* attach the caller's injection plan (if any) to a traced run's memory;
+   only recovery-capable strategies opt in — the scalar baseline is the
+   semantic reference, and Traditional models a plain AVX-512 compiler
+   with no recovery machinery to absorb a fault *)
+let plan_for (faults : Fv_faults.Plan.t option) (s : strategy) :
+    Fv_faults.Plan.t option =
+  match s with
+  | Flexvec | Wholesale | Rtm _ -> faults
+  | Scalar | Traditional -> None
 
 (** Trace one strategy's execution of the hot loop and replay it on the
     OOO model. Always verifies against the scalar oracle first. [mode]
     selects the pipeline scheduler (event-driven by default; the two
     produce identical statistics). *)
-let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event) (strategy : strategy)
-    (l : Fv_ir.Ast.loop) (mem : Memory.t) (env : (string * Value.t) list) :
-    hot_run =
+let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
+    ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
+    (strategy : strategy) (l : Fv_ir.Ast.loop) (mem : Memory.t)
+    (env : (string * Value.t) list) : hot_run =
   let sink = Fv_trace.Sink.create ~capacity:4096 () in
   let emit u = Fv_trace.Sink.push sink u in
+  let plan = plan_for faults strategy in
+  let injected = ref 0 and rtm_stats = ref None in
+  (* traced-run memory: plan attached when the strategy opted in *)
+  let traced_mem () =
+    let m = Memory.clone mem in
+    Memory.set_fault_plan m plan;
+    m
+  in
+  let note_injected (m : Memory.t) =
+    injected := !injected + m.Memory.injected_faults
+  in
   let scalar_trace ?(fallback = true) ?error () =
     let m = Memory.clone mem and e = Interp.env_of_list env in
     let hk = Interp.hooks ~emit () in
@@ -76,8 +103,10 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event) (strategy : strategy)
         | Error _ -> scalar_trace ()
         | Ok vloop -> (
             (* correctness gate: the vector program must match the
-               oracle; on a mismatch the run degrades to the measured
-               scalar path and records the failure *)
+               oracle (injection-free — injected-fault equivalence is
+               {!Oracle.check_under_faults}' job); on a mismatch the run
+               degrades to the measured scalar path and records the
+               failure *)
             match Oracle.check ~vl ~style l (Memory.clone mem) env with
             | Error f ->
                 scalar_trace
@@ -86,8 +115,9 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event) (strategy : strategy)
                        l.Fv_ir.Ast.name Oracle.pp_failure f)
                   ()
             | Ok _ ->
-                let m = Memory.clone mem and e = Interp.env_of_list env in
+                let m = traced_mem () and e = Interp.env_of_list env in
                 let stats = Fv_simd.Exec.run ~emit vloop m e in
+                note_injected m;
                 (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)))
     | Rtm tile -> (
         match Fv_vectorizer.Gen.vectorize ~vl l with
@@ -109,8 +139,13 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event) (strategy : strategy)
                        l.Fv_ir.Ast.name e)
                   ()
             | Ok (), Ok () ->
-                let m = Memory.clone mem and e = Interp.env_of_list env in
-                let rtm = Fv_simd.Rtm_run.run ~emit ~tile vloop m e in
+                let m = traced_mem () and e = Interp.env_of_list env in
+                let rtm =
+                  Fv_simd.Rtm_run.run ~emit ~retries:rtm_retries ~tile vloop m
+                    e
+                in
+                note_injected m;
+                rtm_stats := Some rtm;
                 (Some rtm.Fv_simd.Rtm_run.exec,
                  Some (Fv_vir.Count.of_vloop vloop), false, None)))
   in
@@ -124,6 +159,8 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event) (strategy : strategy)
     mix;
     fell_back_to_scalar = fell_back;
     oracle_error;
+    rtm = !rtm_stats;
+    injected_faults = !injected;
   }
 
 (** Hot-region speedup of [s] over the scalar baseline. Total: both
@@ -153,8 +190,11 @@ let overall_speedup ~coverage ~hot =
     vectorized code is generated once (from the first build); each
     invocation gets freshly seeded data. *)
 let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
+    ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
     ~(invocations : int) ~(seed : int) (strategy : strategy)
     (build : int -> Fv_workloads.Kernels.built) : hot_run =
+  let plan = plan_for faults strategy in
+  let injected = ref 0 and rtm_stats = ref None in
   let first = build seed in
   let l = first.Fv_workloads.Kernels.loop in
   let sink = Fv_trace.Sink.create ~capacity:65536 () in
@@ -202,6 +242,17 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
          scalar baseline reporting itself as one was a reporting bug *)
       if fallback then fell_back := true
     in
+    (* each invocation attaches the plan to its own clone, so the
+       injection trace is deterministic per invocation regardless of
+       how earlier invocations consumed access ordinals *)
+    let injected_mem () =
+      let m = Memory.clone mem in
+      Memory.set_fault_plan m plan;
+      m
+    in
+    let note_injected (m : Memory.t) =
+      injected := !injected + m.Memory.injected_faults
+    in
     match strategy with
     | _ when oracle_error <> None -> scalar ()
     | Scalar -> scalar ~fallback:false ()
@@ -216,16 +267,25 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
         match vloop_for (Option.get (style_of strategy)) with
         | Error _ -> scalar ()
         | Ok vloop ->
-            let m = Memory.clone mem and e = Interp.env_of_list env in
+            let m = injected_mem () and e = Interp.env_of_list env in
             exec := Some (Fv_simd.Exec.run ~emit vloop m e);
+            note_injected m;
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Rtm tile -> (
         match vloop_for Fv_vectorizer.Gen.Flexvec with
         | Error _ -> scalar ()
         | Ok vloop ->
-            let m = Memory.clone mem and e = Interp.env_of_list env in
-            let r = Fv_simd.Rtm_run.run ~emit ~tile vloop m e in
+            let m = injected_mem () and e = Interp.env_of_list env in
+            let r =
+              Fv_simd.Rtm_run.run ~emit ~retries:rtm_retries ~tile vloop m e
+            in
             exec := Some r.Fv_simd.Rtm_run.exec;
+            note_injected m;
+            rtm_stats :=
+              Some
+                (match !rtm_stats with
+                | None -> r
+                | Some acc -> Fv_simd.Rtm_run.combine acc r);
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
   in
   (* between invocations real applications execute cold code; model it
@@ -252,4 +312,6 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     mix = !mix;
     fell_back_to_scalar = !fell_back;
     oracle_error;
+    rtm = !rtm_stats;
+    injected_faults = !injected;
   }

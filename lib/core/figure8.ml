@@ -27,7 +27,8 @@ let geomean = function
   | xs ->
       exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
 
-let run_row ?(vl = 16) ?(seed = 42) ?mode (spec : R.spec) : row =
+let run_row ?(vl = 16) ?(seed = 42) ?mode ?faults ?rtm_retries (spec : R.spec)
+    : row =
   let built = spec.build seed in
   (* profiling: the cold region's dynamic size is chosen so that the
      measured coverage equals Table 2's (the paper measures coverage
@@ -52,8 +53,8 @@ let run_row ?(vl = 16) ?(seed = 42) ?mode (spec : R.spec) : row =
   in
   let flexvec =
     if decision.vectorize then
-      Experiment.run_workload ~vl ?mode ~invocations:spec.invocations ~seed
-        Experiment.Flexvec spec.build
+      Experiment.run_workload ~vl ?mode ?faults ?rtm_retries
+        ~invocations:spec.invocations ~seed Experiment.Flexvec spec.build
     else baseline
   in
   let hot = Experiment.hot_speedup ~baseline flexvec in
@@ -67,6 +68,9 @@ let run_row ?(vl = 16) ?(seed = 42) ?mode (spec : R.spec) : row =
 
 type result = {
   rows : row list;
+  errors : (string * string) list;
+      (** benchmarks whose row failed (raised or timed out), as
+          [(name, message)]; their rows are excluded from the geomeans *)
   spec_geomean : float;
   app_geomean : float;
 }
@@ -74,10 +78,26 @@ type result = {
 (** Run every benchmark row, fanned out across [?domains] worker
     domains (each row builds its own kernel, memory and trace sink, so
     rows share no mutable state). Output order matches [benchmarks]
-    regardless of completion order. *)
-let run ?vl ?seed ?mode ?domains ?(benchmarks = R.all) () : result =
-  let rows =
-    Fv_parallel.Pool.map_ordered ?domains (run_row ?vl ?seed ?mode) benchmarks
+    regardless of completion order. A row that raises or exceeds
+    [?timeout_s] wall-clock seconds becomes an entry in [errors] while
+    every other row still completes and the geomeans are taken over the
+    survivors — one poisoned benchmark degrades the report instead of
+    sinking it. *)
+let run ?vl ?seed ?mode ?domains ?faults ?rtm_retries ?timeout_s
+    ?(benchmarks = R.all) () : result =
+  let outcomes =
+    Fv_parallel.Pool.map_result ?domains ?timeout_s
+      (run_row ?vl ?seed ?mode ?faults ?rtm_retries)
+      benchmarks
+  in
+  let rows, errors =
+    List.fold_right2
+      (fun (spec : R.spec) outcome (rows, errors) ->
+        match outcome with
+        | Ok r -> (r :: rows, errors)
+        | Error f ->
+            (rows, (spec.R.name, Fv_parallel.Pool.failure_message f) :: errors))
+      benchmarks outcomes ([], [])
   in
   let of_group g =
     List.filter_map
@@ -86,6 +106,7 @@ let run ?vl ?seed ?mode ?domains ?(benchmarks = R.all) () : result =
   in
   {
     rows;
+    errors;
     spec_geomean = geomean (of_group R.Spec);
     app_geomean = geomean (of_group R.App);
   }

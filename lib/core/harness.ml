@@ -15,6 +15,17 @@ type plan = {
           section. The two produce identical statistics; [`Step] exists
           for differential debugging and costs proportionally to
           simulated cycles instead of pipeline events. *)
+  fault_rate : float;
+      (** [--fault-rate R]: per-access injected-fault probability for
+          the recovery-capable strategies; 0.0 (default) disables
+          injection entirely *)
+  fault_seed : int;  (** [--fault-seed N]: injection determinism seed *)
+  rtm_retries : int;
+      (** [--rtm-retries N]: transactional re-attempts after an
+          injected-fault abort before falling back to scalar *)
+  row_timeout : float option;
+      (** [--row-timeout SECONDS]: per-row wall-clock budget for the
+          parallel sections; an overdue row becomes an error row *)
 }
 
 let flag_value ~flag rest =
@@ -33,12 +44,43 @@ let parse_mode = function
   | "step" -> Ok `Step
   | s -> Error (Printf.sprintf "--mode: %S is not \"event\" or \"step\"" s)
 
+let parse_fault_rate s =
+  match float_of_string_opt s with
+  | Some r when Float.is_finite r && r >= 0.0 && r <= 1.0 -> Ok r
+  | Some _ -> Error "--fault-rate expects a probability in [0, 1]"
+  | None -> Error (Printf.sprintf "--fault-rate: %S is not a number" s)
+
+let parse_fault_seed s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "--fault-seed: %S is not an integer" s)
+
+let parse_rtm_retries s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Ok n
+  | Some _ -> Error "--rtm-retries expects a non-negative integer"
+  | None -> Error (Printf.sprintf "--rtm-retries: %S is not an integer" s)
+
+let parse_row_timeout s =
+  match float_of_string_opt s with
+  | Some t when Float.is_finite t && t > 0.0 -> Ok t
+  | Some _ -> Error "--row-timeout expects a positive number of seconds"
+  | None -> Error (Printf.sprintf "--row-timeout: %S is not a number" s)
+
+(** The injection plan a parsed plan asks for: [None] when
+    [--fault-rate] was zero or absent, so the default run is guaranteed
+    to never touch the injection machinery. *)
+let fault_plan (p : plan) : Fv_faults.Plan.t option =
+  if p.fault_rate = 0.0 then None
+  else Some (Fv_faults.Plan.make ~rate:p.fault_rate ~seed:p.fault_seed ())
+
 (** Parse bench arguments (everything after [Sys.argv.(0)]). Accepts
-    section names interleaved with [--domains N], [--json FILE] and
-    [--mode event|step] (also [--flag=value] spellings). No section name means "run them
-    all". Every requested section is validated against [available]
-    before the plan is returned, so the caller runs nothing on a bad
-    request. *)
+    section names interleaved with [--domains N], [--json FILE],
+    [--mode event|step], [--fault-rate R], [--fault-seed N],
+    [--rtm-retries N] and [--row-timeout S] (also [--flag=value]
+    spellings). No section name means "run them all". Every requested
+    section is validated against [available] before the plan is
+    returned, so the caller runs nothing on a bad request. *)
 let parse_args ~(available : string list) (args : string list) :
     (plan, string) result =
   let split_eq a =
@@ -48,48 +90,46 @@ let parse_args ~(available : string list) (args : string list) :
           Some (String.sub a (i + 1) (String.length a - i - 1)) )
     | None -> (a, None)
   in
-  let rec go sections domains json mode = function
-    | [] -> Ok { sections = List.rev sections; domains; json; mode }
+  let rec go (acc : plan) = function
+    | [] -> Ok { acc with sections = List.rev acc.sections }
     | a :: rest -> (
-        match split_eq a with
-        | "--domains", inline -> (
-            let value =
-              match inline with
-              | Some v -> Ok (v, rest)
-              | None -> flag_value ~flag:"--domains" rest
-            in
-            match value with
-            | Error e -> Error e
-            | Ok (v, rest') -> (
-                match parse_domains v with
-                | Error e -> Error e
-                | Ok d -> go sections (Some d) json mode rest'))
-        | "--json", inline -> (
-            let value =
-              match inline with
-              | Some v -> Ok (v, rest)
-              | None -> flag_value ~flag:"--json" rest
-            in
-            match value with
-            | Error e -> Error e
-            | Ok (v, rest') -> go sections domains (Some v) mode rest')
-        | "--mode", inline -> (
-            let value =
-              match inline with
-              | Some v -> Ok (v, rest)
-              | None -> flag_value ~flag:"--mode" rest
-            in
-            match value with
-            | Error e -> Error e
-            | Ok (v, rest') -> (
-                match parse_mode v with
-                | Error e -> Error e
-                | Ok m -> go sections domains json m rest'))
+        let flag, inline = split_eq a in
+        (* [set parse k]: consume the flag's value (inline [--f=v] or the
+           next argument), parse it, and continue with the updated plan *)
+        let set parse k =
+          let value =
+            match inline with
+            | Some v -> Ok (v, rest)
+            | None -> flag_value ~flag rest
+          in
+          match value with
+          | Error e -> Error e
+          | Ok (v, rest') -> (
+              match parse v with
+              | Error e -> Error e
+              | Ok x -> go (k x) rest')
+        in
+        match flag with
+        | "--domains" -> set parse_domains (fun d -> { acc with domains = Some d })
+        | "--json" -> set (fun v -> Ok v) (fun j -> { acc with json = Some j })
+        | "--mode" -> set parse_mode (fun m -> { acc with mode = m })
+        | "--fault-rate" ->
+            set parse_fault_rate (fun r -> { acc with fault_rate = r })
+        | "--fault-seed" ->
+            set parse_fault_seed (fun s -> { acc with fault_seed = s })
+        | "--rtm-retries" ->
+            set parse_rtm_retries (fun n -> { acc with rtm_retries = n })
+        | "--row-timeout" ->
+            set parse_row_timeout (fun t -> { acc with row_timeout = Some t })
         | _ when String.length a > 2 && String.sub a 0 2 = "--" ->
             Error (Printf.sprintf "unknown option %s" a)
-        | _ -> go (a :: sections) domains json mode rest)
+        | _ -> go { acc with sections = a :: acc.sections } rest)
   in
-  match go [] None None `Event args with
+  let init =
+    { sections = []; domains = None; json = None; mode = `Event;
+      fault_rate = 0.0; fault_seed = 1; rtm_retries = 2; row_timeout = None }
+  in
+  match go init args with
   | Error _ as e -> e
   | Ok plan -> (
       let unknown =

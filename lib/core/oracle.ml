@@ -28,6 +28,14 @@ let value_close (a : Value.t) (b : Value.t) =
   | Value.Int x, Value.Int y -> x = y
   | _ ->
       let x = Value.to_float a and y = Value.to_float b in
+      (* NaN on both sides is agreement: a kernel that computes 0/0 does
+         so identically in scalar and vector form, and the IEEE
+         NaN <> NaN convention must not flag that as a divergence.
+         Exact equality must be checked before the tolerance band, which
+         is NaN-poisoned (hence false) when both sides are infinite *)
+      (Float.is_nan x && Float.is_nan y)
+      || x = y
+      ||
       let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
       Float.abs (x -. y) <= 1e-9 *. scale
 
@@ -99,3 +107,76 @@ let check_exn ?vl ?style l mem env : outcome =
       failwith
         (Fmt.str "oracle failure on %s: %a@.%a" l.Fv_ir.Ast.name pp_failure f
            Fv_ir.Pp.pp_loop l)
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle under fault injection                           *)
+(* ------------------------------------------------------------------ *)
+
+type fault_outcome = {
+  fo_trips : int;  (** scalar trip count *)
+  fo_ff_injected : int;  (** injected faults delivered during the FF run *)
+  fo_rtm_injected : int;  (** injected faults delivered during the RTM run *)
+  fo_rtm : Fv_simd.Rtm_run.rtm_stats;
+}
+
+(** Differential oracle under fault injection: run the scalar reference
+    (never injected — it is the semantic ground truth), the
+    first-faulting vector program, and the RTM strip-mined program, the
+    latter two with [plan] attached to their memories, and require all
+    three to agree on final memory and live-outs. This is the whole
+    robustness claim in one property: whatever faults the plan injects,
+    the recovery machinery (mask shrinkage + scalar fallback for FF;
+    abort + retry + scalar tile re-execution for RTM) must reconstruct
+    exactly the scalar semantics. *)
+let check_under_faults ?(vl = 16) ?(tile = 64) ?(retries = 2)
+    ~(plan : Fv_faults.Plan.t) (l : Fv_ir.Ast.loop) (mem : Memory.t)
+    (env : (string * Value.t) list) : (fault_outcome, failure) result =
+  match Fv_vectorizer.Gen.vectorize ~vl ~style:Fv_vectorizer.Gen.Flexvec l with
+  | Error r -> Error (Not_vectorizable r)
+  | Ok vloop -> (
+      let ms = Memory.clone mem and es = Interp.env_of_list env in
+      let trips = Interp.run ms es l in
+      let against ~what mv ev (k : unit -> (fault_outcome, failure) result) =
+        match compare_memories ms mv with
+        | Error e -> Error (Mismatch (what ^ ": " ^ e))
+        | Ok () -> (
+            match compare_env l es ev with
+            | Error e -> Error (Mismatch (what ^ ": " ^ e))
+            | Ok () -> k ())
+      in
+      let mf = Memory.clone mem and ef = Interp.env_of_list env in
+      Memory.set_fault_plan mf (Some plan);
+      match Fv_simd.Exec.run vloop mf ef with
+      | exception Fv_simd.Exec.Vector_exec_error e ->
+          Error (Vector_crash ("ff: " ^ e))
+      | exception Memory.Fault f ->
+          Error (Vector_crash (Fmt.str "ff: memory fault: %a" Memory.pp_fault f))
+      | _ff_stats ->
+          against ~what:"ff" mf ef (fun () ->
+              let mr = Memory.clone mem and er = Interp.env_of_list env in
+              Memory.set_fault_plan mr (Some plan);
+              match Fv_simd.Rtm_run.run ~tile ~retries vloop mr er with
+              | exception Fv_simd.Exec.Vector_exec_error e ->
+                  Error (Vector_crash ("rtm: " ^ e))
+              | exception Memory.Fault f ->
+                  Error
+                    (Vector_crash
+                       (Fmt.str "rtm: memory fault: %a" Memory.pp_fault f))
+              | rtm ->
+                  against ~what:"rtm" mr er (fun () ->
+                      Ok
+                        {
+                          fo_trips = trips;
+                          fo_ff_injected = mf.Memory.injected_faults;
+                          fo_rtm_injected = mr.Memory.injected_faults;
+                          fo_rtm = rtm;
+                        })))
+
+(** Raising variant of {!check_under_faults}. *)
+let check_under_faults_exn ?vl ?tile ?retries ~plan l mem env : fault_outcome =
+  match check_under_faults ?vl ?tile ?retries ~plan l mem env with
+  | Ok o -> o
+  | Error f ->
+      failwith
+        (Fmt.str "fault oracle failure on %s under [%a]: %a" l.Fv_ir.Ast.name
+           Fv_faults.Plan.pp plan pp_failure f)

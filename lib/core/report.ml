@@ -88,6 +88,11 @@ let timed (f : unit -> 'a) : 'a * float =
     [rows] array.
 
     Version history:
+    - 3: the envelope gained the fault-injection knobs ([fault_rate],
+      [fault_seed], [rtm_retries], [row_timeout]); hot runs gained
+      [injected_faults], [retries] and [rtm] (transactional statistics);
+      figure8 results gained [errors] (per-row failures captured instead
+      of aborting the report); the [fault-sweep] section was added.
     - 2: pipeline stats gained [truncated] (simulation-watchdog flag)
       and the envelope gained [mode].
     - 1: initial envelope. *)
@@ -199,6 +204,18 @@ module Json = struct
   let of_mix (m : Fv_vir.Count.mix) : t =
     Str (Fv_vir.Count.to_table2_string m)
 
+  let of_rtm_stats (s : Fv_simd.Rtm_run.rtm_stats) : t =
+    Obj
+      [
+        ("tiles", Int s.tiles);
+        ("commits", Int s.commits);
+        ("aborts", Int s.aborts);
+        ("capacity_aborts", Int s.capacity_aborts);
+        ("retries", Int s.retries);
+        ("retried_commits", Int s.retried_commits);
+        ("scalar_iters", Int s.scalar_iters);
+      ]
+
   let of_hot_run (r : Experiment.hot_run) : t =
     Obj
       [
@@ -210,6 +227,13 @@ module Json = struct
         ("mix", opt of_mix r.mix);
         ("fell_back_to_scalar", Bool r.fell_back_to_scalar);
         ("oracle_error", opt (fun s -> Str s) r.oracle_error);
+        ("rtm", opt of_rtm_stats r.rtm);
+        ("injected_faults", Int r.injected_faults);
+        ( "retries",
+          Int
+            (match r.rtm with
+            | Some s -> s.Fv_simd.Rtm_run.retries
+            | None -> 0) );
       ]
 
   let of_profile (p : Fv_profiler.Profile.t) : t =
@@ -247,10 +271,19 @@ module Json = struct
         ("mix_emitted", Str r.mix_measured);
       ]
 
+  (* a row that produced no value: who it was and why it failed *)
+  let of_error_row ~(label : string) (message : string) : t =
+    Obj [ ("benchmark", Str label); ("error", Str message) ]
+
   let of_figure8_result (r : Figure8.result) : t =
     Obj
       [
         ("rows", List (List.map of_figure8_row r.rows));
+        ( "errors",
+          List
+            (List.map
+               (fun (name, msg) -> of_error_row ~label:name msg)
+               r.errors) );
         ("spec_geomean", Float r.spec_geomean);
         ("app_geomean", Float r.app_geomean);
       ]
@@ -322,16 +355,40 @@ module Json = struct
         ("rtm_overall", Float p.rtm_overall);
       ]
 
-  (** Wrap a section's body fields into the common report envelope. *)
+  let of_fault_point (p : Sweeps.fault_point) : t =
+    Obj
+      [
+        ("fault_rate", Float p.f_rate);
+        ("tile", Int p.f_tile);
+        ("tiles", Int p.f_tiles);
+        ("commits", Int p.f_commits);
+        ("aborts", Int p.f_aborts);
+        ("capacity_aborts", Int p.f_capacity_aborts);
+        ("retries", Int p.f_retries);
+        ("retried_commits", Int p.f_retried_commits);
+        ("scalar_iters", Int p.f_scalar_iters);
+        ("injected_faults", Int p.f_injected);
+        ("abort_rate", Float p.f_abort_rate);
+        ("retry_success", Float p.f_retry_success);
+      ]
+
+  (** Wrap a section's body fields into the common report envelope.
+      The fault knobs default to the injection-disabled configuration so
+      existing call sites keep producing accurate envelopes. *)
   let report ~(section : string) ~(domains : int)
-      ~(mode : [ `Event | `Step ]) ~(wall_seconds : float)
+      ~(mode : [ `Event | `Step ]) ?(fault_rate = 0.0) ?(fault_seed = 1)
+      ?(rtm_retries = 2) ?row_timeout ~(wall_seconds : float)
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 2);
+         ("schema_version", Int 3);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));
+         ("fault_rate", Float fault_rate);
+         ("fault_seed", Int fault_seed);
+         ("rtm_retries", Int rtm_retries);
+         ("row_timeout", opt (fun t -> Float t) row_timeout);
          ("wall_seconds", Float wall_seconds);
        ]
       @ body)

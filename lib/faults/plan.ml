@@ -1,0 +1,70 @@
+(** Deterministic, seeded fault-injection plans.
+
+    FlexVec's correctness story rests on its speculation-recovery
+    machinery — first-faulting loads that suppress speculative faults
+    (§3.3.1) and RTM transactions that roll a tile back to scalar
+    (§3.3.2) — yet without injection those paths only fire when a
+    speculative index happens to land in a guard gap. A plan makes the
+    emulated memory ({!Fv_mem.Memory}) deliver {e injected} faults on
+    otherwise-valid accesses, so the recovery paths become continuously
+    exercised, first-class behaviour.
+
+    A plan combines three triggers, any of which faults an access:
+    - {b probabilistic}: each access faults with probability [rate],
+      decided by a stateless hash of [(seed, access ordinal)] — fully
+      deterministic, and a retried access (a later ordinal) re-rolls;
+    - {b nth-access}: the given 0-based access ordinals always fault —
+      precise placement for regression tests;
+    - {b protected ranges}: element addresses inside any [\[lo, hi)]
+      range always fault — persistent faults that survive RTM retries.
+
+    Plans are immutable configuration; the access counter lives with the
+    memory the plan is attached to, so one plan value can drive many
+    independent runs. *)
+
+type t = {
+  rate : float;  (** per-access fault probability, [0, 1] *)
+  seed : int;  (** seed for the probabilistic trigger *)
+  nth : int list;  (** 0-based access ordinals that always fault *)
+  protected : (int * int) list;  (** [\[lo, hi)] address ranges that always fault *)
+}
+
+let none = { rate = 0.0; seed = 0; nth = []; protected = [] }
+
+let make ?(rate = 0.0) ?(seed = 1) ?(nth = []) ?(protected = []) () =
+  if not (Float.is_finite rate) || rate < 0.0 || rate > 1.0 then
+    invalid_arg "Plan.make: rate must be in [0, 1]";
+  List.iter
+    (fun (lo, hi) ->
+      if lo > hi then invalid_arg "Plan.make: protected range with lo > hi")
+    protected;
+  { rate; seed; nth; protected }
+
+let is_none (p : t) = p.rate = 0.0 && p.nth = [] && p.protected = []
+
+(* splitmix64-style finalizer on OCaml's native int: good avalanche
+   behaviour is all that is needed to turn (seed, ordinal) into an
+   independent coin flip per access. Constants are the usual splitmix64
+   multipliers truncated to OCaml's 62-bit literal range. *)
+let mix (seed : int) (n : int) : int =
+  let x = (seed * 0x1E3779B97F4A7C15) + ((n + 1) * 0x3F58476D1CE4E5B9) in
+  let x = (x lxor (x lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let x = (x lxor (x lsr 27)) * 0x14D049BB133111EB in
+  (x lxor (x lsr 31)) land max_int
+
+(* 53-bit uniform in [0, 1) *)
+let uniform seed n = float_of_int (mix seed n land ((1 lsl 53) - 1)) /. 9007199254740992.0
+
+(** Does the plan fault the access with 0-based ordinal [access] at
+    element address [addr]? Pure: same arguments, same answer. *)
+let fires (p : t) ~(access : int) ~(addr : int) : bool =
+  List.exists (fun (lo, hi) -> addr >= lo && addr < hi) p.protected
+  || (p.nth <> [] && List.mem access p.nth)
+  || (p.rate > 0.0 && uniform p.seed access < p.rate)
+
+let pp ppf (p : t) =
+  Fmt.pf ppf "rate=%g seed=%d nth=[%a] protected=[%a]" p.rate p.seed
+    Fmt.(list ~sep:comma int)
+    p.nth
+    Fmt.(list ~sep:comma (pair ~sep:(any "..") int int))
+    p.protected

@@ -8,7 +8,15 @@
 
 open Fv_isa
 
-type fault = { addr : int; write : bool }
+type fault = {
+  addr : int;
+  write : bool;
+  injected : bool;
+      (** [true] for faults delivered by an attached injection plan on a
+          mapped address (modelling a transient speculative fault the
+          recovery machinery must absorb); [false] for genuine unmapped
+          accesses *)
+}
 
 val pp_fault : Format.formatter -> fault -> unit
 val show_fault : fault -> string
@@ -30,6 +38,9 @@ type t = {
   mutable loads : int;  (** committed (non-faulting) load count *)
   mutable stores : int;
   mutable hot : allocation option;  (** last-hit lookup cache *)
+  mutable fault_plan : Fv_faults.Plan.t option;
+  mutable fault_accesses : int;
+  mutable injected_faults : int;  (** injected faults delivered so far *)
 }
 
 val create : unit -> t
@@ -47,7 +58,14 @@ val length_of : t -> string -> int
     access time. *)
 val addr_of : t -> string -> int -> int
 
-(** Non-trapping accesses: [Error fault] on unmapped addresses. *)
+(** Attach (or detach) a fault-injection plan; resets the access and
+    injected-fault counters. Only the non-trapping accesses consult the
+    plan — the trapping API (the scalar interpreter's path, hence every
+    recovery path) never sees injected faults. *)
+val set_fault_plan : t -> Fv_faults.Plan.t option -> unit
+
+(** Non-trapping accesses: [Error fault] on unmapped addresses, or on
+    mapped addresses the attached injection plan faults. *)
 val load_opt : t -> int -> (Value.t, fault) result
 
 val store_opt : t -> int -> Value.t -> (unit, fault) result

@@ -8,30 +8,65 @@
     index at a time, so a slow row (433.milc's 8000-trip loops) does not
     serialise the fast rows behind a static block split. Results are
     written into a preallocated slot per input, which makes the output
-    order-preserving by construction. *)
+    order-preserving by construction.
+
+    Two entry points share that machinery: {!map_result} captures each
+    element's outcome as a [result] so one poisoned row degrades to an
+    error row instead of sinking the whole report, and {!map_ordered}
+    keeps the original fail-fast contract (re-raise the earliest
+    failure) for callers whose elements must all succeed. *)
 
 (** Number of workers used when [?domains] is not given: all but one of
     the recommended domain count, leaving a core for the spawning
     domain (and never fewer than one worker). *)
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
-type 'b slot = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
+(** Why an element produced no value. *)
+type failure =
+  | Raised of { exn : exn; backtrace : Printexc.raw_backtrace }
+  | Timed_out of { wall_seconds : float; limit : float }
+      (** the element {e completed} but took longer than the caller's
+          wall-clock budget; its result is discarded. Domains cannot be
+          safely preempted mid-computation, so the timeout is detected
+          post-hoc rather than by cancellation — a stuck element still
+          occupies its worker, but its row is reported as timed out. *)
 
-(** [map_ordered ?domains f xs] is [List.map f xs], evaluated by a pool
-    of [domains] worker domains (default {!default_domains}). The
-    output preserves input order regardless of completion order. If any
-    application of [f] raises, all domains are still joined, and then
-    the exception of the {e earliest} failing input (with its original
-    backtrace) is re-raised. [f] must not rely on shared mutable state
-    across elements. *)
-let map_ordered ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
+let failure_message = function
+  | Raised { exn; _ } -> Printexc.to_string exn
+  | Timed_out { wall_seconds; limit } ->
+      Printf.sprintf "timed out: %.2fs (limit %.2fs)" wall_seconds limit
+
+type 'b slot = Pending | Filled of ('b, failure) result
+
+(** [map_result ?domains ?timeout_s f xs] applies [f] to every element
+    on a pool of [domains] worker domains (default {!default_domains}),
+    capturing each outcome: [Ok y] on success, [Error (Raised _)] if
+    that application raised (other elements still run to completion),
+    and [Error (Timed_out _)] if [?timeout_s] is given and the element's
+    wall-clock time exceeded it. Output order matches input order. *)
+let map_result ?domains ?timeout_s (f : 'a -> 'b) (xs : 'a list) :
+    ('b, failure) result list =
   let requested =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
+  let run_one x =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      match f x with
+      | y -> Ok y
+      | exception e ->
+          Error (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () })
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    match (r, timeout_s) with
+    | Ok _, Some limit when dt > limit ->
+        Error (Timed_out { wall_seconds = dt; limit })
+    | _ -> r
+  in
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | _ when requested = 1 -> List.map f xs
+  | [ x ] -> [ run_one x ]
+  | _ when requested = 1 -> List.map run_one xs
   | _ ->
       let items = Array.of_list xs in
       let n = Array.length items in
@@ -41,10 +76,7 @@ let map_ordered ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
         let rec go () =
           let i = Atomic.fetch_and_add cursor 1 in
           if i < n then begin
-            (slots.(i) <-
-              (match f items.(i) with
-              | y -> Done y
-              | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+            slots.(i) <- Filled (run_one items.(i));
             go ()
           end
         in
@@ -54,14 +86,26 @@ let map_ordered ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
         List.init (min requested n) (fun _ -> Domain.spawn worker)
       in
       List.iter Domain.join workers;
-      Array.iter
-        (function
-          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
-          | Pending | Done _ -> ())
-        slots;
       Array.to_list
         (Array.map
            (function
-             | Done y -> y
-             | Pending | Raised _ -> assert false (* joined without error *))
+             | Filled r -> r
+             | Pending -> assert false (* all slots filled before join *))
            slots)
+
+(** [map_ordered ?domains f xs] is [List.map f xs], evaluated by a pool
+    of [domains] worker domains (default {!default_domains}). The
+    output preserves input order regardless of completion order. If any
+    application of [f] raises, all domains are still joined, and then
+    the exception of the {e earliest} failing input (with its original
+    backtrace) is re-raised. [f] must not rely on shared mutable state
+    across elements. *)
+let map_ordered ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let results = map_result ?domains f xs in
+  List.iter
+    (function
+      | Error (Raised { exn; backtrace }) ->
+          Printexc.raise_with_backtrace exn backtrace
+      | Error (Timed_out _) | Ok _ -> ())
+    results;
+  List.map (function Ok y -> y | Error _ -> assert false) results

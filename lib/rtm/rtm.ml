@@ -29,20 +29,37 @@ let abort_rate (s : stats) =
 
 type 'a outcome = Committed of 'a | Aborted of Memory.fault
 
+(** A rollback point covering the emulated address space and the scalar
+    environment. One checkpoint can be rolled back to any number of
+    times — the bounded-retry policy in {!Fv_simd.Rtm_run} re-attempts a
+    tile from the same checkpoint after each injected-fault abort. *)
+type checkpoint = {
+  ck_mem : Memory.t;
+  ck_mem_snap : Memory.snapshot;
+  ck_env : Fv_ir.Interp.env;
+  ck_env_snap : Fv_ir.Interp.env;
+}
+
+let checkpoint (mem : Memory.t) (env : Fv_ir.Interp.env) : checkpoint =
+  { ck_mem = mem; ck_mem_snap = Memory.snapshot mem;
+    ck_env = env; ck_env_snap = Hashtbl.copy env }
+
+let rollback (c : checkpoint) : unit =
+  Memory.restore c.ck_mem c.ck_mem_snap;
+  Hashtbl.reset c.ck_env;
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.ck_env k v) c.ck_env_snap
+
 (** Run [f ()] transactionally over [mem]/[env]: on {!Memory.Fault} all
     tentative memory and environment changes are discarded. *)
 let atomically ?(stats = fresh_stats ()) (mem : Memory.t)
     (env : Fv_ir.Interp.env) (f : unit -> 'a) : 'a outcome =
   stats.begins <- stats.begins + 1;
-  let snap_mem = Memory.snapshot mem in
-  let snap_env = Hashtbl.copy env in
+  let ck = checkpoint mem env in
   match f () with
   | x ->
       stats.commits <- stats.commits + 1;
       Committed x
   | exception Memory.Fault fault ->
       stats.aborts <- stats.aborts + 1;
-      Memory.restore mem snap_mem;
-      Hashtbl.reset env;
-      Hashtbl.iter (fun k v -> Hashtbl.replace env k v) snap_env;
+      rollback ck;
       Aborted fault

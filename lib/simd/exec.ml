@@ -47,6 +47,12 @@ type state = {
   vloop : vloop;
   stats : stats;
   mutable tmp : int;
+  injected_trap : bool;
+      (** inside an RTM transaction, an injected fault on a plain
+          (non-first-faulting) access must trap so the transaction
+          aborts; outside one it is absorbed by re-executing the access
+          (the OS services the transient fault and the instruction
+          retries) *)
 }
 
 exception Vector_exec_error of string
@@ -110,7 +116,19 @@ let vec_cls op k a b =
 (* ------------------------------------------------------------------ *)
 
 (** Masked unit-stride load; enabled lanes only touch memory
-    (AVX-512 masked loads suppress faults on disabled lanes). *)
+    (AVX-512 masked loads suppress faults on disabled lanes).
+
+    A {e genuine} (unmapped-address) fault on the first enabled lane is
+    delivered: that lane is non-speculative, so the scalar program
+    would fault too. An {e injected} fault (a transient fault on a
+    mapped address, from the memory's injection plan) is suppressible
+    on any lane, the first included — real first-faulting hardware
+    reports such faults through the fault mask rather than trapping,
+    and the [Fault_check] fallback re-executes the whole strip's
+    remaining lanes scalar either way. On a plain (non-FF) access an
+    injected fault is absorbed by re-executing the lane through the
+    trapping API — unless [injected_trap] is set (inside an RTM
+    transaction), where it must raise so the transaction aborts. *)
 let do_load st ~ff (dst : Vreg.t) (k : Mask.t) base : Mask.t =
   let kout = Mask.copy k in
   let nonspec = Mask.first_set k in
@@ -120,7 +138,10 @@ let do_load st ~ff (dst : Vreg.t) (k : Mask.t) base : Mask.t =
          match Memory.load_opt st.mem (base + l) with
          | Ok v -> Vreg.set dst l v
          | Error f ->
-             if (not ff) || Some l = nonspec then raise (Memory.Fault f)
+             if f.Memory.injected && (not ff) && not st.injected_trap then
+               Vreg.set dst l (Memory.load st.mem (base + l))
+             else if (not ff) || (Some l = nonspec && not f.Memory.injected)
+             then raise (Memory.Fault f)
              else begin
                (* zero the write mask from the first excepting speculative
                   lane rightward; stop accessing memory *)
@@ -149,7 +170,12 @@ let do_gather st ~ff ~arr (dst : Vreg.t) (k : Mask.t) (idx : Vreg.t) :
              Vreg.set dst l v;
              addrs := a :: !addrs
          | Error f ->
-             if (not ff) || Some l = nonspec then raise (Memory.Fault f)
+             if f.Memory.injected && (not ff) && not st.injected_trap then begin
+               Vreg.set dst l (Memory.load st.mem a);
+               addrs := a :: !addrs
+             end
+             else if (not ff) || (Some l = nonspec && not f.Memory.injected)
+             then raise (Memory.Fault f)
              else begin
                for j = l to st.vl - 1 do
                  Mask.set kout j false
@@ -421,8 +447,11 @@ let rec exec_stmt (st : state) (s : vstmt) : unit =
 
 (** Run the vectorized loop to completion over [mem]/[env]. Returns
     execution statistics. Semantically equivalent to
-    [Fv_ir.Interp.run mem env vloop.source]. *)
-let run ?emit:trace_sink (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.env) : stats =
+    [Fv_ir.Interp.run mem env vloop.source]. [~injected_trap] makes
+    injected faults on plain accesses raise instead of being absorbed —
+    set by {!Rtm_run} so they abort the enclosing transaction. *)
+let run ?emit:trace_sink ?(injected_trap = false) (vloop : vloop)
+    (mem : Memory.t) (env : Fv_ir.Interp.env) : stats =
   let scalar_eval e =
     (* lo/hi are loop-invariant: evaluate with the scalar interpreter's
        expression evaluator via a throwaway state *)
@@ -447,6 +476,7 @@ let run ?emit:trace_sink (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.en
       vloop;
       stats = fresh_stats ();
       tmp = 0;
+      injected_trap;
     }
   in
   List.iter (exec_stmt st) vloop.preamble;

@@ -40,14 +40,22 @@ let strip_ff (vl : vloop) : vloop =
 type rtm_stats = {
   tiles : int;
   commits : int;
-  aborts : int;
+  aborts : int;  (** every aborted attempt, whatever the cause *)
+  capacity_aborts : int;
+      (** aborts whose tile footprint exceeded the read/write-set
+          capacity — never retried *)
+  retries : int;  (** transactional re-attempts after injected-fault aborts *)
+  retried_commits : int;  (** tiles that committed on a retry attempt *)
   scalar_iters : int;  (** iterations re-executed scalar after aborts *)
   exec : Exec.stats;  (** accumulated vector-execution statistics *)
 }
 
 let pp_rtm_stats ppf (s : rtm_stats) =
-  Fmt.pf ppf "tiles=%d commits=%d aborts=%d scalar_iters=%d" s.tiles s.commits
-    s.aborts s.scalar_iters
+  Fmt.pf ppf
+    "tiles=%d commits=%d aborts=%d capacity_aborts=%d retries=%d \
+     retried_commits=%d scalar_iters=%d"
+    s.tiles s.commits s.aborts s.capacity_aborts s.retries s.retried_commits
+    s.scalar_iters
 
 let acc_stats (into : Exec.stats) (s : Exec.stats) =
   into.Exec.strips <- into.Exec.strips + s.Exec.strips;
@@ -56,11 +64,42 @@ let acc_stats (into : Exec.stats) (s : Exec.stats) =
   into.Exec.fallbacks <- into.Exec.fallbacks + s.Exec.fallbacks;
   into.Exec.fallback_iters <- into.Exec.fallback_iters + s.Exec.fallback_iters
 
+let zero_stats () =
+  { tiles = 0; commits = 0; aborts = 0; capacity_aborts = 0; retries = 0;
+    retried_commits = 0; scalar_iters = 0; exec = Exec.fresh_stats () }
+
+(** Field-wise sum — accumulate per-invocation statistics over a hot
+    run. [exec.broke] is or-ed. *)
+let combine (a : rtm_stats) (b : rtm_stats) : rtm_stats =
+  let exec = Exec.fresh_stats () in
+  acc_stats exec a.exec;
+  acc_stats exec b.exec;
+  exec.Exec.broke <- a.exec.Exec.broke || b.exec.Exec.broke;
+  { tiles = a.tiles + b.tiles; commits = a.commits + b.commits;
+    aborts = a.aborts + b.aborts;
+    capacity_aborts = a.capacity_aborts + b.capacity_aborts;
+    retries = a.retries + b.retries;
+    retried_commits = a.retried_commits + b.retried_commits;
+    scalar_iters = a.scalar_iters + b.scalar_iters; exec }
+
 (** Execute [vloop] in strip-mined transactional tiles of [tile] scalar
-    iterations. Semantically equivalent to the scalar loop. *)
-let run ?emit ?(capacity_elems = 6144) ~(tile : int) (vloop : vloop)
-    (mem : Memory.t) (env : Fv_ir.Interp.env) : rtm_stats =
+    iterations. Semantically equivalent to the scalar loop.
+
+    Abort policy: a fault inside the transaction rolls the tile back to
+    its checkpoint ({!Fv_rtm.Rtm.checkpoint}). If the fault was
+    {e injected} (transient — Intel's abort status would set the
+    retry-is-worthwhile hint) and the tile's footprint stayed within the
+    read/write-set capacity, the tile is re-attempted transactionally up
+    to [retries] more times before falling back to scalar re-execution.
+    Genuine faults and capacity overflows go straight to scalar: a
+    genuine fault is deterministic, and an overflowing tile would only
+    overflow again. With no injection plan attached the retry machinery
+    is never entered, so the uop trace is identical to the no-retry
+    model. *)
+let run ?emit ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
+    (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.env) : rtm_stats =
   if tile < vloop.vl then invalid_arg "Rtm_run.run: tile smaller than VL";
+  if retries < 0 then invalid_arg "Rtm_run.run: negative retries";
   let vloop = strip_ff vloop in
   let emit_u u = match emit with Some f -> f u | None -> () in
   let scalar_eval e =
@@ -71,6 +110,8 @@ let run ?emit ?(capacity_elems = 6144) ~(tile : int) (vloop : vloop)
   let hi = scalar_eval vloop.source.hi in
   let total = Exec.fresh_stats () in
   let tiles = ref 0 and commits = ref 0 and aborts = ref 0 in
+  let capacity_aborts = ref 0 and retry_count = ref 0 in
+  let retried_commits = ref 0 in
   let scalar_iters = ref 0 in
   let broke = ref false in
   let t0 = ref lo in
@@ -81,65 +122,74 @@ let run ?emit ?(capacity_elems = 6144) ~(tile : int) (vloop : vloop)
     let tile_loop =
       { vloop with source = { vloop.source with lo = const !t0; hi = const th } }
     in
-    let snap_mem = Memory.snapshot mem in
-    let snap_env = Hashtbl.copy env in
-    let l0 = mem.Memory.loads and s0 = mem.Memory.stores in
-    emit_u (Uop.make ~dst:"_rtm" Fv_isa.Latency.Xbegin);
-    (match Exec.run ?emit tile_loop mem env with
-    | stats
-      when mem.Memory.loads - l0 + (mem.Memory.stores - s0) > capacity_elems ->
-        (* resource overflow: the transaction's footprint exceeds the L1
-           write/read-set capacity and it aborts ("too large of a region
-           may cause transactions to abort more frequently due to
-           resource overflow", §3.3.2) *)
-        ignore stats;
-        emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
-        incr aborts;
-        Memory.restore mem snap_mem;
-        Hashtbl.reset env;
-        Hashtbl.iter (fun k v -> Hashtbl.replace env k v) snap_env;
-        let hk =
-          match emit with
-          | None -> Fv_ir.Interp.no_hooks
-          | Some f -> Fv_ir.Interp.hooks ~emit:f ()
-        in
-        for i = !t0 to th - 1 do
-          if not !broke then begin
-            incr scalar_iters;
-            match Fv_ir.Interp.run_iteration ~hk mem env vloop.source i with
-            | `Ok -> ()
-            | `Break -> broke := true
+    (* scalar re-execution of the whole tile — shared abort handler *)
+    let scalar_tile () =
+      let hk =
+        match emit with
+        | None -> Fv_ir.Interp.no_hooks
+        | Some f -> Fv_ir.Interp.hooks ~emit:f ()
+      in
+      for i = !t0 to th - 1 do
+        if not !broke then begin
+          incr scalar_iters;
+          match Fv_ir.Interp.run_iteration ~hk mem env vloop.source i with
+          | `Ok -> ()
+          | `Break -> broke := true
+        end
+      done
+    in
+    (* [attempt n]: transactional attempt number [n] (0 = first try) of
+       this tile, from a fresh checkpoint each time; bounded recursion
+       by [retries]. *)
+    let rec attempt n =
+      let ck = Fv_rtm.Rtm.checkpoint mem env in
+      let l0 = mem.Memory.loads and s0 = mem.Memory.stores in
+      emit_u (Uop.make ~dst:"_rtm" Fv_isa.Latency.Xbegin);
+      match Exec.run ?emit ~injected_trap:true tile_loop mem env with
+      | stats
+        when mem.Memory.loads - l0 + (mem.Memory.stores - s0) > capacity_elems
+        ->
+          (* resource overflow: the transaction's footprint exceeds the
+             L1 write/read-set capacity and it aborts ("too large of a
+             region may cause transactions to abort more frequently due
+             to resource overflow", §3.3.2) *)
+          ignore stats;
+          emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
+          incr aborts;
+          incr capacity_aborts;
+          Fv_rtm.Rtm.rollback ck;
+          scalar_tile ()
+      | stats ->
+          emit_u (Uop.make ~srcs:[ "_rtm" ] Fv_isa.Latency.Xend);
+          incr commits;
+          if n > 0 then incr retried_commits;
+          acc_stats total stats;
+          if stats.Exec.broke then broke := true
+      | exception Memory.Fault f ->
+          emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
+          incr aborts;
+          (* footprint accumulated before the fault: a tile that blew
+             the capacity *and* faulted is a capacity abort — it must
+             not be retried, it would only overflow again *)
+          let over_capacity =
+            mem.Memory.loads - l0 + (mem.Memory.stores - s0) > capacity_elems
+          in
+          Fv_rtm.Rtm.rollback ck;
+          if over_capacity then begin
+            incr capacity_aborts;
+            scalar_tile ()
           end
-        done
-    | stats ->
-        emit_u (Uop.make ~srcs:[ "_rtm" ] Fv_isa.Latency.Xend);
-        incr commits;
-        acc_stats total stats;
-        if stats.Exec.broke then broke := true
-    | exception Memory.Fault _ ->
-        (* abort: discard tentative state, re-execute the tile scalar *)
-        emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
-        incr aborts;
-        Memory.restore mem snap_mem;
-        Hashtbl.reset env;
-        Hashtbl.iter (fun k v -> Hashtbl.replace env k v) snap_env;
-        let hk =
-          match emit with
-          | None -> Fv_ir.Interp.no_hooks
-          | Some f -> Fv_ir.Interp.hooks ~emit:f ()
-        in
-        (try
-           for i = !t0 to th - 1 do
-             if not !broke then begin
-               incr scalar_iters;
-               match Fv_ir.Interp.run_iteration ~hk mem env vloop.source i with
-               | `Ok -> ()
-               | `Break -> broke := true
-             end
-           done
-         with e -> raise e));
+          else if f.Memory.injected && n < retries then begin
+            incr retry_count;
+            attempt (n + 1)
+          end
+          else scalar_tile ()
+    in
+    attempt 0;
     t0 := !t0 + tile
   done;
   total.Exec.broke <- !broke;
   { tiles = !tiles; commits = !commits; aborts = !aborts;
-    scalar_iters = !scalar_iters; exec = total }
+    capacity_aborts = !capacity_aborts; retries = !retry_count;
+    retried_commits = !retried_commits; scalar_iters = !scalar_iters;
+    exec = total }

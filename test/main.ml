@@ -14,5 +14,6 @@ let () =
       ("semantics", Test_semantics.suite);
       ("integration", Test_integration.suite);
       ("parallel", Test_parallel.suite);
+      ("faults", Test_faults.suite);
       ("random", Test_random.suite);
     ]

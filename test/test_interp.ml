@@ -91,7 +91,7 @@ let test_fault_on_oob () =
       B.[ assign "x" (load "a" (var "i")) ]
   in
   Alcotest.check_raises "faults"
-    (Memory.Fault { addr = Memory.addr_of mem "a" 3; write = false })
+    (Memory.Fault { addr = Memory.addr_of mem "a" 3; write = false; injected = false })
     (fun () -> ignore (Interp.run mem e l))
 
 let test_uop_trace_counts () =

@@ -49,6 +49,90 @@ let test_clone_is_independent () =
   Alcotest.check value "clone unchanged" (Value.Int 1) (Memory.get c "a" 0);
   Alcotest.(check bool) "contents differ" false (Memory.equal_contents m c)
 
+(* ---------------- randomized snapshot/clone properties ------------- *)
+
+module G = QCheck2.Gen
+
+(* a random memory image: 1–4 named int arrays plus a stream of
+   in-bounds mutations to apply *)
+let gen_image : (string * int array) list G.t =
+  let open G in
+  let* n = int_range 1 4 in
+  let arr = array_size (int_range 1 24) (int_range (-1000) 1000) in
+  let* arrays = list_size (return n) arr in
+  return (List.mapi (fun i a -> (Printf.sprintf "arr%d" i, a)) arrays)
+
+let gen_mutations image : (string * int * int) list G.t =
+  let open G in
+  list_size (int_range 0 32)
+    (let* name, data = oneofl image in
+     let* idx = int_range 0 (Array.length data - 1) in
+     let* v = int_range (-1000) 1000 in
+     return (name, idx, v))
+
+let build_memory image =
+  let m = Memory.create () in
+  List.iter (fun (name, data) -> ignore (Memory.alloc_ints m name data)) image;
+  m
+
+let apply_mutations m muts =
+  List.iter (fun (name, idx, v) -> Memory.set m name idx (Value.Int v)) muts
+
+let gen_scenario =
+  let open G in
+  let* image = gen_image in
+  let* muts_before = gen_mutations image in
+  let* muts_after = gen_mutations image in
+  return (image, muts_before, muts_after)
+
+let print_scenario (image, before, after) =
+  Fmt.str "arrays=[%a] before=%d muts after=%d muts"
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") string (any "#")))
+    (List.map (fun (n, a) -> (n, Array.length a)) image)
+    (List.length before) (List.length after)
+
+let prop_snapshot_restore_roundtrip =
+  QCheck2.Test.make ~count:200 ~print:print_scenario
+    ~name:"snapshot/restore round-trips arbitrary mutations" gen_scenario
+    (fun (image, muts_before, muts_after) ->
+      let m = build_memory image in
+      apply_mutations m muts_before;
+      let reference = Memory.clone m in
+      let snap = Memory.snapshot m in
+      apply_mutations m muts_after;
+      Memory.restore m snap;
+      Memory.equal_contents m reference
+      || QCheck2.Test.fail_report "restore did not reproduce snapshot state")
+
+let prop_clone_independent =
+  QCheck2.Test.make ~count:200 ~print:print_scenario
+    ~name:"clone is independent and preserves base addresses" gen_scenario
+    (fun (image, muts_before, muts_after) ->
+      let m = build_memory image in
+      apply_mutations m muts_before;
+      let c = Memory.clone m in
+      List.iter
+        (fun (name, _) ->
+          if Memory.base_of c name <> Memory.base_of m name then
+            QCheck2.Test.fail_reportf
+              "clone relocated %s: %d <> %d (scalar and vector runs must \
+               share an address map)"
+              name (Memory.base_of c name) (Memory.base_of m name))
+        image;
+      let reference = Memory.clone m in
+      (* mutations on the original must not leak into the clone,
+         and vice versa *)
+      apply_mutations m muts_after;
+      let clone_untouched = Memory.equal_contents c reference in
+      let m_now = Memory.clone m in
+      apply_mutations c muts_after;
+      apply_mutations c muts_before;
+      let original_untouched = Memory.equal_contents m m_now in
+      (clone_untouched
+      || QCheck2.Test.fail_report "mutating the original changed the clone")
+      && (original_untouched
+         || QCheck2.Test.fail_report "mutating the clone changed the original"))
+
 let test_cache_hit_miss () =
   let c = Cache.create ~name:"t" ~size_bytes:1024 ~ways:2 () in
   Alcotest.(check bool) "cold miss" false (Cache.access c 0);
@@ -108,3 +192,5 @@ let suite =
     Alcotest.test_case "hierarchy latencies" `Quick test_hierarchy_latencies;
     Alcotest.test_case "stream prefetcher" `Quick test_prefetcher_hides_stream;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_snapshot_restore_roundtrip; prop_clone_independent ]

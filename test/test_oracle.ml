@@ -331,6 +331,34 @@ let test_odd_trip_counts () =
       check_all_styles "tail" l mem [ ("acc", Value.Int 0) ])
     [ 1; 2; 15; 16; 17; 31; 32; 33; 47 ]
 
+let test_nan_agreement () =
+  (* regression: IEEE NaN <> NaN used to flag a kernel that computes
+     NaN identically in scalar and vector form as a divergence. inf * 0
+     is NaN; the poisoned elements flow into both a stored array and a
+     live-out reduction *)
+  let l =
+    B.(
+      loop ~name:"nanmap" ~index:"i" ~hi:(int 40) ~live_out:[ "acc" ]
+        [
+          assign "x" (load "a" (var "i") * flt 0.0);
+          store "b" (var "i") (var "x");
+          assign "acc" (var "acc" + var "x");
+        ])
+  in
+  let mem = Memory.create () in
+  ignore
+    (Memory.alloc_floats mem "a"
+       (Array.init 40 (fun i ->
+            if Stdlib.(i mod 5 = 0) then Float.infinity else float_of_int i)));
+  ignore (Memory.alloc_floats mem "b" (Array.make 40 0.0));
+  Alcotest.(check bool) "value_close: NaN agrees with NaN" true
+    (Oracle.value_close (Value.Float Float.nan) (Value.Float Float.nan));
+  Alcotest.(check bool) "value_close: inf agrees with inf" true
+    (Oracle.value_close (Value.Float Float.infinity) (Value.Float Float.infinity));
+  Alcotest.(check bool) "value_close: NaN still differs from a number" false
+    (Oracle.value_close (Value.Float Float.nan) (Value.Float 1.0));
+  check_all_styles "nanmap" l mem [ ("acc", Value.Float 0.0) ]
+
 let test_zero_trip () =
   let l =
     B.(
@@ -366,5 +394,6 @@ let suite =
     Alcotest.test_case "gather/scatter disjoint" `Quick
       test_gather_scatter_disjoint;
     Alcotest.test_case "odd trip counts" `Quick test_odd_trip_counts;
+    Alcotest.test_case "NaN-producing kernel agrees" `Quick test_nan_agreement;
     Alcotest.test_case "zero trip" `Quick test_zero_trip;
   ]

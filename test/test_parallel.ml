@@ -47,6 +47,59 @@ let test_exception_propagation () =
              if x mod 5 = 3 then failwith (Printf.sprintf "boom%d" x) else x)
            (List.init 16 Fun.id)))
 
+let test_map_result_captures_failures () =
+  (* a raising element becomes an [Error (Raised _)] row in its input
+     position; every other element still completes *)
+  let outcomes =
+    P.map_result ~domains:3
+      (fun x -> if x mod 4 = 2 then failwith (Printf.sprintf "bad%d" x) else x * 10)
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check int) "one outcome per input" 8 (List.length outcomes);
+  List.iteri
+    (fun i outcome ->
+      match (i mod 4 = 2, outcome) with
+      | false, Ok v -> Alcotest.(check int) "survivor value" (i * 10) v
+      | true, Error (P.Raised { exn = Failure m; _ }) ->
+          Alcotest.(check string) "captured message" (Printf.sprintf "bad%d" i) m
+      | _, Ok _ -> Alcotest.failf "element %d should have failed" i
+      | _, Error f ->
+          Alcotest.failf "element %d: unexpected failure %s" i
+            (P.failure_message f))
+    outcomes;
+  Alcotest.(check bool) "failure_message names the exception" true
+    (contains ~needle:"bad2"
+       (match List.nth outcomes 2 with
+       | Error f -> P.failure_message f
+       | Ok _ -> ""))
+
+let test_map_result_timeout () =
+  (* the slow element is reported as timed out post-hoc; fast ones pass *)
+  let outcomes =
+    P.map_result ~domains:2 ~timeout_s:0.05
+      (fun x ->
+        if x = 1 then Unix.sleepf 0.2;
+        x)
+      [ 0; 1; 2 ]
+  in
+  (match outcomes with
+  | [ Ok 0; Error (P.Timed_out { wall_seconds; limit }); Ok 2 ] ->
+      Alcotest.(check bool) "measured wall time over limit" true
+        (wall_seconds >= limit);
+      Alcotest.(check (float 1e-9)) "limit recorded" 0.05 limit
+  | _ ->
+      Alcotest.failf "unexpected outcomes: %s"
+        (String.concat "; "
+           (List.map
+              (function
+                | Ok x -> string_of_int x
+                | Error f -> P.failure_message f)
+              outcomes)));
+  (* without a timeout the same slow element is fine *)
+  match P.map_result ~domains:2 (fun x -> x) [ 0; 1; 2 ] with
+  | [ Ok 0; Ok 1; Ok 2 ] -> ()
+  | _ -> Alcotest.fail "no-timeout run must succeed"
+
 (* ---------------- parallel harness == serial harness ---------------- *)
 
 let fig8_row_fingerprint (r : Fv_core.Figure8.row) : string =
@@ -75,6 +128,42 @@ let test_trip_sweep_parallel_equals_serial () =
     "trip sweep identical under 4 domains"
     (List.map fingerprint (Fv_core.Sweeps.trip_sweep ~trips ~domains:1 ()))
     (List.map fingerprint (Fv_core.Sweeps.trip_sweep ~trips ~domains:4 ()))
+
+let test_figure8_poisoned_row_degrades () =
+  (* one benchmark whose kernel builder raises must yield an error row
+     while the healthy rows complete and the geomeans cover survivors *)
+  let good = R.find "458.sjeng" in
+  let poisoned =
+    { good with R.name = "999.poisoned";
+      build = (fun _ -> failwith "kernel build exploded") }
+  in
+  let r =
+    Fv_core.Figure8.run ~domains:2 ~benchmarks:[ good; poisoned ] ()
+  in
+  Alcotest.(check int) "one surviving row" 1 (List.length r.rows);
+  Alcotest.(check string) "survivor is the healthy benchmark" good.R.name
+    (List.hd r.rows).spec.R.name;
+  (match r.errors with
+  | [ (name, msg) ] ->
+      Alcotest.(check string) "error row names the benchmark" "999.poisoned"
+        name;
+      Alcotest.(check bool) "error row carries the message" true
+        (contains ~needle:"kernel build exploded" msg)
+  | es -> Alcotest.failf "expected 1 error row, got %d" (List.length es));
+  Alcotest.(check bool) "spec geomean over survivors is finite" true
+    (Float.is_finite r.spec_geomean && r.spec_geomean > 0.0);
+  (* the JSON report can still be rendered and records the failure *)
+  let s =
+    Fv_core.Report.Json.to_string (Fv_core.Report.Json.of_figure8_result r)
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true
+        (contains ~needle s))
+    [
+      "\"errors\":"; "\"benchmark\":\"999.poisoned\"";
+      "kernel build exploded"; "\"spec_geomean\"";
+    ]
 
 (* ---------------- reporting-bug regressions ---------------- *)
 
@@ -182,7 +271,41 @@ let test_harness_validates_up_front () =
   Alcotest.(check bool) "zero --domains" true (rejected [ "--domains"; "0" ]);
   Alcotest.(check bool) "bad --mode value" true (rejected [ "--mode"; "fast" ]);
   Alcotest.(check bool) "missing --mode value" true (rejected [ "--mode" ]);
-  Alcotest.(check bool) "unknown option" true (rejected [ "--frobnicate" ])
+  Alcotest.(check bool) "unknown option" true (rejected [ "--frobnicate" ]);
+  (* fault-injection and robustness knobs *)
+  (match
+     Fv_core.Harness.parse_args ~available
+       [ "figure8"; "--fault-rate"; "0.01"; "--fault-seed=23";
+         "--rtm-retries"; "5"; "--row-timeout=2.5" ]
+   with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check (float 1e-12)) "--fault-rate" 0.01 plan.fault_rate;
+      Alcotest.(check int) "--fault-seed" 23 plan.fault_seed;
+      Alcotest.(check int) "--rtm-retries" 5 plan.rtm_retries;
+      Alcotest.(check (option (float 1e-12))) "--row-timeout" (Some 2.5)
+        plan.row_timeout;
+      Alcotest.(check bool) "nonzero rate yields an injection plan" true
+        (Fv_core.Harness.fault_plan plan <> None));
+  (match Fv_core.Harness.parse_args ~available [ "figure8" ] with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check (float 1e-12)) "default rate is 0" 0.0 plan.fault_rate;
+      Alcotest.(check bool) "default run never builds a plan" true
+        (Fv_core.Harness.fault_plan plan = None));
+  Alcotest.(check bool) "rate above 1" true (rejected [ "--fault-rate"; "1.5" ]);
+  Alcotest.(check bool) "negative rate" true
+    (rejected [ "--fault-rate"; "-0.1" ]);
+  Alcotest.(check bool) "NaN rate" true (rejected [ "--fault-rate"; "nan" ]);
+  Alcotest.(check bool) "non-numeric rate" true
+    (rejected [ "--fault-rate"; "often" ]);
+  Alcotest.(check bool) "non-integer seed" true
+    (rejected [ "--fault-seed"; "x" ]);
+  Alcotest.(check bool) "negative retries" true
+    (rejected [ "--rtm-retries"; "-1" ]);
+  Alcotest.(check bool) "zero timeout" true (rejected [ "--row-timeout"; "0" ]);
+  Alcotest.(check bool) "negative timeout" true
+    (rejected [ "--row-timeout"; "-3" ])
 
 let test_json_report_shape () =
   let open Fv_core.Report.Json in
@@ -197,10 +320,13 @@ let test_json_report_shape () =
       Alcotest.(check bool) (Printf.sprintf "report has %s" needle) true
         (contains ~needle s))
     [
-      "\"schema_version\":2"; "\"section\":\"t\""; "\"domains\":3";
+      "\"schema_version\":3"; "\"section\":\"t\""; "\"domains\":3";
       "\"mode\":\"event\""; "\"truncated\":false";
+      "\"fault_rate\":0"; "\"fault_seed\":1"; "\"rtm_retries\":2";
+      "\"row_timeout\":null";
       "\"wall_seconds\":0.25"; "\"cycles\""; "\"ipc\"";
       "\"fell_back_to_scalar\":false"; "\"oracle_error\":null";
+      "\"injected_faults\":0"; "\"retries\":0";
     ];
   Alcotest.(check string) "string escaping" "\"a\\\"b\\n\""
     (to_string (Str "a\"b\n"));
@@ -214,8 +340,14 @@ let suite =
     Alcotest.test_case "pool edge cases" `Quick test_map_ordered_edges;
     Alcotest.test_case "pool propagates first exception" `Quick
       test_exception_propagation;
+    Alcotest.test_case "map_result captures per-element failures" `Quick
+      test_map_result_captures_failures;
+    Alcotest.test_case "map_result enforces wall-clock timeouts" `Quick
+      test_map_result_timeout;
     Alcotest.test_case "figure8: parallel == serial" `Slow
       test_figure8_parallel_equals_serial;
+    Alcotest.test_case "figure8: poisoned row degrades gracefully" `Slow
+      test_figure8_poisoned_row_degrades;
     Alcotest.test_case "trip sweep: parallel == serial" `Slow
       test_trip_sweep_parallel_equals_serial;
     Alcotest.test_case "scalar baseline is not a fallback" `Quick

@@ -275,6 +275,8 @@ let test_hot_speedup_truncated_neutral () =
       mix = None;
       fell_back_to_scalar = false;
       oracle_error = None;
+      rtm = None;
+      injected_faults = 0;
     }
   in
   let ok = mk ~cycles:1000 ~truncated:false in
