@@ -30,6 +30,10 @@
                     before scalar fallback (default 2)
      --row-timeout S per-row wall-clock budget (seconds) for parallel
                     sections; an overdue row becomes an error row
+     --fail-on-degraded exit 1 if any hot run compiled below its
+                    requested strategy (degraded-* compile_status):
+                    registry kernels are expected to vectorize, so a
+                    degradation here is a front-end regression
    Every section additionally writes BENCH_<section>.json (the
    machine-readable trajectory file) next to the human tables. *)
 
@@ -38,6 +42,19 @@ module J = Report.Json
 
 let section name =
   Printf.printf "\n=== %s %s\n%!" name (String.make (max 1 (70 - String.length name)) '=')
+
+(* hot runs that compiled below their requested strategy, across every
+   section run; consulted by --fail-on-degraded at exit *)
+let degraded : (string * Fv_ir.Validate.diagnostic) list ref = ref []
+
+let note_degraded ~(label : string) (r : Experiment.hot_run) : unit =
+  match Experiment.rejection_of r.Experiment.compile with
+  | None -> ()
+  | Some d ->
+      Printf.printf "DEGRADED %s (%s): %s\n" label
+        (Experiment.show_compile_status r.Experiment.compile)
+        (Fv_ir.Validate.describe d);
+      degraded := (label, d) :: !degraded
 
 (* Each section prints its human tables and returns the body fields of
    its JSON report; the driver wraps them in the common envelope
@@ -110,7 +127,9 @@ let figure8 (plan : Harness.plan) () =
     (fun (row : Figure8.row) ->
       Option.iter
         (fun e -> Printf.printf "WARNING %s: %s\n" row.spec.name e)
-        row.flexvec.oracle_error)
+        row.flexvec.oracle_error;
+      note_degraded ~label:(row.spec.name ^ "/flexvec") row.flexvec;
+      note_degraded ~label:(row.spec.name ^ "/baseline") row.baseline)
     r.rows;
   List.iter
     (fun (name, msg) -> Printf.printf "ERROR %s: row failed: %s\n" name msg)
@@ -515,7 +534,7 @@ let () =
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 3);
+                 ("schema_version", J.Int 4);
                  ("domains", J.Int domains_used);
                  ( "mode",
                    J.Str
@@ -524,4 +543,11 @@ let () =
                      | `Step -> "step") );
                  ("sections", J.List reports);
                ]))
-        plan.json
+        plan.json;
+      if plan.fail_on_degraded && !degraded <> [] then begin
+        Printf.eprintf
+          "--fail-on-degraded: %d hot run(s) compiled below their requested \
+           strategy\n"
+          (List.length !degraded);
+        exit 1
+      end

@@ -92,12 +92,20 @@ let show_cmd =
     Fmt.pr "=== scalar loop ===@.%a@.@." Fv_ir.Pp.pp_loop b.K.loop;
     Fmt.pr "=== dependence analysis ===@.%s@.@."
       (Fv_pdg.Classify.describe (Fv_pdg.Classify.analyze b.K.loop));
+    let diagnostics = Fv_ir.Validate.check b.K.loop in
+    if diagnostics <> [] then begin
+      Fmt.pr "=== validation diagnostics ===@.";
+      List.iter
+        (fun d -> Fmt.pr "  %s@." (Fv_ir.Validate.describe d))
+        diagnostics;
+      Fmt.pr "@."
+    end;
     (match Fv_vectorizer.Gen.vectorize b.K.loop with
     | Ok vloop ->
         Fmt.pr "=== FlexVec vector code ===@.%a@.@." Fv_vir.Vpp.pp_vloop vloop;
         Fmt.pr "instruction mix: %s@."
           (Fv_vir.Count.to_table2_string (Fv_vir.Count.of_vloop vloop))
-    | Error e -> Fmt.pr "not vectorizable: %s@." e)
+    | Error d -> Fmt.pr "not vectorizable: %s@." (Fv_ir.Validate.describe d))
   in
   Cmd.v
     (Cmd.info "show"
@@ -158,6 +166,11 @@ let simulate_cmd =
     Fmt.pr "%-7s: %a@."
       (Fv_core.Experiment.show_strategy s)
       Fv_ooo.Pipeline.pp_stats r.pipe;
+    Fmt.pr "compile: %s@."
+      (Fv_core.Experiment.show_compile_status r.compile);
+    (match Fv_core.Experiment.rejection_of r.compile with
+    | Some d -> Fmt.pr "rejection: %s@." (Fv_ir.Validate.describe d)
+    | None -> ());
     (match r.exec with
     | Some e -> Fmt.pr "vector execution: %a@." Fv_simd.Exec.pp_stats e
     | None -> ());
@@ -177,6 +190,110 @@ let simulate_cmd =
     Term.(
       const run $ bench_arg $ seed_arg $ strategy_arg $ tile_arg
       $ fault_rate_arg $ fault_seed_arg $ rtm_retries_arg)
+
+(* ---------------- fuzz ---------------- *)
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt string "fuzz/corpus"
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Counterexample corpus directory.")
+
+let fuzz_run_term =
+  let cases_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of fuzz cases to run.")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~env:(Cmd.Env.info "FLEXVEC_FUZZ_SEED")
+          ~doc:
+            "Campaign seed; also read from $(b,FLEXVEC_FUZZ_SEED). The \
+             whole campaign — cases, outcomes, minimized \
+             counterexamples — is a pure function of this seed.")
+  in
+  let malformed_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "malformed" ] ~docv:"P"
+          ~doc:
+            "Probability in [0,1] that a case is drawn from the \
+             malformed families (outside the supported grammar) rather \
+             than the well-formed ones.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Persist failing cases as found, without minimization.")
+  in
+  let run cases seed p_malformed no_shrink corpus =
+    if p_malformed < 0.0 || p_malformed > 1.0 then begin
+      Fmt.epr "fuzz: --malformed must be in [0,1]@.";
+      exit 2
+    end;
+    let module D = Fv_fuzz.Driver in
+    Fmt.pr "fuzzing: %d cases, seed %d, malformed ratio %.2f@." cases seed
+      p_malformed;
+    let s =
+      D.run ~p_malformed ~corpus_dir:corpus ~shrink:(not no_shrink)
+        ~on_case:(fun i o ->
+          if D.is_failure o then
+            Fmt.pr "case %d: %a@." i D.pp_outcome o)
+        ~seed ~cases ()
+    in
+    Fmt.pr "%a@." D.pp_summary s;
+    List.iter
+      (fun (f : D.failure) ->
+        Fmt.pr "--- minimized (from case seed %d)%s ---@.%a%a@."
+          f.D.f_original_seed
+          (match f.D.f_path with Some p -> " -> " ^ p | None -> "")
+          D.pp_outcome f.D.f_outcome Fv_fuzz.Gen.pp_case f.D.f_case)
+      s.D.failures;
+    if s.D.failures <> [] then exit 1
+  in
+  Term.(
+    const run $ cases_arg $ fuzz_seed_arg $ malformed_arg $ no_shrink_arg
+    $ corpus_arg)
+
+let fuzz_replay_cmd =
+  let run corpus =
+    let module D = Fv_fuzz.Driver in
+    let results = D.replay ~dir:corpus () in
+    if results = [] then Fmt.pr "corpus %s is empty@." corpus
+    else begin
+      List.iter
+        (fun (path, _case, o) -> Fmt.pr "%-40s %a@." path D.pp_outcome o)
+        results;
+      let bad = List.filter (fun (_, _, o) -> D.is_failure o) results in
+      Fmt.pr "replayed %d, still failing %d@." (List.length results)
+        (List.length bad);
+      if bad <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run every persisted counterexample in the corpus; exits \
+          non-zero if any still crashes or diverges.")
+    Term.(const run $ corpus_arg)
+
+let fuzz_cmd =
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Differential fuzzing of the vectorizer front end: random loops \
+         (well-formed and deliberately malformed) are vectorized, \
+         executed, and compared against the scalar interpreter; crashes \
+         and divergences are auto-minimized and persisted to the corpus."
+  in
+  Cmd.group ~default:fuzz_run_term info
+    [ Cmd.v (Cmd.info "run" ~doc:"Run a fuzzing campaign.") fuzz_run_term;
+      fuzz_replay_cmd ]
 
 (* ---------------- figure8 / table2 ---------------- *)
 
@@ -263,4 +380,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; profile_cmd; simulate_cmd; figure8_cmd; table2_cmd ]))
+          [ list_cmd; show_cmd; profile_cmd; simulate_cmd; figure8_cmd;
+            table2_cmd; fuzz_cmd ]))

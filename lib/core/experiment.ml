@@ -28,6 +28,31 @@ let style_of = function
   | Wholesale -> Some Fv_vectorizer.Gen.Wholesale
   | Scalar | Traditional -> None
 
+(** How the front end disposed of the hot loop. A vectorizing strategy
+    whose compile is rejected does not abort the run: it degrades down
+    the ladder (FlexVec → traditional vectorization → scalar), recording
+    the rejection diagnostic at the rung it fell from. *)
+type compile_status =
+  | Not_compiled  (** the strategy never asked for vector code ([Scalar]) *)
+  | Vectorized  (** the requested style compiled and passed its oracle *)
+  | Degraded_traditional of Fv_ir.Validate.diagnostic
+      (** FlexVec-style compile rejected; traditional vectorization
+          accepted the loop and passed the oracle, so the run uses it *)
+  | Degraded_scalar of Fv_ir.Validate.diagnostic
+      (** no vector compile survived; the run executed the measured
+          scalar path *)
+
+let show_compile_status = function
+  | Not_compiled -> "not-compiled"
+  | Vectorized -> "vectorized"
+  | Degraded_traditional _ -> "degraded-traditional"
+  | Degraded_scalar _ -> "degraded-scalar"
+
+(** The rejection diagnostic recorded when the run degraded, if any. *)
+let rejection_of = function
+  | Not_compiled | Vectorized -> None
+  | Degraded_traditional d | Degraded_scalar d -> Some d
+
 type hot_run = {
   strategy : strategy;
   cycles : int;
@@ -48,6 +73,9 @@ type hot_run = {
   injected_faults : int;
       (** injected faults delivered to this run's traced executions
           (0 unless a fault plan was supplied) *)
+  compile : compile_status;
+      (** front-end disposition, including the rejection diagnostic when
+          the run degraded below the requested strategy *)
 }
 
 (* attach the caller's injection plan (if any) to a traced run's memory;
@@ -81,26 +109,56 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
   let note_injected (m : Memory.t) =
     injected := !injected + m.Memory.injected_faults
   in
+  let compile = ref Not_compiled in
   let scalar_trace ?(fallback = true) ?error () =
     let m = Memory.clone mem and e = Interp.env_of_list env in
     let hk = Interp.hooks ~emit () in
     ignore (Interp.run ~hk m e l);
     (None, None, fallback, error)
   in
+  (* oracle gate for a traditionally vectorized fallback: same
+     scalar-equivalence requirement as {!Oracle.check}, but against the
+     vloop in hand rather than a fresh FlexVec compile *)
+  let traditional_passes vloop =
+    let ms = Memory.clone mem and es = Interp.env_of_list env in
+    ignore (Interp.run ms es l);
+    let mv = Memory.clone mem and ev = Interp.env_of_list env in
+    match Fv_simd.Exec.run vloop mv ev with
+    | exception _ -> false
+    | _ ->
+        Oracle.compare_memories ms mv = Ok ()
+        && Oracle.compare_env l es ev = Ok ()
+  in
+  (* the degradation ladder: a rejected FlexVec-style compile retries
+     with the traditional vectorizer before surrendering to scalar *)
+  let degrade (d : Fv_ir.Validate.diagnostic) =
+    match Fv_vectorizer.Traditional.vectorize ~vl l with
+    | Ok vloop when traditional_passes vloop ->
+        compile := Degraded_traditional d;
+        let m = Memory.clone mem and e = Interp.env_of_list env in
+        let stats = Fv_simd.Exec.run ~emit vloop m e in
+        (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)
+    | Ok _ | Error _ ->
+        compile := Degraded_scalar d;
+        scalar_trace ()
+  in
   let exec, mix, fell_back, oracle_error =
     match strategy with
     | Scalar -> scalar_trace ~fallback:false ()
     | Traditional -> (
         match Fv_vectorizer.Traditional.vectorize ~vl l with
-        | Error _ -> scalar_trace ()
+        | Error d ->
+            compile := Degraded_scalar d;
+            scalar_trace ()
         | Ok vloop ->
+            compile := Vectorized;
             let m = Memory.clone mem and e = Interp.env_of_list env in
             let stats = Fv_simd.Exec.run ~emit vloop m e in
             (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None))
     | Flexvec | Wholesale -> (
         let style = Option.get (style_of strategy) in
         match Fv_vectorizer.Gen.vectorize ~vl ~style l with
-        | Error _ -> scalar_trace ()
+        | Error d -> degrade d
         | Ok vloop -> (
             (* correctness gate: the vector program must match the
                oracle (injection-free — injected-fault equivalence is
@@ -109,19 +167,22 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
                failure *)
             match Oracle.check ~vl ~style l (Memory.clone mem) env with
             | Error f ->
-                scalar_trace
-                  ~error:
-                    (Fmt.str "experiment on %s: oracle failed: %a"
-                       l.Fv_ir.Ast.name Oracle.pp_failure f)
-                  ()
+                let msg =
+                  Fmt.str "experiment on %s: oracle failed: %a"
+                    l.Fv_ir.Ast.name Oracle.pp_failure f
+                in
+                compile :=
+                  Degraded_scalar (Fv_ir.Validate.internal_error msg);
+                scalar_trace ~error:msg ()
             | Ok _ ->
+                compile := Vectorized;
                 let m = traced_mem () and e = Interp.env_of_list env in
                 let stats = Fv_simd.Exec.run ~emit vloop m e in
                 note_injected m;
                 (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)))
     | Rtm tile -> (
         match Fv_vectorizer.Gen.vectorize ~vl l with
-        | Error _ -> scalar_trace ()
+        | Error d -> degrade d
         | Ok vloop -> (
             (* RTM oracle: run scalar and transactional versions and
                compare final state *)
@@ -133,12 +194,15 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
               (Oracle.compare_memories ms mr, Oracle.compare_env l es er)
             with
             | Error e, _ | _, Error e ->
-                scalar_trace
-                  ~error:
-                    (Fmt.str "experiment on %s (RTM): oracle failed: %s"
-                       l.Fv_ir.Ast.name e)
-                  ()
+                let msg =
+                  Fmt.str "experiment on %s (RTM): oracle failed: %s"
+                    l.Fv_ir.Ast.name e
+                in
+                compile :=
+                  Degraded_scalar (Fv_ir.Validate.internal_error msg);
+                scalar_trace ~error:msg ()
             | Ok (), Ok () ->
+                compile := Vectorized;
                 let m = traced_mem () and e = Interp.env_of_list env in
                 let rtm =
                   Fv_simd.Rtm_run.run ~emit ~retries:rtm_retries ~tile vloop m
@@ -161,6 +225,7 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     oracle_error;
     rtm = !rtm_stats;
     injected_faults = !injected;
+    compile = !compile;
   }
 
 (** Hot-region speedup of [s] over the scalar baseline. Total: both
@@ -212,7 +277,29 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
           r
   in
   let traditional_vloop = lazy (Fv_vectorizer.Traditional.vectorize ~vl l) in
+  (* traditionally vectorized fallback for the degradation ladder,
+     oracle-gated once against the first build's scalar semantics *)
+  let traditional_checked =
+    lazy
+      (match Lazy.force traditional_vloop with
+      | Error _ -> None
+      | Ok vloop -> (
+          let mem = first.Fv_workloads.Kernels.mem
+          and env = first.Fv_workloads.Kernels.env in
+          let ms = Memory.clone mem and es = Interp.env_of_list env in
+          ignore (Interp.run ms es l);
+          let mv = Memory.clone mem and ev = Interp.env_of_list env in
+          match Fv_simd.Exec.run vloop mv ev with
+          | exception _ -> None
+          | _ ->
+              if
+                Oracle.compare_memories ms mv = Ok ()
+                && Oracle.compare_env l es ev = Ok ()
+              then Some vloop
+              else None))
+  in
   let mix = ref None and exec = ref None and fell_back = ref false in
+  let compile = ref Not_compiled in
   (* correctness gate once per workload; a failure degrades the whole
      run to the scalar path (recorded below) instead of aborting, so
      one bad workload cannot kill a parallel Figure 8 run *)
@@ -231,6 +318,9 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
               (Fmt.str "workload %s: oracle failed: %a" l.Fv_ir.Ast.name
                  Oracle.pp_failure f))
   in
+  (match oracle_error with
+  | Some msg -> compile := Degraded_scalar (Fv_ir.Validate.internal_error msg)
+  | None -> ());
   let run_one (b : Fv_workloads.Kernels.built) =
     let mem = b.Fv_workloads.Kernels.mem
     and env = b.Fv_workloads.Kernels.env in
@@ -253,28 +343,46 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     let note_injected (m : Memory.t) =
       injected := !injected + m.Memory.injected_faults
     in
+    (* degradation ladder: rejected FlexVec-style compile → gated
+       traditional vloop if one exists → measured scalar path *)
+    let degrade (d : Fv_ir.Validate.diagnostic) =
+      match Lazy.force traditional_checked with
+      | Some vloop ->
+          compile := Degraded_traditional d;
+          let m = Memory.clone mem and e = Interp.env_of_list env in
+          exec := Some (Fv_simd.Exec.run ~emit vloop m e);
+          if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop)
+      | None ->
+          compile := Degraded_scalar d;
+          scalar ()
+    in
     match strategy with
     | _ when oracle_error <> None -> scalar ()
     | Scalar -> scalar ~fallback:false ()
     | Traditional -> (
         match Lazy.force traditional_vloop with
-        | Error _ -> scalar ()
+        | Error d ->
+            compile := Degraded_scalar d;
+            scalar ()
         | Ok vloop ->
+            compile := Vectorized;
             let m = Memory.clone mem and e = Interp.env_of_list env in
             exec := Some (Fv_simd.Exec.run ~emit vloop m e);
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Flexvec | Wholesale -> (
         match vloop_for (Option.get (style_of strategy)) with
-        | Error _ -> scalar ()
+        | Error d -> degrade d
         | Ok vloop ->
+            compile := Vectorized;
             let m = injected_mem () and e = Interp.env_of_list env in
             exec := Some (Fv_simd.Exec.run ~emit vloop m e);
             note_injected m;
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Rtm tile -> (
         match vloop_for Fv_vectorizer.Gen.Flexvec with
-        | Error _ -> scalar ()
+        | Error d -> degrade d
         | Ok vloop ->
+            compile := Vectorized;
             let m = injected_mem () and e = Interp.env_of_list env in
             let r =
               Fv_simd.Rtm_run.run ~emit ~retries:rtm_retries ~tile vloop m e
@@ -314,4 +422,5 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     oracle_error;
     rtm = !rtm_stats;
     injected_faults = !injected;
+    compile = !compile;
   }

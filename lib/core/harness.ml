@@ -26,6 +26,12 @@ type plan = {
   row_timeout : float option;
       (** [--row-timeout SECONDS]: per-row wall-clock budget for the
           parallel sections; an overdue row becomes an error row *)
+  fail_on_degraded : bool;
+      (** [--fail-on-degraded]: exit non-zero if any simulated hot run
+          compiled below its requested strategy (a [degraded-*]
+          [compile_status] in the report) — all registry kernels are
+          expected to vectorize, so a degradation in a bench run means a
+          front-end regression *)
 }
 
 let flag_value ~flag rest =
@@ -77,7 +83,8 @@ let fault_plan (p : plan) : Fv_faults.Plan.t option =
 (** Parse bench arguments (everything after [Sys.argv.(0)]). Accepts
     section names interleaved with [--domains N], [--json FILE],
     [--mode event|step], [--fault-rate R], [--fault-seed N],
-    [--rtm-retries N] and [--row-timeout S] (also [--flag=value]
+    [--rtm-retries N], [--row-timeout S] and [--fail-on-degraded]
+    (value-taking flags also accept [--flag=value]
     spellings). No section name means "run them all". Every requested
     section is validated against [available] before the plan is
     returned, so the caller runs nothing on a bad request. *)
@@ -121,13 +128,19 @@ let parse_args ~(available : string list) (args : string list) :
             set parse_rtm_retries (fun n -> { acc with rtm_retries = n })
         | "--row-timeout" ->
             set parse_row_timeout (fun t -> { acc with row_timeout = Some t })
+        | "--fail-on-degraded" -> (
+            (* boolean flag: takes no value *)
+            match inline with
+            | Some _ -> Error "--fail-on-degraded takes no value"
+            | None -> go { acc with fail_on_degraded = true } rest)
         | _ when String.length a > 2 && String.sub a 0 2 = "--" ->
             Error (Printf.sprintf "unknown option %s" a)
         | _ -> go { acc with sections = a :: acc.sections } rest)
   in
   let init =
     { sections = []; domains = None; json = None; mode = `Event;
-      fault_rate = 0.0; fault_seed = 1; rtm_retries = 2; row_timeout = None }
+      fault_rate = 0.0; fault_seed = 1; rtm_retries = 2; row_timeout = None;
+      fail_on_degraded = false }
   in
   match go init args with
   | Error _ as e -> e

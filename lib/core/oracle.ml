@@ -18,7 +18,7 @@ type outcome = {
 }
 
 type failure =
-  | Not_vectorizable of string
+  | Not_vectorizable of Fv_ir.Validate.diagnostic
   | Mismatch of string
   | Vector_crash of string
 [@@deriving show { with_path = false }]

@@ -88,6 +88,11 @@ let timed (f : unit -> 'a) : 'a * float =
     [rows] array.
 
     Version history:
+    - 4: hot runs gained [compile_status] (front-end disposition:
+      not-compiled / vectorized / degraded-traditional / degraded-scalar)
+      and [rejection] (the structured diagnostic recorded when the run
+      degraded: statement id, severity, machine-readable reason label,
+      and detail text).
     - 3: the envelope gained the fault-injection knobs ([fault_rate],
       [fault_seed], [rtm_retries], [row_timeout]); hot runs gained
       [injected_faults], [retries] and [rtm] (transactional statistics);
@@ -216,10 +221,25 @@ module Json = struct
         ("scalar_iters", Int s.scalar_iters);
       ]
 
+  let of_diagnostic (d : Fv_ir.Validate.diagnostic) : t =
+    Obj
+      [
+        ("stmt", opt (fun i -> Int i) d.Fv_ir.Validate.stmt);
+        ( "severity",
+          Str
+            (match d.Fv_ir.Validate.severity with
+            | Fv_ir.Validate.Reject -> "reject"
+            | Fv_ir.Validate.Warn -> "warn") );
+        ("reason", Str (Fv_ir.Validate.reason_label d.Fv_ir.Validate.reason));
+        ("detail", Str (Fv_ir.Validate.reason_detail d.Fv_ir.Validate.reason));
+      ]
+
   let of_hot_run (r : Experiment.hot_run) : t =
     Obj
       [
         ("strategy", Str (Experiment.show_strategy r.strategy));
+        ("compile_status", Str (Experiment.show_compile_status r.compile));
+        ("rejection", opt of_diagnostic (Experiment.rejection_of r.compile));
         ("cycles", Int r.cycles);
         ("uops", Int r.uops);
         ("pipe", of_pipeline_stats r.pipe);
@@ -381,7 +401,7 @@ module Json = struct
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 3);
+         ("schema_version", Int 4);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));

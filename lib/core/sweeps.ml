@@ -326,7 +326,9 @@ let fault_sweep ?(rates = [ 0.0; 0.0005; 0.002; 0.008; 0.03 ])
       let vloop =
         match Fv_vectorizer.Gen.vectorize ~vl:16 l with
         | Ok v -> v
-        | Error e -> failwith ("fault sweep: not vectorizable: " ^ e)
+        | Error e ->
+            failwith
+              ("fault sweep: not vectorizable: " ^ Fv_ir.Validate.describe e)
       in
       let module Memory = Fv_mem.Memory in
       let ms = Memory.clone b.Fv_workloads.Kernels.mem

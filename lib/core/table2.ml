@@ -28,7 +28,7 @@ let run_row ?(seed = 42) (spec : R.spec) : row =
   let measured_mix =
     match Fv_vectorizer.Gen.vectorize built.K.loop with
     | Ok vloop -> Fv_vir.Count.to_table2_string (Fv_vir.Count.of_vloop vloop)
-    | Error e -> "rejected: " ^ e
+    | Error e -> "rejected: " ^ Fv_ir.Validate.describe e
   in
   {
     spec;

@@ -1,0 +1,299 @@
+(** Counterexample corpus: serialize fuzz cases to disk and back.
+
+    Every crash or divergence the fuzzer finds is shrunk and persisted
+    under [fuzz/corpus/] as an s-expression, so a failure found in CI is
+    a file a developer replays locally with [flexvec fuzz replay]. Two
+    deliberate properties:
+
+    - {e raw fidelity}: statement ids are stored verbatim (including
+      [-1] and duplicates) and floats are written in hexadecimal
+      ([%h]) — the reloaded case is structurally identical to the one
+      that failed, malformedness included;
+    - {e content-addressed names}: the filename is an FNV-1a hash of the
+      serialized case ([cex-<hex>.sexp]), so saving is idempotent, two
+      campaigns finding the same minimized case collide into one file,
+      and nothing here depends on clocks or ambient randomness. *)
+
+open Fv_isa
+module Ast = Fv_ir.Ast
+
+exception Corpus_error of string
+
+let corpus_error fmt = Fmt.kstr (fun m -> raise (Corpus_error m)) fmt
+
+(* ---------------- encoding ---------------- *)
+
+let sexp_of_value = function
+  | Value.Int i -> Sexp.List [ Sexp.Atom "i"; Sexp.Atom (string_of_int i) ]
+  | Value.Float f ->
+      (* %h round-trips exactly through float_of_string *)
+      Sexp.List [ Sexp.Atom "f"; Sexp.Atom (Printf.sprintf "%h" f) ]
+
+let binop_name : Value.binop -> string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | Min -> "min" | Max -> "max" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr"
+
+let cmpop_name : Value.cmpop -> string = function
+  | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge" | Eq -> "eq" | Ne -> "ne"
+
+let unop_name : Value.unop -> string = function
+  | Neg -> "neg" | Not -> "not" | Abs -> "abs"
+
+let rec sexp_of_expr : Ast.expr -> Sexp.t = function
+  | Ast.Const v -> Sexp.List [ Sexp.Atom "const"; sexp_of_value v ]
+  | Ast.Var v -> Sexp.List [ Sexp.Atom "var"; Sexp.Atom v ]
+  | Ast.Load (a, e) -> Sexp.List [ Sexp.Atom "load"; Sexp.Atom a; sexp_of_expr e ]
+  | Ast.Binop (op, l, r) ->
+      Sexp.List
+        [ Sexp.Atom "binop"; Sexp.Atom (binop_name op); sexp_of_expr l;
+          sexp_of_expr r ]
+  | Ast.Cmp (op, l, r) ->
+      Sexp.List
+        [ Sexp.Atom "cmp"; Sexp.Atom (cmpop_name op); sexp_of_expr l;
+          sexp_of_expr r ]
+  | Ast.Unop (op, e) ->
+      Sexp.List [ Sexp.Atom "unop"; Sexp.Atom (unop_name op); sexp_of_expr e ]
+
+let rec sexp_of_stmt (s : Ast.stmt) : Sexp.t =
+  let node =
+    match s.Ast.node with
+    | Ast.Assign (v, e) ->
+        [ Sexp.Atom "assign"; Sexp.Atom v; sexp_of_expr e ]
+    | Ast.Store (a, idx, e) ->
+        [ Sexp.Atom "store"; Sexp.Atom a; sexp_of_expr idx; sexp_of_expr e ]
+    | Ast.If (c, t, e) ->
+        [ Sexp.Atom "if"; sexp_of_expr c;
+          Sexp.List (List.map sexp_of_stmt t);
+          Sexp.List (List.map sexp_of_stmt e) ]
+    | Ast.Break -> [ Sexp.Atom "break" ]
+  in
+  Sexp.List (Sexp.Atom (string_of_int s.Ast.id) :: node)
+
+let sexp_of_loop (l : Ast.loop) : Sexp.t =
+  Sexp.List
+    [
+      Sexp.Atom "loop";
+      Sexp.List [ Sexp.Atom "name"; Sexp.Atom l.name ];
+      Sexp.List [ Sexp.Atom "index"; Sexp.Atom l.index ];
+      Sexp.List [ Sexp.Atom "lo"; sexp_of_expr l.lo ];
+      Sexp.List [ Sexp.Atom "hi"; sexp_of_expr l.hi ];
+      Sexp.List (Sexp.Atom "live-out" :: List.map Sexp.atom l.live_out);
+      Sexp.List (Sexp.Atom "body" :: List.map sexp_of_stmt l.body);
+    ]
+
+let sexp_of_case (c : Gen.case) : Sexp.t =
+  Sexp.List
+    [
+      Sexp.Atom "case";
+      Sexp.List [ Sexp.Atom "label"; Sexp.Atom c.label ];
+      Sexp.List [ Sexp.Atom "seed"; Sexp.Atom (string_of_int c.seed) ];
+      Sexp.List [ Sexp.Atom "vl"; Sexp.Atom (string_of_int c.vl) ];
+      sexp_of_loop c.loop;
+      Sexp.List
+        (Sexp.Atom "arrays"
+        :: List.map
+             (fun (n, d) ->
+               Sexp.List
+                 (Sexp.Atom n :: (Array.to_list d |> List.map sexp_of_value)))
+             c.arrays);
+      Sexp.List
+        (Sexp.Atom "env"
+        :: List.map
+             (fun (n, v) -> Sexp.List [ Sexp.Atom n; sexp_of_value v ])
+             c.env);
+    ]
+
+(* ---------------- decoding ---------------- *)
+
+let as_atom = function
+  | Sexp.Atom a -> a
+  | s -> corpus_error "expected atom, got %s" (Sexp.to_string s)
+
+let as_int s =
+  match int_of_string_opt (as_atom s) with
+  | Some i -> i
+  | None -> corpus_error "expected integer, got %s" (Sexp.to_string s)
+
+let value_of_sexp = function
+  | Sexp.List [ Sexp.Atom "i"; Sexp.Atom n ] -> (
+      match int_of_string_opt n with
+      | Some i -> Value.Int i
+      | None -> corpus_error "bad int literal %S" n)
+  | Sexp.List [ Sexp.Atom "f"; Sexp.Atom x ] -> (
+      match float_of_string_opt x with
+      | Some f -> Value.Float f
+      | None -> corpus_error "bad float literal %S" x)
+  | s -> corpus_error "expected value, got %s" (Sexp.to_string s)
+
+let binop_of_name = function
+  | "add" -> Value.Add | "sub" -> Value.Sub | "mul" -> Value.Mul
+  | "div" -> Value.Div | "rem" -> Value.Rem | "min" -> Value.Min
+  | "max" -> Value.Max | "and" -> Value.And | "or" -> Value.Or
+  | "xor" -> Value.Xor | "shl" -> Value.Shl | "shr" -> Value.Shr
+  | s -> corpus_error "unknown binop %S" s
+
+let cmpop_of_name = function
+  | "lt" -> Value.Lt | "le" -> Value.Le | "gt" -> Value.Gt
+  | "ge" -> Value.Ge | "eq" -> Value.Eq | "ne" -> Value.Ne
+  | s -> corpus_error "unknown cmpop %S" s
+
+let unop_of_name = function
+  | "neg" -> Value.Neg | "not" -> Value.Not | "abs" -> Value.Abs
+  | s -> corpus_error "unknown unop %S" s
+
+let rec expr_of_sexp : Sexp.t -> Ast.expr = function
+  | Sexp.List [ Sexp.Atom "const"; v ] -> Ast.Const (value_of_sexp v)
+  | Sexp.List [ Sexp.Atom "var"; Sexp.Atom v ] -> Ast.Var v
+  | Sexp.List [ Sexp.Atom "load"; Sexp.Atom a; e ] ->
+      Ast.Load (a, expr_of_sexp e)
+  | Sexp.List [ Sexp.Atom "binop"; Sexp.Atom op; l; r ] ->
+      Ast.Binop (binop_of_name op, expr_of_sexp l, expr_of_sexp r)
+  | Sexp.List [ Sexp.Atom "cmp"; Sexp.Atom op; l; r ] ->
+      Ast.Cmp (cmpop_of_name op, expr_of_sexp l, expr_of_sexp r)
+  | Sexp.List [ Sexp.Atom "unop"; Sexp.Atom op; e ] ->
+      Ast.Unop (unop_of_name op, expr_of_sexp e)
+  | s -> corpus_error "expected expression, got %s" (Sexp.to_string s)
+
+let rec stmt_of_sexp : Sexp.t -> Ast.stmt = function
+  | Sexp.List (id :: rest) ->
+      let id = as_int id in
+      let node =
+        match rest with
+        | [ Sexp.Atom "assign"; Sexp.Atom v; e ] ->
+            Ast.Assign (v, expr_of_sexp e)
+        | [ Sexp.Atom "store"; Sexp.Atom a; idx; e ] ->
+            Ast.Store (a, expr_of_sexp idx, expr_of_sexp e)
+        | [ Sexp.Atom "if"; c; Sexp.List t; Sexp.List e ] ->
+            Ast.If
+              (expr_of_sexp c, List.map stmt_of_sexp t, List.map stmt_of_sexp e)
+        | [ Sexp.Atom "break" ] -> Ast.Break
+        | _ -> corpus_error "malformed statement"
+      in
+      { Ast.id; node }
+  | s -> corpus_error "expected statement, got %s" (Sexp.to_string s)
+
+(* [field name fields]: the unique list tagged [name] *)
+let field name fields =
+  let hit =
+    List.find_opt
+      (function Sexp.List (Sexp.Atom a :: _) when a = name -> true | _ -> false)
+      fields
+  in
+  match hit with
+  | Some (Sexp.List (_ :: rest)) -> rest
+  | _ -> corpus_error "missing field %S" name
+
+let loop_of_sexp = function
+  | Sexp.List (Sexp.Atom "loop" :: fields) ->
+      let one name =
+        match field name fields with
+        | [ x ] -> x
+        | _ -> corpus_error "field %S wants exactly one value" name
+      in
+      {
+        Ast.name = as_atom (one "name");
+        index = as_atom (one "index");
+        lo = expr_of_sexp (one "lo");
+        hi = expr_of_sexp (one "hi");
+        live_out = List.map as_atom (field "live-out" fields);
+        body = List.map stmt_of_sexp (field "body" fields);
+      }
+  | s -> corpus_error "expected loop, got %s" (Sexp.to_string s)
+
+let case_of_sexp : Sexp.t -> Gen.case = function
+  | Sexp.List (Sexp.Atom "case" :: fields) ->
+      let one name =
+        match field name fields with
+        | [ x ] -> x
+        | _ -> corpus_error "field %S wants exactly one value" name
+      in
+      let loop =
+        match
+          List.find_opt
+            (function Sexp.List (Sexp.Atom "loop" :: _) -> true | _ -> false)
+            fields
+        with
+        | Some l -> loop_of_sexp l
+        | None -> corpus_error "missing loop"
+      in
+      {
+        Gen.label = as_atom (one "label");
+        seed = as_int (one "seed");
+        vl = as_int (one "vl");
+        loop;
+        arrays =
+          List.map
+            (function
+              | Sexp.List (Sexp.Atom n :: vs) ->
+                  (n, Array.of_list (List.map value_of_sexp vs))
+              | s -> corpus_error "malformed array entry %s" (Sexp.to_string s))
+            (field "arrays" fields);
+        env =
+          List.map
+            (function
+              | Sexp.List [ Sexp.Atom n; v ] -> (n, value_of_sexp v)
+              | s -> corpus_error "malformed env entry %s" (Sexp.to_string s))
+            (field "env" fields);
+      }
+  | s -> corpus_error "expected case, got %s" (Sexp.to_string s)
+
+(* ---------------- files ---------------- *)
+
+let to_string (c : Gen.case) : string = Sexp.to_string (sexp_of_case c)
+
+let of_string (s : string) : Gen.case = case_of_sexp (Sexp.of_string s)
+
+(* FNV-1a, 64-bit: tiny, deterministic, good enough to content-address a
+   corpus of at most a few thousand files *)
+let fnv1a64 (s : string) : int64 =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let filename_of (c : Gen.case) : string =
+  Printf.sprintf "cex-%016Lx.sexp" (fnv1a64 (to_string c))
+
+let ensure_dir (dir : string) : unit =
+  if not (Sys.file_exists dir) then begin
+    (* create parents one level deep is enough for fuzz/corpus *)
+    let parent = Filename.dirname dir in
+    if parent <> dir && not (Sys.file_exists parent) then Sys.mkdir parent 0o755;
+    Sys.mkdir dir 0o755
+  end
+
+(** Persist [c] under [dir]; returns the file path. Idempotent: the
+    same case always lands in the same file. *)
+let save ~(dir : string) (c : Gen.case) : string =
+  ensure_dir dir;
+  let path = Filename.concat dir (filename_of c) in
+  let oc = open_out path in
+  output_string oc (to_string c);
+  output_char oc '\n';
+  close_out oc;
+  path
+
+(** Load one case file. Raises {!Corpus_error} or {!Sexp.Parse_error} on
+    a damaged file. *)
+let load (path : string) : Gen.case =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(** All [*.sexp] cases under [dir], sorted by filename for determinism.
+    A missing directory is an empty corpus. *)
+let load_dir (dir : string) : (string * Gen.case) list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))

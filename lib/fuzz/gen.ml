@@ -1,0 +1,525 @@
+(** Fuzz-case generation.
+
+    Two populations share this module:
+
+    - {e well-formed} loops drawn from the grammar the vectorizer
+      supports (the same five families the randomized property tests
+      use — plain element-wise bodies, reductions, conditional scalar
+      updates, early exits, runtime memory conflicts), and
+    - {e malformed} loops that deliberately stray outside it: stray
+      [break]s, induction-variable writes, carried scalar cycles,
+      unnumbered or duplicate statement ids, unbound names, float
+      bitwise ops, non-invariant bounds, and fully random statement
+      soup.
+
+    The point of the second population is the totality contract: the
+    front end must answer every one of these with [Ok] or a structured
+    [Error] diagnostic — never an exception. Everything here is driven
+    by {!Rng}, so a case is a pure function of its seed. *)
+
+open Fv_isa
+module B = Fv_ir.Builder
+module Memory = Fv_mem.Memory
+
+type case = {
+  label : string;  (** generator family, e.g. ["reduction"] or ["soup"] *)
+  seed : int;  (** the case's own derived seed (reproducer handle) *)
+  loop : Fv_ir.Ast.loop;
+  arrays : (string * Value.t array) list;  (** initial memory image *)
+  env : (string * Value.t) list;  (** initial scalar environment *)
+  vl : int;  (** vector length for the differential run *)
+}
+
+(** Materialize the case's initial memory. Fresh every call — runs
+    mutate memory, so each differential leg gets its own copy. *)
+let memory_of (c : case) : Memory.t =
+  let m = Memory.create () in
+  List.iter (fun (name, data) -> ignore (Memory.alloc m name data)) c.arrays;
+  m
+
+let pp_case ppf (c : case) =
+  Fmt.pf ppf "%s seed=%d vl=%d arrays=[%a] env=[%a]@.%a" c.label c.seed c.vl
+    Fmt.(list ~sep:comma string)
+    (List.map (fun (n, d) -> Printf.sprintf "%s[%d]" n (Array.length d)) c.arrays)
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string Value.pp_compact))
+    c.env Fv_ir.Pp.pp_loop c.loop
+
+(* ---------------- shared small pieces ---------------- *)
+
+let gen_trip rng = Rng.choose rng [ 0; 1; 7; 16; 17; 33; 61; 64 ]
+let gen_vl rng = Rng.choose rng [ 4; 8; 16 ]
+
+let gen_array rng n =
+  Array.init (max 1 n) (fun _ -> Value.Int (Rng.int rng 1000))
+
+(* the two arrays every family starts from; families add more *)
+let base_arrays rng ~trip =
+  [ ("a", gen_array rng trip); ("b", gen_array rng trip) ]
+
+(* arithmetic expression over a[i], constants and [vars]; [depth]-bounded *)
+let rec gen_expr rng ~vars ~depth : Fv_ir.Ast.expr =
+  let leaf () =
+    match Rng.int rng (2 + List.length vars) with
+    | 0 -> B.int (Rng.int rng 51)
+    | 1 -> B.(load "a" (var "i"))
+    | k -> B.var (List.nth vars (k - 2))
+  in
+  if depth = 0 || Rng.bool rng then leaf ()
+  else
+    let op = Rng.choose rng Value.[ Add; Sub; Mul; Min; Max ] in
+    Fv_ir.Ast.Binop
+      (op, gen_expr rng ~vars ~depth:(depth - 1),
+       gen_expr rng ~vars ~depth:(depth - 1))
+
+(* ---------------- well-formed families ---------------- *)
+
+let gen_plain rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let arrays = base_arrays rng ~trip in
+  let e = gen_expr rng ~vars:[] ~depth:2 in
+  let body =
+    if Rng.bool rng then
+      B.
+        [
+          if_else
+            (load "a" (var "i") % int 3 = int 0)
+            [ assign "x" e ]
+            [ assign "x" (load "b" (var "i")) ];
+          store "b" (var "i") (var "x");
+        ]
+    else B.[ store "b" (var "i") e ]
+  in
+  {
+    label = "plain";
+    seed = 0;
+    loop = B.(loop ~name:"plain" ~index:"i" ~hi:(int trip)) body;
+    arrays;
+    env = [];
+    vl;
+  }
+
+let gen_reduction rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let arrays = base_arrays rng ~trip in
+  let op = Rng.choose rng Value.[ Add; Min; Max ] in
+  let red = B.(assign "s" (Fv_ir.Ast.Binop (op, var "s", load "a" (var "i")))) in
+  let body =
+    if Rng.bool rng then B.[ if_ (load "b" (var "i") > int 300) [ red ] ]
+    else [ red ]
+  in
+  {
+    label = "reduction";
+    seed = 0;
+    loop = B.(loop ~name:"red" ~index:"i" ~hi:(int trip) ~live_out:[ "s" ]) body;
+    arrays;
+    env = [ ("s", Value.Int 500) ];
+    vl;
+  }
+
+let gen_cond_update rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let arrays = base_arrays rng ~trip in
+  let track_max = Rng.bool rng in
+  let with_arg = Rng.bool rng in
+  let cmp = if track_max then B.( > ) else B.( < ) in
+  let body =
+    B.
+      [
+        assign "t" (load "a" (var "i"));
+        if_
+          (cmp (var "t") (var "m"))
+          ([ assign "m" (var "t") ]
+          @ if with_arg then [ B.assign "arg" (B.var "i") ] else []);
+      ]
+  in
+  {
+    label = "cond_update";
+    seed = 0;
+    loop =
+      B.(
+        loop ~name:"cu" ~index:"i" ~hi:(int trip)
+          ~live_out:("m" :: if with_arg then [ "arg" ] else []))
+        body;
+    arrays;
+    env =
+      [ ("m", Value.Int (if track_max then -1 else 1500)); ("arg", Value.Int (-1)) ];
+    vl;
+  }
+
+let gen_early_exit rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let key_at = Rng.int rng (max 1 trip * 2) in
+  let arrays = base_arrays rng ~trip in
+  let key = 424242 in
+  let arrays =
+    (* plant the key if it lands inside the range *)
+    if key_at < trip then
+      List.map
+        (fun (n, d) ->
+          if n = "a" then begin
+            let d = Array.copy d in
+            d.(key_at) <- Value.Int key;
+            (n, d)
+          end
+          else (n, d))
+        arrays
+    else arrays
+  in
+  let body =
+    B.
+      [
+        assign "v" (load "a" (var "i"));
+        if_ (var "v" = var "key") [ assign "pos" (var "i"); break_ ];
+        assign "cnt" (var "cnt" + int 1);
+      ]
+  in
+  {
+    label = "early_exit";
+    seed = 0;
+    loop =
+      B.(loop ~name:"ee" ~index:"i" ~hi:(int trip) ~live_out:[ "pos"; "cnt" ])
+        body;
+    arrays;
+    env =
+      [ ("key", Value.Int key); ("pos", Value.Int (-1)); ("cnt", Value.Int 0) ];
+    vl;
+  }
+
+let gen_mem_conflict rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let buckets = 16 in
+  let idx =
+    Array.init (max 1 trip) (fun _ -> Value.Int (Rng.int rng buckets))
+  in
+  let arrays =
+    base_arrays rng ~trip
+    @ [ ("ix", idx); ("d", Array.make buckets (Value.Int 100)) ]
+  in
+  let upd =
+    B.
+      [
+        assign "j" (load "ix" (var "i"));
+        assign "t" (load "d" (var "j") + load "a" (var "i"));
+      ]
+  in
+  let body =
+    if Rng.bool rng then
+      upd @ B.[ if_ (var "t" < int 5000) [ store "d" (var "j") (var "t") ] ]
+    else upd @ B.[ store "d" (var "j") (var "t") ]
+  in
+  {
+    label = "mem_conflict";
+    seed = 0;
+    loop = B.(loop ~name:"mc" ~index:"i" ~hi:(int trip)) body;
+    arrays;
+    env = [];
+    vl;
+  }
+
+let well_formed_families =
+  [ gen_plain; gen_reduction; gen_cond_update; gen_early_exit; gen_mem_conflict ]
+
+let well_formed rng : case = (Rng.choose rng well_formed_families) rng
+
+(* ---------------- malformed families ---------------- *)
+
+(* rewrite every statement id with [f] — used to fabricate unnumbered and
+   duplicate-id loops that the Builder cannot produce *)
+let map_ids f (l : Fv_ir.Ast.loop) : Fv_ir.Ast.loop =
+  let rec stmt (s : Fv_ir.Ast.stmt) =
+    let node =
+      match s.Fv_ir.Ast.node with
+      | Fv_ir.Ast.If (c, t, e) ->
+          Fv_ir.Ast.If (c, List.map stmt t, List.map stmt e)
+      | n -> n
+    in
+    { Fv_ir.Ast.id = f s.Fv_ir.Ast.id; node }
+  in
+  { l with body = List.map stmt l.body }
+
+let mk_unconditional_break rng : case =
+  let c = well_formed rng in
+  let loop =
+    Fv_ir.Ast.number { c.loop with body = c.loop.body @ [ B.break_ ] }
+  in
+  { c with label = "unconditional_break"; loop }
+
+let mk_break_in_else rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.
+      [
+        if_else
+          (load "a" (var "i") > int 500)
+          [ store "b" (var "i") (int 1) ]
+          [ break_ ];
+      ]
+  in
+  {
+    label = "break_in_else";
+    seed = 0;
+    loop = B.(loop ~name:"bie" ~index:"i" ~hi:(int trip)) body;
+    arrays = base_arrays rng ~trip;
+    env = [];
+    vl;
+  }
+
+let mk_multiple_breaks rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.
+      [
+        if_ (load "a" (var "i") > int 900) [ break_ ];
+        store "b" (var "i") (load "a" (var "i"));
+        if_ (load "a" (var "i") < int 10) [ break_ ];
+      ]
+  in
+  {
+    label = "multiple_breaks";
+    seed = 0;
+    loop = B.(loop ~name:"mb" ~index:"i" ~hi:(int trip) ~live_out:[]) body;
+    arrays = base_arrays rng ~trip;
+    env = [];
+    vl;
+  }
+
+let mk_assign_index rng : case =
+  let c = well_formed rng in
+  let bump = B.(assign "i" (var "i" + int 2)) in
+  let loop = Fv_ir.Ast.number { c.loop with body = c.loop.body @ [ bump ] } in
+  { c with label = "assign_index"; loop }
+
+let mk_entangled_scalars rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.
+      [
+        assign "x" (var "y" + load "a" (var "i"));
+        assign "y" (var "x" + int 1);
+      ]
+  in
+  {
+    label = "entangled_scalars";
+    seed = 0;
+    loop =
+      B.(loop ~name:"ent" ~index:"i" ~hi:(int trip) ~live_out:[ "x"; "y" ]) body;
+    arrays = base_arrays rng ~trip;
+    env = [ ("x", Value.Int 0); ("y", Value.Int 0) ];
+    vl;
+  }
+
+let mk_unguarded_carried rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  (* carried scalar recurrence that is not a recognized reduction shape *)
+  let body =
+    B.[ assign "s" ((var "s" * int 3) + load "a" (var "i")) ]
+  in
+  {
+    label = "unguarded_carried";
+    seed = 0;
+    loop = B.(loop ~name:"uc" ~index:"i" ~hi:(int trip) ~live_out:[ "s" ]) body;
+    arrays = base_arrays rng ~trip;
+    env = [ ("s", Value.Int 1) ];
+    vl;
+  }
+
+let mk_unnumbered rng : case =
+  let c = well_formed rng in
+  { c with label = "unnumbered"; loop = map_ids (fun _ -> -1) c.loop }
+
+let mk_duplicate_ids rng : case =
+  let c = well_formed rng in
+  { c with label = "duplicate_ids"; loop = map_ids (fun _ -> 0) c.loop }
+
+let mk_unknown_array rng : case =
+  let c = well_formed rng in
+  let touch = B.(store "ghost" (var "i") (load "a" (var "i"))) in
+  let loop = Fv_ir.Ast.number { c.loop with body = touch :: c.loop.body } in
+  { c with label = "unknown_array"; loop }
+
+let mk_unbound_scalar rng : case =
+  let c = well_formed rng in
+  let use = B.(assign "w" (var "phantom" + int 1)) in
+  let loop = Fv_ir.Ast.number { c.loop with body = use :: c.loop.body } in
+  { c with label = "unbound_scalar"; loop }
+
+let mk_empty_names rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.[ assign "" (load "a" (var "i")); store "" (var "i") (var "") ]
+  in
+  {
+    label = "empty_names";
+    seed = 0;
+    loop = B.(loop ~name:"en" ~index:"i" ~hi:(int trip)) body;
+    arrays = [ ("a", gen_array rng trip); ("", gen_array rng trip) ];
+    env = [];
+    vl;
+  }
+
+let mk_non_invariant_bound rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.
+      [
+        assign "n" (var "n" - int 1);
+        store "b" (var "i") (load "a" (var "i"));
+      ]
+  in
+  {
+    label = "non_invariant_bound";
+    seed = 0;
+    loop =
+      B.(loop ~name:"nib" ~index:"i" ~hi:(var "n") ~live_out:[ "n" ]) body;
+    arrays = base_arrays rng ~trip;
+    env = [ ("n", Value.Int trip) ];
+    vl;
+  }
+
+let mk_nested_early_exit rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.
+      [
+        if_
+          (load "a" (var "i") > int 100)
+          [
+            if_ (load "b" (var "i") > int 500) [ assign "pos" (var "i"); break_ ];
+          ];
+        assign "cnt" (var "cnt" + int 1);
+      ]
+  in
+  {
+    label = "nested_early_exit";
+    seed = 0;
+    loop =
+      B.(loop ~name:"nee" ~index:"i" ~hi:(int trip) ~live_out:[ "pos"; "cnt" ])
+        body;
+    arrays = base_arrays rng ~trip;
+    env = [ ("pos", Value.Int (-1)); ("cnt", Value.Int 0) ];
+    vl;
+  }
+
+let mk_cond_update_with_else rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.
+      [
+        assign "t" (load "a" (var "i"));
+        if_else (var "t" > var "m") [ assign "m" (var "t") ]
+          [ assign "m" (var "m" + int 0) ];
+      ]
+  in
+  {
+    label = "cond_update_with_else";
+    seed = 0;
+    loop = B.(loop ~name:"cue" ~index:"i" ~hi:(int trip) ~live_out:[ "m" ]) body;
+    arrays = base_arrays rng ~trip;
+    env = [ ("m", Value.Int (-1)) ];
+    vl;
+  }
+
+let mk_float_bitwise rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let body =
+    B.[ store "b" (var "i") (var "f" &&& load "a" (var "i")) ]
+  in
+  {
+    label = "float_bitwise";
+    seed = 0;
+    loop = B.(loop ~name:"fb" ~index:"i" ~hi:(int trip)) body;
+    arrays = base_arrays rng ~trip;
+    env = [ ("f", Value.Float 1.5) ];
+    vl;
+  }
+
+(* fully random statement soup: arbitrary nesting, breaks anywhere,
+   names drawn from a pool that includes unbound scalars and unmapped
+   arrays, all binops including the float-hostile bitwise ones *)
+let mk_soup rng : case =
+  let trip = gen_trip rng and vl = gen_vl rng in
+  let scalars = [ "i"; "x"; "y"; "s"; "q" ] in
+  (* "q" unbound; "ghost" unmapped *)
+  let arrays = [ "a"; "b"; "ghost" ] in
+  let rec expr depth =
+    if depth = 0 then
+      match Rng.int rng 3 with
+      | 0 -> B.int (Rng.range rng ~lo:(-10) ~hi:60)
+      | 1 -> B.var (Rng.choose rng scalars)
+      | _ -> B.flt (float_of_int (Rng.int rng 10) /. 2.0)
+    else
+      match Rng.int rng 5 with
+      | 0 -> B.load (Rng.choose rng arrays) (expr (depth - 1))
+      | 1 ->
+          Fv_ir.Ast.Binop
+            ( Rng.choose rng
+                Value.[ Add; Sub; Mul; Div; Rem; Min; Max; And; Or; Xor; Shl; Shr ],
+              expr (depth - 1), expr (depth - 1) )
+      | 2 ->
+          Fv_ir.Ast.Cmp
+            ( Rng.choose rng Value.[ Lt; Le; Gt; Ge; Eq; Ne ],
+              expr (depth - 1), expr (depth - 1) )
+      | 3 ->
+          Fv_ir.Ast.Unop (Rng.choose rng Value.[ Neg; Not; Abs ], expr (depth - 1))
+      | _ -> expr (depth - 1)
+  in
+  let rec stmts depth n =
+    List.init n (fun _ ->
+        match Rng.int rng (if depth = 0 then 4 else 5) with
+        | 0 -> B.assign (Rng.choose rng scalars) (expr 2)
+        | 1 -> B.store (Rng.choose rng arrays) (expr 1) (expr 2)
+        | 2 -> B.break_
+        | 3 -> B.assign (Rng.choose rng scalars) (expr 2)
+        | _ ->
+            let t = stmts (depth - 1) (1 + Rng.int rng 2) in
+            let e = if Rng.bool rng then stmts (depth - 1) (1 + Rng.int rng 2) else [] in
+            B.if_else (expr 1) t e)
+  in
+  let body = stmts 2 (1 + Rng.int rng 4) in
+  let live_out =
+    List.filter (fun _ -> Rng.bool rng) [ "x"; "y"; "s" ]
+  in
+  {
+    label = "soup";
+    seed = 0;
+    loop = B.(loop ~name:"soup" ~index:"i" ~hi:(int trip) ~live_out) body;
+    arrays = base_arrays rng ~trip;
+    env = [ ("x", Value.Int 0); ("y", Value.Int 7); ("s", Value.Int 1) ];
+    vl;
+  }
+
+let malformed_families =
+  [
+    mk_unconditional_break;
+    mk_break_in_else;
+    mk_multiple_breaks;
+    mk_assign_index;
+    mk_entangled_scalars;
+    mk_unguarded_carried;
+    mk_unnumbered;
+    mk_duplicate_ids;
+    mk_unknown_array;
+    mk_unbound_scalar;
+    mk_empty_names;
+    mk_non_invariant_bound;
+    mk_nested_early_exit;
+    mk_cond_update_with_else;
+    mk_float_bitwise;
+    mk_soup;
+    mk_soup;
+    (* soup twice: it is the family with the largest surface *)
+  ]
+
+let malformed rng : case = (Rng.choose rng malformed_families) rng
+
+(* ---------------- entry points ---------------- *)
+
+(** One case from [rng]: malformed with probability [p_malformed]
+    (default 0.5), well-formed otherwise. *)
+let any ?(p_malformed = 0.5) rng : case =
+  if Rng.flip rng p_malformed then malformed rng else well_formed rng
+
+(** The case fully determined by [seed] — the reproducer entry point. *)
+let case_of_seed ?p_malformed (seed : int) : case =
+  let rng = Rng.make seed in
+  { (any ?p_malformed rng) with seed }

@@ -1,0 +1,64 @@
+(** Deterministic pseudo-random stream for the fuzzer.
+
+    SplitMix64 (Steele, Lea & Flood, OOPSLA'14): a tiny, fast,
+    well-mixed 64-bit generator whose sequence is a pure function of the
+    seed — the property the whole fuzzing subsystem leans on. A campaign
+    run under [FLEXVEC_FUZZ_SEED=n] replays bit-identically on any
+    machine, and every case carries its own derived seed so a single
+    failing case can be regenerated without replaying the campaign
+    prefix. We deliberately do not use [Stdlib.Random]: its sequence is
+    not stable across OCaml releases. *)
+
+type t = { mutable state : int64 }
+
+let make (seed : int) : t = { state = Int64.of_int seed }
+
+let copy (t : t) : t = { state = t.state }
+
+(* one SplitMix64 step: golden-gamma increment, then two xor-shift
+   multiplies to mix the counter into all 64 bits *)
+let next (t : t) : int64 =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform int in [\[0, n)]. [n] must be positive. *)
+let int (t : t) (n : int) : int =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 62 bits of the stream, reduced modulo n; the modulo bias is
+     ~n/2^62, irrelevant for the small bounds the generators use *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  bits mod n
+
+(** Uniform int in [\[lo, hi]] (inclusive). *)
+let range (t : t) ~(lo : int) ~(hi : int) : int =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool (t : t) : bool = Int64.logand (next t) 1L = 1L
+
+(** Bernoulli trial with probability [p]. *)
+let flip (t : t) (p : float) : bool =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float_of_int (int t 1_000_000) < (p *. 1e6)
+
+let choose (t : t) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** Derive an independent stream. Used to give each fuzz case its own
+    seed: [split] consumes exactly one step of the parent stream, so
+    case [i] of a campaign depends only on the campaign seed and [i]. *)
+let split (t : t) : t = { state = next t }
+
+(** The derived seed for case [i] under campaign seed [seed]; exposed so
+    "case 4217 of seed 42" is a stable name for a reproducer. *)
+let case_seed ~(seed : int) (i : int) : int =
+  let t = make seed in
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int i) 0x6A09E667F3BCC909L);
+  Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL)

@@ -1,0 +1,141 @@
+(** Minimal s-expressions for the counterexample corpus.
+
+    The corpus must be readable by humans bisecting a failure and
+    writable without any external dependency, so the format is the
+    smallest thing that round-trips: atoms and lists. Atoms containing
+    whitespace, parens, quotes or control characters are written as
+    OCaml-escaped quoted strings; everything else is bare. *)
+
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+(* ---------------- printing ---------------- *)
+
+let needs_quoting (s : string) : bool =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true
+         | c -> Char.code c < 0x20 || Char.code c >= 0x7f)
+       s
+
+let rec pp ppf = function
+  | Atom s ->
+      if needs_quoting s then Fmt.pf ppf "%S" s else Fmt.string ppf s
+  | List l -> Fmt.pf ppf "(@[<hov 1>%a@])" Fmt.(list ~sep:sp pp) l
+
+let to_string (s : t) : string = Fmt.str "%a" pp s
+
+(* ---------------- parsing ---------------- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | Some ';' ->
+      (* comment to end of line *)
+      let rec eol () =
+        match peek c with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance c;
+            eol ()
+      in
+      eol ();
+      skip_ws c
+  | _ -> ()
+
+let parse_quoted c =
+  (* positioned on the opening quote *)
+  let start = c.pos in
+  let buf = Buffer.create 16 in
+  advance c;
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string at offset %d" start
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some d0 when d0 >= '0' && d0 <= '9' ->
+            (* OCaml decimal escape \DDD *)
+            let digit () =
+              match peek c with
+              | Some d when d >= '0' && d <= '9' ->
+                  advance c;
+                  Char.code d - Char.code '0'
+              | _ -> parse_error "bad escape at offset %d" c.pos
+            in
+            let n = (100 * digit ()) + (10 * digit ()) + digit () in
+            Buffer.add_char buf (Char.chr (n land 0xff));
+            go ()
+        | _ -> parse_error "bad escape at offset %d" c.pos)
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Atom (Buffer.contents buf)
+
+let parse_bare c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+    | Some _ ->
+        advance c;
+        go ()
+  in
+  go ();
+  Atom (String.sub c.src start (c.pos - start))
+
+let rec parse_one c : t =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input at offset %d" c.pos
+  | Some '(' ->
+      advance c;
+      let rec items acc =
+        skip_ws c;
+        match peek c with
+        | Some ')' ->
+            advance c;
+            List (List.rev acc)
+        | None -> parse_error "unterminated list at offset %d" c.pos
+        | Some _ -> items (parse_one c :: acc)
+      in
+      items []
+  | Some ')' -> parse_error "unexpected ')' at offset %d" c.pos
+  | Some '"' -> parse_quoted c
+  | Some _ -> parse_bare c
+
+(** Parse a single s-expression; trailing whitespace/comments allowed,
+    trailing garbage is an error. Raises {!Parse_error}. *)
+let of_string (s : string) : t =
+  let c = { src = s; pos = 0 } in
+  let x = parse_one c in
+  skip_ws c;
+  (match peek c with
+  | None -> ()
+  | Some _ -> parse_error "trailing garbage at offset %d" c.pos);
+  x

@@ -1,0 +1,161 @@
+(** Delta-debugging shrinker for fuzz cases.
+
+    Given a case and a predicate "does it still fail the same way", the
+    shrinker greedily applies single-step reductions — delete a
+    statement, flatten an [If] into one of its branches, replace an
+    expression by a sub-expression or zero, halve the trip count, drop a
+    live-out or environment binding, truncate an array, lower the vector
+    length — accepting the first reduction that still fails and
+    restarting from the reduced case, until no reduction fails
+    (a fixpoint) or the evaluation budget is spent.
+
+    The shrinker never renumbers statements: a counterexample whose
+    whole point is a duplicate or missing id must keep it through
+    shrinking. Deleting statements can therefore leave id gaps, which
+    every analysis tolerates. *)
+
+module Ast = Fv_ir.Ast
+open Fv_isa
+
+(* ---------------- expression reductions ---------------- *)
+
+let rec shrink_expr (e : Ast.expr) : Ast.expr list =
+  let sub =
+    match e with
+    | Ast.Binop (_, l, r) | Ast.Cmp (_, l, r) -> [ l; r ]
+    | Ast.Unop (_, x) -> [ x ]
+    | Ast.Load (_, i) -> [ i ]
+    | _ -> []
+  in
+  let zero =
+    match e with
+    | Ast.Const (Value.Int 0) -> []
+    | _ -> [ Ast.Const (Value.Int 0) ]
+  in
+  let deeper =
+    match e with
+    | Ast.Binop (op, l, r) ->
+        List.map (fun l' -> Ast.Binop (op, l', r)) (shrink_expr l)
+        @ List.map (fun r' -> Ast.Binop (op, l, r')) (shrink_expr r)
+    | Ast.Cmp (op, l, r) ->
+        List.map (fun l' -> Ast.Cmp (op, l', r)) (shrink_expr l)
+        @ List.map (fun r' -> Ast.Cmp (op, l, r')) (shrink_expr r)
+    | Ast.Unop (op, x) -> List.map (fun x' -> Ast.Unop (op, x')) (shrink_expr x)
+    | Ast.Load (a, i) -> List.map (fun i' -> Ast.Load (a, i')) (shrink_expr i)
+    | _ -> []
+  in
+  sub @ zero @ deeper
+
+(* expression reductions inside one statement node (id preserved) *)
+let shrink_node (n : Ast.node) : Ast.node list =
+  match n with
+  | Ast.Assign (v, e) -> List.map (fun e' -> Ast.Assign (v, e')) (shrink_expr e)
+  | Ast.Store (a, i, e) ->
+      List.map (fun i' -> Ast.Store (a, i', e)) (shrink_expr i)
+      @ List.map (fun e' -> Ast.Store (a, i, e')) (shrink_expr e)
+  | Ast.If (c, t, f) -> List.map (fun c' -> Ast.If (c', t, f)) (shrink_expr c)
+  | Ast.Break -> []
+
+(* ---------------- statement-tree reductions ---------------- *)
+
+(* all one-step reductions of a statement list: delete one statement,
+   flatten one [If] into a branch, reduce inside one statement *)
+let rec shrink_body (body : Ast.stmt list) : Ast.stmt list list =
+  match body with
+  | [] -> []
+  | s :: rest ->
+      let drop = [ rest ] in
+      let here =
+        match s.Ast.node with
+        | Ast.If (c, t, f) ->
+            (* flatten to a branch *)
+            [ t @ rest; f @ rest ]
+            (* shrink within a branch *)
+            @ List.map
+                (fun t' -> { s with Ast.node = Ast.If (c, t', f) } :: rest)
+                (shrink_body t)
+            @ List.map
+                (fun f' -> { s with Ast.node = Ast.If (c, t, f') } :: rest)
+                (shrink_body f)
+        | _ -> []
+      in
+      let exprs =
+        List.map (fun n -> { s with Ast.node = n } :: rest) (shrink_node s.Ast.node)
+      in
+      let later = List.map (fun rest' -> s :: rest') (shrink_body rest) in
+      drop @ here @ exprs @ later
+
+(* ---------------- case-level reductions ---------------- *)
+
+let shrink_bound (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.Const (Value.Int n) when n > 1 -> [ Ast.Const (Value.Int (n / 2)) ]
+  | Ast.Const (Value.Int 1) -> [ Ast.Const (Value.Int 0) ]
+  | Ast.Const _ -> []
+  | _ -> Ast.Const (Value.Int 1) :: shrink_expr e
+
+let drop_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+(** All single-step reductions of [c], roughly in decreasing order of
+    expected progress (structural deletions first, data tweaks last). *)
+let candidates (c : Gen.case) : Gen.case list =
+  let loop = c.Gen.loop in
+  let with_loop l = { c with Gen.loop = l } in
+  let bodies =
+    List.map (fun b -> with_loop { loop with Ast.body = b }) (shrink_body loop.Ast.body)
+  in
+  let bounds =
+    List.map (fun hi -> with_loop { loop with Ast.hi = hi }) (shrink_bound loop.Ast.hi)
+  in
+  let live_outs =
+    List.mapi
+      (fun i _ -> with_loop { loop with Ast.live_out = drop_nth i loop.Ast.live_out })
+      loop.Ast.live_out
+  in
+  let envs =
+    List.mapi (fun i _ -> { c with Gen.env = drop_nth i c.Gen.env }) c.Gen.env
+  in
+  let arrays =
+    List.concat_map
+      (fun (n, d) ->
+        let len = Array.length d in
+        if len <= 1 then []
+        else
+          [
+            {
+              c with
+              Gen.arrays =
+                List.map
+                  (fun (n', d') ->
+                    if n' = n then (n', Array.sub d' 0 (len / 2)) else (n', d'))
+                  c.Gen.arrays;
+            };
+          ])
+      c.Gen.arrays
+  in
+  let vls = if c.Gen.vl > 4 then [ { c with Gen.vl = 4 } ] else [] in
+  bodies @ bounds @ live_outs @ envs @ arrays @ vls
+
+(** Greedy fixpoint minimization: repeatedly take the first single-step
+    reduction for which [still_fails] holds. Returns the minimized case
+    and the number of predicate evaluations spent. Deterministic: the
+    result depends only on the input case and the predicate. *)
+let minimize ?(max_evals = 2000) ~(still_fails : Gen.case -> bool)
+    (c0 : Gen.case) : Gen.case * int =
+  let evals = ref 0 in
+  let keeps_failing c =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      still_fails c
+    end
+  in
+  let rec fix c =
+    let rec first = function
+      | [] -> c
+      | cand :: rest -> if keeps_failing cand then fix cand else first rest
+    in
+    first (candidates c)
+  in
+  let result = fix c0 in
+  (result, !evals)

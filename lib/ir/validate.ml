@@ -1,0 +1,231 @@
+(** Well-formedness validation for the scalar IR, and the structured
+    diagnostic type the whole compile front end reports through.
+
+    The paper's compiler silently falls back to scalar or traditional
+    vectorization whenever a loop falls outside the three FlexVec
+    idioms; a reproduction that crashes on unanticipated input instead
+    caps every experiment that feeds arbitrary workloads through the
+    pipeline. Every stage of our front end — this validator, the PDG
+    classifier, scalar classification, and code generation — therefore
+    reports failure as a {!diagnostic} value (statement id + reason
+    enum) rather than raising, and the driver layers degrade to
+    traditional vectorization or scalar execution with the diagnostic
+    recorded. *)
+
+open Ast
+module SS = Set.Make (String)
+
+(** Why a loop was flagged. The first block is produced by {!check}
+    (well-formedness of the input IR itself); the second is produced by
+    the analysis and code-generation stages when a well-formed loop
+    falls outside the supported vectorization grammar; the last is the
+    catch-all that keeps the public entry points total even against
+    compiler bugs. *)
+type reason =
+  (* ---- well-formedness (this module) ---- *)
+  | Unnumbered_statement
+      (** a statement still carries the builder placeholder id [-1]
+          (the caller bypassed [Builder.loop] / [Ast.number]) *)
+  | Duplicate_statement_id of int
+  | Empty_variable_name
+  | Empty_array_name
+  | Unbound_variable of string
+      (** read (or live-out) but never assigned in the loop and absent
+          from the declared environment *)
+  | Unknown_array of string
+      (** referenced but absent from the declared allocation set *)
+  | Induction_write of string  (** the induction variable is assigned *)
+  | Non_invariant_bound of string
+      (** the loop bound reads a scalar the body assigns *)
+  | Non_affine_index of string
+      (** (warning) an index into the named array mentions the
+          induction variable non-affinely: legal, but needs a gather *)
+  (* ---- analysis / codegen rejections ---- *)
+  | Unsupported_cycle of string
+      (** {!Fv_pdg.Classify}: a dependence SCC matches no relaxable
+          pattern *)
+  | Unsupported_scalar of string
+      (** [Classes]: a written scalar fits no vectorizable class *)
+  | Unsupported_shape of string
+      (** [Gen]: a statement shape the pattern handlers cannot emit *)
+  (* ---- totality backstop ---- *)
+  | Internal_error of string
+      (** an unexpected exception was caught at a public entry point;
+          always a front-end bug — the fuzzer hunts these *)
+[@@deriving show { with_path = false }, eq]
+
+(** [Reject] means the front end must not vectorize the loop; [Warn] is
+    informational (the loop is legal but a performance note applies). *)
+type severity = Reject | Warn [@@deriving show { with_path = false }, eq]
+
+type diagnostic = { stmt : int option; severity : severity; reason : reason }
+[@@deriving show { with_path = false }, eq]
+
+let diag ?stmt ?(severity = Reject) reason = { stmt; severity; reason }
+let internal_error msg = diag (Internal_error msg)
+
+(** Stable machine-readable label for a reason (the JSON reports key on
+    these). *)
+let reason_label : reason -> string = function
+  | Unnumbered_statement -> "unnumbered-statement"
+  | Duplicate_statement_id _ -> "duplicate-statement-id"
+  | Empty_variable_name -> "empty-variable-name"
+  | Empty_array_name -> "empty-array-name"
+  | Unbound_variable _ -> "unbound-variable"
+  | Unknown_array _ -> "unknown-array"
+  | Induction_write _ -> "induction-write"
+  | Non_invariant_bound _ -> "non-invariant-bound"
+  | Non_affine_index _ -> "non-affine-index"
+  | Unsupported_cycle _ -> "unsupported-cycle"
+  | Unsupported_scalar _ -> "unsupported-scalar"
+  | Unsupported_shape _ -> "unsupported-shape"
+  | Internal_error _ -> "internal-error"
+
+let reason_detail : reason -> string = function
+  | Unnumbered_statement -> "statement carries the builder placeholder id -1"
+  | Duplicate_statement_id id -> Printf.sprintf "statement id %d appears twice" id
+  | Empty_variable_name -> "empty scalar variable name"
+  | Empty_array_name -> "empty array name"
+  | Unbound_variable v ->
+      Printf.sprintf "scalar %s is read but never bound" v
+  | Unknown_array a -> Printf.sprintf "array %s is not allocated" a
+  | Induction_write v ->
+      Printf.sprintf "induction variable %s is assigned in the loop" v
+  | Non_invariant_bound v ->
+      Printf.sprintf "loop bound reads %s, which the body assigns" v
+  | Non_affine_index a ->
+      Printf.sprintf "index into %s mentions the induction variable \
+                      non-affinely (gather/scatter required)" a
+  | Unsupported_cycle m | Unsupported_scalar m | Unsupported_shape m -> m
+  | Internal_error m -> "internal error: " ^ m
+
+(** Human-readable one-liner: ["S3: unsupported-shape: break outside an
+    early-exit guard"]. *)
+let describe (d : diagnostic) : string =
+  let where = match d.stmt with Some id -> Printf.sprintf "S%d: " id | None -> "" in
+  let sev = match d.severity with Reject -> "" | Warn -> "warning: " in
+  Printf.sprintf "%s%s%s: %s" where sev (reason_label d.reason)
+    (reason_detail d.reason)
+
+let pp ppf d = Fmt.string ppf (describe d)
+
+(** Rejection-severity diagnostics only. *)
+let errors (ds : diagnostic list) : diagnostic list =
+  List.filter (fun d -> d.severity = Reject) ds
+
+let ok (ds : diagnostic list) : bool = errors ds = []
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_arrays : expr -> (string * expr) list = function
+  | Const _ | Var _ -> []
+  | Load (arr, idx) -> (arr, idx) :: expr_arrays idx
+  | Binop (_, a, b) | Cmp (_, a, b) -> expr_arrays a @ expr_arrays b
+  | Unop (_, e) -> expr_arrays e
+
+let node_arrays : node -> (string * expr) list = function
+  | Assign (_, e) -> expr_arrays e
+  | Store (arr, idx, e) -> ((arr, idx) :: expr_arrays idx) @ expr_arrays e
+  | If (c, _, _) -> expr_arrays c
+  | Break -> []
+
+(** Validate a loop. [?scalars] declares the environment bindings the
+    loop will run under and [?arrays] the allocated arrays; when either
+    is omitted the corresponding binding check is skipped (compile-time
+    callers usually have no memory image in hand). Returns every
+    diagnostic found, program order, errors and warnings interleaved. *)
+let check ?scalars ?arrays (l : loop) : diagnostic list =
+  let out = ref [] in
+  let add ?stmt ?severity reason = out := diag ?stmt ?severity reason :: !out in
+  let stmts = all_stmts l in
+  (* numbering *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.id < 0 then add Unnumbered_statement
+      else if Hashtbl.mem seen s.id then
+        add ~stmt:s.id (Duplicate_statement_id s.id)
+      else Hashtbl.replace seen s.id ())
+    stmts;
+  if String.length l.index = 0 then add Empty_variable_name;
+  (* per-statement shape checks *)
+  let check_expr ?stmt (e : expr) =
+    SS.iter
+      (fun v -> if String.length v = 0 then add ?stmt Empty_variable_name)
+      (Analysis.expr_uses e);
+    List.iter
+      (fun (arr, idx) ->
+        if String.length arr = 0 then add ?stmt Empty_array_name;
+        if
+          Analysis.mentions_var l.index idx
+          && Analysis.affine_in_index ~index:l.index idx = None
+        then add ?stmt ~severity:Warn (Non_affine_index arr))
+      (expr_arrays e)
+  in
+  List.iter
+    (fun s ->
+      let stmt = s.id in
+      match s.node with
+      | Assign (v, e) ->
+          if String.length v = 0 then add ~stmt Empty_variable_name;
+          if String.equal v l.index then add ~stmt (Induction_write v);
+          check_expr ~stmt e
+      | Store (arr, idx, e) ->
+          if String.length arr = 0 then add ~stmt Empty_array_name;
+          (if
+             Analysis.mentions_var l.index idx
+             && Analysis.affine_in_index ~index:l.index idx = None
+           then add ~stmt ~severity:Warn (Non_affine_index arr));
+          check_expr ~stmt idx;
+          check_expr ~stmt e
+      | If (c, _, _) -> check_expr ~stmt c
+      | Break -> ())
+    stmts;
+  (* bounds: evaluated once on entry; must not read body-defined scalars *)
+  let defs = Analysis.loop_defs l in
+  check_expr l.lo;
+  check_expr l.hi;
+  SS.iter
+    (fun v -> if SS.mem v defs then add (Non_invariant_bound v))
+    (SS.union (Analysis.expr_uses l.lo) (Analysis.expr_uses l.hi));
+  (* environment binding checks, when the caller declared its bindings *)
+  (match scalars with
+  | None -> ()
+  | Some scalars ->
+      let bound = SS.of_list scalars in
+      let needed = Analysis.loop_inputs l in
+      SS.iter
+        (fun v ->
+          if
+            (not (SS.mem v bound))
+            && (not (SS.mem v defs))
+            && String.length v > 0
+          then add (Unbound_variable v))
+        needed);
+  (match arrays with
+  | None -> ()
+  | Some arrays ->
+      let allocated = SS.of_list arrays in
+      let referenced = ref SS.empty in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (a, _) -> referenced := SS.add a !referenced)
+            (node_arrays s.node))
+        stmts;
+      List.iter
+        (fun (a, _) -> referenced := SS.add a !referenced)
+        (expr_arrays l.lo @ expr_arrays l.hi);
+      SS.iter
+        (fun a ->
+          if (not (SS.mem a allocated)) && String.length a > 0 then
+            add (Unknown_array a))
+        !referenced);
+  List.rev !out
+
+(** [validate ?scalars ?arrays l] is [Ok l] when {!check} finds no
+    rejection-severity diagnostic, [Error (first :: rest)] otherwise. *)
+let validate ?scalars ?arrays (l : loop) : (loop, diagnostic list) result =
+  match errors (check ?scalars ?arrays l) with [] -> Ok l | ds -> Error ds

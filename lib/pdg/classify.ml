@@ -52,7 +52,7 @@ type plan = {
   relaxed : Graph.edge list;  (** dependence edges removed from the PDG *)
 }
 
-type verdict = Vectorizable of plan | Rejected of string
+type verdict = Vectorizable of plan | Rejected of Validate.diagnostic
 
 (* ------------------------------------------------------------------ *)
 (* AST helpers                                                         *)
@@ -87,23 +87,30 @@ let uses_of_var (l : loop) (v : string) : int list =
 (* Per-SCC classification                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* rejection as a structured diagnostic anchored, where possible, to the
+   statement that caused it *)
+let err ?stmt fmt =
+  Fmt.kstr
+    (fun msg -> Error (Validate.diag ?stmt (Validate.Unsupported_cycle msg)))
+    fmt
+
 let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
-    (pattern * Graph.edge list, string) result =
+    (pattern * Graph.edge list, Validate.diagnostic) result =
   let internal = Graph.edges_between g scc in
   let chains = guard_chains l in
   if List.mem Cfg.entry scc then begin
     (* cycle through the loop header: early termination *)
     match breaks l with
     | [ b ] -> (
-        match Hashtbl.find chains b.id with
-        | guard :: _ ->
+        match Hashtbl.find_opt chains b.id with
+        | Some (guard :: _) ->
             let relaxed =
               List.filter (fun e -> e.Graph.kind = Graph.Break_control) internal
             in
             Ok (Early_exit { guard }, relaxed)
-        | [] -> Error "unconditional break")
-    | [] -> Error "header participates in a cycle without a break"
-    | _ -> Error "multiple break statements"
+        | Some [] | None -> err ~stmt:b.id "unconditional break")
+    | [] -> err "header participates in a cycle without a break"
+    | b :: _ :: _ -> err ~stmt:b.id "multiple break statements"
   end
   else
     let mem_edges =
@@ -120,7 +127,7 @@ let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
     match mem_edges with
     | { Graph.src = store; dst = load_stmt; kind = Mem arr } :: _ ->
         if List.length (List.sort_uniq compare (List.map (fun e -> e.Graph.src) mem_edges)) > 1
-        then Error "multiple conflicting stores in one SCC"
+        then err ~stmt:store "multiple conflicting stores in one SCC"
         else begin
           match Ast.find_stmt l store with
           | { node = Store (_, store_idx, _); _ } ->
@@ -134,12 +141,12 @@ let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
                   Ok
                     ( Mem_conflict { arr; store; store_idx; load_idx; scc },
                       mem_edges )
-              | None -> Error "conflicting load not found")
-          | _ -> Error "memory edge source is not a store"
+              | None -> err ~stmt:load_stmt "conflicting load not found")
+          | _ -> err ~stmt:store "memory edge source is not a store"
         end
     | _ -> (
         match carried with
-        | [] -> Error "cycle with no relaxable edge"
+        | [] -> err "cycle with no relaxable edge"
         | { Graph.kind = Carried_flow v; src = update; _ } :: _ -> (
             (* all carried edges in the SCC must be through the same scalar *)
             let vars =
@@ -152,9 +159,8 @@ let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
                    carried)
             in
             if vars <> [ v ] then
-              Error
-                (Printf.sprintf "entangled carried scalars: %s"
-                   (String.concat "," vars))
+              err ~stmt:update "entangled carried scalars: %s"
+                (String.concat "," vars)
             else
               let upd_stmt = Ast.find_stmt l update in
               let reduction_idiom () =
@@ -178,11 +184,14 @@ let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
                     mk var op e
                 | _ -> None
               in
-              match (upd_stmt.node, Hashtbl.find chains update) with
+              match
+                (upd_stmt.node,
+                 Option.value ~default:[] (Hashtbl.find_opt chains update))
+              with
               | Assign (_, _), [] -> (
                   match reduction_idiom () with
                   | Some r -> Ok (r, carried)
-                  | None -> Error ("unguarded loop-carried scalar " ^ v))
+                  | None -> err ~stmt:update "unguarded loop-carried scalar %s" v)
               | Assign (_, _), chain -> (
                   match reduction_idiom () with
                   | Some r ->
@@ -199,34 +208,59 @@ let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
                       | guard :: _ ->
                           Ok (Cond_update { guard; var = v; update; scc }, carried)
                       | [] ->
-                          Error
+                          err ~stmt:update
                             "conditional update whose guard is outside the cycle"))
-              | _ -> Error "carried scalar defined by a non-assign")
-        | _ -> Error "unclassifiable cycle")
+              | _ -> err ~stmt:update "carried scalar defined by a non-assign")
+        | _ -> err "unclassifiable cycle")
 
 (* ------------------------------------------------------------------ *)
 (* Whole-loop analysis                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(** Whole-loop analysis, total: any loop — including ill-formed ones —
+    yields either a vectorization plan or a structured rejection
+    diagnostic. Callers that bypassed [Builder.loop] get their loop
+    numbered defensively; remaining well-formedness errors become the
+    rejection. *)
 let analyze (l : loop) : verdict =
-  let g = Graph.build l in
-  let sccs = Scc.nontrivial g in
-  let rec go acc relaxed = function
-    | [] -> Vectorizable { loop = l; pdg = g; patterns = List.rev acc; relaxed }
-    | scc :: rest -> (
-        match classify_scc l g scc with
-        | Ok (p, r) -> go (p :: acc) (r @ relaxed) rest
-        | Error msg ->
-            Rejected
-              (Printf.sprintf "SCC {%s}: %s"
-                 (String.concat "," (List.map string_of_int scc))
-                 msg))
-  in
-  go [] [] sccs
+  let l = if Ast.is_numbered l then l else Ast.number l in
+  match Validate.errors (Validate.check l) with
+  | d :: _ -> Rejected d
+  | [] -> (
+      try
+        let g = Graph.build l in
+        let sccs = Scc.nontrivial g in
+        let rec go acc relaxed = function
+          | [] ->
+              Vectorizable
+                { loop = l; pdg = g; patterns = List.rev acc; relaxed }
+          | scc :: rest -> (
+              match classify_scc l g scc with
+              | Ok (p, r) -> go (p :: acc) (r @ relaxed) rest
+              | Error d ->
+                  let prefix =
+                    Printf.sprintf "SCC {%s}: "
+                      (String.concat "," (List.map string_of_int scc))
+                  in
+                  Rejected
+                    {
+                      d with
+                      reason =
+                        (match d.Validate.reason with
+                        | Validate.Unsupported_cycle m ->
+                            Validate.Unsupported_cycle (prefix ^ m)
+                        | r -> r);
+                    })
+        in
+        go [] [] sccs
+      with
+      | Invalid_argument m | Failure m ->
+          Rejected (Validate.internal_error ("classify: " ^ m))
+      | Not_found -> Rejected (Validate.internal_error "classify: Not_found"))
 
 (** Convenience: analysis outcome as a short human-readable string. *)
 let describe = function
   | Vectorizable { patterns = []; _ } -> "vectorizable (no cycles)"
   | Vectorizable { patterns; _ } ->
       "vectorizable: " ^ String.concat "; " (List.map show_pattern patterns)
-  | Rejected r -> "rejected: " ^ r
+  | Rejected d -> "rejected: " ^ Validate.describe d

@@ -35,9 +35,13 @@ let find (t : t) v =
   | Some c -> c
   | None -> Invariant (* reads of undefined-in-loop scalars *)
 
-exception Unvectorizable of string
+exception Unvectorizable of Validate.diagnostic
 
-let reject fmt = Fmt.kstr (fun s -> raise (Unvectorizable s)) fmt
+let reject ?stmt fmt =
+  Fmt.kstr
+    (fun s ->
+      raise (Unvectorizable (Validate.diag ?stmt (Validate.Unsupported_scalar s))))
+    fmt
 
 (** Definite-assignment walk: checks that every read of a [Temp]
     candidate happens at a program point where the variable was
@@ -47,7 +51,7 @@ let check_definite_assignment (l : loop) (candidates : SS.t) : unit =
     SS.iter
       (fun v ->
         if SS.mem v candidates && not (SS.mem v da) then
-          reject "scalar %s may be read before it is written (S%d)" v s.id)
+          reject ~stmt:s.id "scalar %s may be read before it is written" v)
       (Analysis.node_uses s.node)
   in
   let rec walk da (body : stmt list) : SS.t =
@@ -65,8 +69,9 @@ let check_definite_assignment (l : loop) (candidates : SS.t) : unit =
   ignore (walk SS.empty l.body)
 
 (** Classify every scalar mentioned by the loop, given the dependence
-    analysis plan. Raises {!Unvectorizable}. *)
-let classify (l : loop) (plan : Fv_pdg.Classify.plan) : t =
+    analysis plan. Raises {!Unvectorizable} — prefer {!classify} at API
+    boundaries. *)
+let classify_exn (l : loop) (plan : Fv_pdg.Classify.plan) : t =
   let t : t = Hashtbl.create 16 in
   Hashtbl.replace t l.index Index;
   let defs = Analysis.loop_defs l in
@@ -98,6 +103,13 @@ let classify (l : loop) (plan : Fv_pdg.Classify.plan) : t =
   in
   check_definite_assignment l temps;
   t
+
+(** Total variant: classification failure as a structured diagnostic. *)
+let classify (l : loop) (plan : Fv_pdg.Classify.plan) :
+    (t, Validate.diagnostic) result =
+  match classify_exn l plan with
+  | t -> Ok t
+  | exception Unvectorizable d -> Error d
 
 let pp ppf (t : t) =
   Hashtbl.iter (fun v c -> Fmt.pf ppf "%s:%a " v pp_vclass c) t

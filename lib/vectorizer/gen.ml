@@ -44,9 +44,18 @@ module SS = Set.Make (String)
 
 type style = Flexvec | Wholesale
 
-exception Reject of string
+exception Reject of Validate.diagnostic
 
-let reject fmt = Fmt.kstr (fun s -> raise (Reject s)) fmt
+let reject ?stmt fmt =
+  Fmt.kstr
+    (fun s ->
+      raise (Reject (Validate.diag ?stmt (Validate.Unsupported_shape s))))
+    fmt
+
+(* a [Reject] carrying [Internal_error]: reaching it means a codegen
+   invariant broke, not that the input was unsupported *)
+let internal fmt =
+  Fmt.kstr (fun s -> raise (Reject (Validate.internal_error s))) fmt
 
 type ctx = {
   vl : int;
@@ -81,7 +90,7 @@ type ctx = {
 let emit ctx s =
   match ctx.blocks with
   | b :: _ -> b := s :: !b
-  | [] -> assert false
+  | [] -> internal "emission outside any open block"
 
 let emit_i ctx i = emit ctx (I i)
 
@@ -92,7 +101,7 @@ let block ctx f =
   | b :: rest ->
       ctx.blocks <- rest;
       List.rev !b
-  | [] -> assert false
+  | [] -> internal "block stack underflow (unbalanced open/close)"
 
 let fresh ctx p =
   ctx.fresh <- ctx.fresh + 1;
@@ -263,7 +272,14 @@ let cond_update_at ctx id =
 let pos_of ctx id =
   match List.find_opt (fun o -> o.Fv_pdg.Graph.stmt.id = id) ctx.occs with
   | Some o -> o.Fv_pdg.Graph.pos
-  | None -> reject "unknown statement S%d" id
+  | None -> internal "statement S%d missing from the occurrence list" id
+
+(* canonical guard-mask register recorded by the chain evaluation; its
+   absence during the commit pass is a codegen invariant violation *)
+let chain_mask ctx id =
+  match Hashtbl.find_opt ctx.chain_masks id with
+  | Some k -> k
+  | None -> internal "no canonical chain mask recorded for guard %d" id
 
 let var_used_after ctx (v : string) (pos : int) : bool =
   List.exists
@@ -333,10 +349,7 @@ and split_scc_run (m : C.mem_conflict) (body : stmt list) :
   List.iter
     (fun id ->
       if id >= 0 && not (List.mem id covered) then
-        raise
-          (Reject
-             (Printf.sprintf
-                "memory-conflict SCC is not a contiguous statement run (S%d)" id)))
+        reject ~stmt:id "memory-conflict SCC is not a contiguous statement run")
     m.scc;
   (run, rest)
 
@@ -344,7 +357,7 @@ and gen_stmt ctx (s : stmt) : unit =
   match s.node with
   | Assign (v, rhs) -> gen_assign ctx s v rhs
   | Store (arr, idx, e) -> gen_store ctx arr idx e
-  | Break -> reject "break outside an early-exit guard (S%d)" s.id
+  | Break -> reject ~stmt:s.id "break outside an early-exit guard"
   | If (c, t, e) -> (
       match (early_exit_guard ctx, cond_update_at ctx s.id) with
       | Some g, _ when g = s.id -> gen_early_exit ctx s c t e
@@ -384,17 +397,17 @@ and gen_assign ctx (s : stmt) (v : string) (rhs : expr) : unit =
                else_ = [];
              })
   | Classes.Uniform ->
-      reject "conditional-update variable %s assigned outside its pattern (S%d)"
-        v s.id
-  | Classes.Index -> reject "induction variable assigned (S%d)" s.id
-  | Classes.Invariant -> reject "invariant %s assigned (S%d)" v s.id
+      reject ~stmt:s.id
+        "conditional-update variable %s assigned outside its pattern" v
+  | Classes.Index -> reject ~stmt:s.id "induction variable assigned"
+  | Classes.Invariant -> reject ~stmt:s.id "invariant %s assigned" v
 
 and reduction_rhs ctx v op rhs id : expr =
   ignore ctx;
   match rhs with
   | Binop (op', Var v', e) when op' = op && String.equal v' v -> e
   | Binop (op', e, Var v') when op' = op && String.equal v' v -> e
-  | _ -> raise (Reject (Printf.sprintf "reduction %s has unexpected shape (S%d)" v id))
+  | _ -> reject ~stmt:id "reduction %s has unexpected shape" v
 
 and gen_store ctx arr idx e : unit =
   if ctx.spec then reject "store to %s in a speculative region" arr;
@@ -409,15 +422,15 @@ and gen_store ctx arr idx e : unit =
 (* ---------------- early loop termination (§4.1) ---------------- *)
 
 and gen_early_exit ctx (s : stmt) c t e : unit =
-  if e <> [] then reject "early-exit guard with an else branch (S%d)" s.id;
+  if e <> [] then reject ~stmt:s.id "early-exit guard with an else branch";
   if ctx.kcur <> k_loop then
-    reject "early-exit guard nested under another condition (S%d)" s.id;
+    reject ~stmt:s.id "early-exit guard nested under another condition";
   let effects, brk =
     match List.rev t with
     | { node = Break; _ } :: rev_effects -> (List.rev rev_effects, true)
     | _ -> ([], false)
   in
-  if not brk then reject "early-exit guard does not end in break (S%d)" s.id;
+  if not brk then reject ~stmt:s.id "early-exit guard does not end in break";
   (* the exit condition is evaluated under the (speculative) full mask *)
   let k_exit = gen_cond ctx c in
   ctx.spec <- false;
@@ -498,7 +511,8 @@ and gen_chain ctx (cu : C.cond_update) (guard_stmt : stmt) c t :
   match !result with
   | Some (k_stop, v_rhs) -> (k_stop, v_rhs)
   | None ->
-      reject "conditional-update statement S%d not found in its guard" cu.update
+      reject ~stmt:cu.update
+        "conditional-update statement not found in its guard"
 
 (** Like {!temp_assign} but for a compiler-introduced register name. *)
 and temp_assign_to ctx (name : string) (r : vreg) : unit =
@@ -590,26 +604,26 @@ and gen_commit ctx (cu : C.cond_update) ~k_safe ~k_upd ~v_rhs
         | Store (arr, idx, e) ->
             let kc = committed stored in
             with_mask ctx kc (fun () -> gen_store ctx arr idx e)
-        | Break -> reject "break inside a conditional-update guard"
+        | Break -> reject ~stmt:s.id "break inside a conditional-update guard"
         | If (_, t2, e2) ->
-            if has_effects t2 then walk (Hashtbl.find ctx.chain_masks s.id) t2;
+            if has_effects t2 then walk (chain_mask ctx s.id) t2;
             if e2 <> [] && has_effects e2 then
-              walk (Hashtbl.find ctx.chain_masks (-s.id - 1)) e2)
+              walk (chain_mask ctx (-s.id - 1)) e2)
       body
   in
-  walk (Hashtbl.find ctx.chain_masks guard_stmt.id) t
+  walk (chain_mask ctx guard_stmt.id) t
 
 and gen_cond_update ctx (cu : C.cond_update) (s : stmt) c t e : unit =
-  if e <> [] then reject "conditional-update guard with an else branch (S%d)" s.id;
+  if e <> [] then
+    reject ~stmt:s.id "conditional-update guard with an else branch";
   List.iter
     (fun (st : stmt) ->
       List.iter
         (fun (p : C.pattern) ->
           match p with
           | C.Mem_conflict m when List.mem st.id m.scc ->
-              reject
-                "memory-conflict region inside a conditional-update guard (S%d)"
-                st.id
+              reject ~stmt:st.id
+                "memory-conflict region inside a conditional-update guard"
           | _ -> ())
         ctx.plan.patterns)
     (stmts_of_body t);
@@ -753,13 +767,20 @@ let collect_invariant_reads ctx (l : loop) : string list =
     (all_stmts l);
   SS.elements !acc
 
+(** Vectorize a loop. Total: every input — ill-formed, unsupported, or
+    triggering a codegen bug — yields [Error diagnostic] rather than an
+    exception. Loops whose statements still carry builder placeholder
+    ids (a caller bypassed [Builder.loop]) are renumbered defensively;
+    already-numbered loops are passed through untouched so statement ids
+    in diagnostics and generated code are stable. *)
 let vectorize ?(vl = 16) ?(style = Flexvec) (l : loop) :
-    (Fv_vir.Inst.vloop, string) result =
+    (Fv_vir.Inst.vloop, Validate.diagnostic) result =
+  let l = if Ast.is_numbered l then l else Ast.number l in
   match C.analyze l with
   | C.Rejected r -> Error r
   | C.Vectorizable plan -> (
       try
-        let classes = Classes.classify l plan in
+        let classes = Classes.classify_exn l plan in
         let ctx =
           {
             vl;
@@ -857,5 +878,9 @@ let vectorize ?(vl = 16) ?(style = Flexvec) (l : loop) :
               };
           }
       with
-      | Reject r -> Error r
-      | Classes.Unvectorizable r -> Error r)
+      | Reject d -> Error d
+      | Classes.Unvectorizable d -> Error d
+      (* totality backstop: no exception may escape the public entry
+         point, whatever the generated input looked like *)
+      | Stack_overflow -> Error (Validate.internal_error "codegen: stack overflow")
+      | exn -> Error (Validate.internal_error ("codegen: " ^ Printexc.to_string exn)))

@@ -6,7 +6,9 @@
     exactly the loops FlexVec targets. This is why the paper's baseline
     runs FlexVec candidate loops scalar. *)
 
-let vectorize ?vl (l : Fv_ir.Ast.loop) : (Fv_vir.Inst.vloop, string) result =
+let vectorize ?vl (l : Fv_ir.Ast.loop) :
+    (Fv_vir.Inst.vloop, Fv_ir.Validate.diagnostic) result =
+  let l = if Fv_ir.Ast.is_numbered l then l else Fv_ir.Ast.number l in
   match Fv_pdg.Classify.analyze l with
   | Fv_pdg.Classify.Rejected r -> Error r
   | Fv_pdg.Classify.Vectorizable plan ->
@@ -18,10 +20,13 @@ let vectorize ?vl (l : Fv_ir.Ast.loop) : (Fv_vir.Inst.vloop, string) result =
       if relaxed_needed = [] then Gen.vectorize ?vl l
       else
         Error
-          (Fmt.str
-             "dependence cycles not reducible by idiom recognition: %a"
-             Fmt.(list ~sep:comma (of_to_string Fv_pdg.Classify.show_pattern))
-             relaxed_needed)
+          (Fv_ir.Validate.diag
+             (Fv_ir.Validate.Unsupported_cycle
+                (Fmt.str
+                   "dependence cycles not reducible by idiom recognition: %a"
+                   Fmt.(
+                     list ~sep:comma (of_to_string Fv_pdg.Classify.show_pattern))
+                   relaxed_needed)))
 
 (** Does the traditional vectorizer accept this loop? *)
 let accepts (l : Fv_ir.Ast.loop) : bool =

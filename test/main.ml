@@ -16,4 +16,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
       ("random", Test_random.suite);
+      ("validate", Test_validate.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -144,7 +144,8 @@ let small_build seed =
 let vectorized (b : K.built) =
   match Fv_vectorizer.Gen.vectorize ~vl:16 b.K.loop with
   | Ok v -> v
-  | Error e -> Alcotest.failf "kernel not vectorizable: %s" e
+  | Error e ->
+      Alcotest.failf "kernel not vectorizable: %s" (Fv_ir.Validate.describe e)
 
 let scalar_reference (b : K.built) =
   let ms = Memory.clone b.K.mem and es = Interp.env_of_list b.K.env in

@@ -1,0 +1,210 @@
+(** Tests for the differential fuzzing subsystem: campaign cleanliness,
+    generator determinism, corpus round-tripping, shrinker behavior and
+    corpus replay. *)
+
+open Fv_isa
+module FG = Fv_fuzz.Gen
+module Rng = Fv_fuzz.Rng
+module D = Fv_fuzz.Driver
+module Corpus = Fv_fuzz.Corpus
+module Shrink = Fv_fuzz.Shrink
+module Sexp = Fv_fuzz.Sexp
+module B = Fv_ir.Builder
+module Ast = Fv_ir.Ast
+
+(* structural case equality (loop compared via its printed form, since
+   [Ast.loop] derives show but not eq) *)
+let same_case (a : FG.case) (b : FG.case) =
+  a.FG.label = b.FG.label && a.FG.seed = b.FG.seed && a.FG.vl = b.FG.vl
+  && Ast.show_loop a.FG.loop = Ast.show_loop b.FG.loop
+  && a.FG.env = b.FG.env
+  && List.map fst a.FG.arrays = List.map fst b.FG.arrays
+  && List.for_all2
+       (fun (_, x) (_, y) -> Array.to_list x = Array.to_list y)
+       a.FG.arrays b.FG.arrays
+
+let test_generator_deterministic () =
+  for seed = 0 to 99 do
+    let a = FG.case_of_seed seed and b = FG.case_of_seed seed in
+    if not (same_case a b) then
+      Alcotest.failf "seed %d generated two different cases" seed
+  done
+
+let test_campaign_clean () =
+  (* the headline property: a mixed campaign (well-formed + malformed)
+     produces no crash and no divergence *)
+  let s = D.run ~p_malformed:0.5 ~shrink:false ~seed:2718 ~cases:1500 () in
+  Alcotest.(check int) "no failures" 0 (D.failure_count s);
+  Alcotest.(check int) "all cases ran" 1500 s.D.total;
+  (* both populations actually showed up *)
+  Alcotest.(check bool) "some accepted" true (s.D.accepted > 300);
+  Alcotest.(check bool) "some degraded" true (s.D.degraded > 300)
+
+let test_well_formed_never_invalid () =
+  (* the well-formed families must always have defined semantics *)
+  let rng = Rng.make 31337 in
+  for _ = 1 to 500 do
+    let c = FG.well_formed rng in
+    match D.run_case c with
+    | D.Accepted | D.Degraded _ -> ()
+    | o ->
+        Alcotest.failf "well-formed case classified %s:@.%a"
+          (D.outcome_label o) FG.pp_case c
+  done
+
+let test_corpus_roundtrip () =
+  for seed = 0 to 49 do
+    let c = FG.case_of_seed seed in
+    let c' = Corpus.of_string (Corpus.to_string c) in
+    if not (same_case c c') then
+      Alcotest.failf "corpus round-trip changed case (seed %d):@.%a" seed
+        FG.pp_case c
+  done;
+  (* floats survive exactly (hex literals), including non-representable
+     decimals and negative values *)
+  let c = FG.case_of_seed 7 in
+  let c = { c with FG.env = [ ("f", Value.Float 0.1); ("g", Value.Float (-3.75)) ] } in
+  let c' = Corpus.of_string (Corpus.to_string c) in
+  Alcotest.(check bool) "floats exact" true (c'.FG.env = c.FG.env)
+
+let test_corpus_preserves_malformed_ids () =
+  (* raw fidelity: an unnumbered loop must come back unnumbered *)
+  let rng = Rng.make 11 in
+  let c = ref (FG.malformed rng) in
+  while !c.FG.label <> "unnumbered" do c := FG.malformed rng done;
+  let c' = Corpus.of_string (Corpus.to_string !c) in
+  Alcotest.(check bool) "still unnumbered" false (Ast.is_numbered c'.FG.loop)
+
+let test_sexp_atoms_quoting () =
+  let s = Sexp.List [ Sexp.Atom ""; Sexp.Atom "a b"; Sexp.Atom "(x)" ] in
+  let s' = Sexp.of_string (Sexp.to_string s) in
+  Alcotest.(check string) "quoted atoms survive" (Sexp.to_string s)
+    (Sexp.to_string s')
+
+(* a deterministic "bug" for shrinker tests: fails iff the body stores
+   to array "d" somewhere *)
+let stores_to_d (c : FG.case) =
+  List.exists
+    (fun (s : Ast.stmt) ->
+      match s.Ast.node with Ast.Store ("d", _, _) -> true | _ -> false)
+    (Ast.all_stmts c.FG.loop)
+
+let fat_case () : FG.case =
+  let body =
+    B.
+      [
+        assign "t" (load "a" (var "i") + int 3);
+        if_
+          (var "t" > int 100)
+          [ store "b" (var "i") (var "t"); store "d" (var "i") (var "t" * int 2) ];
+        assign "u" (var "t" - int 1);
+        store "b" (var "i") (var "u");
+      ]
+  in
+  {
+    FG.label = "shrinktest";
+    seed = 0;
+    loop = B.(loop ~name:"st" ~index:"i" ~hi:(int 64) ~live_out:[ "t"; "u" ]) body;
+    arrays =
+      [
+        ("a", Array.make 64 (Value.Int 1));
+        ("b", Array.make 64 (Value.Int 2));
+        ("d", Array.make 64 (Value.Int 3));
+      ];
+    env = [ ("t", Value.Int 0); ("u", Value.Int 0) ];
+    vl = 16;
+  }
+
+let test_shrinker_minimizes () =
+  let c0 = fat_case () in
+  let min_case, evals = Shrink.minimize ~still_fails:stores_to_d c0 in
+  Alcotest.(check bool) "property preserved" true (stores_to_d min_case);
+  Alcotest.(check bool) "used some evaluations" true (evals > 0);
+  (* minimal: a single store statement survives, everything else gone *)
+  Alcotest.(check int) "one statement left" 1
+    (List.length (Ast.all_stmts min_case.FG.loop));
+  Alcotest.(check (list string)) "live-outs dropped" []
+    min_case.FG.loop.Ast.live_out;
+  Alcotest.(check int) "env dropped" 0 (List.length min_case.FG.env);
+  Alcotest.(check int) "vl lowered" 4 min_case.FG.vl
+
+let test_shrinker_idempotent () =
+  let c0 = fat_case () in
+  let m1, _ = Shrink.minimize ~still_fails:stores_to_d c0 in
+  let m2, _ = Shrink.minimize ~still_fails:stores_to_d m1 in
+  Alcotest.(check bool) "fixpoint" true (same_case m1 m2)
+
+let test_shrinker_respects_budget () =
+  let evals_seen = ref 0 in
+  let pred c =
+    incr evals_seen;
+    stores_to_d c
+  in
+  let _, evals = Shrink.minimize ~max_evals:5 ~still_fails:pred (fat_case ()) in
+  Alcotest.(check bool) "stopped at budget" true (evals <= 5)
+
+let test_save_and_replay () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "fv-fuzz-test-corpus" in
+  (* clean slate *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let c = FG.case_of_seed 12 in
+  let p1 = Corpus.save ~dir c in
+  let p2 = Corpus.save ~dir c in
+  Alcotest.(check string) "content-addressed: same file" p1 p2;
+  let entries = Corpus.load_dir dir in
+  Alcotest.(check int) "one corpus entry" 1 (List.length entries);
+  let results = D.replay ~dir () in
+  Alcotest.(check int) "replayed one" 1 (List.length results);
+  List.iter
+    (fun (_, _, o) ->
+      if D.is_failure o then
+        Alcotest.failf "replayed healthy case reported %s" (D.outcome_label o))
+    results;
+  Alcotest.(check int) "missing dir is empty corpus" 0
+    (List.length (Corpus.load_dir (Filename.concat dir "nope")))
+
+let test_campaign_shrinks_and_persists () =
+  (* force failures by classifying every non-accepted outcome as seen:
+     instead, craft a corpus from a synthetic always-failing campaign is
+     not possible without a real bug — so exercise the plumbing by
+     saving a minimized artificial case through the Corpus + Shrink path
+     directly *)
+  let c0 = fat_case () in
+  let min_case, _ = Shrink.minimize ~still_fails:stores_to_d c0 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "fv-fuzz-test-corpus2"
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let path = Corpus.save ~dir min_case in
+  let back = Corpus.load path in
+  Alcotest.(check bool) "minimized case round-trips" true
+    (same_case min_case back);
+  Alcotest.(check bool) "still exhibits the property" true (stores_to_d back)
+
+let suite =
+  [
+    Alcotest.test_case "generator is deterministic in the seed" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "mixed campaign: no crashes, no divergences" `Quick
+      test_campaign_clean;
+    Alcotest.test_case "well-formed cases are never invalid" `Quick
+      test_well_formed_never_invalid;
+    Alcotest.test_case "corpus round-trip is exact" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "corpus preserves malformed ids" `Quick
+      test_corpus_preserves_malformed_ids;
+    Alcotest.test_case "sexp quoting round-trips" `Quick test_sexp_atoms_quoting;
+    Alcotest.test_case "shrinker reaches a minimal case" `Quick
+      test_shrinker_minimizes;
+    Alcotest.test_case "shrinker is idempotent" `Quick test_shrinker_idempotent;
+    Alcotest.test_case "shrinker respects its budget" `Quick
+      test_shrinker_respects_budget;
+    Alcotest.test_case "corpus save/load and replay" `Quick test_save_and_replay;
+    Alcotest.test_case "shrink + persist pipeline" `Quick
+      test_campaign_shrinks_and_persists;
+  ]

@@ -162,7 +162,7 @@ let test_nontrivial_sccs () =
 let classify l =
   match C.analyze l with
   | C.Vectorizable p -> p.patterns
-  | C.Rejected r -> Alcotest.failf "rejected: %s" r
+  | C.Rejected r -> Alcotest.failf "rejected: %s" (Fv_ir.Validate.describe r)
 
 let test_classify_h264 () =
   match classify h264 with

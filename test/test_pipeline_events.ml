@@ -277,6 +277,7 @@ let test_hot_speedup_truncated_neutral () =
       oracle_error = None;
       rtm = None;
       injected_faults = 0;
+      compile = E.Not_compiled;
     }
   in
   let ok = mk ~cycles:1000 ~truncated:false in

@@ -1,212 +1,31 @@
 (** Randomized whole-pipeline property tests.
 
-    Generates random loops from the grammar the vectorizer supports —
-    plain element-wise bodies, reductions, if/else diamonds, conditional
-    scalar updates, early exits, and runtime memory conflicts — together
-    with random data and random vector lengths, and checks that the
-    FlexVec-vectorized program (and the wholesale-speculation baseline)
-    produce exactly the scalar interpreter's memory and live-outs. *)
+    The loop generators live in [Fv_fuzz.Gen] (shared with the fuzzing
+    subsystem); here we draw from the {e well-formed} families only —
+    plain element-wise bodies, reductions, conditional scalar updates,
+    early exits, and runtime memory conflicts — with random data and
+    random vector lengths, and check that the FlexVec-vectorized program
+    (and the wholesale-speculation baseline) produce exactly the scalar
+    interpreter's memory and live-outs. *)
 
-open Fv_isa
-module B = Fv_ir.Builder
+module FG = Fv_fuzz.Gen
+module Rng = Fv_fuzz.Rng
 module Memory = Fv_mem.Memory
 module Oracle = Fv_core.Oracle
 module G = QCheck2.Gen
 
-type case = {
-  label : string;
-  loop : Fv_ir.Ast.loop;
-  mem : Memory.t;
-  env : (string * Value.t) list;
-  vl : int;
-}
+let pp_case (c : FG.case) = Fmt.str "%a" FG.pp_case c
 
-let pp_case c =
-  Fmt.str "%s (vl=%d)@.%a" c.label c.vl Fv_ir.Pp.pp_loop c.loop
-
-(* small positive arrays *)
-let gen_array n = G.array_size (G.return n) (G.int_range 0 999)
-
-let gen_vl = G.oneofl [ 4; 8; 16 ]
-let gen_trip = G.oneofl [ 0; 1; 7; 16; 17; 33; 61; 64 ]
-
-(* an arithmetic expression over a[i], constants, and given scalars *)
-let gen_expr ~vars : Fv_ir.Ast.expr G.t =
-  let open G in
-  sized_size (int_bound 2)
-  @@ fix (fun self n ->
-         let leaf =
-           oneof
-             ([ map B.int (int_range 0 50); return B.(load "a" (var "i")) ]
-             @ List.map (fun v -> return (B.var v)) vars)
-         in
-         if n = 0 then leaf
-         else
-           oneof
-             [
-               leaf;
-               map3
-                 (fun op l r -> Fv_ir.Ast.Binop (op, l, r))
-                 (oneofl Value.[ Add; Sub; Mul; Min; Max ])
-                 (self (n - 1)) (self (n - 1));
-             ])
-
-let with_arrays ~trip k =
-  let open G in
-  let* a = gen_array (max 1 trip) in
-  let* b = gen_array (max 1 trip) in
-  let mem () =
-    let m = Memory.create () in
-    ignore (Memory.alloc_ints m "a" a);
-    ignore (Memory.alloc_ints m "b" b);
-    m
-  in
-  k mem
-
-(* ---------------- loop generators per pattern ---------------- *)
-
-let gen_plain : case G.t =
-  let open G in
-  let* trip = gen_trip and* vl = gen_vl in
-  with_arrays ~trip (fun mem ->
-      let* e = gen_expr ~vars:[] in
-      let* use_if = bool in
-      let body =
-        if use_if then
-          B.
-            [
-              if_else
-                (load "a" (var "i") % int 3 = int 0)
-                [ assign "x" e ]
-                [ assign "x" (load "b" (var "i")) ];
-              store "b" (var "i") (var "x");
-            ]
-        else B.[ store "b" (var "i") e ]
-      in
-      return
-        {
-          label = "plain";
-          loop = B.(loop ~name:"plain" ~index:"i" ~hi:(int trip)) body;
-          mem = mem ();
-          env = [];
-          vl;
-        })
-
-let gen_reduction : case G.t =
-  let open G in
-  let* trip = gen_trip and* vl = gen_vl in
-  with_arrays ~trip (fun mem ->
-      let* op = oneofl Value.[ Add; Min; Max ] in
-      let* guarded = bool in
-      let red = B.(assign "s" (Fv_ir.Ast.Binop (op, var "s", load "a" (var "i")))) in
-      let body =
-        if guarded then B.[ if_ (load "b" (var "i") > int 300) [ red ] ]
-        else [ red ]
-      in
-      return
-        {
-          label = "reduction";
-          loop =
-            B.(loop ~name:"red" ~index:"i" ~hi:(int trip) ~live_out:[ "s" ]) body;
-          mem = mem ();
-          env = [ ("s", Value.Int 500) ];
-          vl;
-        })
-
-let gen_cond_update : case G.t =
-  let open G in
-  let* trip = gen_trip and* vl = gen_vl in
-  with_arrays ~trip (fun mem ->
-      let* track_max = bool in
-      let* with_arg = bool in
-      let cmp = if track_max then B.( > ) else B.( < ) in
-      let body =
-        B.
-          [
-            assign "t" (load "a" (var "i"));
-            if_
-              (cmp (var "t") (var "m"))
-              ([ assign "m" (var "t") ]
-              @ if with_arg then [ B.assign "arg" (B.var "i") ] else []);
-          ]
-      in
-      return
-        {
-          label = "cond_update";
-          loop =
-            B.(
-              loop ~name:"cu" ~index:"i" ~hi:(int trip)
-                ~live_out:(("m" :: if with_arg then [ "arg" ] else [])))
-              body;
-          mem = mem ();
-          env =
-            [ ("m", Value.Int (if track_max then -1 else 1500)); ("arg", Value.Int (-1)) ];
-          vl;
-        })
-
-let gen_early_exit : case G.t =
-  let open G in
-  let* trip = gen_trip and* vl = gen_vl in
-  let* key_at = G.int_bound (max 1 trip * 2) in
-  with_arrays ~trip (fun mem ->
-      let body =
-        B.
-          [
-            assign "v" (load "a" (var "i"));
-            if_ (var "v" = var "key") [ assign "pos" (var "i"); break_ ];
-            assign "cnt" (var "cnt" + int 1);
-          ]
-      in
-      let m = mem () in
-      (* plant the key if it lands inside the range *)
-      let key = 424242 in
-      (if key_at < trip then Memory.set m "a" key_at (Value.Int key));
-      return
-        {
-          label = "early_exit";
-          loop =
-            B.(
-              loop ~name:"ee" ~index:"i" ~hi:(int trip)
-                ~live_out:[ "pos"; "cnt" ])
-              body;
-          mem = m;
-          env = [ ("key", Value.Int key); ("pos", Value.Int (-1)); ("cnt", Value.Int 0) ];
-          vl;
-        })
-
-let gen_mem_conflict : case G.t =
-  let open G in
-  let* trip = gen_trip and* vl = gen_vl in
-  let buckets = 16 in
-  let* idx = G.array_size (G.return (max 1 trip)) (G.int_bound (buckets - 1)) in
-  let* guarded = bool in
-  with_arrays ~trip (fun mem ->
-      let m = mem () in
-      ignore (Memory.alloc_ints m "ix" idx);
-      ignore (Memory.alloc_ints m "d" (Array.make buckets 100));
-      let upd = B.[ assign "j" (load "ix" (var "i"));
-                    assign "t" (load "d" (var "j") + load "a" (var "i")) ] in
-      let body =
-        if guarded then
-          upd @ B.[ if_ (var "t" < int 5000) [ store "d" (var "j") (var "t") ] ]
-        else upd @ B.[ store "d" (var "j") (var "t") ]
-      in
-      return
-        {
-          label = "mem_conflict";
-          loop = B.(loop ~name:"mc" ~index:"i" ~hi:(int trip)) body;
-          mem = m;
-          env = [];
-          vl;
-        })
-
-let gen_case : case G.t =
-  G.oneof [ gen_plain; gen_reduction; gen_cond_update; gen_early_exit; gen_mem_conflict ]
+(* QCheck supplies the seed stream; Fv_fuzz.Gen turns a seed into a case *)
+let gen_case : FG.case G.t =
+  G.map
+    (fun seed -> { (FG.well_formed (Rng.make seed)) with FG.seed })
+    (G.int_bound 0x3FFFFFFF)
 
 (* ---------------- properties ---------------- *)
 
-let oracle_ok ~style (c : case) =
-  match Oracle.check ~vl:c.vl ~style c.loop c.mem c.env with
+let oracle_ok ~style (c : FG.case) =
+  match Oracle.check ~vl:c.FG.vl ~style c.FG.loop (FG.memory_of c) c.FG.env with
   | Ok _ -> true
   | Error (Oracle.Not_vectorizable _) -> true (* generator corner: fine *)
   | Error f ->
@@ -226,17 +45,17 @@ let prop_wholesale =
 let prop_rtm =
   QCheck2.Test.make ~name:"random loops: RTM tiles match the scalar oracle"
     ~count:100 ~print:pp_case gen_case (fun c ->
-      match Fv_vectorizer.Gen.vectorize ~vl:c.vl c.loop with
+      match Fv_vectorizer.Gen.vectorize ~vl:c.FG.vl c.FG.loop with
       | Error _ -> true
       | Ok vloop ->
-          let ms = Memory.clone c.mem
-          and es = Fv_ir.Interp.env_of_list c.env in
-          ignore (Fv_ir.Interp.run ms es c.loop);
-          let mr = Memory.clone c.mem
-          and er = Fv_ir.Interp.env_of_list c.env in
-          ignore (Fv_simd.Rtm_run.run ~tile:(2 * c.vl) vloop mr er);
+          let ms = FG.memory_of c
+          and es = Fv_ir.Interp.env_of_list c.FG.env in
+          ignore (Fv_ir.Interp.run ms es c.FG.loop);
+          let mr = FG.memory_of c
+          and er = Fv_ir.Interp.env_of_list c.FG.env in
+          ignore (Fv_simd.Rtm_run.run ~tile:(2 * c.FG.vl) vloop mr er);
           (match
-             (Oracle.compare_memories ms mr, Oracle.compare_env c.loop es er)
+             (Oracle.compare_memories ms mr, Oracle.compare_env c.FG.loop es er)
            with
           | Ok (), Ok () -> true
           | Error e, _ | _, Error e ->

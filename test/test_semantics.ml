@@ -181,7 +181,8 @@ let test_error_messages_are_informative () =
     B.(loop ~name:"iw" ~index:"i" ~hi:(int 8)) B.[ assign "i" (var "i" + int 2) ]
   in
   match Gen.vectorize l with
-  | Error msg ->
+  | Error d ->
+      let msg = Fv_ir.Validate.describe d in
       Alcotest.(check bool) "mentions the variable" true
         (String.length msg > 10)
   | Ok _ -> Alcotest.fail "expected rejection"

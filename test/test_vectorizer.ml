@@ -13,7 +13,7 @@ module I = Fv_vir.Inst
 let vectorize_exn l =
   match Gen.vectorize l with
   | Ok v -> v
-  | Error e -> Alcotest.failf "vectorize failed: %s" e
+  | Error e -> Alcotest.failf "vectorize failed: %s" (Fv_ir.Validate.describe e)
 
 let h264 =
   B.(
@@ -34,8 +34,12 @@ let h264 =
 
 let classes_of l =
   match Fv_pdg.Classify.analyze l with
-  | Fv_pdg.Classify.Vectorizable p -> Classes.classify l p
-  | Fv_pdg.Classify.Rejected r -> Alcotest.failf "rejected: %s" r
+  | Fv_pdg.Classify.Vectorizable p -> (
+      match Classes.classify l p with
+      | Ok t -> t
+      | Error d -> Alcotest.failf "unvectorizable: %s" (Fv_ir.Validate.describe d))
+  | Fv_pdg.Classify.Rejected r ->
+      Alcotest.failf "rejected: %s" (Fv_ir.Validate.describe r)
 
 let test_h264_classes () =
   let t = classes_of h264 in
@@ -103,7 +107,7 @@ let test_wholesale_has_scalar_run () =
   let v =
     match Gen.vectorize ~style:Gen.Wholesale h264 with
     | Ok v -> v
-    | Error e -> Alcotest.failf "wholesale failed: %s" e
+    | Error e -> Alcotest.failf "wholesale failed: %s" (Fv_ir.Validate.describe e)
   in
   Alcotest.(check bool) "no VPL in wholesale code" false (I.uses_vpl v);
   let has_scalar_run =

@@ -14,7 +14,9 @@ let test_all_vectorize () =
       let b = spec.build 7 in
       match Fv_vectorizer.Gen.vectorize b.K.loop with
       | Ok _ -> ()
-      | Error e -> Alcotest.failf "%s not vectorizable: %s" spec.name e)
+      | Error e ->
+          Alcotest.failf "%s not vectorizable: %s" spec.name
+            (Fv_ir.Validate.describe e))
 
 let test_all_oracle_flexvec () =
   for_all_benchmarks (fun spec ->
