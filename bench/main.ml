@@ -514,27 +514,54 @@ let () =
         | Some d -> d
         | None -> Fv_parallel.Pool.default_domains ()
       in
+      (* host-span recorder, only when --trace-out asked for timelines *)
+      let recorder =
+        Option.map
+          (fun dir ->
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let r = Fv_obs.Span.recorder () in
+            Fv_obs.Span.install r;
+            r)
+          plan.trace_out
+      in
+      (* discard metrics any earlier in-process run left behind, so each
+         section's snapshot covers exactly that section *)
+      Fv_obs.Metrics.reset Fv_obs.Metrics.global;
       let reports =
         List.map
           (fun name ->
+            let t_base = Fv_obs.Clock.now () in
             let f = List.assoc name sections in
             let body, wall = Report.timed (fun () -> f plan ()) in
+            let metrics =
+              Fv_obs.Metrics.snapshot ~reset:true Fv_obs.Metrics.global
+            in
             let j =
               J.report ~section:name ~domains:domains_used ~mode:plan.mode
                 ~fault_rate:plan.fault_rate ~fault_seed:plan.fault_seed
                 ~rtm_retries:plan.rtm_retries ?row_timeout:plan.row_timeout
-                ~wall_seconds:wall body
+                ~metrics ~wall_seconds:wall body
             in
             J.to_file (Printf.sprintf "BENCH_%s.json" name) j;
+            (match (recorder, plan.trace_out) with
+            | Some r, Some dir ->
+                let spans = Fv_obs.Span.drain r in
+                Fv_obs.Chrome.to_file
+                  (Filename.concat dir
+                     (Printf.sprintf "trace_%s.json" name))
+                  (Fv_obs.Chrome.of_spans ~t_base spans)
+            | _ -> ());
             j)
           plan.sections
       in
+      Option.iter (fun _ -> Fv_obs.Span.uninstall ()) recorder;
       Option.iter
         (fun path ->
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 4);
+                 ("schema_version", J.Int 5);
                  ("domains", J.Int domains_used);
                  ( "mode",
                    J.Str

@@ -68,26 +68,71 @@ let to_strategy s tile =
   | `Traditional -> Fv_core.Experiment.Traditional
   | `Rtm -> Fv_core.Experiment.Rtm tile
 
+(** Resolve a kernel name or exit 2 with a "did you mean" hint — the
+    CLI should never dump an [Invalid_argument] backtrace at a typo. *)
+let find_spec (name : string) : R.spec =
+  match R.find_opt name with
+  | Some s -> s
+  | None ->
+      Fmt.epr "flexvec: unknown benchmark %S%s@.(run `flexvec list` to see \
+               the registered kernels)@."
+        name
+        (match R.suggest name with
+        | Some n -> Printf.sprintf " — did you mean %S?" n
+        | None -> "");
+      exit 2
+
 (* ---------------- list ---------------- *)
+
+(** Which strategies a kernel supports: a vectorizing strategy is
+    supported when its compile accepts the loop (scalar always is; RTM
+    rides on the FlexVec compile). *)
+let supported_strategies (s : R.spec) : string list =
+  let b = s.R.build 1 in
+  let l = b.K.loop in
+  let flexvec =
+    Result.is_ok (Fv_vectorizer.Gen.vectorize ~style:Fv_vectorizer.Gen.Flexvec l)
+  in
+  let wholesale =
+    Result.is_ok
+      (Fv_vectorizer.Gen.vectorize ~style:Fv_vectorizer.Gen.Wholesale l)
+  in
+  let traditional = Result.is_ok (Fv_vectorizer.Traditional.vectorize l) in
+  List.filter_map
+    (fun (name, ok) -> if ok then Some name else None)
+    [
+      ("scalar", true);
+      ("flexvec", flexvec);
+      ("wholesale", wholesale);
+      ("traditional", traditional);
+      ("rtm", flexvec);
+    ]
 
 let list_cmd =
   let run () =
     List.iter
       (fun (s : R.spec) ->
-        Printf.printf "%-14s %-5s coverage=%5.1f%% trip=%-6s mix=%s\n"
+        Printf.printf
+          "%-14s %-5s coverage=%5.1f%% trip=%-6s strategies=%-42s mix=%s\n"
           s.name
           (match s.group with R.Spec -> "SPEC" | R.App -> "app")
-          (100. *. s.coverage) s.paper_trip s.paper_mix)
+          (100. *. s.coverage) s.paper_trip
+          (String.concat "," (supported_strategies s))
+          s.paper_mix)
       R.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels (Table 2 rows).")
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the benchmark kernels (Table 2 rows) with their group and \
+          supported execution strategies.")
     Term.(const run $ const ())
 
 (* ---------------- show ---------------- *)
 
 let show_cmd =
   let run name seed =
-    let spec = R.find name in
+    let spec = find_spec name in
     let b = spec.build seed in
     Fmt.pr "=== scalar loop ===@.%a@.@." Fv_ir.Pp.pp_loop b.K.loop;
     Fmt.pr "=== dependence analysis ===@.%s@.@."
@@ -116,7 +161,7 @@ let show_cmd =
 
 let profile_cmd =
   let run name seed =
-    let spec = R.find name in
+    let spec = find_spec name in
     let b = spec.build seed in
     let probe =
       Fv_profiler.Profile.profile ~invocations:(min spec.invocations 4)
@@ -146,22 +191,71 @@ let profile_cmd =
 
 (* ---------------- simulate ---------------- *)
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file (open in \
+           https://ui.perfetto.dev) with the host-side compile/harness \
+           spans and the simulated-time pipeline timelines of both runs \
+           (1 simulated cycle = 1 µs).")
+
 let simulate_cmd =
-  let run name seed strategy tile fault_rate fault_seed rtm_retries =
-    let spec = R.find name in
+  let run name seed strategy tile fault_rate fault_seed rtm_retries trace_out
+      =
+    let spec = find_spec name in
     let faults =
       if fault_rate = 0.0 then None
       else Some (Fv_faults.Plan.make ~rate:fault_rate ~seed:fault_seed ())
     in
+    (* observability only when a trace destination was requested: the
+       default run must not even allocate the recording buffers *)
+    let recorder =
+      Option.map
+        (fun _ ->
+          let r = Fv_obs.Span.recorder () in
+          Fv_obs.Span.install r;
+          r)
+        trace_out
+    in
+    let t_base = Fv_obs.Clock.now () in
+    let mk_obs () = Option.map (fun _ -> Fv_core.Experiment.obs ()) trace_out in
+    let base_obs = mk_obs () and strat_obs = mk_obs () in
     let base =
-      Fv_core.Experiment.run_workload ~invocations:spec.invocations ~seed
-        Fv_core.Experiment.Scalar spec.build
+      Fv_core.Experiment.run_workload ?obs:base_obs
+        ~invocations:spec.invocations ~seed Fv_core.Experiment.Scalar
+        spec.build
     in
     let s = to_strategy strategy tile in
     let r =
-      Fv_core.Experiment.run_workload ?faults ~rtm_retries
+      Fv_core.Experiment.run_workload ?faults ~rtm_retries ?obs:strat_obs
         ~invocations:spec.invocations ~seed s spec.build
     in
+    (match (trace_out, recorder) with
+    | Some path, Some rec_ ->
+        Fv_obs.Span.uninstall ();
+        let host = Fv_obs.Chrome.of_spans ~t_base (Fv_obs.Span.drain rec_) in
+        let timeline obs pid pname (run : Fv_core.Experiment.hot_run) =
+          match obs with
+          | Some (o : Fv_core.Experiment.run_obs) -> (
+              match o.Fv_core.Experiment.o_trace with
+              | Some tr ->
+                  Fv_ooo.Timeline.events ~pid
+                    ~name:(pname ^ " (simulated cycles)")
+                    ~annots:(Fv_obs.Annot.to_list o.Fv_core.Experiment.o_annots)
+                    ~trace:tr ~timing:o.Fv_core.Experiment.o_timing
+                    run.Fv_core.Experiment.pipe
+              | None -> [])
+          | None -> []
+        in
+        Fv_obs.Chrome.to_file path
+          (host
+          @ timeline base_obs 10 "scalar" base
+          @ timeline strat_obs 11 (Fv_core.Experiment.show_strategy s) r);
+        Fmt.pr "trace written: %s@." path
+    | _ -> ());
     Fmt.pr "scalar : %a@." Fv_ooo.Pipeline.pp_stats base.pipe;
     Fmt.pr "%-7s: %a@."
       (Fv_core.Experiment.show_strategy s)
@@ -189,7 +283,7 @@ let simulate_cmd =
        ~doc:"Simulate a benchmark on the Table 1 machine under a strategy.")
     Term.(
       const run $ bench_arg $ seed_arg $ strategy_arg $ tile_arg
-      $ fault_rate_arg $ fault_seed_arg $ rtm_retries_arg)
+      $ fault_rate_arg $ fault_seed_arg $ rtm_retries_arg $ trace_out_arg)
 
 (* ---------------- fuzz ---------------- *)
 

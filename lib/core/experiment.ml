@@ -53,6 +53,25 @@ let rejection_of = function
   | Not_compiled | Vectorized -> None
   | Degraded_traditional d | Degraded_scalar d -> Some d
 
+(** Optional observability carrier for a run: stream-position
+    annotations from the emulators, the pipeline stage-cycle log, and
+    (after the run) the uop trace itself — everything
+    {!Fv_ooo.Timeline.events} needs to build a simulated-time Perfetto
+    timeline. Allocated only when a caller asks for a trace; the default
+    [None] path records nothing. *)
+type run_obs = {
+  o_annots : Fv_obs.Annot.t;
+  o_timing : Pipeline.timing;
+  mutable o_trace : Fv_trace.Sink.t option;
+}
+
+let obs () : run_obs =
+  {
+    o_annots = Fv_obs.Annot.create ();
+    o_timing = Pipeline.timing ();
+    o_trace = None;
+  }
+
 type hot_run = {
   strategy : strategy;
   cycles : int;
@@ -88,16 +107,53 @@ let plan_for (faults : Fv_faults.Plan.t option) (s : strategy) :
   | Flexvec | Wholesale | Rtm _ -> faults
   | Scalar | Traditional -> None
 
+(* roll a finished run into the global metrics registry; counters only,
+   so aggregation across any domain split is deterministic *)
+let note_run_metrics (r : 'a) ~compile ~strategy ~fell_back ~injected ~exec
+    ~rtm =
+  let m = Fv_obs.Metrics.global in
+  Fv_obs.Metrics.incr m "runs"
+    ~labels:
+      [
+        ("strategy", show_strategy strategy);
+        ("compile", show_compile_status compile);
+      ];
+  if fell_back then Fv_obs.Metrics.incr m "fallback_runs";
+  if injected > 0 then Fv_obs.Metrics.incr m ~by:injected "injected_faults";
+  (match exec with
+  | Some e ->
+      let open Fv_simd.Exec in
+      if e.fallbacks > 0 then
+        Fv_obs.Metrics.incr m ~by:e.fallbacks "ff_fallbacks";
+      if e.vpl_extra > 0 then
+        Fv_obs.Metrics.incr m ~by:e.vpl_extra "vpl_extra_partitions"
+  | None -> ());
+  (match rtm with
+  | Some t ->
+      let open Fv_simd.Rtm_run in
+      if t.aborts > 0 then Fv_obs.Metrics.incr m ~by:t.aborts "rtm_aborts";
+      if t.retries > 0 then Fv_obs.Metrics.incr m ~by:t.retries "rtm_retries"
+  | None -> ());
+  r
+
 (** Trace one strategy's execution of the hot loop and replay it on the
     OOO model. Always verifies against the scalar oracle first. [mode]
     selects the pipeline scheduler (event-driven by default; the two
     produce identical statistics). *)
 let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
-    (strategy : strategy) (l : Fv_ir.Ast.loop) (mem : Memory.t)
-    (env : (string * Value.t) list) : hot_run =
+    ?(obs : run_obs option) (strategy : strategy) (l : Fv_ir.Ast.loop)
+    (mem : Memory.t) (env : (string * Value.t) list) : hot_run =
   let sink = Fv_trace.Sink.create ~capacity:4096 () in
   let emit u = Fv_trace.Sink.push sink u in
+  (* annotations are pinned to the trace position current at the moment
+     the emulator reports the event *)
+  let annot =
+    Option.map
+      (fun o kind ->
+        Fv_obs.Annot.mark o.o_annots ~pos:(Fv_trace.Sink.length sink) kind)
+      obs
+  in
   let plan = plan_for faults strategy in
   let injected = ref 0 and rtm_stats = ref None in
   (* traced-run memory: plan attached when the strategy opted in *)
@@ -136,7 +192,7 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     | Ok vloop when traditional_passes vloop ->
         compile := Degraded_traditional d;
         let m = Memory.clone mem and e = Interp.env_of_list env in
-        let stats = Fv_simd.Exec.run ~emit vloop m e in
+        let stats = Fv_simd.Exec.run ?annot ~emit vloop m e in
         (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)
     | Ok _ | Error _ ->
         compile := Degraded_scalar d;
@@ -153,7 +209,7 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
         | Ok vloop ->
             compile := Vectorized;
             let m = Memory.clone mem and e = Interp.env_of_list env in
-            let stats = Fv_simd.Exec.run ~emit vloop m e in
+            let stats = Fv_simd.Exec.run ?annot ~emit vloop m e in
             (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None))
     | Flexvec | Wholesale -> (
         let style = Option.get (style_of strategy) in
@@ -177,7 +233,7 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
             | Ok _ ->
                 compile := Vectorized;
                 let m = traced_mem () and e = Interp.env_of_list env in
-                let stats = Fv_simd.Exec.run ~emit vloop m e in
+                let stats = Fv_simd.Exec.run ?annot ~emit vloop m e in
                 note_injected m;
                 (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)))
     | Rtm tile -> (
@@ -205,7 +261,7 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
                 compile := Vectorized;
                 let m = traced_mem () and e = Interp.env_of_list env in
                 let rtm =
-                  Fv_simd.Rtm_run.run ~emit ~retries:rtm_retries ~tile vloop m
+                  Fv_simd.Rtm_run.run ?annot ~emit ~retries:rtm_retries ~tile vloop m
                     e
                 in
                 note_injected m;
@@ -213,20 +269,28 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
                 (Some rtm.Fv_simd.Rtm_run.exec,
                  Some (Fv_vir.Count.of_vloop vloop), false, None)))
   in
-  let pipe = Pipeline.run ~mode sink in
-  {
-    strategy;
-    cycles = pipe.Pipeline.cycles;
-    uops = pipe.Pipeline.uops;
-    pipe;
-    exec;
-    mix;
-    fell_back_to_scalar = fell_back;
-    oracle_error;
-    rtm = !rtm_stats;
-    injected_faults = !injected;
-    compile = !compile;
-  }
+  let record = Option.map (fun o -> o.o_timing) obs in
+  let pipe =
+    Fv_obs.Span.with_ ~cat:"harness" "simulate" (fun () ->
+        Pipeline.run ?record ~mode sink)
+  in
+  Option.iter (fun o -> o.o_trace <- Some sink) obs;
+  note_run_metrics
+    {
+      strategy;
+      cycles = pipe.Pipeline.cycles;
+      uops = pipe.Pipeline.uops;
+      pipe;
+      exec;
+      mix;
+      fell_back_to_scalar = fell_back;
+      oracle_error;
+      rtm = !rtm_stats;
+      injected_faults = !injected;
+      compile = !compile;
+    }
+    ~compile:!compile ~strategy ~fell_back ~injected:!injected ~exec
+    ~rtm:!rtm_stats
 
 (** Hot-region speedup of [s] over the scalar baseline. Total: both
     operands are clamped to at least one cycle, so a degenerate
@@ -256,14 +320,22 @@ let overall_speedup ~coverage ~hot =
     invocation gets freshly seeded data. *)
 let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
-    ~(invocations : int) ~(seed : int) (strategy : strategy)
-    (build : int -> Fv_workloads.Kernels.built) : hot_run =
+    ?(obs : run_obs option) ~(invocations : int) ~(seed : int)
+    (strategy : strategy) (build : int -> Fv_workloads.Kernels.built) :
+    hot_run =
   let plan = plan_for faults strategy in
   let injected = ref 0 and rtm_stats = ref None in
+  let build k = Fv_obs.Span.with_ ~cat:"harness" "build" (fun () -> build k) in
   let first = build seed in
   let l = first.Fv_workloads.Kernels.loop in
   let sink = Fv_trace.Sink.create ~capacity:65536 () in
   let emit u = Fv_trace.Sink.push sink u in
+  let annot =
+    Option.map
+      (fun o kind ->
+        Fv_obs.Annot.mark o.o_annots ~pos:(Fv_trace.Sink.length sink) kind)
+      obs
+  in
   (* vectorization is a pure function of the loop: compile once per
      workload, not once per invocation *)
   let vloop_for =
@@ -350,7 +422,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
       | Some vloop ->
           compile := Degraded_traditional d;
           let m = Memory.clone mem and e = Interp.env_of_list env in
-          exec := Some (Fv_simd.Exec.run ~emit vloop m e);
+          exec := Some (Fv_simd.Exec.run ?annot ~emit vloop m e);
           if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop)
       | None ->
           compile := Degraded_scalar d;
@@ -367,7 +439,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
         | Ok vloop ->
             compile := Vectorized;
             let m = Memory.clone mem and e = Interp.env_of_list env in
-            exec := Some (Fv_simd.Exec.run ~emit vloop m e);
+            exec := Some (Fv_simd.Exec.run ?annot ~emit vloop m e);
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Flexvec | Wholesale -> (
         match vloop_for (Option.get (style_of strategy)) with
@@ -375,7 +447,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
         | Ok vloop ->
             compile := Vectorized;
             let m = injected_mem () and e = Interp.env_of_list env in
-            exec := Some (Fv_simd.Exec.run ~emit vloop m e);
+            exec := Some (Fv_simd.Exec.run ?annot ~emit vloop m e);
             note_injected m;
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Rtm tile -> (
@@ -385,7 +457,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
             compile := Vectorized;
             let m = injected_mem () and e = Interp.env_of_list env in
             let r =
-              Fv_simd.Rtm_run.run ~emit ~retries:rtm_retries ~tile vloop m e
+              Fv_simd.Rtm_run.run ?annot ~emit ~retries:rtm_retries ~tile vloop m e
             in
             exec := Some r.Fv_simd.Rtm_run.exec;
             note_injected m;
@@ -405,22 +477,31 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
       emit (Fv_trace.Uop.make ~dst:"_gap" ~srcs:[ "_gap" ] Fv_isa.Latency.Int_alu)
     done
   in
+  let run_one b = Fv_obs.Span.with_ ~cat:"harness" "trace" (fun () -> run_one b) in
   run_one first;
   for k = 1 to invocations - 1 do
     invocation_gap ();
     run_one (build (seed + k))
   done;
-  let pipe = Pipeline.run ~mode sink in
-  {
-    strategy;
-    cycles = pipe.Pipeline.cycles;
-    uops = pipe.Pipeline.uops;
-    pipe;
-    exec = !exec;
-    mix = !mix;
-    fell_back_to_scalar = !fell_back;
-    oracle_error;
-    rtm = !rtm_stats;
-    injected_faults = !injected;
-    compile = !compile;
-  }
+  let record = Option.map (fun o -> o.o_timing) obs in
+  let pipe =
+    Fv_obs.Span.with_ ~cat:"harness" "simulate" (fun () ->
+        Pipeline.run ?record ~mode sink)
+  in
+  Option.iter (fun o -> o.o_trace <- Some sink) obs;
+  note_run_metrics
+    {
+      strategy;
+      cycles = pipe.Pipeline.cycles;
+      uops = pipe.Pipeline.uops;
+      pipe;
+      exec = !exec;
+      mix = !mix;
+      fell_back_to_scalar = !fell_back;
+      oracle_error;
+      rtm = !rtm_stats;
+      injected_faults = !injected;
+      compile = !compile;
+    }
+    ~compile:!compile ~strategy ~fell_back:!fell_back ~injected:!injected
+    ~exec:!exec ~rtm:!rtm_stats

@@ -32,6 +32,10 @@ type plan = {
           [compile_status] in the report) — all registry kernels are
           expected to vectorize, so a degradation in a bench run means a
           front-end regression *)
+  trace_out : string option;
+      (** [--trace-out DIR]: write one Chrome trace-event JSON file per
+          section ([trace_<section>.json], host wall-clock spans) into
+          the directory, creating it if needed *)
 }
 
 let flag_value ~flag rest =
@@ -83,8 +87,8 @@ let fault_plan (p : plan) : Fv_faults.Plan.t option =
 (** Parse bench arguments (everything after [Sys.argv.(0)]). Accepts
     section names interleaved with [--domains N], [--json FILE],
     [--mode event|step], [--fault-rate R], [--fault-seed N],
-    [--rtm-retries N], [--row-timeout S] and [--fail-on-degraded]
-    (value-taking flags also accept [--flag=value]
+    [--rtm-retries N], [--row-timeout S], [--trace-out DIR] and
+    [--fail-on-degraded] (value-taking flags also accept [--flag=value]
     spellings). No section name means "run them all". Every requested
     section is validated against [available] before the plan is
     returned, so the caller runs nothing on a bad request. *)
@@ -128,6 +132,8 @@ let parse_args ~(available : string list) (args : string list) :
             set parse_rtm_retries (fun n -> { acc with rtm_retries = n })
         | "--row-timeout" ->
             set parse_row_timeout (fun t -> { acc with row_timeout = Some t })
+        | "--trace-out" ->
+            set (fun v -> Ok v) (fun d -> { acc with trace_out = Some d })
         | "--fail-on-degraded" -> (
             (* boolean flag: takes no value *)
             match inline with
@@ -140,7 +146,7 @@ let parse_args ~(available : string list) (args : string list) :
   let init =
     { sections = []; domains = None; json = None; mode = `Event;
       fault_rate = 0.0; fault_seed = 1; rtm_retries = 2; row_timeout = None;
-      fail_on_degraded = false }
+      fail_on_degraded = false; trace_out = None }
   in
   match go init args with
   | Error _ as e -> e

@@ -70,11 +70,13 @@ let bar_chart ?(width = 40) (rows : (string * float) list) : string =
 
 (** [timed f] runs [f ()] and returns its result with the wall-clock
     seconds it took (not CPU time: a parallel section burns more CPU
-    seconds than wall seconds, and wall is what the report tracks). *)
+    seconds than wall seconds, and wall is what the report tracks).
+    Measured on {!Fv_obs.Clock}, so an NTP step during a long bench run
+    cannot produce a negative or wildly wrong duration. *)
 let timed (f : unit -> 'a) : 'a * float =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Fv_obs.Clock.now () in
   let y = f () in
-  (y, Unix.gettimeofday () -. t0)
+  (y, Fv_obs.Clock.elapsed ~since:t0)
 
 (* ------------------------------------------------------------------ *)
 (* JSON reports                                                        *)
@@ -88,6 +90,11 @@ let timed (f : unit -> 'a) : 'a * float =
     [rows] array.
 
     Version history:
+    - 5: the envelope gained [metrics] — a snapshot of the observability
+      registry ({!Fv_obs.Metrics}: labeled counters, gauges and
+      histograms — compile-status counts, fallbacks, injected faults,
+      RTM aborts/retries, pool utilisation) taken when the section
+      finished.
     - 4: hot runs gained [compile_status] (front-end disposition:
       not-compiled / vectorized / degraded-traditional / degraded-scalar)
       and [rejection] (the structured diagnostic recorded when the run
@@ -392,16 +399,46 @@ module Json = struct
         ("retry_success", Float p.f_retry_success);
       ]
 
+  (* one observability-registry sample; [le: null] is the +inf overflow
+     bucket (JSON has no Infinity literal) *)
+  let of_metric (s : Fv_obs.Metrics.snap) : t =
+    Obj
+      ([
+         ("name", Str s.Fv_obs.Metrics.s_name);
+         ("kind", Str (Fv_obs.Metrics.show_kind s.Fv_obs.Metrics.s_kind));
+         ( "labels",
+           Obj
+             (List.map
+                (fun (k, v) -> (k, Str v))
+                s.Fv_obs.Metrics.s_labels) );
+         ("count", Int s.Fv_obs.Metrics.s_count);
+         ("sum", Float s.Fv_obs.Metrics.s_sum);
+       ]
+      @
+      match s.Fv_obs.Metrics.s_kind with
+      | Fv_obs.Metrics.Histogram ->
+          [
+            ( "buckets",
+              List
+                (List.map
+                   (fun (le, c) ->
+                     Obj [ ("le", Float le); ("count", Int c) ])
+                   s.Fv_obs.Metrics.s_buckets) );
+          ]
+      | Fv_obs.Metrics.Counter | Fv_obs.Metrics.Gauge -> [])
+
   (** Wrap a section's body fields into the common report envelope.
       The fault knobs default to the injection-disabled configuration so
-      existing call sites keep producing accurate envelopes. *)
+      existing call sites keep producing accurate envelopes. [?metrics]
+      is the observability-registry snapshot taken when the section
+      finished (empty when nothing was recorded). *)
   let report ~(section : string) ~(domains : int)
       ~(mode : [ `Event | `Step ]) ?(fault_rate = 0.0) ?(fault_seed = 1)
-      ?(rtm_retries = 2) ?row_timeout ~(wall_seconds : float)
+      ?(rtm_retries = 2) ?row_timeout ?(metrics = []) ~(wall_seconds : float)
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 4);
+         ("schema_version", Int 5);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));
@@ -409,6 +446,7 @@ module Json = struct
          ("fault_seed", Int fault_seed);
          ("rtm_retries", Int rtm_retries);
          ("row_timeout", opt (fun t -> Float t) row_timeout);
+         ("metrics", List (List.map of_metric metrics));
          ("wall_seconds", Float wall_seconds);
        ]
       @ body)

@@ -1,0 +1,23 @@
+(** Positional annotations over a micro-op stream.
+
+    The execution emulators know {e what} happened (an injected fault
+    absorbed, a VPL re-execution partition, an RTM retry) but not
+    {e when} in simulated time — cycles only exist once the pipeline
+    replays the trace. An annotation pins the event to its position in
+    the uop stream (the sink length at the moment it happened); the
+    timeline exporter later maps that position to the replay cycle of
+    the uop dispatched there and renders it as an instant marker. *)
+
+type mark = { pos : int;  (** uop-stream position *) kind : string }
+
+type t = mark Dynbuf.t
+
+let create () : t = Dynbuf.create ~capacity:64 { pos = 0; kind = "" }
+
+let mark (t : t) ~(pos : int) (kind : string) : unit =
+  Dynbuf.push t { pos; kind }
+
+let to_list (t : t) : (int * string) list =
+  Dynbuf.to_list t |> List.map (fun m -> (m.pos, m.kind))
+
+let length = Dynbuf.length

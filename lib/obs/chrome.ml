@@ -1,0 +1,157 @@
+(** Chrome trace-event JSON exporter (the format Perfetto and
+    [chrome://tracing] load).
+
+    Emits the JSON-object form [{"traceEvents": [...]}] with complete
+    ["ph":"X"] duration slices, ["ph":"i"] instant markers, and
+    ["ph":"M"] process/thread-name metadata. Timestamps are
+    microseconds ([ts]/[dur] doubles); simulated-time exporters map one
+    cycle to one microsecond so Perfetto's time axis reads directly as
+    cycles. This module is self-contained (its own minimal JSON
+    emission) so that leaf libraries can export traces without
+    depending on the report layer. *)
+
+type event =
+  | Slice of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;  (** microseconds *)
+      dur : float;  (** microseconds *)
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : (string * string) list;
+    }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+
+let slice ?(cat = "") ?(args = []) ~pid ~tid ~ts ~dur name =
+  Slice { name; cat; pid; tid; ts; dur; args }
+
+let instant ?(cat = "") ?(args = []) ~pid ~tid ~ts name =
+  Instant { name; cat; pid; tid; ts; args }
+
+(* ---- minimal JSON emission ---- *)
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf (escape s);
+  Buffer.add_char buf '"'
+
+let add_num buf (f : float) =
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else Buffer.add_char buf '0'
+
+let add_args buf (args : (string * string) list) =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k;
+      Buffer.add_char buf ':';
+      add_str buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let add_common buf ~name ~cat ~ph ~pid ~tid ~ts =
+  Buffer.add_string buf "{\"name\":";
+  add_str buf name;
+  if cat <> "" then begin
+    Buffer.add_string buf ",\"cat\":";
+    add_str buf cat
+  end;
+  Buffer.add_string buf ",\"ph\":";
+  add_str buf ph;
+  Buffer.add_string buf ",\"pid\":";
+  Buffer.add_string buf (string_of_int pid);
+  Buffer.add_string buf ",\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_string buf ",\"ts\":";
+  add_num buf ts
+
+let write_event buf = function
+  | Slice { name; cat; pid; tid; ts; dur; args } ->
+      add_common buf ~name ~cat ~ph:"X" ~pid ~tid ~ts;
+      Buffer.add_string buf ",\"dur\":";
+      add_num buf dur;
+      if args <> [] then begin
+        Buffer.add_string buf ",\"args\":";
+        add_args buf args
+      end;
+      Buffer.add_char buf '}'
+  | Instant { name; cat; pid; tid; ts; args } ->
+      add_common buf ~name ~cat ~ph:"i" ~pid ~tid ~ts;
+      (* "s":"t": thread-scoped instant *)
+      Buffer.add_string buf ",\"s\":\"t\"";
+      if args <> [] then begin
+        Buffer.add_string buf ",\"args\":";
+        add_args buf args
+      end;
+      Buffer.add_char buf '}'
+  | Process_name { pid; name } ->
+      add_common buf ~name:"process_name" ~cat:"" ~ph:"M" ~pid ~tid:0 ~ts:0.0;
+      Buffer.add_string buf ",\"args\":";
+      add_args buf [ ("name", name) ];
+      Buffer.add_char buf '}'
+  | Thread_name { pid; tid; name } ->
+      add_common buf ~name:"thread_name" ~cat:"" ~ph:"M" ~pid ~tid ~ts:0.0;
+      Buffer.add_string buf ",\"args\":";
+      add_args buf [ ("name", name) ];
+      Buffer.add_char buf '}'
+
+let write (buf : Buffer.t) (events : event list) : unit =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      write_event buf e)
+    events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}"
+
+let to_string (events : event list) : string =
+  let buf = Buffer.create 65536 in
+  write buf events;
+  Buffer.contents buf
+
+let to_file (path : string) (events : event list) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string events);
+      output_char oc '\n')
+
+(** Convert host-clock span events into trace events, with timestamps
+    rebased to [t_base] (seconds, typically the recorder's install
+    time) and scaled to microseconds. *)
+let of_spans ~(t_base : float) (spans : Span.event list) : event list =
+  List.map
+    (fun (s : Span.event) ->
+      slice ~cat:(if s.Span.cat = "" then "host" else s.Span.cat)
+        ~pid:s.Span.pid ~tid:s.Span.tid
+        ~ts:((s.Span.t0 -. t_base) *. 1e6)
+        ~dur:(Float.max 0.01 ((s.Span.t1 -. s.Span.t0) *. 1e6))
+        s.Span.name)
+    spans

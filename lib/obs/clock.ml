@@ -1,0 +1,24 @@
+(** Monotonic wall clock.
+
+    [Unix.gettimeofday] can step backwards (NTP slew/step, VM
+    migration), which used to produce negative [wall_seconds] in the
+    reports and spurious [Timed_out] rows in the pool. This clock clamps
+    it against a process-wide high-water mark shared by every domain, so
+    [now] is non-decreasing across all readers: a backwards step holds
+    the clock at the watermark until real time catches up again. *)
+
+let watermark = Atomic.make 0.0
+
+let now () : float =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let w = Atomic.get watermark in
+    if t <= w then w
+    else if Atomic.compare_and_set watermark w t then t
+    else clamp ()
+  in
+  clamp ()
+
+(** Seconds elapsed since [since] (a value previously returned by
+    {!now}); never negative. *)
+let elapsed ~(since : float) : float = Float.max 0.0 (now () -. since)

@@ -1,0 +1,50 @@
+(** Generic growable buffer (amortised-O(1) push).
+
+    OCaml 5.1 has no [Dynarray]; before this module the repo grew three
+    hand-rolled copies of the same doubling-array idiom (the uop sink,
+    the span buffer, the annotation buffer). They all share this one.
+    The [dummy] element fills unused capacity so the array never holds
+    stale caller values beyond [len]. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 16) (dummy : 'a) : 'a t =
+  { data = Array.make (max 1 capacity) dummy; len = 0; dummy }
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) t.dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push (t : 'a t) (x : 'a) =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Dynbuf.get";
+  t.data.(i)
+
+(** The contents as a fresh array of exactly [length t] elements. *)
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+(** Drop the contents (capacity is kept; dropped slots are reset to the
+    dummy so they do not retain caller values). *)
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0

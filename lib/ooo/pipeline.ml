@@ -44,6 +44,23 @@ module Sink = Fv_trace.Sink
 
 type mode = [ `Event  (** event-driven scheduler (default) *) | `Step ]
 
+(** Per-uop stage cycles, filled by {!run} when a log is passed via
+    [?record] — the raw material for simulated-time timelines
+    ({!Timeline}). Arrays are indexed by uop id; [-1] means the uop
+    never reached that stage (truncated run). Recording is off by
+    default and adds nothing to the replay loop when off; with it on,
+    the statistics are unchanged — the log only {e observes} the
+    existing stage transitions. *)
+type timing = {
+  mutable t_dispatch : int array;
+  mutable t_issue : int array;
+  mutable t_complete : int array;
+  mutable t_commit : int array;
+}
+
+let timing () : timing =
+  { t_dispatch = [||]; t_issue = [||]; t_complete = [||]; t_commit = [||] }
+
 type stats = {
   cycles : int;
   uops : int;
@@ -133,9 +150,16 @@ and b_store = 1
 and b_alu = 2
 
 let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
-    ?(mode : mode = `Event) ?(max_cycles = 400_000_000) (trace : Sink.t) :
-    stats =
+    ?(mode : mode = `Event) ?(max_cycles = 400_000_000)
+    ?(record : timing option) (trace : Sink.t) : stats =
   let n = Sink.length trace in
+  (match record with
+  | Some r ->
+      r.t_dispatch <- Array.make n (-1);
+      r.t_issue <- Array.make n (-1);
+      r.t_complete <- Array.make n (-1);
+      r.t_commit <- Array.make n (-1)
+  | None -> ());
   if n = 0 then
     {
       cycles = 0; uops = 0; ipc = 0.; branch_lookups = 0; branch_mispredicts = 0;
@@ -145,6 +169,14 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
   else begin
     let uops_arr = Sink.to_array trace in
     let uop i = Array.unsafe_get uops_arr i in
+    (* stage-cycle log: one guarded array store per stage transition
+       when recording; a single always-false test when not *)
+    let rec_on = record <> None in
+    let rd, ri, rc, rm =
+      match record with
+      | Some r -> (r.t_dispatch, r.t_issue, r.t_complete, r.t_commit)
+      | None -> ([||], [||], [||], [||])
+    in
     (* ---- pre-pass: intern register names, flatten source lists, and
        cache per-uop classes so the replay loop never hashes a string or
        chases an option for renaming ---- *)
@@ -369,6 +401,7 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
         List.iter
           (fun i ->
             Bytes.unsafe_set completed i '\001';
+            if rec_on then rc.(i) <- c;
             if !redirect_waiting_on = i then begin
               redirect_until := c + cfg.Machine.mispredict_penalty;
               redirect_waiting_on := -1
@@ -388,6 +421,7 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       while !continue_commit && !comms < cfg.Machine.commit_width do
         if !rob_len > 0 && is_completed rob.(!rob_head) then begin
           let i = rob.(!rob_head) in
+          if rec_on then rm.(i) <- c;
           rob_head := (!rob_head + 1) land (rob_cap - 1);
           decr rob_len;
           let b = pcls_of i in
@@ -507,6 +541,7 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
             in
             if miss then redirect_waiting_on := i
           end;
+          if rec_on then rd.(i) <- c;
           incr next_dispatch;
           incr disp
         end
@@ -532,6 +567,7 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
             if !port < 0 then continue_issue := false
             else begin
               Heap.drop_min h;
+              if rec_on then ri.(i) <- c;
               let u = uop i in
               let t = Latency.timing u.Uop.cls in
               let b = pcls_of i in

@@ -1,0 +1,160 @@
+(** Simulated-time Perfetto timelines for pipeline replays.
+
+    Converts a replayed trace — the uop stream plus the stage-cycle log
+    {!Pipeline.timing} the replay recorded — into Chrome trace events
+    on the convention {e 1 cycle = 1 µs}, so Perfetto's time axis reads
+    directly as cycles:
+
+    - one [run] slice spanning cycle 0 to the run's last commit, whose
+      duration therefore equals [stats.cycles] for untruncated runs;
+    - one execution slice per issued uop (issue → completion), packed
+      onto per-port-class thread tracks by greedy lane assignment so
+      slices on any single track never overlap (in-flight overlap shows
+      up as parallel lanes, exactly like a real pipeline diagram);
+      dispatch and commit cycles ride along as slice args;
+    - instant markers for the RTM transaction uops
+      (XBEGIN/XEND/XABORT) and for every stream annotation the
+      emulators recorded ({!Fv_obs.Annot}: injected faults, VPL
+      re-execution partitions, first-faulting fallbacks, RTM retries),
+      pinned to the dispatch cycle of the uop at the annotated stream
+      position. *)
+
+module Chrome = Fv_obs.Chrome
+module Uop = Fv_trace.Uop
+
+(* track layout within the timeline's pid *)
+let tid_run = 1
+let tid_rtm = 2
+let tid_events = 3
+let lane_base_load = 100
+let lane_base_store = 200
+let lane_base_alu = 300
+let max_lanes = 64  (** lanes beyond this fold onto the last track *)
+
+let class_name : Fv_isa.Latency.uop_class -> string =
+  Fv_isa.Latency.show_uop_class
+
+(** Greedy lane packer: returns the first lane of [ends] that is free
+    at [ts] (its previous slice ended at or before [ts]), extending the
+    lane set up to {!max_lanes}. *)
+let assign_lane (ends : float array) (used : int ref) (ts : float)
+    (fin : float) : int =
+  let lane = ref (-1) in
+  let i = ref 0 in
+  while !lane < 0 && !i < !used do
+    if ends.(!i) <= ts then lane := !i;
+    incr i
+  done;
+  if !lane < 0 then begin
+    if !used < max_lanes then begin
+      lane := !used;
+      incr used
+    end
+    else lane := max_lanes - 1
+  end;
+  ends.(!lane) <- Float.max ends.(!lane) fin;
+  !lane
+
+(** Build the trace events of one replay under process id [pid].
+    [annots] are stream-position annotations (see {!Fv_obs.Annot}). *)
+let events ?(pid = 1) ?(name = "pipeline (simulated cycles)")
+    ?(annots : (int * string) list = []) ~(trace : Fv_trace.Sink.t)
+    ~(timing : Pipeline.timing) (stats : Pipeline.stats) :
+    Chrome.event list =
+  let uops = Fv_trace.Sink.to_array trace in
+  let n = Array.length uops in
+  let td = timing.Pipeline.t_dispatch
+  and ti = timing.Pipeline.t_issue
+  and tc = timing.Pipeline.t_complete
+  and tm = timing.Pipeline.t_commit in
+  if Array.length td <> n then
+    invalid_arg "Timeline.events: timing log does not match the trace";
+  let meta =
+    [
+      Chrome.Process_name { pid; name };
+      Chrome.Thread_name { pid; tid = tid_run; name = "run" };
+      Chrome.Thread_name { pid; tid = tid_rtm; name = "rtm" };
+      Chrome.Thread_name { pid; tid = tid_events; name = "events" };
+    ]
+  in
+  let rev_events = ref [] in
+  let push e = rev_events := e :: !rev_events in
+  (* lane state per port class *)
+  let mk () = (Array.make max_lanes 0.0, ref 0) in
+  let load_lanes = mk () and store_lanes = mk () and alu_lanes = mk () in
+  let lanes_used = ref [] in
+  for i = 0 to n - 1 do
+    let u = uops.(i) in
+    if ti.(i) >= 0 && tc.(i) >= ti.(i) then begin
+      let ts = float_of_int ti.(i) in
+      let dur = float_of_int (max 1 (tc.(i) - ti.(i))) in
+      let cls = u.Uop.cls in
+      let (ends, used), base =
+        if Fv_isa.Latency.is_load cls then (load_lanes, lane_base_load)
+        else if Fv_isa.Latency.is_store cls then (store_lanes, lane_base_store)
+        else (alu_lanes, lane_base_alu)
+      in
+      let lane = assign_lane ends used ts (ts +. dur) in
+      let tid = base + lane in
+      if not (List.mem tid !lanes_used) then lanes_used := tid :: !lanes_used;
+      let args =
+        [
+          ("dispatch", string_of_int td.(i));
+          ("commit", string_of_int tm.(i));
+          ("uop", string_of_int i);
+        ]
+        @ (if u.Uop.label = "" then [] else [ ("label", u.Uop.label) ])
+      in
+      push (Chrome.slice ~cat:"uop" ~args ~pid ~tid ~ts ~dur (class_name cls))
+    end;
+    (* RTM transaction markers at the uop's dispatch cycle *)
+    (match u.Uop.cls with
+    | Fv_isa.Latency.Xbegin | Fv_isa.Latency.Xend | Fv_isa.Latency.Xabort ->
+        let c = if td.(i) >= 0 then td.(i) else stats.Pipeline.cycles in
+        push
+          (Chrome.instant ~cat:"rtm" ~pid ~tid:tid_rtm
+             ~ts:(float_of_int c)
+             ~args:[ ("uop", string_of_int i) ]
+             (class_name u.Uop.cls))
+    | _ -> ())
+  done;
+  (* emulator annotations: pin to the dispatch cycle of the uop at the
+     annotated stream position (end-of-run for positions past the last
+     dispatched uop) *)
+  List.iter
+    (fun (pos, kind) ->
+      let c =
+        if pos >= 0 && pos < n && td.(pos) >= 0 then td.(pos)
+        else stats.Pipeline.cycles
+      in
+      push
+        (Chrome.instant ~cat:"emul" ~pid ~tid:tid_events
+           ~ts:(float_of_int c)
+           ~args:[ ("pos", string_of_int pos) ]
+           kind))
+    annots;
+  (* the run envelope: cycle 0 .. total cycles *)
+  push
+    (Chrome.slice ~cat:"run" ~pid ~tid:tid_run ~ts:0.0
+       ~dur:(float_of_int stats.Pipeline.cycles)
+       ~args:
+         [
+           ("cycles", string_of_int stats.Pipeline.cycles);
+           ("uops", string_of_int stats.Pipeline.uops);
+           ("ipc", Printf.sprintf "%.3f" stats.Pipeline.ipc);
+           ("truncated", string_of_bool stats.Pipeline.truncated);
+         ]
+       "run");
+  let lane_meta =
+    List.map
+      (fun tid ->
+        let cls, lane =
+          if tid >= lane_base_alu then ("alu", tid - lane_base_alu)
+          else if tid >= lane_base_store then ("store", tid - lane_base_store)
+          else ("load", tid - lane_base_load)
+        in
+        Chrome.Thread_name
+          { pid; tid; name = Printf.sprintf "%s lane %d" cls lane })
+      (List.sort compare !lanes_used)
+  in
+  meta @ lane_meta @ List.rev !rev_events

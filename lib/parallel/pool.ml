@@ -49,15 +49,21 @@ let map_result ?domains ?timeout_s (f : 'a -> 'b) (xs : 'a list) :
   let requested =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
-  let run_one x =
-    let t0 = Unix.gettimeofday () in
+  let run_one i x =
+    (* monotonic clock: a wall-clock step (NTP) must not turn into a
+       phantom timeout or a negative row duration *)
+    let t0 = Fv_obs.Clock.now () in
     let r =
-      match f x with
+      match Fv_obs.Span.with_row i (fun () -> f x) with
       | y -> Ok y
       | exception e ->
           Error (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () })
     in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Fv_obs.Clock.elapsed ~since:t0 in
+    Fv_obs.Metrics.incr Fv_obs.Metrics.global "pool_tasks";
+    Fv_obs.Metrics.observe
+      ~labels:[ ("domain", string_of_int (Domain.self () :> int)) ]
+      Fv_obs.Metrics.global "pool_task_seconds" dt;
     match (r, timeout_s) with
     | Ok _, Some limit when dt > limit ->
         Error (Timed_out { wall_seconds = dt; limit })
@@ -65,8 +71,8 @@ let map_result ?domains ?timeout_s (f : 'a -> 'b) (xs : 'a list) :
   in
   match xs with
   | [] -> []
-  | [ x ] -> [ run_one x ]
-  | _ when requested = 1 -> List.map run_one xs
+  | [ x ] -> [ run_one 0 x ]
+  | _ when requested = 1 -> List.mapi run_one xs
   | _ ->
       let items = Array.of_list xs in
       let n = Array.length items in
@@ -76,7 +82,7 @@ let map_result ?domains ?timeout_s (f : 'a -> 'b) (xs : 'a list) :
         let rec go () =
           let i = Atomic.fetch_and_add cursor 1 in
           if i < n then begin
-            slots.(i) <- Filled (run_one items.(i));
+            slots.(i) <- Filled (run_one i items.(i));
             go ()
           end
         in

@@ -224,9 +224,13 @@ let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
     rejection. *)
 let analyze (l : loop) : verdict =
   let l = if Ast.is_numbered l then l else Ast.number l in
-  match Validate.errors (Validate.check l) with
+  match
+    Fv_obs.Span.with_ ~cat:"compile" "validate" (fun () ->
+        Validate.errors (Validate.check l))
+  with
   | d :: _ -> Rejected d
   | [] -> (
+      Fv_obs.Span.with_ ~cat:"compile" "classify" @@ fun () ->
       try
         let g = Graph.build l in
         let sccs = Scc.nontrivial g in

@@ -44,6 +44,10 @@ type state = {
   mutable hi : int;
   mutable brk : bool;  (** an early exit committed: stop after this strip *)
   emit : (Uop.t -> unit) option;
+  annot : (string -> unit) option;
+      (** observability side channel: noteworthy execution events
+          (injected faults, VPL re-partitions, FF fallbacks) keyed to
+          the current trace position; see {!Fv_obs.Annot} *)
   vloop : vloop;
   stats : stats;
   mutable tmp : int;
@@ -87,6 +91,8 @@ let atom st = function
 let atom_srcs = function Imm _ -> [] | Sca x -> [ x ]
 
 let emit st u = match st.emit with Some f -> f u | None -> ()
+
+let note st kind = match st.annot with Some f -> f kind | None -> ()
 
 let fresh st =
   (* temp names only exist inside the trace; with no sink attached
@@ -138,13 +144,18 @@ let do_load st ~ff (dst : Vreg.t) (k : Mask.t) base : Mask.t =
          match Memory.load_opt st.mem (base + l) with
          | Ok v -> Vreg.set dst l v
          | Error f ->
-             if f.Memory.injected && (not ff) && not st.injected_trap then
+             if f.Memory.injected && (not ff) && not st.injected_trap then begin
+               note st "fault:injected-absorbed";
                Vreg.set dst l (Memory.load st.mem (base + l))
+             end
              else if (not ff) || (Some l = nonspec && not f.Memory.injected)
              then raise (Memory.Fault f)
              else begin
                (* zero the write mask from the first excepting speculative
                   lane rightward; stop accessing memory *)
+               note st
+                 (if f.Memory.injected then "fault:injected"
+                  else "fault:speculative");
                for j = l to st.vl - 1 do
                  Mask.set kout j false
                done;
@@ -171,12 +182,16 @@ let do_gather st ~ff ~arr (dst : Vreg.t) (k : Mask.t) (idx : Vreg.t) :
              addrs := a :: !addrs
          | Error f ->
              if f.Memory.injected && (not ff) && not st.injected_trap then begin
+               note st "fault:injected-absorbed";
                Vreg.set dst l (Memory.load st.mem a);
                addrs := a :: !addrs
              end
              else if (not ff) || (Some l = nonspec && not f.Memory.injected)
              then raise (Memory.Fault f)
              else begin
+               note st
+                 (if f.Memory.injected then "fault:injected"
+                  else "fault:speculative");
                for j = l to st.vl - 1 do
                  Mask.set kout j false
                done;
@@ -416,7 +431,10 @@ let rec exec_stmt (st : state) (s : vstmt) : unit =
         if !guard > 2 * st.vl + 2 then
           error "VPL %s did not converge (todo=%a)" label Mask.pp (getk st todo);
         st.stats.vpl_iterations <- st.stats.vpl_iterations + 1;
-        if !guard > 1 then st.stats.vpl_extra <- st.stats.vpl_extra + 1;
+        if !guard > 1 then begin
+          st.stats.vpl_extra <- st.stats.vpl_extra + 1;
+          note st "vpl:partition"
+        end;
         List.iter (exec_stmt st) body;
         let t = getk st todo in
         emit st (Uop.make ~dst:"_ktest" ~srcs:[ todo ] Latency.Mask_op);
@@ -432,7 +450,10 @@ let rec exec_stmt (st : state) (s : vstmt) : unit =
       let mismatch = not (Mask.equal (getk st kff) (getk st expected)) in
       emit st (Uop.make ~dst:"_kchk" ~srcs:[ kff; expected ] Latency.Mask_op);
       emit st (Uop.branch ~label ~taken:mismatch ~srcs:[ "_kchk" ]);
-      if mismatch then do_fallback st (getk st remaining)
+      if mismatch then begin
+        note st "ff:fallback";
+        do_fallback st (getk st remaining)
+      end
   | Set_break k ->
       let cond = Mask.any (getk st k) in
       emit st (Uop.make ~dst:"_ktest" ~srcs:[ k ] Latency.Mask_op);
@@ -449,8 +470,10 @@ let rec exec_stmt (st : state) (s : vstmt) : unit =
     execution statistics. Semantically equivalent to
     [Fv_ir.Interp.run mem env vloop.source]. [~injected_trap] makes
     injected faults on plain accesses raise instead of being absorbed —
-    set by {!Rtm_run} so they abort the enclosing transaction. *)
-let run ?emit:trace_sink ?(injected_trap = false) (vloop : vloop)
+    set by {!Rtm_run} so they abort the enclosing transaction.
+    [~annot] receives observability annotations (fault absorptions, VPL
+    re-partitions, FF fallbacks) as they happen. *)
+let run ?emit:trace_sink ?annot ?(injected_trap = false) (vloop : vloop)
     (mem : Memory.t) (env : Fv_ir.Interp.env) : stats =
   let scalar_eval e =
     (* lo/hi are loop-invariant: evaluate with the scalar interpreter's
@@ -473,6 +496,7 @@ let run ?emit:trace_sink ?(injected_trap = false) (vloop : vloop)
       hi;
       brk = false;
       emit = trace_sink;
+      annot;
       vloop;
       stats = fresh_stats ();
       tmp = 0;

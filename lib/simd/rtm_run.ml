@@ -96,12 +96,13 @@ let combine (a : rtm_stats) (b : rtm_stats) : rtm_stats =
     overflow again. With no injection plan attached the retry machinery
     is never entered, so the uop trace is identical to the no-retry
     model. *)
-let run ?emit ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
+let run ?emit ?annot ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
     (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.env) : rtm_stats =
   if tile < vloop.vl then invalid_arg "Rtm_run.run: tile smaller than VL";
   if retries < 0 then invalid_arg "Rtm_run.run: negative retries";
   let vloop = strip_ff vloop in
   let emit_u u = match emit with Some f -> f u | None -> () in
+  let note kind = match annot with Some f -> f kind | None -> () in
   let scalar_eval e =
     let st = { Fv_ir.Interp.mem; env; hk = Fv_ir.Interp.no_hooks; tmp = 0; stmt_labels = [||] } in
     Fv_isa.Value.to_int (fst (Fv_ir.Interp.eval st e))
@@ -145,7 +146,7 @@ let run ?emit ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
       let ck = Fv_rtm.Rtm.checkpoint mem env in
       let l0 = mem.Memory.loads and s0 = mem.Memory.stores in
       emit_u (Uop.make ~dst:"_rtm" Fv_isa.Latency.Xbegin);
-      match Exec.run ?emit ~injected_trap:true tile_loop mem env with
+      match Exec.run ?emit ?annot ~injected_trap:true tile_loop mem env with
       | stats
         when mem.Memory.loads - l0 + (mem.Memory.stores - s0) > capacity_elems
         ->
@@ -155,6 +156,7 @@ let run ?emit ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
              to resource overflow", §3.3.2) *)
           ignore stats;
           emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
+          note "rtm:abort:capacity";
           incr aborts;
           incr capacity_aborts;
           Fv_rtm.Rtm.rollback ck;
@@ -167,6 +169,7 @@ let run ?emit ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
           if stats.Exec.broke then broke := true
       | exception Memory.Fault f ->
           emit_u (Uop.make ~dst:"_rtm" ~srcs:[ "_rtm" ] Fv_isa.Latency.Xabort);
+          note "rtm:abort";
           incr aborts;
           (* footprint accumulated before the fault: a tile that blew
              the capacity *and* faulted is a capacity abort — it must
@@ -181,6 +184,7 @@ let run ?emit ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
           end
           else if f.Memory.injected && n < retries then begin
             incr retry_count;
+            note "rtm:retry";
             attempt (n + 1)
           end
           else scalar_tile ()

@@ -1,50 +1,32 @@
-(** Growable micro-op buffers.
+(** Growable micro-op buffers, built on the shared {!Fv_obs.Dynbuf}
+    (one doubling-array implementation for the uop sink and the
+    observability buffers instead of three hand-rolled copies). *)
 
-    OCaml 5.1 has no [Dynarray]; this is the minimal growable vector the
-    tracers need. A [sink] can also be a pure counter (for profiling
-    instruction mix without materialising the trace). *)
-
-type t = { mutable data : Uop.t array; mutable len : int }
+type t = Uop.t Fv_obs.Dynbuf.t
 
 let dummy = Uop.make Fv_isa.Latency.Nop
 
-let create ?(capacity = 1024) () =
-  { data = Array.make (max 1 capacity) dummy; len = 0 }
+let create ?(capacity = 1024) () : t = Fv_obs.Dynbuf.create ~capacity dummy
 
-let length t = t.len
+let length = Fv_obs.Dynbuf.length
 
-let grow t =
-  let cap = Array.length t.data in
-  let data = Array.make (2 * cap) dummy in
-  Array.blit t.data 0 data 0 t.len;
-  t.data <- data
-
-let push (t : t) (u : Uop.t) =
-  if t.len = Array.length t.data then grow t;
-  t.data.(t.len) <- u;
-  t.len <- t.len + 1
+let push (t : t) (u : Uop.t) = Fv_obs.Dynbuf.push t u
 
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Sink.get";
-  t.data.(i)
+  if i < 0 || i >= length t then invalid_arg "Sink.get";
+  Fv_obs.Dynbuf.get t i
 
 (** The trace as a fresh array of exactly [length t] uops. The pipeline
     replays a trace with random access on its hot path; one bulk copy up
     front is far cheaper than a bounds-checked {!get} per replayed
     micro-op. *)
-let to_array t = Array.sub t.data 0 t.len
+let to_array = Fv_obs.Dynbuf.to_array
 
-let iter f t =
-  for i = 0 to t.len - 1 do
-    f t.data.(i)
-  done
+let iter f t = Fv_obs.Dynbuf.iter f t
 
-let fold f init t =
-  let acc = ref init in
-  iter (fun u -> acc := f !acc u) t;
-  !acc
+let fold f init t = Fv_obs.Dynbuf.fold f init t
 
-let to_list t = List.init t.len (fun i -> t.data.(i))
+let to_list = Fv_obs.Dynbuf.to_list
 
 (** Dynamic instruction-class histogram. *)
 let histogram t : (Fv_isa.Latency.uop_class * int) list =

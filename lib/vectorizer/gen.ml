@@ -779,6 +779,7 @@ let vectorize ?(vl = 16) ?(style = Flexvec) (l : loop) :
   match C.analyze l with
   | C.Rejected r -> Error r
   | C.Vectorizable plan -> (
+      Fv_obs.Span.with_ ~cat:"compile" "vectorize" @@ fun () ->
       try
         let classes = Classes.classify_exn l plan in
         let ctx =

@@ -75,10 +75,53 @@ let all : spec list =
       sim_trip = 54; invocations = 150; build = Kernels.zlib };
   ]
 
+let find_opt name = List.find_opt (fun s -> String.equal s.name name) all
+
+(* Levenshtein distance, for "did you mean" suggestions: the kernel
+   names are short, so the O(nm) textbook recurrence is plenty *)
+let edit_distance (a : string) (b : string) : int =
+  let n = String.length a and m = String.length b in
+  let prev = Array.init (m + 1) Fun.id in
+  let cur = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    cur.(0) <- i;
+    for j = 1 to m do
+      let cost =
+        if Char.lowercase_ascii a.[i - 1] = Char.lowercase_ascii b.[j - 1]
+        then 0
+        else 1
+      in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (m + 1)
+  done;
+  prev.(m)
+
+(** The registered name closest to [name] (case-insensitive edit
+    distance), when one is near enough to plausibly be a typo. *)
+let suggest (name : string) : string option =
+  let best =
+    List.fold_left
+      (fun acc (s : spec) ->
+        let d = edit_distance name s.name in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (s.name, d))
+      None all
+  in
+  match best with
+  | Some (n, d) when d <= max 2 (String.length name / 3) -> Some n
+  | _ -> None
+
 let find name =
-  match List.find_opt (fun s -> String.equal s.name name) all with
+  match find_opt name with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Registry.find: unknown benchmark %S" name)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.find: unknown benchmark %S%s" name
+           (match suggest name with
+           | Some n -> Printf.sprintf " (did you mean %S?)" n
+           | None -> ""))
 
 let spec_benchmarks = List.filter (fun s -> s.group = Spec) all
 let app_benchmarks = List.filter (fun s -> s.group = App) all

@@ -18,4 +18,5 @@ let () =
       ("random", Test_random.suite);
       ("validate", Test_validate.suite);
       ("fuzz", Test_fuzz.suite);
+      ("obs", Test_obs.suite);
     ]

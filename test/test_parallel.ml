@@ -320,11 +320,11 @@ let test_json_report_shape () =
       Alcotest.(check bool) (Printf.sprintf "report has %s" needle) true
         (contains ~needle s))
     [
-      "\"schema_version\":4"; "\"section\":\"t\""; "\"domains\":3";
+      "\"schema_version\":5"; "\"section\":\"t\""; "\"domains\":3";
       "\"compile_status\":\"vectorized\""; "\"rejection\":null";
       "\"mode\":\"event\""; "\"truncated\":false";
       "\"fault_rate\":0"; "\"fault_seed\":1"; "\"rtm_retries\":2";
-      "\"row_timeout\":null";
+      "\"row_timeout\":null"; "\"metrics\":[]";
       "\"wall_seconds\":0.25"; "\"cycles\""; "\"ipc\"";
       "\"fell_back_to_scalar\":false"; "\"oracle_error\":null";
       "\"injected_faults\":0"; "\"retries\":0";
