@@ -11,6 +11,7 @@ open Fv_isa
 module Memory = Fv_mem.Memory
 module Interp = Fv_ir.Interp
 module Pipeline = Fv_ooo.Pipeline
+module Simcache = Fv_ooo.Simcache
 
 type strategy =
   | Scalar  (** baseline: the AVX-512 compiler leaves the loop scalar *)
@@ -270,9 +271,13 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
                  Some (Fv_vir.Count.of_vloop vloop), false, None)))
   in
   let record = Option.map (fun o -> o.o_timing) obs in
+  (* memoized replay: the key includes the fault-plan fingerprint, so a
+     plan change can never serve a stale entry (see {!Fv_ooo.Simcache}) *)
   let pipe =
     Fv_obs.Span.with_ ~cat:"harness" "simulate" (fun () ->
-        Pipeline.run ?record ~mode sink)
+        Simcache.stats ?record ~mode
+          ~fault_key:(Fv_faults.Plan.fingerprint plan)
+          sink)
   in
   Option.iter (fun o -> o.o_trace <- Some sink) obs;
   note_run_metrics
@@ -484,9 +489,13 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     run_one (build (seed + k))
   done;
   let record = Option.map (fun o -> o.o_timing) obs in
+  (* memoized replay: the key includes the fault-plan fingerprint, so a
+     plan change can never serve a stale entry (see {!Fv_ooo.Simcache}) *)
   let pipe =
     Fv_obs.Span.with_ ~cat:"harness" "simulate" (fun () ->
-        Pipeline.run ?record ~mode sink)
+        Simcache.stats ?record ~mode
+          ~fault_key:(Fv_faults.Plan.fingerprint plan)
+          sink)
   in
   Option.iter (fun o -> o.o_trace <- Some sink) obs;
   note_run_metrics

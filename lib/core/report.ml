@@ -90,6 +90,14 @@ let timed (f : unit -> 'a) : 'a * float =
     [rows] array.
 
     Version history:
+    - 6: metric snapshots made self-consistent — counter [sum] now
+      round-trips the counted value (it was stuck at 0), and histogram
+      [buckets] are cumulative with Prometheus semantics: each bucket
+      counts every observation [<=] its [le] bound, counts are monotone
+      non-decreasing along the list, and the final [le: null] (+inf)
+      bucket equals [count]. The registry also gained the simulator
+      memo-cache counters ([sim_cache_hits] / [sim_cache_misses] /
+      [sim_cache_bypass]).
     - 5: the envelope gained [metrics] — a snapshot of the observability
       registry ({!Fv_obs.Metrics}: labeled counters, gauges and
       histograms — compile-status counts, fallbacks, injected faults,
@@ -399,8 +407,9 @@ module Json = struct
         ("retry_success", Float p.f_retry_success);
       ]
 
-  (* one observability-registry sample; [le: null] is the +inf overflow
-     bucket (JSON has no Infinity literal) *)
+  (* one observability-registry sample; buckets are cumulative
+     (Prometheus semantics) and [le: null] is the +inf bucket (JSON has
+     no Infinity literal), which therefore equals [count] *)
   let of_metric (s : Fv_obs.Metrics.snap) : t =
     Obj
       ([
@@ -438,7 +447,7 @@ module Json = struct
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 5);
+         ("schema_version", Int 6);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));

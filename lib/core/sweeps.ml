@@ -232,10 +232,10 @@ let prefetch_ablation ?(trip = 4096) ?(seed = 29) ?mode ?domains () :
   Fv_parallel.Pool.map_ordered ?domains
     (fun prefetch ->
       let depth = if prefetch then 4 else 0 in
+      (* memoized: the prefetch depth is part of the cache key, so the
+         two ablation points never alias *)
       let run t =
-        (Fv_ooo.Pipeline.run ?mode
-           ~hier:(Fv_memsys.Hierarchy.table1 ~prefetch_depth:depth ())
-           t)
+        (Fv_ooo.Simcache.stats ?mode ~prefetch_depth:depth t)
           .Fv_ooo.Pipeline.cycles
       in
       let sc = run scalar_trace and fc = run flexvec_trace in

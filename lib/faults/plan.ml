@@ -62,6 +62,21 @@ let fires (p : t) ~(access : int) ~(addr : int) : bool =
   || (p.nth <> [] && List.mem access p.nth)
   || (p.rate > 0.0 && uniform p.seed access < p.rate)
 
+(** Canonical string fingerprint of an optional plan, for cache keys
+    ({!Fv_ooo.Simcache}): [""] for no plan (and for the do-nothing
+    {!none} plan, which is behaviourally identical), otherwise a full
+    rendering of every trigger. Two plans with equal fingerprints fault
+    the same accesses. *)
+let fingerprint (p : t option) : string =
+  match p with
+  | None -> ""
+  | Some p when is_none p -> ""
+  | Some p ->
+      Printf.sprintf "rate=%h seed=%d nth=%s protected=%s" p.rate p.seed
+        (String.concat "," (List.map string_of_int p.nth))
+        (String.concat ","
+           (List.map (fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi) p.protected))
+
 let pp ppf (p : t) =
   Fmt.pf ppf "rate=%g seed=%d nth=[%a] protected=[%a]" p.rate p.seed
     Fmt.(list ~sep:comma int)

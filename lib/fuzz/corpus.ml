@@ -245,15 +245,10 @@ let to_string (c : Gen.case) : string = Sexp.to_string (sexp_of_case c)
 let of_string (s : string) : Gen.case = case_of_sexp (Sexp.of_string s)
 
 (* FNV-1a, 64-bit: tiny, deterministic, good enough to content-address a
-   corpus of at most a few thousand files *)
-let fnv1a64 (s : string) : int64 =
-  let h = ref 0xCBF29CE484222325L in
-  String.iter
-    (fun ch ->
-      h := Int64.logxor !h (Int64.of_int (Char.code ch));
-      h := Int64.mul !h 0x100000001B3L)
-    s;
-  !h
+   corpus of at most a few thousand files. The implementation is the
+   shared {!Fv_obs.Hash} (the simulator's trace memo cache uses the same
+   family); the alias keeps existing corpus filenames stable. *)
+let fnv1a64 : string -> int64 = Fv_obs.Hash.fnv1a64
 
 let filename_of (c : Gen.case) : string =
   Printf.sprintf "cex-%016Lx.sexp" (fnv1a64 (to_string c))

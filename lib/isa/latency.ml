@@ -68,6 +68,65 @@ let timing : uop_class -> timing = function
 let latency c = (timing c).latency
 let recip_tput c = (timing c).recip_tput
 
+(** Stable dense byte codes for the classes, in declaration order —
+    the compiled-trace representation ({!Fv_ooo.Compiled}) stores one
+    code byte per micro-op and indexes precomputed latency tables with
+    it. [of_code] is the left inverse of [code]. *)
+let code : uop_class -> int = function
+  | Int_alu -> 0
+  | Int_mul -> 1
+  | Fp_alu -> 2
+  | Fp_mul -> 3
+  | Fp_div -> 4
+  | Load -> 5
+  | Store -> 6
+  | Branch -> 7
+  | Vec_alu -> 8
+  | Vec_mul -> 9
+  | Vec_div -> 10
+  | Mask_op -> 11
+  | Vec_broadcast -> 12
+  | Gather -> 13
+  | Scatter -> 14
+  | Kftm -> 15
+  | Slct_last -> 16
+  | Conflictm -> 17
+  | Gather_ff -> 18
+  | Load_ff -> 19
+  | Xbegin -> 20
+  | Xend -> 21
+  | Xabort -> 22
+  | Nop -> 23
+
+let ncodes = 24
+
+let of_code : int -> uop_class = function
+  | 0 -> Int_alu
+  | 1 -> Int_mul
+  | 2 -> Fp_alu
+  | 3 -> Fp_mul
+  | 4 -> Fp_div
+  | 5 -> Load
+  | 6 -> Store
+  | 7 -> Branch
+  | 8 -> Vec_alu
+  | 9 -> Vec_mul
+  | 10 -> Vec_div
+  | 11 -> Mask_op
+  | 12 -> Vec_broadcast
+  | 13 -> Gather
+  | 14 -> Scatter
+  | 15 -> Kftm
+  | 16 -> Slct_last
+  | 17 -> Conflictm
+  | 18 -> Gather_ff
+  | 19 -> Load_ff
+  | 20 -> Xbegin
+  | 21 -> Xend
+  | 22 -> Xabort
+  | 23 -> Nop
+  | c -> invalid_arg (Printf.sprintf "Latency.of_code: %d" c)
+
 let is_load = function
   | Load | Gather | Gather_ff | Load_ff -> true
   | _ -> false

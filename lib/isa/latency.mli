@@ -41,6 +41,14 @@ val timing : uop_class -> timing
 
 val latency : uop_class -> int
 val recip_tput : uop_class -> int
+
+(** Stable dense byte code per class (declaration order); [of_code] is
+    the left inverse and raises [Invalid_argument] outside
+    [0, ncodes). *)
+val code : uop_class -> int
+
+val ncodes : int
+val of_code : int -> uop_class
 val is_load : uop_class -> bool
 val is_store : uop_class -> bool
 val is_mem : uop_class -> bool

@@ -2,64 +2,88 @@
 
     Addresses are in element units (4-byte elements); a 64-byte line
     therefore holds 16 elements. The simulator only needs hit/miss
-    behaviour and occupancy, not data. *)
+    behaviour and occupancy, not data.
+
+    The tag and LRU stores are flat [sets * ways] arrays and the
+    line/set computations use shifts and masks when the geometry is a
+    power of two (it always is for the Table 1 configuration): the
+    replay loop probes the hierarchy dozens of times per load once
+    prefetch fills are counted, so this path is worth keeping free of
+    divisions and allocation. *)
 
 type t = {
   name : string;
   sets : int;
   ways : int;
   line_elems : int;  (** elements per line *)
-  tags : int array array;  (** [set][way] -> line address, -1 = invalid *)
-  lru : int array array;  (** [set][way] -> last-use stamp *)
+  line_shift : int;  (** log2 [line_elems], or -1 if not a power of two *)
+  set_mask : int;  (** [sets - 1], or -1 if [sets] is not a power of two *)
+  tags : int array;  (** [set * ways + way] -> line address, -1 = invalid *)
+  lru : int array;  (** [set * ways + way] -> last-use stamp *)
   mutable stamp : int;
   mutable hits : int;
   mutable misses : int;
 }
 
+let log2_pow2 n =
+  let rec go k = if 1 lsl k = n then k else if 1 lsl k > n then -1 else go (k + 1) in
+  if n <= 0 then -1 else go 0
+
 (** [create ~name ~size_bytes ~ways ~line_bytes ~elem_bytes] *)
 let create ~name ~size_bytes ~ways ?(line_bytes = 64) ?(elem_bytes = 4) () : t =
   let lines = size_bytes / line_bytes in
   let sets = max 1 (lines / ways) in
+  let line_elems = line_bytes / elem_bytes in
   {
     name;
     sets;
     ways;
-    line_elems = line_bytes / elem_bytes;
-    tags = Array.init sets (fun _ -> Array.make ways (-1));
-    lru = Array.init sets (fun _ -> Array.make ways 0);
+    line_elems;
+    line_shift = log2_pow2 line_elems;
+    set_mask = (if log2_pow2 sets >= 0 then sets - 1 else -1);
+    tags = Array.make (sets * ways) (-1);
+    lru = Array.make (sets * ways) 0;
     stamp = 0;
     hits = 0;
     misses = 0;
   }
 
-let line_of (c : t) (addr : int) = addr / c.line_elems
-let set_of (c : t) (line : int) = line mod c.sets
+let line_of (c : t) (addr : int) =
+  if c.line_shift >= 0 && addr >= 0 then addr lsr c.line_shift
+  else addr / c.line_elems
+
+let set_of (c : t) (line : int) =
+  if c.set_mask >= 0 && line >= 0 then line land c.set_mask else line mod c.sets
 
 (** Access one element address: [true] on hit. Fills on miss. *)
 let access (c : t) (addr : int) : bool =
   c.stamp <- c.stamp + 1;
   let line = line_of c addr in
-  let s = set_of c line in
-  let tags = c.tags.(s) and lru = c.lru.(s) in
-  let rec find w = if w >= c.ways then None else if tags.(w) = line then Some w else find (w + 1) in
-  match find 0 with
-  | Some w ->
-      lru.(w) <- c.stamp;
-      c.hits <- c.hits + 1;
-      true
-  | None ->
-      c.misses <- c.misses + 1;
-      (* evict LRU way *)
-      let victim = ref 0 in
-      for w = 1 to c.ways - 1 do
-        if lru.(w) < lru.(!victim) then victim := w
-      done;
-      tags.(!victim) <- line;
-      lru.(!victim) <- c.stamp;
-      false
+  let base = set_of c line * c.ways in
+  let tags = c.tags and lru = c.lru in
+  let ways = c.ways in
+  let w = ref 0 in
+  while !w < ways && Array.unsafe_get tags (base + !w) <> line do incr w done;
+  if !w < ways then begin
+    Array.unsafe_set lru (base + !w) c.stamp;
+    c.hits <- c.hits + 1;
+    true
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for w = 1 to ways - 1 do
+      if Array.unsafe_get lru (base + w) < Array.unsafe_get lru (base + !victim)
+      then victim := w
+    done;
+    Array.unsafe_set tags (base + !victim) line;
+    Array.unsafe_set lru (base + !victim) c.stamp;
+    false
+  end
 
 let reset (c : t) =
-  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) c.tags;
+  Array.fill c.tags 0 (Array.length c.tags) (-1);
   c.hits <- 0;
   c.misses <- 0
 

@@ -60,7 +60,7 @@ let prefetch (h : t) (line : int) : unit =
 
 (** Latency of accessing one element address, filling lines on the way. *)
 let access (h : t) (addr : int) : int =
-  let line = addr / h.l1.Cache.line_elems in
+  let line = Cache.line_of h.l1 addr in
   let lat =
     if Cache.access h.l1 addr then h.l1_lat
     else if Cache.access h.l2 addr then h.l2_lat
@@ -74,7 +74,8 @@ let access (h : t) (addr : int) : int =
     unit-stride vector load/store): worst line wins; all lines fill. *)
 let access_range (h : t) (addr : int) (nelems : int) : int =
   let line = h.l1.Cache.line_elems in
-  let first = addr / line and last = (addr + max 1 nelems - 1) / line in
+  let first = Cache.line_of h.l1 addr
+  and last = Cache.line_of h.l1 (addr + max 1 nelems - 1) in
   let lat = ref 0 in
   for l = first to last do
     lat := max !lat (access h (l * line))

@@ -81,10 +81,14 @@ let cell_for (t : t) (kind : kind) name labels : cell =
       Hashtbl.replace s k c;
       c
 
-(** Add [by] (default 1) to a counter. *)
+(** Add [by] (default 1) to a counter. [count] and [sum] advance in
+    lockstep so a counter's value round-trips through either field —
+    snapshots used to leave [sum] at zero, which serialized as the
+    contradictory ["count": 907, "sum": 0]. *)
 let incr ?(labels = []) ?(by = 1) (t : t) (name : string) : unit =
   let c = cell_for t Counter name labels in
-  c.count <- c.count + by
+  c.count <- c.count + by;
+  c.sum <- c.sum +. float_of_int by
 
 (** Set a gauge to [v]. *)
 let gauge ?(labels = []) (t : t) (name : string) (v : float) : unit =
@@ -109,7 +113,11 @@ type snap = {
   s_kind : kind;
   s_count : int;
   s_sum : float;
-  s_buckets : (float * int) list;  (** histogram only: (upper bound, count) *)
+  s_buckets : (float * int) list;
+      (** histogram only: (upper bound, {e cumulative} count) in
+          Prometheus semantics — each bucket counts every observation
+          [<=] its bound, so counts are monotone along the list and the
+          final [+inf] bucket equals [s_count] *)
 }
 
 (** Merge every shard into one sorted list. [?reset] (default false)
@@ -152,14 +160,24 @@ let snapshot ?(reset = false) (t : t) : snap list =
             s_count = c.count;
             s_sum = c.sum;
             s_buckets =
-              (if c.kind = Histogram then
-                 List.init
-                   (Array.length c.buckets)
-                   (fun i ->
+              (* raw per-bucket counts become cumulative here: bucket i
+                 reports all observations <= its bound (Prometheus
+                 semantics), so the +inf bucket equals the observation
+                 count instead of holding only the overflow *)
+              (if c.kind = Histogram then begin
+                 let nb = Array.length c.buckets in
+                 let rec cumulate i acc =
+                   if i >= nb then []
+                   else
+                     let acc = acc + c.buckets.(i) in
                      ( (if i < Array.length bucket_bounds then
                           bucket_bounds.(i)
                         else infinity),
-                       c.buckets.(i) ))
+                       acc )
+                     :: cumulate (i + 1) acc
+                 in
+                 cumulate 0 0
+               end
                else []);
           }
           :: acc)

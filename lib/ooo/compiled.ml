@@ -1,0 +1,201 @@
+(** Compiled traces: one interning pass turns a {!Fv_trace.Sink} into
+    flat structure-of-arrays form so the pipeline's replay loop touches
+    nothing but unboxed int arrays and bytes.
+
+    Per micro-op the compiler precomputes everything the scheduler would
+    otherwise re-derive on every replay:
+
+    - the execution latency and reciprocal throughput
+      ({!Fv_isa.Latency.timing} resolved through per-code tables),
+    - the port class and branch flag as byte arrays,
+    - dense register ids for renaming (register {e names} are interned
+      in trace order; the id space is private to the trace),
+    - element addresses with a [no_addr] sentinel instead of an option,
+    - the branch predictor's label hash ([Hashtbl.hash label], exactly
+      what {!Predictor} computes, so replay over the compiled form is
+      bit-identical to replay over the records).
+
+    The pass also folds every field that can influence simulation into
+    an FNV-1a content hash ({!Fv_obs.Hash.fold_word}). Two traces with
+    equal hashes simulate identically with overwhelming probability —
+    register names are hashed by interned id, so alpha-renaming a trace
+    does not change its hash — which is what the whole-trace memo cache
+    ({!Simcache}) keys on. Labels of non-branch micro-ops are excluded:
+    they cannot affect the statistics. *)
+
+open Fv_isa
+module Sink = Fv_trace.Sink
+
+type t = {
+  n : int;
+  lat : int array;  (** base execution latency (cache access excluded) *)
+  recip : int array;  (** reciprocal throughput: port busy cycles *)
+  pcls : Bytes.t;  (** port class: {!b_load} / {!b_store} / {!b_alu} *)
+  is_br : Bytes.t;
+  dst_id : int array;  (** interned destination register; -1 = none *)
+  src_off : int array;  (** prefix offsets into [src_ids]; length n+1 *)
+  src_ids : int array;
+  addr : int array;  (** element address; {!no_addr} = none *)
+  nelems : int array;
+  lbl_hash : int array;  (** [Hashtbl.hash label] for branches; 0 otherwise *)
+  taken : Bytes.t;
+  nregs : int;
+  hash : int64;  (** FNV-1a content hash of the simulation-relevant fields *)
+}
+
+let no_addr = min_int
+
+(* byte encoding of the port class *)
+let b_load = 0
+
+and b_store = 1
+
+and b_alu = 2
+
+(* per-code lookup tables, built once per process *)
+let lat_of_code = Array.init Latency.ncodes (fun c -> Latency.latency (Latency.of_code c))
+let recip_of_code =
+  Array.init Latency.ncodes (fun c -> Latency.recip_tput (Latency.of_code c))
+
+let pcls_of_code =
+  Array.init Latency.ncodes (fun c ->
+      let cls = Latency.of_code c in
+      if Latency.is_load cls then b_load
+      else if Latency.is_store cls then b_store
+      else b_alu)
+
+let isbr_of_code =
+  Array.init Latency.ncodes (fun c -> Latency.is_branch (Latency.of_code c))
+
+let of_trace (trace : Sink.t) : t =
+  let n = Sink.length trace in
+  let s_cls = trace.Sink.cls
+  and s_flags = trace.Sink.flags
+  and s_dst = trace.Sink.dst
+  and s_lbl = trace.Sink.lbl
+  and s_addr = trace.Sink.addr
+  and s_nelems = trace.Sink.nelems
+  and s_src_off = trace.Sink.src_off
+  and s_srcs = trace.Sink.srcs in
+  (* intern register names to dense ids. Names are the AST's own
+     strings, physically shared across loop iterations, so a small
+     move-to-front physical-equality cache in front of the hash table
+     absorbs almost every lookup ([==] can never false-positive: it
+     compares the current pointers of live values). *)
+  let reg_ids : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let nregs = ref 0 in
+  (* a direct-mapped cache in front of the hash table, indexed by a
+     three-byte signature that is far cheaper than [Hashtbl]'s full
+     string hash; probes compare the pointer first ([==] cannot
+     false-positive) and fall back to content equality, refreshing the
+     slot's pointer so the next probe for the same object is one
+     comparison *)
+  let dm_n = 256 in
+  let dm_s = Array.make dm_n "" and dm_id = Array.make dm_n (-1) in
+  let sig_of r =
+    let len = String.length r in
+    if len = 0 then 0
+    else
+      (len * 31
+      + (Char.code (String.unsafe_get r 0) * 7)
+      + Char.code (String.unsafe_get r (len - 1)))
+      land (dm_n - 1)
+  in
+  let intern_slow r k =
+    let id =
+      try Hashtbl.find reg_ids r
+      with Not_found ->
+        let id = !nregs in
+        incr nregs;
+        Hashtbl.add reg_ids r id;
+        id
+    in
+    dm_s.(k) <- r;
+    Array.unsafe_set dm_id k id;
+    id
+  in
+  let intern r =
+    let k = sig_of r in
+    let s = Array.unsafe_get dm_s k in
+    if s == r then Array.unsafe_get dm_id k
+    else if Array.unsafe_get dm_id k >= 0 && String.equal s r then begin
+      (* same contents, different object: refresh the cached pointer *)
+      dm_s.(k) <- r;
+      Array.unsafe_get dm_id k
+    end
+    else intern_slow r k
+  in
+  let nsrcs = if n = 0 then 0 else s_src_off.(n) in
+  let lat = Array.make (max 1 n) 0 in
+  let recip = Array.make (max 1 n) 0 in
+  let pcls = Bytes.create (max 1 n) in
+  let is_br = Bytes.make (max 1 n) '\000' in
+  let dst_id = Array.make (max 1 n) (-1) in
+  let src_off = Array.make (n + 1) 0 in
+  let src_ids = Array.make (max 1 nsrcs) 0 in
+  let addr = Array.make (max 1 n) no_addr in
+  let nelems = Array.make (max 1 n) 0 in
+  let lbl_hash = Array.make (max 1 n) 0 in
+  let taken = Bytes.make (max 1 n) '\000' in
+  let h = ref Fv_obs.Hash.word_offset in
+  let fold x = h := Fv_obs.Hash.fold_word !h x in
+  (* branch labels repeat (one shared string per loop back-edge):
+     memoize [Hashtbl.hash] on physical identity *)
+  let last_lbl = ref "" and last_lblh = ref (Hashtbl.hash "") in
+  let lbl_hash_of l =
+    if l == !last_lbl then !last_lblh
+    else begin
+      let lh = Hashtbl.hash l in
+      last_lbl := l;
+      last_lblh := lh;
+      lh
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.unsafe_get s_cls i) in
+    let fl = Char.code (Bytes.unsafe_get s_flags i) in
+    Array.unsafe_set lat i (Array.unsafe_get lat_of_code c);
+    Array.unsafe_set recip i (Array.unsafe_get recip_of_code c);
+    Bytes.unsafe_set pcls i (Char.unsafe_chr (Array.unsafe_get pcls_of_code c));
+    (* sources first, then the destination: renaming reads before it
+       writes, and the interning order fixes the id space *)
+    src_off.(i) <- s_src_off.(i);
+    for k = s_src_off.(i) to s_src_off.(i + 1) - 1 do
+      let id = intern (Array.unsafe_get s_srcs k) in
+      Array.unsafe_set src_ids k id;
+      fold id
+    done;
+    let d = if fl land Sink.b_dst <> 0 then intern s_dst.(i) else -1 in
+    dst_id.(i) <- d;
+    let a = if fl land Sink.b_addr <> 0 then s_addr.(i) else no_addr in
+    addr.(i) <- a;
+    nelems.(i) <- s_nelems.(i);
+    fold ((c lsl 3) lor fl);
+    fold d;
+    fold a;
+    fold s_nelems.(i);
+    if isbr_of_code.(c) then begin
+      Bytes.unsafe_set is_br i '\001';
+      let lh = lbl_hash_of s_lbl.(i) in
+      lbl_hash.(i) <- lh;
+      if fl land Sink.b_taken <> 0 then Bytes.unsafe_set taken i '\001';
+      fold lh
+    end
+  done;
+  src_off.(n) <- nsrcs;
+  {
+    n;
+    lat;
+    recip;
+    pcls;
+    is_br;
+    dst_id;
+    src_off;
+    src_ids;
+    addr;
+    nelems;
+    lbl_hash;
+    taken;
+    nregs = !nregs;
+    hash = Int64.of_int !h;
+  }

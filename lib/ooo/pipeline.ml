@@ -29,17 +29,24 @@
       kept for differential testing.
 
     The replay loop runs a few million micro-ops per bench section, so
-    the machine structures are flat arrays rather than the obvious
-    [Hashtbl]/[Queue] encodings. A single pre-pass interns logical
-    register names to dense ids so renaming is an int-array lookup
-    instead of a string hash per operand; the ROB is a ring buffer; the
+    it operates on the {e compiled} trace form ({!Compiled}): every
+    per-uop fact (latency, port class, register ids, element address,
+    branch-label hash) is a flat int-array or bytes read, interned once
+    by {!Compiled.of_trace}. The loop itself allocates nothing per
+    micro-op — dependence edges live in a preallocated edge pool and
+    completion-calendar buckets are intrusive int-array chains — so the
+    GC never runs during a replay. The ROB is a ring buffer; the
     completion calendar is a power-of-two ring of cycle buckets (the
     completion horizon is bounded by the worst-case miss latency, and
     the ring grows if a pathological hierarchy exceeds it); and memory
-    disambiguation is a direct-mapped [addr -> store id] array. *)
+    disambiguation is a direct-mapped [addr -> store id] array.
+
+    {!run} compiles and replays in one call; callers that replay the
+    same trace many times (or want the content hash for memoization —
+    see {!Simcache}) compile once with {!Compiled.of_trace} and call
+    {!run_compiled}. *)
 
 open Fv_isa
-module Uop = Fv_trace.Uop
 module Sink = Fv_trace.Sink
 
 type mode = [ `Event  (** event-driven scheduler (default) *) | `Step ]
@@ -144,15 +151,23 @@ let port_class (cls : Latency.uop_class) : port_class =
   else if Latency.is_store cls then P_store
   else P_alu
 
-(* byte encoding of [port_class] used in the per-uop side arrays *)
-let b_load = 0
-and b_store = 1
-and b_alu = 2
+(* byte encoding of [port_class] used in the per-uop side arrays;
+   matches {!Compiled.b_load} etc. *)
+let b_load = Compiled.b_load
+and b_store = Compiled.b_store
 
-let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
+let empty_stats =
+  {
+    cycles = 0; uops = 0; ipc = 0.; branch_lookups = 0; branch_mispredicts = 0;
+    l1_hit_rate = 1.0; stall_rob = 0; stall_rs = 0; stall_lq = 0; stall_sq = 0;
+    stall_redirect = 0; loads = 0; stores = 0; truncated = false;
+  }
+
+(** Replay an already-compiled trace. Same contract as {!run}. *)
+let run_compiled ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
     ?(mode : mode = `Event) ?(max_cycles = 400_000_000)
-    ?(record : timing option) (trace : Sink.t) : stats =
-  let n = Sink.length trace in
+    ?(record : timing option) (ct : Compiled.t) : stats =
+  let n = ct.Compiled.n in
   (match record with
   | Some r ->
       r.t_dispatch <- Array.make n (-1);
@@ -160,15 +175,20 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       r.t_complete <- Array.make n (-1);
       r.t_commit <- Array.make n (-1)
   | None -> ());
-  if n = 0 then
-    {
-      cycles = 0; uops = 0; ipc = 0.; branch_lookups = 0; branch_mispredicts = 0;
-      l1_hit_rate = 1.0; stall_rob = 0; stall_rs = 0; stall_lq = 0; stall_sq = 0;
-      stall_redirect = 0; loads = 0; stores = 0; truncated = false;
-    }
+  if n = 0 then empty_stats
   else begin
-    let uops_arr = Sink.to_array trace in
-    let uop i = Array.unsafe_get uops_arr i in
+    let lat_of = ct.Compiled.lat
+    and recip_of = ct.Compiled.recip
+    and pcls = ct.Compiled.pcls
+    and is_br = ct.Compiled.is_br
+    and dst_id = ct.Compiled.dst_id
+    and src_off = ct.Compiled.src_off
+    and src_ids = ct.Compiled.src_ids
+    and addr_of = ct.Compiled.addr
+    and nelems_of = ct.Compiled.nelems
+    and lbl_hash = ct.Compiled.lbl_hash
+    and taken_of = ct.Compiled.taken in
+    let no_addr = Compiled.no_addr in
     (* stage-cycle log: one guarded array store per stage transition
        when recording; a single always-false test when not *)
     let rec_on = record <> None in
@@ -177,71 +197,23 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       | Some r -> (r.t_dispatch, r.t_issue, r.t_complete, r.t_commit)
       | None -> ([||], [||], [||], [||])
     in
-    (* ---- pre-pass: intern register names, flatten source lists, and
-       cache per-uop classes so the replay loop never hashes a string or
-       chases an option for renaming ---- *)
-    let reg_ids : (string, int) Hashtbl.t = Hashtbl.create 1024 in
-    let nregs = ref 0 in
-    (* one-entry physical-equality cache in front of the table: many
-       name occurrences are the same shared string (string literals,
-       the loop index variable, back-to-back filler ops) *)
-    let last_s = ref "" and last_id = ref (-1) in
-    let intern r =
-      if r == !last_s then !last_id
-      else begin
-        let id =
-          try Hashtbl.find reg_ids r
-          with Not_found ->
-            let id = !nregs in
-            incr nregs;
-            Hashtbl.add reg_ids r id;
-            id
-        in
-        last_s := r;
-        last_id := id;
-        id
-      end
-    in
-    let nsrcs = ref 0 in
-    for i = 0 to n - 1 do
-      nsrcs := !nsrcs + List.length (uop i).Uop.srcs
-    done;
-    let dst_id = Array.make n (-1) in
-    let src_off = Array.make (n + 1) 0 in
-    let src_ids = Array.make (max 1 !nsrcs) 0 in
-    let pcls = Bytes.create n in
-    let is_br = Bytes.create n in
-    let pos = ref 0 in
-    let rec add_srcs = function
-      | [] -> ()
-      | r :: tl ->
-          src_ids.(!pos) <- intern r;
-          incr pos;
-          add_srcs tl
-    in
-    for i = 0 to n - 1 do
-      let u = uop i in
-      src_off.(i) <- !pos;
-      add_srcs u.Uop.srcs;
-      (match u.Uop.dst with Some d -> dst_id.(i) <- intern d | None -> ());
-      Bytes.unsafe_set pcls i
-        (Char.unsafe_chr
-           (if Latency.is_load u.Uop.cls then b_load
-            else if Latency.is_store u.Uop.cls then b_store
-            else b_alu));
-      Bytes.unsafe_set is_br i
-        (if Latency.is_branch u.Uop.cls then '\001' else '\000')
-    done;
-    src_off.(n) <- !pos;
     let pcls_of i = Char.code (Bytes.unsafe_get pcls i) in
     (* per-uop state *)
     let pending = Array.make n 0 in
-    let dependents : int list array = Array.make n [] in
+    (* dependence edges as a preallocated pool of intrusive lists:
+       [dep_head.(p)] is producer [p]'s newest edge, [dep_to]/[dep_next]
+       its consumer and the next edge. Each dispatched uop adds at most
+       one edge per source operand plus one store-forwarding edge, so
+       the pool never grows. *)
+    let dep_head = Array.make n (-1) in
+    let dep_to = Array.make (Array.length src_ids + n) 0 in
+    let dep_next = Array.make (Array.length src_ids + n) (-1) in
+    let dep_cnt = ref 0 in
     let completed = Bytes.make n '\000' in
     let is_completed i = Bytes.unsafe_get completed i <> '\000' in
     let in_rs = Bytes.make n '\000' in
     (* renaming: logical register id -> last writer uop id (-1: none) *)
-    let last_writer = Array.make (max 1 !nregs) (-1) in
+    let last_writer = Array.make (max 1 ct.Compiled.nregs) (-1) in
     (* memory disambiguation: element address -> last *in-flight* store
        uop id (-1: none), direct-mapped since the address space is a
        small bump-allocated range. Entries are pruned when their store
@@ -321,35 +293,43 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       | P_alu -> alu_ports
     in
     (* Completion calendar: a power-of-two ring of cycle buckets plus a
-       next-event heap over the live bucket times. Live completions all
-       lie within the worst-case miss latency of the current cycle, far
+       next-event heap over the live bucket times. A bucket is an
+       intrusive chain threaded through [comp_next] — each uop is
+       scheduled for completion exactly once, so one next-pointer per
+       uop suffices and nothing is allocated. Live completions all lie
+       within the worst-case miss latency of the current cycle, far
        below the ring size, so two live times never alias — if an
        exotic hierarchy ever exceeds the horizon the ring doubles. *)
     let cal_size = ref 1024 in
     let cal_time = ref (Array.make !cal_size (-1)) in
-    let cal_uops : int list array ref = ref (Array.make !cal_size []) in
+    let cal_head = ref (Array.make !cal_size (-1)) in
+    let comp_next = Array.make n (-1) in
     let events = Heap.create () in
     let grow_calendar () =
-      let old_n = !cal_size and old_t = !cal_time and old_u = !cal_uops in
+      let old_n = !cal_size and old_t = !cal_time and old_h = !cal_head in
       cal_size := 2 * old_n;
       cal_time := Array.make !cal_size (-1);
-      cal_uops := Array.make !cal_size [];
+      cal_head := Array.make !cal_size (-1);
       for idx = 0 to old_n - 1 do
         let t = old_t.(idx) in
         if t >= 0 then begin
           let j = t land (!cal_size - 1) in
           (!cal_time).(j) <- t;
-          (!cal_uops).(j) <- old_u.(idx)
+          (!cal_head).(j) <- old_h.(idx)
         end
       done
     in
     let rec schedule_completion i t =
       let idx = t land (!cal_size - 1) in
       let tm = (!cal_time).(idx) in
-      if tm = t then (!cal_uops).(idx) <- i :: (!cal_uops).(idx)
+      if tm = t then begin
+        comp_next.(i) <- (!cal_head).(idx);
+        (!cal_head).(idx) <- i
+      end
       else if tm < 0 then begin
         (!cal_time).(idx) <- t;
-        (!cal_uops).(idx) <- [ i ];
+        comp_next.(i) <- -1;
+        (!cal_head).(idx) <- i;
         Heap.push events t
       end
       else begin
@@ -395,24 +375,29 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       (* 1. process completions scheduled for this cycle *)
       let cidx = c land (!cal_size - 1) in
       if (!cal_time).(cidx) = c then begin
-        let comps = (!cal_uops).(cidx) in
+        let comps = (!cal_head).(cidx) in
         (!cal_time).(cidx) <- -1;
-        (!cal_uops).(cidx) <- [];
-        List.iter
-          (fun i ->
-            Bytes.unsafe_set completed i '\001';
-            if rec_on then rc.(i) <- c;
-            if !redirect_waiting_on = i then begin
-              redirect_until := c + cfg.Machine.mispredict_penalty;
-              redirect_waiting_on := -1
-            end;
-            List.iter
-              (fun d ->
-                pending.(d) <- pending.(d) - 1;
-                if pending.(d) = 0 && Bytes.unsafe_get in_rs d <> '\000' then
-                  Heap.push (heap_of_b (pcls_of d)) d)
-              dependents.(i))
-          comps
+        (!cal_head).(cidx) <- -1;
+        let cur = ref comps in
+        while !cur >= 0 do
+          let i = !cur in
+          cur := comp_next.(i);
+          Bytes.unsafe_set completed i '\001';
+          if rec_on then rc.(i) <- c;
+          if !redirect_waiting_on = i then begin
+            redirect_until := c + cfg.Machine.mispredict_penalty;
+            redirect_waiting_on := -1
+          end;
+          let e = ref dep_head.(i) in
+          while !e >= 0 do
+            let d = Array.unsafe_get dep_to !e in
+            e := Array.unsafe_get dep_next !e;
+            let p = Array.unsafe_get pending d - 1 in
+            Array.unsafe_set pending d p;
+            if p = 0 && Bytes.unsafe_get in_rs d <> '\000' then
+              Heap.push (heap_of_b (pcls_of d)) d
+          done
+        done
       end;
       (* 2. commit in order; a committing store leaves the SQ, so its
          disambiguation entries are dropped *)
@@ -428,13 +413,11 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
           if b = b_load then decr lq_used
           else if b = b_store then begin
             decr sq_used;
-            let u = uop i in
-            match u.Uop.addr with
-            | Some a ->
-                for e = a to a + u.Uop.nelems - 1 do
-                  ls_clear e i
-                done
-            | None -> ()
+            let a = Array.unsafe_get addr_of i in
+            if a <> no_addr then
+              for e = a to a + Array.unsafe_get nelems_of i - 1 do
+                ls_clear e i
+              done
           end;
           incr committed;
           incr comms
@@ -474,8 +457,8 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
         else begin
           (* rename: collect producers *)
           pcnt := 0;
-          for k = src_off.(i) to src_off.(i + 1) - 1 do
-            let p = last_writer.(Array.unsafe_get src_ids k) in
+          for k = Array.unsafe_get src_off i to Array.unsafe_get src_off (i + 1) - 1 do
+            let p = Array.unsafe_get last_writer (Array.unsafe_get src_ids k) in
             if p >= 0 && not (is_completed p) then add_producer p
           done;
           (if b = b_load then begin
@@ -486,45 +469,47 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
                 load's whole range — a partially-overlapping store,
                 however wide, forces the load to wait and then read the
                 cache. *)
-             let u = uop i in
-             match u.Uop.addr with
-             | None -> ()
-             | Some a ->
-                 let dep = ref (-1) in
-                 for e = a to a + u.Uop.nelems - 1 do
-                   let s = ls_get e in
-                   if s > !dep then dep := s
-                 done;
-                 if !dep >= 0 then begin
-                   let s = !dep in
-                   if not (is_completed s) then add_producer s;
-                   let d = uop s in
-                   let covers =
-                     match d.Uop.addr with
-                     | Some da -> da <= a && a + u.Uop.nelems <= da + d.Uop.nelems
-                     | None -> false
-                   in
-                   if covers then
-                     forward_lat.(i) <- cfg.Machine.store_forward_latency
-                 end
+             let a = Array.unsafe_get addr_of i in
+             if a <> no_addr then begin
+               let ne = Array.unsafe_get nelems_of i in
+               let dep = ref (-1) in
+               for e = a to a + ne - 1 do
+                 let s = ls_get e in
+                 if s > !dep then dep := s
+               done;
+               if !dep >= 0 then begin
+                 let s = !dep in
+                 if not (is_completed s) then add_producer s;
+                 let da = Array.unsafe_get addr_of s in
+                 let covers =
+                   da <> no_addr
+                   && da <= a
+                   && a + ne <= da + Array.unsafe_get nelems_of s
+                 in
+                 if covers then
+                   forward_lat.(i) <- cfg.Machine.store_forward_latency
+               end
+             end
            end
            else if b = b_store then begin
              incr nstores;
-             let u = uop i in
-             match u.Uop.addr with
-             | Some a ->
-                 for e = a to a + u.Uop.nelems - 1 do
-                   ls_set e i
-                 done
-             | None -> ()
+             let a = Array.unsafe_get addr_of i in
+             if a <> no_addr then
+               for e = a to a + Array.unsafe_get nelems_of i - 1 do
+                 ls_set e i
+               done
            end);
           pending.(i) <- !pcnt;
           for k = 0 to !pcnt - 1 do
             let p = (!pbuf).(k) in
-            dependents.(p) <- i :: dependents.(p)
+            let e = !dep_cnt in
+            dep_cnt := e + 1;
+            Array.unsafe_set dep_to e i;
+            Array.unsafe_set dep_next e (Array.unsafe_get dep_head p);
+            Array.unsafe_set dep_head p e
           done;
-          (let d = dst_id.(i) in
-           if d >= 0 then last_writer.(d) <- i);
+          (let d = Array.unsafe_get dst_id i in
+           if d >= 0 then Array.unsafe_set last_writer d i);
           rob.((!rob_head + !rob_len) land (rob_cap - 1)) <- i;
           incr rob_len;
           if b = b_load then incr lq_used
@@ -534,10 +519,10 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
           if !pcnt = 0 then Heap.push (heap_of_b b) i;
           (* branch prediction *)
           if Bytes.unsafe_get is_br i <> '\000' then begin
-            let u = uop i in
             let miss =
-              Predictor.mispredicted predictor ~label:u.Uop.label
-                ~taken:u.Uop.taken
+              Predictor.mispredicted_hash predictor
+                ~h:(Array.unsafe_get lbl_hash i)
+                ~taken:(Bytes.unsafe_get taken_of i <> '\000')
             in
             if miss then redirect_waiting_on := i
           end;
@@ -568,28 +553,29 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
             else begin
               Heap.drop_min h;
               if rec_on then ri.(i) <- c;
-              let u = uop i in
-              let t = Latency.timing u.Uop.cls in
+              let base_lat = Array.unsafe_get lat_of i in
               let b = pcls_of i in
               let lat =
                 if b = b_load then
                   if forward_lat.(i) >= 0 then forward_lat.(i)
-                  else
-                    t.latency
+                  else begin
+                    let a = Array.unsafe_get addr_of i in
+                    base_lat
                     + Fv_memsys.Hierarchy.access_range hier
-                        (match u.Uop.addr with Some a -> a | None -> 0)
-                        u.Uop.nelems
+                        (if a = no_addr then 0 else a)
+                        (Array.unsafe_get nelems_of i)
+                  end
                 else if b = b_store then begin
-                  (match u.Uop.addr with
-                  | Some a ->
-                      ignore
-                        (Fv_memsys.Hierarchy.access_range hier a u.Uop.nelems)
-                  | None -> ());
-                  t.latency
+                  let a = Array.unsafe_get addr_of i in
+                  if a <> no_addr then
+                    ignore
+                      (Fv_memsys.Hierarchy.access_range hier a
+                         (Array.unsafe_get nelems_of i));
+                  base_lat
                 end
-                else t.latency
+                else base_lat
               in
-              ports.(!port) <- c + t.recip_tput;
+              ports.(!port) <- c + Array.unsafe_get recip_of i;
               decr rs_used;
               Bytes.unsafe_set in_rs i '\000';
               schedule_completion i (c + max 1 lat);
@@ -698,3 +684,8 @@ let run ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       truncated = !committed < n;
     }
   end
+
+(** Compile [trace] and replay it. *)
+let run ?cfg ?hier ?(mode : mode = `Event) ?max_cycles ?(record : timing option)
+    (trace : Sink.t) : stats =
+  run_compiled ?cfg ?hier ~mode ?max_cycles ?record (Compiled.of_trace trace)

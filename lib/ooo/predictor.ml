@@ -19,6 +19,21 @@ let index (p : t) (label : string) =
   let h = Hashtbl.hash label in
   (h lxor p.history) land ((1 lsl p.bits) - 1)
 
+(** Predict-and-update on a precomputed label hash ([Hashtbl.hash
+    label]) — the compiled-trace replay path, bit-identical to
+    {!mispredicted} because the string entry point computes exactly this
+    hash. Returns [true] if the branch was mispredicted. *)
+let mispredicted_hash (p : t) ~(h : int) ~(taken : bool) : bool =
+  p.lookups <- p.lookups + 1;
+  let i = (h lxor p.history) land ((1 lsl p.bits) - 1) in
+  let predicted = p.table.(i) >= 2 in
+  let miss = predicted <> taken in
+  if miss then p.mispredicts <- p.mispredicts + 1;
+  p.table.(i) <-
+    (if taken then min 3 (p.table.(i) + 1) else max 0 (p.table.(i) - 1));
+  p.history <- ((p.history lsl 1) lor Bool.to_int taken) land ((1 lsl p.bits) - 1);
+  miss
+
 (** Predict-and-update: returns [true] if the branch was mispredicted. *)
 let mispredicted (p : t) ~(label : string) ~(taken : bool) : bool =
   p.lookups <- p.lookups + 1;

@@ -94,14 +94,28 @@ let emit st u = match st.emit with Some f -> f u | None -> ()
 
 let note st kind = match st.annot with Some f -> f kind | None -> ()
 
+(* Temp names cycle through a preallocated pool of shared strings
+   rather than minting ["vt" ^ n] fresh per temp: the trace compiler
+   interns register names by physical equality, and a trace full of
+   once-used strings defeats that cache and bloats its register table.
+   Correctness needs only that two simultaneously-live temps never share
+   a name; at most [vl + 1] temps are live at once (a gather's setup op
+   plus one lane temp per element, vl <= 16), far under the pool size.
+   The ["_vt"] prefix is reserved: the vectorizer names VIR registers
+   ["vt<n>"], and the old ["vt" ^ n] temps could accidentally alias
+   them, splicing a transient lane temp into a vloop register's
+   dependence chain. *)
+let tmp_pool_n = 64
+let tmp_pool = Array.init tmp_pool_n (fun i -> "_vt" ^ string_of_int i)
+
 let fresh st =
   (* temp names only exist inside the trace; with no sink attached
-     (oracle runs) skip the string build *)
+     (oracle runs) skip the lookup *)
   match st.emit with
   | None -> "_"
   | Some _ ->
       st.tmp <- st.tmp + 1;
-      "vt" ^ string_of_int st.tmp
+      Array.unsafe_get tmp_pool (st.tmp land (tmp_pool_n - 1))
 
 let lanes_float (k : Mask.t) (v : Vreg.t) =
   let fl = ref false in
@@ -504,18 +518,18 @@ let run ?emit:trace_sink ?annot ?(injected_trap = false) (vloop : vloop)
     }
   in
   List.iter (exec_stmt st) vloop.preamble;
+  (* one shared label string for every back-edge of this run: the
+     predictor hashes the label per branch, and the trace compiler
+     memoizes that hash on physical identity *)
+  let back_label = "vloop." ^ vloop.source.name in
   while st.vi < hi && not st.brk do
     st.stats.strips <- st.stats.strips + 1;
     emit st (Uop.make ~dst:"vi" ~srcs:[ "vi" ] Latency.Int_alu);
-    emit st
-      (Uop.branch ~label:("vloop." ^ vloop.source.name) ~taken:true
-         ~srcs:[ "vi" ]);
+    emit st (Uop.branch ~label:back_label ~taken:true ~srcs:[ "vi" ]);
     List.iter (exec_stmt st) vloop.strip;
     st.vi <- st.vi + st.vl
   done;
-  emit st
-    (Uop.branch ~label:("vloop." ^ vloop.source.name) ~taken:false
-       ~srcs:[ "vi" ]);
+  emit st (Uop.branch ~label:back_label ~taken:false ~srcs:[ "vi" ]);
   List.iter (exec_stmt st) vloop.postamble;
   (* match the scalar interpreter's final induction-variable value *)
   if (not st.brk) && hi > lo then

@@ -1,45 +1,175 @@
-(** Growable micro-op buffers, built on the shared {!Fv_obs.Dynbuf}
-    (one doubling-array implementation for the uop sink and the
-    observability buffers instead of three hand-rolled copies). *)
+(** Growable micro-op buffers in structure-of-arrays form.
 
-type t = Uop.t Fv_obs.Dynbuf.t
+    The sink used to retain one boxed {!Uop.t} record per pushed
+    micro-op; at a few million micro-ops per bench section those records
+    survive long enough to be promoted, and the major GC then scans a
+    multi-megaword object graph on every cycle of the replay loop. The
+    SoA layout decomposes each pushed uop into flat parallel arrays
+    (one code byte, one presence-flag byte, unboxed ints, and plain
+    string slots), so the only per-push allocation is the caller's
+    transient record, which dies in the minor heap.
 
-let dummy = Uop.make Fv_isa.Latency.Nop
+    The flat arrays are also exactly what the trace compiler
+    ({!Fv_ooo.Compiled}) wants to read: it interns and hashes straight
+    out of the sink without reconstructing a single record.
 
-let create ?(capacity = 1024) () : t = Fv_obs.Dynbuf.create ~capacity dummy
+    The record-level API ({!get}, {!iter}, {!fold}, {!to_array},
+    {!to_list}) is unchanged — it reconstructs {!Uop.t} values on
+    demand for the cold paths (timelines, tests, pretty-printing). *)
 
-let length = Fv_obs.Dynbuf.length
+open Fv_isa
 
-let push (t : t) (u : Uop.t) = Fv_obs.Dynbuf.push t u
+(* presence flags, one byte per uop *)
+let b_dst = 1
+
+and b_addr = 2
+
+and b_taken = 4
+
+type t = {
+  mutable len : int;
+  mutable cls : Bytes.t;  (** {!Latency.code} per uop *)
+  mutable flags : Bytes.t;  (** {!b_dst} / {!b_addr} / {!b_taken} bits *)
+  mutable dst : string array;  (** meaningful iff {!b_dst}; [""] otherwise *)
+  mutable lbl : string array;
+  mutable addr : int array;  (** meaningful iff {!b_addr} *)
+  mutable nelems : int array;
+  mutable src_off : int array;
+      (** prefix offsets into [srcs]; length = capacity + 1, and
+          [src_off.(i) .. src_off.(i+1) - 1] are uop [i]'s sources *)
+  mutable nsrcs : int;
+  mutable srcs : string array;
+}
+
+let create ?(capacity = 1024) () : t =
+  let cap = max 1 capacity in
+  {
+    len = 0;
+    cls = Bytes.create cap;
+    flags = Bytes.create cap;
+    dst = Array.make cap "";
+    lbl = Array.make cap "";
+    addr = Array.make cap 0;
+    nelems = Array.make cap 0;
+    src_off = Array.make (cap + 1) 0;
+    nsrcs = 0;
+    srcs = Array.make cap "";
+  }
+
+let length t = t.len
+
+let grow (t : t) =
+  let cap = Array.length t.dst in
+  let ncap = 2 * cap in
+  let nb = Bytes.create ncap in
+  Bytes.blit t.cls 0 nb 0 cap;
+  t.cls <- nb;
+  let nf = Bytes.create ncap in
+  Bytes.blit t.flags 0 nf 0 cap;
+  t.flags <- nf;
+  let grow_arr a fill =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.dst <- grow_arr t.dst "";
+  t.lbl <- grow_arr t.lbl "";
+  t.addr <- grow_arr t.addr 0;
+  t.nelems <- grow_arr t.nelems 0;
+  let b = Array.make (ncap + 1) 0 in
+  Array.blit t.src_off 0 b 0 (cap + 1);
+  t.src_off <- b
+
+let push_src (t : t) (r : string) =
+  if t.nsrcs = Array.length t.srcs then begin
+    let b = Array.make (2 * t.nsrcs) "" in
+    Array.blit t.srcs 0 b 0 t.nsrcs;
+    t.srcs <- b
+  end;
+  t.srcs.(t.nsrcs) <- r;
+  t.nsrcs <- t.nsrcs + 1
+
+let push (t : t) (u : Uop.t) =
+  if t.len = Array.length t.dst then grow t;
+  let i = t.len in
+  Bytes.unsafe_set t.cls i (Char.unsafe_chr (Latency.code u.Uop.cls));
+  let fl = ref 0 in
+  (match u.Uop.dst with
+  | Some d ->
+      fl := !fl lor b_dst;
+      t.dst.(i) <- d
+  | None -> t.dst.(i) <- "");
+  (match u.Uop.addr with
+  | Some a ->
+      fl := !fl lor b_addr;
+      t.addr.(i) <- a
+  | None -> t.addr.(i) <- 0);
+  if u.Uop.taken then fl := !fl lor b_taken;
+  Bytes.unsafe_set t.flags i (Char.unsafe_chr !fl);
+  t.lbl.(i) <- u.Uop.label;
+  t.nelems.(i) <- u.Uop.nelems;
+  List.iter (fun r -> push_src t r) u.Uop.srcs;
+  t.src_off.(i + 1) <- t.nsrcs;
+  t.len <- i + 1
+
+(* reconstruct uop [i]; caller guarantees [0 <= i < len] *)
+let get_unsafe (t : t) (i : int) : Uop.t =
+  let fl = Char.code (Bytes.unsafe_get t.flags i) in
+  let srcs = ref [] in
+  for k = t.src_off.(i + 1) - 1 downto t.src_off.(i) do
+    srcs := t.srcs.(k) :: !srcs
+  done;
+  {
+    Uop.cls = Latency.of_code (Char.code (Bytes.unsafe_get t.cls i));
+    dst = (if fl land b_dst <> 0 then Some t.dst.(i) else None);
+    srcs = !srcs;
+    addr = (if fl land b_addr <> 0 then Some t.addr.(i) else None);
+    nelems = t.nelems.(i);
+    label = t.lbl.(i);
+    taken = fl land b_taken <> 0;
+  }
 
 let get t i =
-  if i < 0 || i >= length t then invalid_arg "Sink.get";
-  Fv_obs.Dynbuf.get t i
+  if i < 0 || i >= t.len then invalid_arg "Sink.get";
+  get_unsafe t i
 
-(** The trace as a fresh array of exactly [length t] uops. The pipeline
-    replays a trace with random access on its hot path; one bulk copy up
-    front is far cheaper than a bounds-checked {!get} per replayed
-    micro-op. *)
-let to_array = Fv_obs.Dynbuf.to_array
+(** The trace as a fresh array of exactly [length t] uops, reconstructed
+    from the flat columns — for cold consumers (timelines) that want
+    record-level random access. *)
+let to_array (t : t) : Uop.t array = Array.init t.len (get_unsafe t)
 
-let iter f t = Fv_obs.Dynbuf.iter f t
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get_unsafe t i)
+  done
 
-let fold f init t = Fv_obs.Dynbuf.fold f init t
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get_unsafe t i)
+  done;
+  !acc
 
-let to_list = Fv_obs.Dynbuf.to_list
+let to_list t = List.init t.len (get t)
 
-(** Dynamic instruction-class histogram. *)
-let histogram t : (Fv_isa.Latency.uop_class * int) list =
-  let tbl = Hashtbl.create 16 in
-  iter
-    (fun (u : Uop.t) ->
-      let n = Option.value ~default:0 (Hashtbl.find_opt tbl u.cls) in
-      Hashtbl.replace tbl u.cls (n + 1))
-    t;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort compare
+(** Dynamic instruction-class histogram, straight off the code bytes. *)
+let histogram t : (Latency.uop_class * int) list =
+  let counts = Array.make Latency.ncodes 0 in
+  for i = 0 to t.len - 1 do
+    let c = Char.code (Bytes.unsafe_get t.cls i) in
+    counts.(c) <- counts.(c) + 1
+  done;
+  List.filter_map
+    (fun c ->
+      if counts.(c) > 0 then Some (Latency.of_code c, counts.(c)) else None)
+    (List.init Latency.ncodes Fun.id)
 
 let count_class t cls =
-  fold (fun n (u : Uop.t) -> if u.cls = cls then n + 1 else n) 0 t
+  let c = Latency.code cls in
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if Char.code (Bytes.unsafe_get t.cls i) = c then incr n
+  done;
+  !n
 
 let count_if f t = fold (fun n u -> if f u then n + 1 else n) 0 t

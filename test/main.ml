@@ -9,6 +9,7 @@ let () =
       ("simd", Test_simd.suite);
       ("ooo", Test_ooo.suite);
       ("pipeline-events", Test_pipeline_events.suite);
+      ("simcache", Test_simcache.suite);
       ("oracle", Test_oracle.suite);
       ("workloads", Test_workloads.suite);
       ("semantics", Test_semantics.suite);

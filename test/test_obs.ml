@@ -83,21 +83,54 @@ let test_metrics_counter_and_labels () =
 let test_metrics_histogram_buckets () =
   let m = Metrics.create () in
   Metrics.observe m "t" 5e-6;
-  (* second bucket: (1e-6, 1e-5] *)
+  (* lands in the (1e-6, 1e-5] bucket *)
   Metrics.observe m "t" 0.5;
-  (* the (1e-1, 1.0] bucket *)
+  (* lands in the (1e-1, 1.0] bucket *)
   Metrics.observe m "t" 1e9;
-  (* +inf overflow *)
+  (* beyond every finite bound: +inf only *)
   match Metrics.snapshot m with
   | [ s ] ->
       Alcotest.(check int) "count" 3 s.Metrics.s_count;
       Alcotest.(check bool) "sum" true (s.Metrics.s_sum > 1e9 -. 1.0);
-      let total = List.fold_left (fun a (_, c) -> a + c) 0 s.Metrics.s_buckets in
-      Alcotest.(check int) "bucket counts sum to count" 3 total;
-      let _, inf_count = List.nth s.Metrics.s_buckets
-          (List.length s.Metrics.s_buckets - 1)
+      (* Prometheus semantics: buckets are cumulative (each counts all
+         observations <= its bound), monotone along the list, and the
+         final +inf bucket equals the observation count *)
+      let counts = List.map snd s.Metrics.s_buckets in
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "buckets monotone non-decreasing" true (a <= b))
+        (List.filteri (fun i _ -> i < List.length counts - 1) counts)
+        (List.tl counts);
+      let le_of i = fst (List.nth s.Metrics.s_buckets i) in
+      let at le =
+        snd (List.find (fun (b, _) -> b = le) s.Metrics.s_buckets)
       in
-      Alcotest.(check int) "overflow bucket" 1 inf_count
+      Alcotest.(check int) "le=1e-6 sees nothing" 0 (at (le_of 0));
+      Alcotest.(check int) "le=1e-5 sees the 5e-6 observation" 1 (at 1e-5);
+      Alcotest.(check int) "le=1e-1 still 1 (cumulative)" 1 (at 1e-1);
+      Alcotest.(check int) "le=1.0 accumulates the 0.5" 2 (at 1.0);
+      let inf_le, inf_count =
+        List.nth s.Metrics.s_buckets (List.length s.Metrics.s_buckets - 1)
+      in
+      Alcotest.(check bool) "last bound is +inf" true (inf_le = infinity);
+      Alcotest.(check int) "+inf bucket == count" s.Metrics.s_count inf_count
+  | l -> Alcotest.failf "expected one snap, got %d" (List.length l)
+
+(* regression: [BENCH_strategies.json] once reported [ff_fallbacks] as
+   {"count": 907, "sum": 0} — [incr] bumped only [count], so a counter's
+   value did not round-trip through the snapshot's [sum] field *)
+let test_metrics_counter_sum_roundtrips () =
+  let m = Metrics.create () in
+  Metrics.incr m "ff_fallbacks";
+  Metrics.incr m ~by:906 "ff_fallbacks";
+  (* merge across shards too: a second domain contributes its share *)
+  Domain.join
+    (Domain.spawn (fun () -> Metrics.incr m ~by:10 "ff_fallbacks"));
+  match Metrics.snapshot m with
+  | [ s ] ->
+      Alcotest.(check int) "count" 917 s.Metrics.s_count;
+      Alcotest.(check (float 0.0)) "sum agrees with count" 917.0
+        s.Metrics.s_sum
   | l -> Alcotest.failf "expected one snap, got %d" (List.length l)
 
 let test_metrics_gauge_merges_by_max () =
@@ -493,6 +526,8 @@ let suite =
       test_metrics_counter_and_labels;
     Alcotest.test_case "metrics: histogram buckets" `Quick
       test_metrics_histogram_buckets;
+    Alcotest.test_case "metrics: counter sum round-trips" `Quick
+      test_metrics_counter_sum_roundtrips;
     Alcotest.test_case "metrics: gauges merge by max" `Quick
       test_metrics_gauge_merges_by_max;
     Alcotest.test_case "metrics: deterministic across domain counts" `Quick

@@ -245,6 +245,24 @@ let test_watchdog_truncates_equally () =
   Alcotest.(check bool) "truncated flag set" true st.truncated;
   Alcotest.(check int) "stopped at the watchdog" 5000 st.cycles
 
+(* The watchdog must also clamp an event-mode fast-forward leap: a
+   serial chain of cold-miss loads advances in ~200-cycle jumps (each
+   load waits a full memory round trip; the 256-line stride never
+   trains the prefetcher), and a threshold landing inside one of those
+   jumps must stop both schedulers at exactly the same cycle — the
+   event scheduler may not overshoot to the end of the leap it was
+   mid-flight in. *)
+let test_watchdog_clamps_fast_forward () =
+  let s = Sink.create () in
+  for i = 0 to 19 do
+    Sink.push s
+      (Uop.make ~dst:"p" ~srcs:[ "p" ] ~addr:(100_000 + (4096 * i))
+         Latency.Load)
+  done;
+  let st = check_modes ~max_cycles:450 ~msg:"watchdog mid-jump" s in
+  Alcotest.(check bool) "truncated flag set" true st.truncated;
+  Alcotest.(check int) "stopped exactly at the watchdog" 450 st.cycles
+
 (* A truncated replay must not manufacture a speedup: either side dying
    degrades the ratio to a neutral 1.0. *)
 let test_hot_speedup_truncated_neutral () =
@@ -305,6 +323,8 @@ let suite =
       test_committed_stores_prune;
     Alcotest.test_case "watchdog truncates identically" `Quick
       test_watchdog_truncates_equally;
+    Alcotest.test_case "watchdog clamps event fast-forward" `Quick
+      test_watchdog_clamps_fast_forward;
     Alcotest.test_case "hot_speedup is neutral on truncation" `Quick
       test_hot_speedup_truncated_neutral;
   ]

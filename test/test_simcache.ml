@@ -1,0 +1,180 @@
+(** The whole-trace memo cache ({!Fv_ooo.Simcache}) must be invisible:
+    a cached replay returns bit-identical statistics to a fresh
+    {!Fv_ooo.Pipeline.run}, across every registry kernel, strategy and
+    fault seed — and the key must be sound, so changing the fault plan,
+    the machine, the prefetch depth, the mode or the watchdog threshold
+    can never serve a stale entry. *)
+
+open Fv_isa
+module Sink = Fv_trace.Sink
+module Uop = Fv_trace.Uop
+module Pipeline = Fv_ooo.Pipeline
+module Machine = Fv_ooo.Machine
+module Compiled = Fv_ooo.Compiled
+module Simcache = Fv_ooo.Simcache
+module Plan = Fv_faults.Plan
+module K = Fv_workloads.Kernels
+module R = Fv_workloads.Registry
+
+let counter name =
+  match
+    List.find_opt
+      (fun s ->
+        s.Fv_obs.Metrics.s_name = name && s.Fv_obs.Metrics.s_labels = [])
+      (Fv_obs.Metrics.snapshot Fv_obs.Metrics.global)
+  with
+  | Some s -> s.Fv_obs.Metrics.s_count
+  | None -> 0
+
+(* one kernel invocation traced under a strategy, with an optional
+   fault plan attached to the traced memory (FlexVec only — mirroring
+   {!Fv_core.Experiment.plan_for}) *)
+let trace_kernel ?plan (spec : R.spec) strategy : Sink.t =
+  let sink = Sink.create ~capacity:4096 () in
+  let emit u = Sink.push sink u in
+  let b = spec.build 42 in
+  let m = Fv_mem.Memory.clone b.K.mem in
+  let e = Fv_ir.Interp.env_of_list b.K.env in
+  (match strategy with
+  | `Scalar ->
+      let hk = Fv_ir.Interp.hooks ~emit () in
+      ignore (Fv_ir.Interp.run ~hk m e b.K.loop)
+  | `Flexvec -> (
+      match Fv_vectorizer.Gen.vectorize b.K.loop with
+      | Ok vloop ->
+          Fv_mem.Memory.set_fault_plan m plan;
+          ignore (Fv_simd.Exec.run ~emit vloop m e)
+      | Error _ ->
+          let hk = Fv_ir.Interp.hooks ~emit () in
+          ignore (Fv_ir.Interp.run ~hk m e b.K.loop)));
+  sink
+
+(* Every kernel x {scalar, flexvec} x {no faults, seed 1, seed 2}: the
+   first cached call must equal a fresh uncached replay, and the second
+   cached call (a hit) must equal the first. *)
+let test_cached_equals_fresh_all_kernels () =
+  Simcache.clear ();
+  List.iter
+    (fun (spec : R.spec) ->
+      List.iter
+        (fun (strategy, plan) ->
+          let sink = trace_kernel ?plan spec strategy in
+          let fresh =
+            Pipeline.run ~hier:(Fv_memsys.Hierarchy.table1 ()) sink
+          in
+          let fault_key = Plan.fingerprint plan in
+          let c1 = Simcache.stats ~fault_key sink in
+          let c2 = Simcache.stats ~fault_key sink in
+          let msg suffix =
+            Printf.sprintf "%s/%s/%s: %s" spec.name
+              (match strategy with `Scalar -> "scalar" | `Flexvec -> "flexvec")
+              fault_key suffix
+          in
+          Alcotest.(check bool)
+            (msg "cached == fresh") true
+            (compare fresh c1 = 0);
+          Alcotest.(check bool) (msg "hit == miss") true (compare c1 c2 = 0))
+        [
+          (`Scalar, None);
+          (`Flexvec, None);
+          (`Flexvec, Some (Plan.make ~rate:0.05 ~seed:1 ()));
+          (`Flexvec, Some (Plan.make ~rate:0.05 ~seed:2 ()));
+        ])
+    R.all
+
+let chain n =
+  let s = Sink.create () in
+  for _ = 1 to n do
+    Sink.push s (Uop.make ~dst:"x" ~srcs:[ "x" ] Latency.Int_alu)
+  done;
+  s
+
+(* The hit/miss counters move, and a repeat is a hit (one table entry). *)
+let test_hit_miss_counters () =
+  Simcache.clear ();
+  let s = chain 50 in
+  let h0 = counter "sim_cache_hits" and m0 = counter "sim_cache_misses" in
+  ignore (Simcache.stats s);
+  Alcotest.(check int) "first call misses" (m0 + 1)
+    (counter "sim_cache_misses");
+  ignore (Simcache.stats s);
+  Alcotest.(check int) "second call hits" (h0 + 1) (counter "sim_cache_hits");
+  Alcotest.(check int) "one entry stored" 1 (Simcache.size ())
+
+(* Key soundness: every key component separates entries. *)
+let test_key_separates () =
+  Simcache.clear ();
+  let s = chain 50 in
+  ignore (Simcache.stats s);
+  Alcotest.(check int) "baseline entry" 1 (Simcache.size ());
+  ignore (Simcache.stats ~fault_key:"rate=0x1p-5 seed=7 nth= protected=" s);
+  Alcotest.(check int) "fault plan change misses" 2 (Simcache.size ());
+  let tiny = { Machine.table1 with Machine.alu_ports = 2 } in
+  ignore (Simcache.stats ~cfg:tiny s);
+  Alcotest.(check int) "machine change misses" 3 (Simcache.size ());
+  ignore (Simcache.stats ~prefetch_depth:0 s);
+  Alcotest.(check int) "prefetch depth change misses" 4 (Simcache.size ());
+  ignore (Simcache.stats ~max_cycles:1000 s);
+  Alcotest.(check int) "watchdog change misses" 5 (Simcache.size ());
+  let ev = Simcache.stats s and st = Simcache.stats ~mode:`Step s in
+  Alcotest.(check int) "mode change misses" 6 (Simcache.size ());
+  Alcotest.(check bool) "but event == step stats" true (compare ev st = 0)
+
+(* A recording run bypasses the cache entirely: the stage-cycle log is
+   a side effect a cached result cannot replay. *)
+let test_record_bypasses () =
+  Simcache.clear ();
+  let s = chain 50 in
+  let b0 = counter "sim_cache_bypass" in
+  let recorded = Simcache.stats ~record:(Pipeline.timing ()) s in
+  Alcotest.(check int) "nothing stored" 0 (Simcache.size ());
+  Alcotest.(check int) "bypass counted" (b0 + 1) (counter "sim_cache_bypass");
+  let cached = Simcache.stats s in
+  Alcotest.(check bool)
+    "recorded stats == cached stats" true
+    (compare recorded cached = 0)
+
+(* The content hash is deterministic, sensitive to any simulated field,
+   and invariant under consistent register renaming. *)
+let test_compiled_hash () =
+  let s = chain 100 in
+  let h1 = (Compiled.of_trace s).Compiled.hash in
+  let h2 = (Compiled.of_trace s).Compiled.hash in
+  Alcotest.(check bool) "hash deterministic" true (Int64.equal h1 h2);
+  let s' = chain 100 in
+  Sink.push s' (Uop.make ~dst:"y" ~srcs:[ "x" ] Latency.Int_alu);
+  let h3 = (Compiled.of_trace s').Compiled.hash in
+  Alcotest.(check bool) "one extra uop changes the hash" false
+    (Int64.equal h1 h3);
+  (* same structure, every register consistently renamed: ids match, so
+     the hash must too *)
+  let renamed = Sink.create () in
+  for _ = 1 to 100 do
+    Sink.push renamed (Uop.make ~dst:"zz" ~srcs:[ "zz" ] Latency.Int_alu)
+  done;
+  let h4 = (Compiled.of_trace renamed).Compiled.hash in
+  Alcotest.(check bool) "alpha-renaming preserves the hash" true
+    (Int64.equal h1 h4);
+  (* ...but a different dependence structure does not *)
+  let split = Sink.create () in
+  for i = 1 to 100 do
+    let r = if i mod 2 = 0 then "a" else "b" in
+    Sink.push split (Uop.make ~dst:r ~srcs:[ r ] Latency.Int_alu)
+  done;
+  let h5 = (Compiled.of_trace split).Compiled.hash in
+  Alcotest.(check bool) "different dependence structure differs" false
+    (Int64.equal h1 h5)
+
+let suite =
+  [
+    Alcotest.test_case "cached == fresh on every kernel/strategy/faults"
+      `Slow test_cached_equals_fresh_all_kernels;
+    Alcotest.test_case "hit and miss counters move" `Quick
+      test_hit_miss_counters;
+    Alcotest.test_case "every key component separates entries" `Quick
+      test_key_separates;
+    Alcotest.test_case "recording runs bypass the cache" `Quick
+      test_record_bypasses;
+    Alcotest.test_case "content hash: deterministic, sensitive, alpha-blind"
+      `Quick test_compiled_hash;
+  ]
