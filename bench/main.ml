@@ -16,6 +16,7 @@
      prefetch-ablation — stream prefetcher on/off (§5 memory subsystem)
      fault-sweep    — RTM abort/retry/fallback vs injected fault rate
      micro          — Bechamel micro-benchmarks
+     serve          — compile-service load: cold vs warm plan cache
 
    Run a subset with:   bench/main.exe table2 figure8
    Options (validated up front, before anything runs):
@@ -474,6 +475,134 @@ let micro (_ : Harness.plan) () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* compile-service load generator                                      *)
+(* ------------------------------------------------------------------ *)
+
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+(* One load row: a fresh plan cache, a cold pass touching every distinct
+   loop once, then [n] warm requests cycling the pool. Latencies are
+   per-request wall seconds ([Fv_obs.Clock], measured inside the worker
+   for the parallel rows). *)
+let serve_row ~(n : int) ~(domains : int) (lines : string array) =
+  let cache = Fv_serve.Plancache.create ~cap:1024 () in
+  let scfg = Fv_serve.Service.cfg ~cache () in
+  let k = Array.length lines in
+  let one line =
+    let t0 = Fv_obs.Clock.now () in
+    ignore (Fv_serve.Service.handle scfg line);
+    Fv_obs.Clock.elapsed ~since:t0
+  in
+  let cold = Array.map one lines in
+  let lat = Array.make n 0.0 in
+  let t_start = Fv_obs.Clock.now () in
+  if domains <= 1 then
+    for i = 0 to n - 1 do
+      lat.(i) <- one lines.(i mod k)
+    done
+  else begin
+    (* chunked so the request list never holds the whole run at once *)
+    let chunk = 8192 in
+    let i = ref 0 in
+    while !i < n do
+      let m = min chunk (n - !i) in
+      let idxs = List.init m (fun j -> !i + j) in
+      Fv_parallel.Pool.map_result ~domains (fun j -> (j, one lines.(j mod k)))
+        idxs
+      |> List.iter (function Ok (j, d) -> lat.(j) <- d | Error _ -> ());
+      i := !i + m
+    done
+  end;
+  let wall = Fv_obs.Clock.elapsed ~since:t_start in
+  Array.sort compare cold;
+  Array.sort compare lat;
+  let us x = 1e6 *. x in
+  ( us (percentile cold 0.50),
+    us (percentile cold 0.99),
+    us (percentile lat 0.50),
+    us (percentile lat 0.99),
+    float_of_int n /. wall,
+    wall,
+    cache )
+
+let serve_bench (plan : Harness.plan) () =
+  section "serve: compile-service load (content-addressed plan cache)";
+  let pool = Fv_serve.Loadgen.distinct_cases ~n:256 ~seed:11 in
+  let lines =
+    Array.of_list (List.map Fv_serve.Loadgen.loop_request_line pool)
+  in
+  let domains_hi =
+    match plan.Harness.domains with
+    | Some d -> d
+    | None -> min 4 (Fv_parallel.Pool.default_domains ())
+  in
+  let configs =
+    (* single-core hosts skip the redundant parallel rows *)
+    List.concat_map
+      (fun n -> if domains_hi > 1 then [ (n, 1); (n, domains_hi) ] else [ (n, 1) ])
+      [ 1_000; 100_000; 1_000_000 ]
+  in
+  let rows =
+    List.map
+      (fun (n, domains) ->
+        let c50, c99, w50, w99, rps, wall, cache =
+          serve_row ~n ~domains lines
+        in
+        (n, domains, c50, c99, w50, w99, rps, wall, cache))
+      configs
+  in
+  let table =
+    [ "Requests"; "Domains"; "Cold p50/p99 (us)"; "Warm p50/p99 (us)";
+      "Cold/warm p50"; "Throughput (req/s)"; "Cache (size<=cap)" ]
+    :: List.map
+         (fun (n, d, c50, c99, w50, w99, rps, _, cache) ->
+           [
+             string_of_int n;
+             string_of_int d;
+             Printf.sprintf "%.1f / %.1f" c50 c99;
+             Printf.sprintf "%.1f / %.1f" w50 w99;
+             Printf.sprintf "%.1fx" (c50 /. Float.max w50 1e-9);
+             Printf.sprintf "%.0f" rps;
+             Printf.sprintf "%d<=%d (%d evicted)"
+               (Fv_serve.Plancache.size cache)
+               (Fv_serve.Plancache.capacity cache)
+               (Fv_serve.Plancache.evictions cache);
+           ])
+         rows
+  in
+  print_string (Report.table table);
+  Printf.printf
+    "\npool: %d distinct loops; warm requests cycle the pool against a \
+     populated cache\n"
+    (Array.length lines);
+  [
+    ( "rows",
+      J.List
+        (List.map
+           (fun (n, d, c50, c99, w50, w99, rps, wall, cache) ->
+             J.Obj
+               [
+                 ("requests", J.Int n);
+                 ("domains", J.Int d);
+                 ("pool_loops", J.Int (Array.length lines));
+                 ("cold_p50_us", J.Float c50);
+                 ("cold_p99_us", J.Float c99);
+                 ("warm_p50_us", J.Float w50);
+                 ("warm_p99_us", J.Float w99);
+                 ("cold_over_warm_p50", J.Float (c50 /. Float.max w50 1e-9));
+                 ("throughput_rps", J.Float rps);
+                 ("warm_wall_seconds", J.Float wall);
+                 ("cache_size", J.Int (Fv_serve.Plancache.size cache));
+                 ("cache_capacity", J.Int (Fv_serve.Plancache.capacity cache));
+                 ("cache_evictions", J.Int (Fv_serve.Plancache.evictions cache));
+               ])
+           rows) );
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -489,6 +618,7 @@ let sections =
     ("prefetch-ablation", prefetch_ablation);
     ("fault-sweep", fault_sweep);
     ("micro", micro);
+    ("serve", serve_bench);
   ]
 
 let () =
@@ -561,7 +691,7 @@ let () =
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 5);
+                 ("schema_version", J.Int 7);
                  ("domains", J.Int domains_used);
                  ( "mode",
                    J.Str

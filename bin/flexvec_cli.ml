@@ -6,7 +6,9 @@
      profile BENCH             Pin-style loop profile + cost-model decision
      simulate BENCH            simulate scalar vs FlexVec on the Table 1 machine
      figure8                   reproduce Figure 8
-     table2                    reproduce Table 2 *)
+     table2                    reproduce Table 2
+     fuzz                      differential fuzzing of the front end
+     serve                     long-running compile service (plan cache) *)
 
 open Cmdliner
 module R = Fv_workloads.Registry
@@ -466,6 +468,151 @@ let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2.")
     Term.(const run $ domains_arg $ json_arg)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let run domains batch max_queue deadline_ms row_timeout max_request_bytes
+      socket plan_cache stats_json emit seed =
+    match emit with
+    | Some n ->
+        (* generator mode: print a deterministic request stream and
+           exit — the piping side of a smoke test or a manual session *)
+        List.iteri
+          (fun i c ->
+            print_endline
+              (Fv_serve.Loadgen.request_line ~id:(Printf.sprintf "q%d" i) c))
+          (Fv_serve.Loadgen.distinct_cases ~n ~seed)
+    | None ->
+        let scfg =
+          Fv_serve.Service.cfg
+            ~cache:(Fv_serve.Plancache.create ~cap:plan_cache ())
+            ?deadline_ms ~max_request_bytes ()
+        in
+        let opts =
+          {
+            Fv_serve.Server.domains;
+            batch;
+            queue_cap = max_queue;
+            row_timeout;
+          }
+        in
+        let (), wall =
+          Fv_core.Report.timed (fun () ->
+              match socket with
+              | Some path -> Fv_serve.Server.serve_socket scfg opts ~path
+              | None -> Fv_serve.Server.serve_stdin scfg opts)
+        in
+        (* unlike the bench sections the server's whole point is its
+           counters, so the report always carries the metrics snapshot *)
+        match stats_json with
+        | None -> ()
+        | Some path ->
+            let module J = Fv_core.Report.Json in
+            let cache_obj c =
+              J.Obj
+                [
+                  ("size", J.Int (Fv_serve.Plancache.size c));
+                  ("capacity", J.Int (Fv_serve.Plancache.capacity c));
+                  ("evictions", J.Int (Fv_serve.Plancache.evictions c));
+                ]
+            in
+            J.to_file path
+              (J.report ~section:"serve" ~domains:(domains_used domains)
+                 ~mode:`Event
+                 ~metrics:(Fv_obs.Metrics.snapshot Fv_obs.Metrics.global)
+                 ~wall_seconds:wall
+                 [
+                   ("plan_cache", cache_obj scfg.Fv_serve.Service.cache);
+                   ("response_cache", cache_obj scfg.Fv_serve.Service.lines);
+                 ])
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Requests handed to the worker pool per drain.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Bound on parsed-but-unanswered requests; arrivals beyond it \
+             are shed with an $(b,overloaded) response.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline: a request whose wall time \
+             exceeds it is answered $(b,deadline-exceeded) (a request's \
+             own $(i,deadline-ms) field overrides this).")
+  in
+  let row_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "row-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request wall budget enforced by the worker pool (the \
+             bench harness's --row-timeout); a wedged request becomes a \
+             $(b,deadline-exceeded) response instead of stalling its \
+             batch.")
+  in
+  let max_request_bytes_arg =
+    Arg.(
+      value
+      & opt int Fv_serve.Service.default_max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:"Requests larger than this are answered $(b,oversized).")
+  in
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve a unix-domain socket at $(docv) (connections accepted \
+             sequentially, forever) instead of stdin-to-stdout.")
+  in
+  let plan_cache_arg =
+    Arg.(
+      value
+      & opt int Fv_serve.Plancache.default_capacity
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:
+            "Plan cache capacity (entries); at capacity one \
+             not-recently-hit entry is evicted per insertion.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "On exit (stdin mode), write a JSON report with the metrics \
+             snapshot (cache hits/misses, request counters, latency \
+             histogram) to $(docv).")
+  in
+  let emit_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "emit-requests" ] ~docv:"N"
+          ~doc:
+            "Do not serve: print $(docv) deterministic well-formed \
+             compile requests (one per line, distinct loops, derived \
+             from --seed) and exit. Pipe them back into a server.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Compilation as a service: read newline-delimited s-expression \
+          requests (stdin or --socket), answer each with the plan / \
+          diagnostic / simulation stats, amortizing repeats through a \
+          content-addressed plan cache.")
+    Term.(
+      const run $ domains_arg $ batch_arg $ max_queue_arg $ deadline_arg
+      $ row_timeout_arg $ max_request_bytes_arg $ socket_arg $ plan_cache_arg
+      $ stats_json_arg $ emit_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "flexvec" ~version:"1.0.0"
@@ -475,4 +622,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; profile_cmd; simulate_cmd; figure8_cmd;
-            table2_cmd; fuzz_cmd ]))
+            table2_cmd; fuzz_cmd; serve_cmd ]))

@@ -1,0 +1,116 @@
+(** Bounded in-memory caching with second-chance (CLOCK) eviction.
+
+    Two long-running caches share this policy: the simulator's
+    whole-trace memo table ({!Fv_ooo.Simcache}) and the compile
+    service's content-addressed plan cache ({!Fv_serve.Plancache}).
+    Both used to need a size cap, and the original cap was
+    flush-the-world: hitting [max_entries] dropped {e every} entry, so a
+    long-running server suffered periodic full cold restarts and a
+    thundering herd of misses right after each flush. Second chance
+    evicts one entry at a time instead: every slot carries a reference
+    bit that a hit sets; the clock hand sweeps the slots, clearing set
+    bits and evicting the first entry found with its bit already clear.
+    Recently-hit entries therefore survive a capacity crossing — the hit
+    rate stays nonzero across the cap boundary — while the table never
+    exceeds [cap] entries.
+
+    The implementation is flat: parallel arrays of keys / values /
+    reference bits indexed by slot, plus a hashtable from key to slot.
+    Eviction is O(slots swept); a full sweep happens at most once per
+    insertion (after clearing every bit the hand necessarily stops at
+    the first slot it revisits).
+
+    Not thread-safe — callers that share a cache across domains wrap it
+    in their own mutex, exactly as they did the hashtable this
+    replaces. *)
+
+module Make (H : Hashtbl.HashedType) = struct
+  module T = Hashtbl.Make (H)
+
+  type 'v t = {
+    cap : int;
+    index : int T.t;  (** key -> occupied slot *)
+    keys : H.t option array;
+    vals : 'v option array;
+    referenced : Bytes.t;  (** second-chance bits, one per slot *)
+    mutable len : int;
+    mutable hand : int;  (** clock hand: next slot the sweep examines *)
+    mutable evictions : int;
+  }
+
+  let create ~(cap : int) () : 'v t =
+    if cap < 1 then invalid_arg "Second_chance.create: cap must be >= 1";
+    {
+      cap;
+      index = T.create (2 * cap);
+      keys = Array.make cap None;
+      vals = Array.make cap None;
+      referenced = Bytes.make cap '\000';
+      len = 0;
+      hand = 0;
+      evictions = 0;
+    }
+
+  let length t = t.len
+  let capacity t = t.cap
+  let evictions t = t.evictions
+
+  let find_opt (t : 'v t) (k : H.t) : 'v option =
+    match T.find_opt t.index k with
+    | None -> None
+    | Some i ->
+        Bytes.set t.referenced i '\001';
+        t.vals.(i)
+
+  (* the sweep: clear set bits until a clear one is found; that slot is
+     the victim. Terminates within [cap + 1] steps — once every bit has
+     been cleared the next slot examined is necessarily clear. *)
+  let rec victim (t : 'v t) : int =
+    if Bytes.get t.referenced t.hand = '\000' then begin
+      let i = t.hand in
+      t.hand <- (i + 1) mod t.cap;
+      i
+    end
+    else begin
+      Bytes.set t.referenced t.hand '\000';
+      t.hand <- (t.hand + 1) mod t.cap;
+      victim t
+    end
+
+  (** Insert or refresh a binding. A fresh entry starts with its
+      reference bit set (the classic "second chance": it survives at
+      least one full sweep before becoming evictable). *)
+  let put (t : 'v t) (k : H.t) (v : 'v) : unit =
+    match T.find_opt t.index k with
+    | Some i ->
+        t.vals.(i) <- Some v;
+        Bytes.set t.referenced i '\001'
+    | None ->
+        let i =
+          if t.len < t.cap then begin
+            let i = t.len in
+            t.len <- t.len + 1;
+            i
+          end
+          else begin
+            let i = victim t in
+            (match t.keys.(i) with
+            | Some old -> T.remove t.index old
+            | None -> ());
+            t.evictions <- t.evictions + 1;
+            i
+          end
+        in
+        t.keys.(i) <- Some k;
+        t.vals.(i) <- Some v;
+        Bytes.set t.referenced i '\001';
+        T.replace t.index k i
+
+  let clear (t : 'v t) : unit =
+    T.reset t.index;
+    Array.fill t.keys 0 t.cap None;
+    Array.fill t.vals 0 t.cap None;
+    Bytes.fill t.referenced 0 t.cap '\000';
+    t.len <- 0;
+    t.hand <- 0
+end

@@ -90,8 +90,9 @@ let fault_plan (p : plan) : Fv_faults.Plan.t option =
     [--rtm-retries N], [--row-timeout S], [--trace-out DIR] and
     [--fail-on-degraded] (value-taking flags also accept [--flag=value]
     spellings). No section name means "run them all". Every requested
-    section is validated against [available] before the plan is
-    returned, so the caller runs nothing on a bad request. *)
+    section is validated against [available] — and rejected if requested
+    twice, since each section writes one [BENCH_<name>.json] — before
+    the plan is returned, so the caller runs nothing on a bad request. *)
 let parse_args ~(available : string list) (args : string list) :
     (plan, string) result =
   let split_eq a =
@@ -139,7 +140,10 @@ let parse_args ~(available : string list) (args : string list) :
             match inline with
             | Some _ -> Error "--fail-on-degraded takes no value"
             | None -> go { acc with fail_on_degraded = true } rest)
-        | _ when String.length a > 2 && String.sub a 0 2 = "--" ->
+        | _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
+            (* includes bare [--]: there is no positional/flag separator
+               here, and treating it as a section name used to yield a
+               baffling [unknown section "--"] *)
             Error (Printf.sprintf "unknown option %s" a)
         | _ -> go { acc with sections = a :: acc.sections } rest)
   in
@@ -154,14 +158,29 @@ let parse_args ~(available : string list) (args : string list) :
       let unknown =
         List.filter (fun s -> not (List.mem s available)) plan.sections
       in
+      (* each section writes BENCH_<name>.json, so a duplicate request
+         would run twice and silently overwrite the first report *)
+      let rec first_dup seen = function
+        | [] -> None
+        | s :: rest ->
+            if List.mem s seen then Some s else first_dup (s :: seen) rest
+      in
       match unknown with
-      | [] ->
-          Ok
-            {
-              plan with
-              sections =
-                (if plan.sections = [] then available else plan.sections);
-            }
+      | [] -> (
+          match first_dup [] plan.sections with
+          | Some s ->
+              Error
+                (Printf.sprintf
+                   "section %S requested more than once (each section runs \
+                    once and writes one BENCH_%s.json)"
+                   s s)
+          | None ->
+              Ok
+                {
+                  plan with
+                  sections =
+                    (if plan.sections = [] then available else plan.sections);
+                })
       | _ ->
           Error
             (Printf.sprintf "unknown section%s %s (available: %s)"

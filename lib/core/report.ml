@@ -90,6 +90,14 @@ let timed (f : unit -> 'a) : 'a * float =
     [rows] array.
 
     Version history:
+    - 7: compile-service observability — the registry gained the plan
+      cache and response memo counters ([plan_cache_*] /
+      [response_cache_*]: hits, misses, evictions, collisions), the
+      simulator memo cache gained [sim_cache_evictions] (its table now
+      evicts one entry at a time instead of flushing at the cap), and
+      the per-request [serve_requests] counters plus the
+      [serve_request_seconds] histogram arrived with the [serve] bench
+      section ([BENCH_serve.json]: cold/warm latency rows).
     - 6: metric snapshots made self-consistent — counter [sum] now
       round-trips the counted value (it was stuck at 0), and histogram
       [buckets] are cumulative with Prometheus semantics: each bucket
@@ -447,7 +455,7 @@ module Json = struct
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 6);
+         ("schema_version", Int 7);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));

@@ -29,6 +29,35 @@ let rec pp ppf = function
 
 let to_string (s : t) : string = Fmt.str "%a" pp s
 
+(** Canonical one-line rendering: exactly one space between siblings,
+    no line breaks ever ({!pp} wraps at the formatter margin, so
+    [to_string] of a large expression is multi-line). This is the
+    wire form of the compile service — one request/response per line —
+    and the input to {!content_hash}, so any two structurally equal
+    expressions render (and hash) identically regardless of the
+    whitespace or comments they were parsed from. *)
+let to_line (s : t) : string =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Atom a ->
+        if needs_quoting a then Buffer.add_string buf (Printf.sprintf "%S" a)
+        else Buffer.add_string buf a
+    | List l ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ' ';
+            go x)
+          l;
+        Buffer.add_char buf ')'
+  in
+  go s;
+  Buffer.contents buf
+
+(** FNV-1a64 of the canonical rendering — the content address used to
+    key the plan cache. *)
+let content_hash (s : t) : int64 = Fv_obs.Hash.fnv1a64 (to_line s)
+
 (* ---------------- parsing ---------------- *)
 
 exception Parse_error of string

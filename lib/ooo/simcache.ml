@@ -20,14 +20,24 @@
     the plan too guarantees that a fault-plan change can never return a
     stale entry even through a hash collision between the two traces.
 
-    Runs that record a stage-cycle log bypass the cache entirely: the
-    log is a side effect a cached result cannot replay.
+    The table is bounded by {!Fv_cache.Second_chance} (shared with the
+    compile service's plan cache): at capacity it evicts one
+    not-recently-hit entry per insertion instead of flushing the world,
+    so a runaway caller (the fuzzer's endless distinct traces) cannot
+    grow it without bound and steady-state repeats keep hitting across
+    the cap boundary.
+
+    Runs that record a stage-cycle log run the instrumented simulator
+    directly — the log is a side effect a cached result cannot replay —
+    but still {e store} their (identical with or without recording)
+    statistics, so a traced run warms the cache for the untraced replay
+    that usually follows it.
 
     Shared across domains behind a mutex; the simulation itself runs
     outside the lock, so two domains racing on the same key at worst
-    both compute (identical) results. Hits, misses and bypasses are
-    counted in {!Fv_obs.Metrics.global} as [sim_cache_hits] /
-    [sim_cache_misses] / [sim_cache_bypass]. *)
+    both compute (identical) results. Counted in
+    {!Fv_obs.Metrics.global}: [sim_cache_hits] / [sim_cache_misses] /
+    [sim_cache_bypass] / [sim_cache_evictions]. *)
 
 module Sink = Fv_trace.Sink
 
@@ -42,27 +52,39 @@ type key = {
   k_fault : string;  (** fault-plan fingerprint ({!Fv_faults.Plan.fingerprint}) *)
 }
 
-let lock = Mutex.create ()
-let table : (key, Pipeline.stats) Hashtbl.t = Hashtbl.create 256
+module Cache = Fv_cache.Second_chance.Make (struct
+  type t = key
 
-(** Soft size cap: a runaway caller (the fuzzer's endless distinct
-    traces) flushes the table instead of growing it without bound. *)
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let lock = Mutex.create ()
+
+(** Size cap; at capacity one cold entry is evicted per insertion. *)
 let max_entries = 4096
 
-let lookup k = Mutex.protect lock (fun () -> Hashtbl.find_opt table k)
+let table : Pipeline.stats Cache.t ref = ref (Cache.create ~cap:max_entries ())
+let note name = Fv_obs.Metrics.incr Fv_obs.Metrics.global name
+let lookup k = Mutex.protect lock (fun () -> Cache.find_opt !table k)
 
 let store k v =
   Mutex.protect lock (fun () ->
-      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-      Hashtbl.replace table k v)
+      let before = Cache.evictions !table in
+      Cache.put !table k v;
+      let evicted = Cache.evictions !table - before in
+      if evicted > 0 then note "sim_cache_evictions")
 
 (** Drop every entry (tests; between unrelated bench sections it is
     deliberately {e not} called — cross-section repeats are the point). *)
-let clear () = Mutex.protect lock (fun () -> Hashtbl.reset table)
+let clear () = Mutex.protect lock (fun () -> Cache.clear !table)
 
-let size () = Mutex.protect lock (fun () -> Hashtbl.length table)
+let size () = Mutex.protect lock (fun () -> Cache.length !table)
 
-let note name = Fv_obs.Metrics.incr Fv_obs.Metrics.global name
+(** Test hook: replace the table with an empty one of capacity [cap]
+    (eviction behaviour is exercised at tiny capacities). *)
+let set_capacity cap =
+  Mutex.protect lock (fun () -> table := Cache.create ~cap ())
 
 (** Memoized [Pipeline.run]. [?prefetch_depth] configures the (fresh,
     cold) hierarchy each uncached replay runs against, exactly like
@@ -73,29 +95,32 @@ let stats ?(cfg = Machine.table1) ?(prefetch_depth = 4)
     ?(mode : Pipeline.mode = `Event) ?(max_cycles = 400_000_000)
     ?(fault_key = "") ?(record : Pipeline.timing option) (trace : Sink.t) :
     Pipeline.stats =
+  let ct =
+    Fv_obs.Span.with_ ~cat:"sim" "compile" (fun () -> Compiled.of_trace trace)
+  in
+  let k =
+    {
+      k_hash = ct.Compiled.hash;
+      k_len = ct.Compiled.n;
+      k_nregs = ct.Compiled.nregs;
+      k_cfg = cfg;
+      k_prefetch = prefetch_depth;
+      k_event = (mode = `Event);
+      k_max_cycles = max_cycles;
+      k_fault = fault_key;
+    }
+  in
   match record with
   | Some _ ->
       note "sim_cache_bypass";
-      Pipeline.run ~cfg
-        ~hier:(Fv_memsys.Hierarchy.table1 ~prefetch_depth ())
-        ~mode ~max_cycles ?record trace
+      let s =
+        Pipeline.run ~cfg
+          ~hier:(Fv_memsys.Hierarchy.table1 ~prefetch_depth ())
+          ~mode ~max_cycles ?record trace
+      in
+      store k s;
+      s
   | None -> (
-      let ct =
-        Fv_obs.Span.with_ ~cat:"sim" "compile" (fun () ->
-            Compiled.of_trace trace)
-      in
-      let k =
-        {
-          k_hash = ct.Compiled.hash;
-          k_len = ct.Compiled.n;
-          k_nregs = ct.Compiled.nregs;
-          k_cfg = cfg;
-          k_prefetch = prefetch_depth;
-          k_event = (mode = `Event);
-          k_max_cycles = max_cycles;
-          k_fault = fault_key;
-        }
-      in
       match lookup k with
       | Some s ->
           note "sim_cache_hits";

@@ -1,0 +1,37 @@
+(** Bounded in-flight request queue — the backpressure mechanism.
+
+    The server admits at most [cap] parsed-but-unanswered requests;
+    anything arriving beyond that is {e shed} ([offer] returns [false])
+    and answered immediately with a structured [overloaded] response
+    instead of growing an unbounded buffer until the process dies. Pure
+    data structure, used from the single orchestrator loop; the domains
+    doing the work never touch it. *)
+
+type 'a t = { cap : int; q : 'a Queue.t; mutable shed : int }
+
+let create ~(cap : int) () : 'a t =
+  if cap < 1 then invalid_arg "Batcher.create: cap must be >= 1";
+  { cap; q = Queue.create (); shed = 0 }
+
+let length t = Queue.length t.q
+let capacity t = t.cap
+let shed_count t = t.shed
+
+(** Admit [x], or refuse (and count the shed) if the queue is full. *)
+let offer (t : 'a t) (x : 'a) : bool =
+  if Queue.length t.q >= t.cap then begin
+    t.shed <- t.shed + 1;
+    false
+  end
+  else begin
+    Queue.add x t.q;
+    true
+  end
+
+(** Dequeue up to [max] items in arrival order. *)
+let take (t : 'a t) ~(max : int) : 'a list =
+  let rec go n acc =
+    if n >= max || Queue.is_empty t.q then List.rev acc
+    else go (n + 1) (Queue.pop t.q :: acc)
+  in
+  go 0 []

@@ -1,0 +1,57 @@
+(** Deterministic request streams for the load bench and the CI smoke:
+    well-formed fuzz-generator cases rendered as wire requests. *)
+
+module Sexp = Fv_fuzz.Sexp
+module Corpus = Fv_fuzz.Corpus
+module Gen = Fv_fuzz.Gen
+
+(** Render [c] as a one-line compile request (optionally tagged). *)
+let request_line ?id (c : Gen.case) : string =
+  let fields =
+    (match id with
+    | Some i -> [ Sexp.List [ Sexp.Atom "id"; Sexp.Atom i ] ]
+    | None -> [])
+    @ [ Corpus.sexp_of_case c ]
+  in
+  Sexp.to_line (Sexp.List (Sexp.Atom "request" :: fields))
+
+(** Render [c]'s loop (no memory image) as a one-line compile request —
+    the load bench's wire shape: a few hundred bytes, so the warm path
+    measures cache lookup rather than array parsing. *)
+let loop_request_line ?id (c : Gen.case) : string =
+  let fields =
+    (match id with
+    | Some i -> [ Sexp.List [ Sexp.Atom "id"; Sexp.Atom i ] ]
+    | None -> [])
+    @ [
+        Sexp.List [ Sexp.Atom "vl"; Sexp.Atom (string_of_int c.Gen.vl) ];
+        Corpus.sexp_of_loop c.Gen.loop;
+      ]
+  in
+  Sexp.to_line (Sexp.List (Sexp.Atom "request" :: fields))
+
+(** [n] well-formed cases with pairwise-distinct compile keys (distinct
+    loops up to canonicalization — duplicates would turn intended cold
+    misses into accidental warm hits), derived deterministically from
+    [seed]. *)
+let distinct_cases ~(n : int) ~(seed : int) : Gen.case list =
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] in
+  let found = ref 0 in
+  let attempt = ref 0 in
+  (* the generator space is vast; the attempt bound only guards against
+     a pathological regression making everything collide *)
+  while !found < n && !attempt < 100 * n do
+    let c = Gen.case_of_seed ~p_malformed:0.0 (seed + !attempt) in
+    incr attempt;
+    let key =
+      Protocol.compile_key ~vl:c.Gen.vl ~strategy:Fv_core.Experiment.Flexvec
+        c.Gen.loop
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := c :: !out;
+      incr found
+    end
+  done;
+  List.rev !out

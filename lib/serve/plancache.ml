@@ -1,0 +1,100 @@
+(** Content-addressed cache of vectorization results.
+
+    The compile service's amortization argument (and Revec's): deriving
+    a vectorization plan for an irregular loop is expensive — validate,
+    classify the PDG, generate code — but the result is a pure function
+    of the loop and the compile parameters, so repeated requests should
+    cost a hash lookup. Entries are addressed by the FNV-1a64 of the
+    {e canonical} request rendering ({!Fv_fuzz.Sexp.to_line} of
+    [(plan (vl N) (strategy S) <loop>)]), so two clients sending the
+    same loop with different whitespace, comments or field order inside
+    atoms hit the same entry.
+
+    A 64-bit content hash can collide, and a collision must never serve
+    the wrong plan: each entry keeps its full canonical string and a hit
+    is only a hit if the strings match. A mismatch is counted
+    ([plan_cache_collisions]) and treated as a miss; the colliding entry
+    is then overwritten by the newer plan.
+
+    Rejections are cached too — a structured diagnostic is just as
+    expensive to derive and just as deterministic as a plan.
+
+    Bounded by the same second-chance policy as the simulator's trace
+    memo table ({!Fv_ooo.Simcache} / {!Fv_cache.Second_chance}): at
+    capacity, one not-recently-hit entry is evicted per insertion —
+    never a full flush — so a server under an endless stream of distinct
+    loops holds its working set while staying at ≤ [cap] entries.
+    Thread-safe: one mutex around the table; compilation happens outside
+    the lock. *)
+
+module Sexp = Fv_fuzz.Sexp
+
+(** A memoized compile outcome, stored fully rendered: the response
+    tail (status + [(cached true)] + plan/mix or diagnostic fields,
+    {!Protocol.render_tail}) ready to wrap in an envelope, plus whether
+    it was an accepted plan. Caching the rendered bytes — not the
+    structured result — keeps a hit at a hash lookup and a string
+    concat; re-quoting a multi-kilobyte plan on every hit would cost
+    more than the lookup itself. *)
+type plan = {
+  p_tail : string;
+  p_ok : bool;
+  p_op : string;  (** request op, for the per-op request counters *)
+}
+
+type entry = { e_canonical : string; e_plan : plan }
+
+module Cache = Fv_cache.Second_chance.Make (struct
+  type t = int64
+
+  let equal = Int64.equal
+  let hash = Int64.to_int
+end)
+
+type t = { lock : Mutex.t; cache : entry Cache.t; prefix : string }
+
+let default_capacity = 1024
+
+(** [metrics_prefix] names this cache's counters
+    ([<prefix>_hits/misses/evictions/collisions]): the service runs two
+    instances of this structure — the semantic plan cache
+    ([plan_cache]) and the transport-level response memo
+    ([response_cache], exact request line → rendered response). *)
+let create ?(cap = default_capacity) ?(metrics_prefix = "plan_cache") () : t =
+  { lock = Mutex.create (); cache = Cache.create ~cap (); prefix = metrics_prefix }
+
+let note t suffix =
+  Fv_obs.Metrics.incr Fv_obs.Metrics.global (t.prefix ^ "_" ^ suffix)
+
+(** Look up the plan for a canonical request rendering. *)
+let find (t : t) ~(canonical : string) : plan option =
+  let h = Fv_obs.Hash.fnv1a64 canonical in
+  let hit =
+    Mutex.protect t.lock (fun () ->
+        match Cache.find_opt t.cache h with
+        | Some e when String.equal e.e_canonical canonical -> Some e.e_plan
+        | Some _ ->
+            note t "collisions";
+            None
+        | None -> None)
+  in
+  (match hit with
+  | Some _ -> note t "hits"
+  | None -> note t "misses");
+  hit
+
+let put (t : t) ~(canonical : string) (p : plan) : unit =
+  let h = Fv_obs.Hash.fnv1a64 canonical in
+  Mutex.protect t.lock (fun () ->
+      let before = Cache.evictions t.cache in
+      Cache.put t.cache h { e_canonical = canonical; e_plan = p };
+      if Cache.evictions t.cache > before then note t "evictions")
+
+let size (t : t) : int = Mutex.protect t.lock (fun () -> Cache.length t.cache)
+
+let capacity (t : t) : int = Cache.capacity t.cache
+
+let evictions (t : t) : int =
+  Mutex.protect t.lock (fun () -> Cache.evictions t.cache)
+
+let clear (t : t) : unit = Mutex.protect t.lock (fun () -> Cache.clear t.cache)

@@ -1,0 +1,273 @@
+(** The long-running compile server: framing, batching, backpressure.
+
+    One orchestrator loop owns the input: it reads newline-delimited
+    frames off a file descriptor (stdin, or an accepted unix-domain
+    socket connection), admits them to the bounded {!Batcher} queue —
+    shedding with an immediate [overloaded] response when the queue is
+    full — then drains the queue a batch at a time across
+    {!Fv_parallel.Pool} domains and writes the responses in batch
+    order. Shed and oversized responses are emitted as soon as they are
+    detected, ahead of queued work; clients correlate by [(id ...)].
+
+    Framing is newline-delimited with paren-balance continuation: a
+    frame ends at the first newline outside a string at paren depth
+    zero, so both the canonical one-line wire form and the
+    pretty-printed multi-line {!Fv_fuzz.Sexp.to_string} form of a large
+    expression are accepted. A frame growing past the request size
+    limit stops being buffered (the rest of it is scanned and dropped,
+    bounding memory against a hostile writer) and is answered
+    [oversized]. *)
+
+module Sexp = Fv_fuzz.Sexp
+module Pool = Fv_parallel.Pool
+module P = Protocol
+
+(* ---------------- framing ---------------- *)
+
+module Framer = struct
+  type frame =
+    | Frame of string
+    | Too_big of int  (** total size of a frame that blew the limit *)
+
+  type t = {
+    fd : Unix.file_descr;
+    chunk : Bytes.t;
+    acc : Buffer.t;  (** the partial frame being assembled *)
+    max_bytes : int;
+    mutable depth : int;
+    mutable in_string : bool;
+    mutable escaped : bool;
+    mutable in_comment : bool;
+    mutable dropped : int;  (** bytes of the current frame not buffered *)
+    mutable eof : bool;
+    frames : frame Queue.t;  (** completed frames awaiting admission *)
+  }
+
+  let create ~(max_bytes : int) (fd : Unix.file_descr) : t =
+    {
+      fd;
+      chunk = Bytes.create 65536;
+      acc = Buffer.create 4096;
+      max_bytes;
+      depth = 0;
+      in_string = false;
+      escaped = false;
+      in_comment = false;
+      dropped = 0;
+      eof = false;
+      frames = Queue.create ();
+    }
+
+  let blank s =
+    not (String.exists (fun c -> c <> ' ' && c <> '\t' && c <> '\r') s)
+
+  let end_frame (t : t) : unit =
+    if t.dropped > 0 then
+      Queue.add (Too_big (t.dropped + Buffer.length t.acc)) t.frames
+    else begin
+      let s = Buffer.contents t.acc in
+      if not (blank s) then Queue.add (Frame s) t.frames
+    end;
+    Buffer.clear t.acc;
+    t.depth <- 0;
+    t.in_string <- false;
+    t.escaped <- false;
+    t.in_comment <- false;
+    t.dropped <- 0
+
+  let scan (t : t) (len : int) : unit =
+    for i = 0 to len - 1 do
+      let ch = Bytes.get t.chunk i in
+      if ch = '\n' && (not t.in_string) && t.depth <= 0 then
+        (* frame boundary (a comment, if open, ends here too) *)
+        end_frame t
+      else begin
+        if Buffer.length t.acc < t.max_bytes then Buffer.add_char t.acc ch
+        else t.dropped <- t.dropped + 1;
+        if t.in_comment then begin
+          if ch = '\n' then t.in_comment <- false
+        end
+        else if t.in_string then begin
+          if t.escaped then t.escaped <- false
+          else if ch = '\\' then t.escaped <- true
+          else if ch = '"' then t.in_string <- false
+        end
+        else
+          match ch with
+          | '(' -> t.depth <- t.depth + 1
+          | ')' -> t.depth <- t.depth - 1
+          | '"' -> t.in_string <- true
+          | ';' -> t.in_comment <- true
+          | _ -> ()
+      end
+    done
+
+  let readable (fd : Unix.file_descr) : bool =
+    match Unix.select [ fd ] [] [] 0.0 with
+    | [ _ ], _, _ -> true
+    | _ -> false
+
+  let rec read_retry fd buf len =
+    match Unix.read fd buf 0 len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf len
+
+  (** Read once ([blocking]) or only if data is already available, and
+      scan what arrived. EOF flushes the final unterminated frame. *)
+  let refill (t : t) ~(blocking : bool) : unit =
+    if (not t.eof) && (blocking || readable t.fd) then begin
+      let n = read_retry t.fd t.chunk (Bytes.length t.chunk) in
+      if n = 0 then begin
+        t.eof <- true;
+        if Buffer.length t.acc > 0 || t.dropped > 0 then end_frame t
+      end
+      else scan t n
+    end
+end
+
+(* ---------------- orchestration ---------------- *)
+
+type opts = {
+  domains : int option;  (** [None]: {!Pool.default_domains} *)
+  batch : int;  (** requests handed to the pool per drain *)
+  queue_cap : int;  (** bounded in-flight queue; beyond it we shed *)
+  row_timeout : float option;
+      (** per-request wall budget enforced by the pool, the bench
+          harness's [--row-timeout]; a wedged request becomes a
+          [deadline-exceeded] response instead of stalling the batch *)
+}
+
+let default_opts =
+  { domains = None; batch = 32; queue_cap = 256; row_timeout = None }
+
+(* best-effort id extraction for responses that never reach [Service]
+   (shed / pool-failed frames); cheap — no payload decoding *)
+let id_of_frame (line : string) : string option =
+  match Sexp.of_string line with
+  | Sexp.List (Sexp.Atom "request" :: fields) -> (
+      match P.one_atom "id" fields with
+      | id -> id
+      | exception _ -> None)
+  | _ -> None
+  | exception _ -> None
+
+let note = Fv_obs.Metrics.incr Fv_obs.Metrics.global
+
+(** Serve one input stream to EOF. Responses go to [out], one line
+    each; the channel is flushed after every batch. *)
+let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
+    ~(out : out_channel) : unit =
+  let fr = Framer.create ~max_bytes:(scfg.Service.max_request_bytes + 1) in_fd in
+  let q : string Batcher.t = Batcher.create ~cap:o.queue_cap () in
+  let respond line =
+    output_string out line;
+    output_char out '\n'
+  in
+  let admit = function
+    | Framer.Too_big n ->
+        note "serve_oversized";
+        respond
+          (P.response_line ~status:P.Oversized
+             (P.error_body
+                (Printf.sprintf
+                   "request of %d bytes exceeds the %d-byte limit" n
+                   scfg.Service.max_request_bytes)))
+    | Framer.Frame line ->
+        if not (Batcher.offer q line) then begin
+          note "serve_shed";
+          respond
+            (P.response_line ?id:(id_of_frame line) ~status:P.Overloaded
+               (P.error_body "in-flight queue full"))
+        end
+  in
+  let drain_frames () =
+    while not (Queue.is_empty fr.Framer.frames) do
+      admit (Queue.pop fr.Framer.frames)
+    done
+  in
+  (* block until there is work (or the stream ends) *)
+  let rec await_work () =
+    drain_frames ();
+    if Batcher.length q = 0 && not fr.Framer.eof then begin
+      Framer.refill fr ~blocking:true;
+      await_work ()
+    end
+  in
+  (* admit everything already waiting in the kernel buffer, up to the
+     queue bound — beyond it the data stays unread (transport
+     backpressure) until the next drain *)
+  let slurp () =
+    while
+      (not fr.Framer.eof)
+      && Batcher.length q < Batcher.capacity q
+      && Framer.readable fr.Framer.fd
+    do
+      Framer.refill fr ~blocking:false;
+      drain_frames ()
+    done
+  in
+  let n_domains =
+    match o.domains with Some d -> d | None -> Pool.default_domains ()
+  in
+  let respond_failure line status msg =
+    P.response_line ?id:(id_of_frame line) ~status (P.error_body msg)
+  in
+  let handle_batch (lines : string list) : string list =
+    if n_domains <= 1 then List.map (Service.handle scfg) lines
+    else
+      Pool.map_result ~domains:n_domains ?timeout_s:o.row_timeout
+        (Service.handle scfg) lines
+      |> List.map2
+           (fun line -> function
+             | Ok resp -> resp
+             | Error (Pool.Timed_out { wall_seconds; limit }) ->
+                 respond_failure line P.Deadline_exceeded
+                   (Printf.sprintf "%.3f s exceeded the %.3f s row timeout"
+                      wall_seconds limit)
+             | Error (Pool.Raised { exn; _ }) ->
+                 respond_failure line P.Internal_error
+                   (Printexc.to_string exn))
+           lines
+  in
+  let rec loop () =
+    await_work ();
+    if Batcher.length q > 0 then begin
+      slurp ();
+      Fv_obs.Metrics.gauge Fv_obs.Metrics.global "serve_queue_depth"
+        (float_of_int (Batcher.length q));
+      note "serve_batches";
+      let responses = handle_batch (Batcher.take q ~max:o.batch) in
+      List.iter respond responses;
+      flush out;
+      loop ()
+    end
+  in
+  loop ();
+  Fv_obs.Metrics.gauge Fv_obs.Metrics.global "serve_queue_depth" 0.0;
+  flush out
+
+(** Serve stdin to stdout until EOF. *)
+let serve_stdin (scfg : Service.cfg) (o : opts) : unit =
+  serve_fd scfg o ~in_fd:Unix.stdin ~out:stdout
+
+(** Bind [path] and serve accepted connections sequentially, forever
+    (until the process is killed). Each connection is a full
+    newline-delimited session, answered on the same socket. *)
+let serve_socket (scfg : Service.cfg) (o : opts) ~(path : string) : unit =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let rec accept_loop () =
+    let fd, _ = Unix.accept sock in
+    let out = Unix.out_channel_of_descr fd in
+    (try serve_fd scfg o ~in_fd:fd ~out
+     with e ->
+       note "serve_connection_errors";
+       Printf.eprintf "serve: connection dropped: %s\n%!"
+         (Printexc.to_string e));
+    (try flush out with Sys_error _ -> ());
+    (try close_out out with Sys_error _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,219 @@
+(** Request execution: one wire line in, one wire line out.
+
+    [handle] is a total function — every failure mode (unparseable
+    sexp, ill-formed request, oversized line, front-end crash) becomes a
+    structured response, never an exception, so a batch of requests
+    mapped across domains can never take the server down.
+
+    Deadlines are post-hoc, exactly like the bench harness's
+    [--row-timeout] rows ({!Fv_parallel.Pool.map_result}): the request
+    runs to completion, and if its wall time exceeded the deadline the
+    computed answer is discarded in favour of a [deadline-exceeded]
+    response. (Cooperative cancellation mid-vectorization is not worth
+    the complexity at these request sizes; the server-level backstop for
+    a wedged request is the pool's own row timeout.) A per-request
+    [(deadline-ms N)] overrides the server default.
+
+    Caching is two-level, both levels content-addressed and bounded by
+    the same second-chance policy ({!Plancache}):
+
+    - the {e response memo} keys on the exact request line and stores
+      the fully rendered response, so an identical replay (the warm half
+      of every load test, and any client re-asking a question) costs a
+      hash, a string compare and a counter — no parse at all. Only
+      deterministic outcomes ([ok]/[rejected]) are memoized; a
+      [deadline-exceeded] or [error] outcome depends on wall time or
+      transient state and is recomputed every time.
+    - the {e plan cache} keys on the canonical [(plan (vl) (strategy)
+      <loop>)] rendering, so requests that differ in id, whitespace or
+      deadline still share one compile.
+
+    Per-request observability lands in {!Fv_obs.Metrics.global}:
+    [serve_requests{op,status}] counters and a [serve_request_seconds]
+    latency histogram, alongside both caches' hit/miss/eviction
+    counters ([plan_cache_*], [response_cache_*]). *)
+
+module Sexp = Fv_fuzz.Sexp
+module Corpus = Fv_fuzz.Corpus
+module P = Protocol
+module E = Fv_core.Experiment
+
+type cfg = {
+  cache : Plancache.t;  (** semantic plan cache, canonical-key addressed *)
+  lines : Plancache.t;  (** response memo, exact-request-line addressed *)
+  deadline_ms : int option;  (** default per-request deadline; [None] = off *)
+  max_request_bytes : int;
+}
+
+let default_max_request_bytes = 1 lsl 20
+
+let cfg ?cache ?lines ?deadline_ms
+    ?(max_request_bytes = default_max_request_bytes) () : cfg =
+  let cache =
+    match cache with Some c -> c | None -> Plancache.create ()
+  in
+  let lines =
+    match lines with
+    | Some l -> l
+    | None ->
+        Plancache.create ~cap:(Plancache.capacity cache)
+          ~metrics_prefix:"response_cache" ()
+  in
+  { cache; lines; deadline_ms; max_request_bytes }
+
+(* ---------------- compile ---------------- *)
+
+let render_vloop (v : Fv_vir.Inst.vloop) : string * string =
+  ( Fv_vir.Vpp.to_string v,
+    Fv_vir.Count.to_table2_string (Fv_vir.Count.of_vloop v) )
+
+(** The front end for one (vl, strategy, loop): exactly the one-shot
+    CLI's ladder-free compile — the requested style, no degradation. *)
+let compile_plan ~vl ~(strategy : E.strategy) (l : Fv_ir.Ast.loop) :
+    (string * string, Fv_ir.Validate.diagnostic) result =
+  let result =
+    match strategy with
+    | E.Flexvec | E.Rtm _ ->
+        Fv_vectorizer.Gen.vectorize ~vl ~style:Fv_vectorizer.Gen.Flexvec l
+    | E.Wholesale ->
+        Fv_vectorizer.Gen.vectorize ~vl ~style:Fv_vectorizer.Gen.Wholesale l
+    | E.Traditional -> Fv_vectorizer.Traditional.vectorize ~vl l
+    | E.Scalar -> P.bad "strategy scalar has no vector plan to compile"
+  in
+  Result.map render_vloop result
+
+(* compile answers are (status, tail to send now, tail a later replay
+   would get). A plan-cache hit returns the stored [(cached true)] tail
+   for both, loop AST never built; a miss renders both variants so the
+   response memo can store the replay form. *)
+let do_compile (c : cfg) (r : P.request) : P.status * string * string =
+  let vl =
+    match r.P.vl with
+    | Some v -> v
+    | None -> Option.value ~default:16 (P.vl_of_payload r.P.payload)
+  in
+  let loop_sexp = P.loop_sexp_of_payload r.P.payload in
+  let canonical = P.compile_key_of_sexp ~vl ~strategy:r.P.strategy loop_sexp in
+  match Plancache.find c.cache ~canonical with
+  | Some p ->
+      let status = if p.Plancache.p_ok then P.Ok_ else P.Rejected in
+      (status, p.Plancache.p_tail, p.Plancache.p_tail)
+  | None ->
+      let status, body, ok =
+        match
+          compile_plan ~vl ~strategy:r.P.strategy
+            (Corpus.loop_of_sexp loop_sexp)
+        with
+        | Ok (plan, mix) ->
+            (P.Ok_, (fun cached -> P.compile_ok_body ~cached ~plan ~mix), true)
+        | Error d ->
+            (P.Rejected, (fun cached -> P.compile_rejected_body ~cached d), false)
+      in
+      let hit_tail = P.render_tail ~status (body true) in
+      Plancache.put c.cache ~canonical
+        { Plancache.p_tail = hit_tail; p_ok = ok; p_op = "compile" };
+      (status, P.render_tail ~status (body false), hit_tail)
+
+(* ---------------- simulate ---------------- *)
+
+let do_simulate (r : P.request) : P.status * string * string =
+  let cs =
+    match r.P.payload with
+    | P.Case_s s -> Corpus.case_of_sexp s
+    | P.Loop_s _ -> assert false (* rejected at decode *)
+  in
+  let vl = Option.value ~default:cs.Fv_fuzz.Gen.vl r.P.vl in
+  let run strategy =
+    (* fresh memory per leg: traced executions mutate it *)
+    E.run_hot ~vl strategy cs.Fv_fuzz.Gen.loop
+      (Fv_fuzz.Gen.memory_of cs)
+      cs.Fv_fuzz.Gen.env
+  in
+  let scalar = run E.Scalar in
+  let hot =
+    match r.P.strategy with E.Scalar -> scalar | s -> run s
+  in
+  let tail = P.render_tail ~status:P.Ok_ (P.simulate_ok_body ~scalar ~run:hot) in
+  (P.Ok_, tail, tail)
+
+(* ---------------- dispatch ---------------- *)
+
+let op_label = function P.Compile -> "compile" | P.Simulate -> "simulate"
+
+let count_request ~op ~status ~elapsed =
+  let m = Fv_obs.Metrics.global in
+  Fv_obs.Metrics.incr m "serve_requests"
+    ~labels:[ ("op", op); ("status", P.status_atom status) ];
+  Fv_obs.Metrics.observe m "serve_request_seconds" elapsed
+
+(** Handle one request line; always returns a response line. *)
+let handle (c : cfg) (line : string) : string =
+  let t0 = Fv_obs.Clock.now () in
+  if String.length line > c.max_request_bytes then begin
+    let status = P.Oversized in
+    let tail =
+      P.render_tail ~status
+        (P.error_body
+           (Printf.sprintf "request of %d bytes exceeds the %d-byte limit"
+              (String.length line) c.max_request_bytes))
+    in
+    count_request ~op:"unknown" ~status
+      ~elapsed:(Fv_obs.Clock.elapsed ~since:t0);
+    P.response_of_tail tail
+  end
+  else
+    match Plancache.find c.lines ~canonical:line with
+    | Some p ->
+        (* exact replay: the stored response already carries the id and
+           the [(cached true)] flag a recompute would produce *)
+        let status = if p.Plancache.p_ok then P.Ok_ else P.Rejected in
+        count_request ~op:p.Plancache.p_op ~status
+          ~elapsed:(Fv_obs.Clock.elapsed ~since:t0);
+        p.Plancache.p_tail
+    | None ->
+        let id = ref None in
+        let op = ref "unknown" in
+        let deadline = ref c.deadline_ms in
+        let fail status msg =
+          (status, P.render_tail ~status (P.error_body msg), "")
+        in
+        let dispatch () =
+          let r = P.request_of_sexp (Sexp.of_string line) in
+          id := r.P.id;
+          op := op_label r.P.op;
+          (match r.P.deadline_ms with Some _ as d -> deadline := d | None -> ());
+          match r.P.op with
+          | P.Compile -> do_compile c r
+          | P.Simulate -> do_simulate r
+        in
+        let status, tail, hit_tail =
+          match dispatch () with
+          | outcome -> outcome
+          | exception Sexp.Parse_error m ->
+              fail P.Invalid (Printf.sprintf "parse error: %s" m)
+          | exception P.Bad_request m -> fail P.Invalid m
+          | exception Corpus.Corpus_error m -> fail P.Invalid m
+          | exception e -> fail P.Internal_error (Printexc.to_string e)
+        in
+        let elapsed = Fv_obs.Clock.elapsed ~since:t0 in
+        let status, tail, hit_tail =
+          match !deadline with
+          | Some ms when elapsed *. 1000.0 > float_of_int ms ->
+              fail P.Deadline_exceeded
+                (Printf.sprintf "%.3f ms exceeded the %d ms deadline"
+                   (elapsed *. 1000.0) ms)
+          | _ -> (status, tail, hit_tail)
+        in
+        (* memoize only deterministic outcomes: replaying an invalid or
+           deadline-blown request must re-derive its verdict *)
+        (match status with
+        | P.Ok_ | P.Rejected ->
+            Plancache.put c.lines ~canonical:line
+              {
+                Plancache.p_tail = P.response_of_tail ?id:!id hit_tail;
+                p_ok = (status = P.Ok_);
+                p_op = !op;
+              }
+        | _ -> ());
+        count_request ~op:!op ~status ~elapsed;
+        P.response_of_tail ?id:!id tail

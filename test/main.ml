@@ -20,4 +20,6 @@ let () =
       ("validate", Test_validate.suite);
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,95 @@
+(** Unit tests for the shared second-chance (CLOCK) eviction policy
+    ({!Fv_cache.Second_chance}) — the bounded cache under both the
+    simulator's trace memo and the compile service's plan cache. *)
+
+module C = Fv_cache.Second_chance.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+let test_basic () =
+  let c = C.create ~cap:3 () in
+  C.put c "a" 1;
+  C.put c "b" 2;
+  C.put c "c" 3;
+  Alcotest.(check int) "filled" 3 (C.length c);
+  Alcotest.(check (option int)) "a" (Some 1) (C.find_opt c "a");
+  Alcotest.(check (option int)) "b" (Some 2) (C.find_opt c "b");
+  Alcotest.(check (option int)) "c" (Some 3) (C.find_opt c "c");
+  Alcotest.(check (option int)) "absent" None (C.find_opt c "d");
+  Alcotest.(check int) "no evictions below cap" 0 (C.evictions c)
+
+let test_replace_in_place () =
+  let c = C.create ~cap:2 () in
+  C.put c "k" 1;
+  C.put c "k" 2;
+  Alcotest.(check int) "still one entry" 1 (C.length c);
+  Alcotest.(check (option int)) "newest value wins" (Some 2)
+    (C.find_opt c "k");
+  Alcotest.(check int) "replacement is not an eviction" 0 (C.evictions c)
+
+(* The policy itself: a full sweep gives every fresh entry one second
+   chance, and an entry re-hit between insertions outlives one that was
+   not. *)
+let test_second_chance_protects_hits () =
+  let c = C.create ~cap:3 () in
+  C.put c "a" 1;
+  C.put c "b" 2;
+  C.put c "c" 3;
+  (* all reference bits set: the first overflow sweeps them clear and
+     evicts where the hand started *)
+  C.put c "d" 4;
+  Alcotest.(check (option int)) "first victim is the oldest slot" None
+    (C.find_opt c "a");
+  Alcotest.(check int) "one eviction" 1 (C.evictions c);
+  (* b and c were swept clear; re-hit b, then overflow again: the hand
+     passes b (bit set by the hit) and takes c *)
+  ignore (C.find_opt c "b");
+  C.put c "e" 5;
+  Alcotest.(check (option int)) "re-hit entry survives" (Some 2)
+    (C.find_opt c "b");
+  Alcotest.(check (option int)) "cold entry is the victim" None
+    (C.find_opt c "c")
+
+let test_bounded_forever () =
+  let c = C.create ~cap:4 () in
+  for i = 1 to 100 do
+    C.put c (string_of_int i) i;
+    Alcotest.(check bool) "len <= cap" true (C.length c <= 4)
+  done;
+  Alcotest.(check int) "sits at cap, never flushed" 4 (C.length c);
+  Alcotest.(check int) "evictions = inserts - cap" (100 - 4) (C.evictions c);
+  (* evicted keys are fully unlinked: lookups miss, and the index does
+     not leak old keys *)
+  Alcotest.(check (option int)) "old key gone" None (C.find_opt c "1")
+
+let test_clear () =
+  let c = C.create ~cap:2 () in
+  C.put c "a" 1;
+  C.put c "b" 2;
+  C.clear c;
+  Alcotest.(check int) "empty" 0 (C.length c);
+  Alcotest.(check (option int)) "cleared key misses" None (C.find_opt c "a");
+  C.put c "c" 3;
+  Alcotest.(check (option int)) "usable after clear" (Some 3)
+    (C.find_opt c "c")
+
+let test_invalid_cap () =
+  Alcotest.check_raises "cap 0 rejected"
+    (Invalid_argument "Second_chance.create: cap must be >= 1") (fun () ->
+      ignore (C.create ~cap:0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "put/find below capacity" `Quick test_basic;
+    Alcotest.test_case "put on an existing key replaces in place" `Quick
+      test_replace_in_place;
+    Alcotest.test_case "second chance protects re-hit entries" `Quick
+      test_second_chance_protects_hits;
+    Alcotest.test_case "never exceeds cap, never flushes" `Quick
+      test_bounded_forever;
+    Alcotest.test_case "clear empties and stays usable" `Quick test_clear;
+    Alcotest.test_case "capacity must be positive" `Quick test_invalid_cap;
+  ]

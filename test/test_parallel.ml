@@ -305,7 +305,23 @@ let test_harness_validates_up_front () =
     (rejected [ "--rtm-retries"; "-1" ]);
   Alcotest.(check bool) "zero timeout" true (rejected [ "--row-timeout"; "0" ]);
   Alcotest.(check bool) "negative timeout" true
-    (rejected [ "--row-timeout"; "-3" ])
+    (rejected [ "--row-timeout"; "-3" ]);
+  (* a bare "--" is not a section name and not a valid option: it used
+     to crash String.sub computing the option's stem *)
+  (match Fv_core.Harness.parse_args ~available [ "--" ] with
+  | Ok _ -> Alcotest.fail "bare -- must be rejected"
+  | Error msg ->
+      Alcotest.(check bool) "bare -- rejected as an unknown option" true
+        (contains ~needle:"--" msg));
+  (* a duplicated section used to run twice and silently overwrite its
+     own BENCH json; now it is rejected up front *)
+  (match
+     Fv_core.Harness.parse_args ~available [ "figure8"; "micro"; "figure8" ]
+   with
+  | Ok _ -> Alcotest.fail "duplicate section must be rejected"
+  | Error msg ->
+      Alcotest.(check bool) "duplicate rejection names the section" true
+        (contains ~needle:"figure8" msg))
 
 let test_json_report_shape () =
   let open Fv_core.Report.Json in
@@ -320,7 +336,7 @@ let test_json_report_shape () =
       Alcotest.(check bool) (Printf.sprintf "report has %s" needle) true
         (contains ~needle s))
     [
-      "\"schema_version\":6"; "\"section\":\"t\""; "\"domains\":3";
+      "\"schema_version\":7"; "\"section\":\"t\""; "\"domains\":3";
       "\"compile_status\":\"vectorized\""; "\"rejection\":null";
       "\"mode\":\"event\""; "\"truncated\":false";
       "\"fault_rate\":0"; "\"fault_seed\":1"; "\"rtm_retries\":2";

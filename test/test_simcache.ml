@@ -120,19 +120,60 @@ let test_key_separates () =
   Alcotest.(check int) "mode change misses" 6 (Simcache.size ());
   Alcotest.(check bool) "but event == step stats" true (compare ev st = 0)
 
-(* A recording run bypasses the cache entirely: the stage-cycle log is
-   a side effect a cached result cannot replay. *)
+(* A recording run bypasses the cache lookup (the stage-cycle log is a
+   side effect a cached result cannot replay) but still stores its
+   statistics, so the untraced replay that follows is a hit. *)
 let test_record_bypasses () =
   Simcache.clear ();
   let s = chain 50 in
   let b0 = counter "sim_cache_bypass" in
+  let h0 = counter "sim_cache_hits" in
   let recorded = Simcache.stats ~record:(Pipeline.timing ()) s in
-  Alcotest.(check int) "nothing stored" 0 (Simcache.size ());
+  Alcotest.(check int) "bypass stores its result" 1 (Simcache.size ());
   Alcotest.(check int) "bypass counted" (b0 + 1) (counter "sim_cache_bypass");
   let cached = Simcache.stats s in
+  Alcotest.(check int) "untraced replay hits" (h0 + 1)
+    (counter "sim_cache_hits");
   Alcotest.(check bool)
     "recorded stats == cached stats" true
     (compare recorded cached = 0)
+
+(* distinct single-op chains: chain n and chain m (n <> m) differ in
+   k_len, so each is its own entry *)
+let chains lo hi = List.init (hi - lo + 1) (fun i -> chain (lo + i))
+
+(* Bounded eviction across the capacity boundary: the table never
+   exceeds its cap, is never flushed to empty, and a repeatedly-hit
+   entry keeps hitting while a stream of distinct traces overflows the
+   table — the regression the old flush-the-world cap failed (every
+   crossing dropped the whole table, so the hot entry's hit rate went
+   to zero). *)
+let test_bounded_eviction () =
+  Simcache.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () -> Simcache.set_capacity 4096)
+    (fun () ->
+      let hot = chain 1000 in
+      ignore (Simcache.stats hot);
+      let h0 = counter "sim_cache_hits" in
+      let e0 = counter "sim_cache_evictions" in
+      List.iter
+        (fun s ->
+          (* re-touch the hot entry while the stream overflows the
+             table: second chance keeps re-hit entries resident *)
+          ignore (Simcache.stats hot);
+          ignore (Simcache.stats s))
+        (chains 1 20);
+      (* 21+ distinct entries through a cap of 8: full, never flushed *)
+      Alcotest.(check int) "table sits exactly at cap" 8 (Simcache.size ());
+      Alcotest.(check bool)
+        "evictions counted" true
+        (counter "sim_cache_evictions" - e0 >= 21 - 8);
+      Alcotest.(check bool)
+        (Printf.sprintf "hit rate stays nonzero across the cap (%d hits)"
+           (counter "sim_cache_hits" - h0))
+        true
+        (counter "sim_cache_hits" - h0 >= 15))
 
 (* The content hash is deterministic, sensitive to any simulated field,
    and invariant under consistent register renaming. *)
@@ -173,8 +214,10 @@ let suite =
       test_hit_miss_counters;
     Alcotest.test_case "every key component separates entries" `Quick
       test_key_separates;
-    Alcotest.test_case "recording runs bypass the cache" `Quick
+    Alcotest.test_case "recording runs bypass lookup but store" `Quick
       test_record_bypasses;
+    Alcotest.test_case "bounded eviction: at cap, hot entries survive" `Quick
+      test_bounded_eviction;
     Alcotest.test_case "content hash: deterministic, sensitive, alpha-blind"
       `Quick test_compiled_hash;
   ]
