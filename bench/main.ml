@@ -528,6 +528,63 @@ let serve_row ~(n : int) ~(domains : int) (lines : string array) =
     wall,
     cache )
 
+(* Warm-restart phase: how much of the warm path survives a restart
+   through a --plan-cache-file snapshot? Both measured passes run with a
+   fresh response memo, so both measure the semantic plan-cache hit
+   (parse + canonical key + lookup) rather than the exact-line memo —
+   that is the path a restarted server takes for its old working set.
+   Ends with a deliberate-corruption drill: flip one byte, reload, and
+   count the rejected entry instead of crashing. *)
+let serve_restart_phase (lines : string array) =
+  let cap = 1024 in
+  let cache = Fv_serve.Plancache.create ~cap () in
+  let fill = Fv_serve.Service.cfg ~cache () in
+  Array.iter (fun l -> ignore (Fv_serve.Service.handle fill l)) lines;
+  let pass scfg =
+    let lat =
+      Array.map
+        (fun l ->
+          let t0 = Fv_obs.Clock.now () in
+          ignore (Fv_serve.Service.handle scfg l);
+          Fv_obs.Clock.elapsed ~since:t0)
+        lines
+    in
+    Array.sort compare lat;
+    1e6 *. percentile lat 0.50
+  in
+  let inproc_p50 = pass (Fv_serve.Service.cfg ~cache ()) in
+  let path = Filename.temp_file "flexvec_plancache" ".snap" in
+  let saved = Fv_serve.Snapshot.save cache ~path in
+  let cache2 = Fv_serve.Plancache.create ~cap () in
+  let restore = Fv_serve.Snapshot.load cache2 ~path in
+  let restart_p50 = pass (Fv_serve.Service.cfg ~cache:cache2 ()) in
+  (* corruption drill: one flipped byte past the header must cost
+     entries, not the process *)
+  Fv_serve.Chaos.corrupt_file ~after:64 ~seed:99 path;
+  let cache3 = Fv_serve.Plancache.create ~cap () in
+  let corrupted = Fv_serve.Snapshot.load cache3 ~path in
+  Sys.remove path;
+  Printf.printf
+    "\nrestart: %d entries snapshotted; plan-hit p50 %.1f us in-process vs \
+     %.1f us restored (%.2fx); corrupted reload: %d restored, %d corrupt, \
+     no crash\n"
+    saved inproc_p50 restart_p50
+    (restart_p50 /. Float.max inproc_p50 1e-9)
+    corrupted.Fv_serve.Snapshot.restored corrupted.Fv_serve.Snapshot.corrupt;
+  J.Obj
+    [
+      ("snapshot_entries", J.Int saved);
+      ("restored_entries", J.Int restore.Fv_serve.Snapshot.restored);
+      ("restore_corrupt_entries", J.Int restore.Fv_serve.Snapshot.corrupt);
+      ("inproc_warm_p50_us", J.Float inproc_p50);
+      ("restart_warm_p50_us", J.Float restart_p50);
+      ( "restart_over_inproc_p50",
+        J.Float (restart_p50 /. Float.max inproc_p50 1e-9) );
+      ( "corrupted_restored_entries",
+        J.Int corrupted.Fv_serve.Snapshot.restored );
+      ("corrupted_corrupt_entries", J.Int corrupted.Fv_serve.Snapshot.corrupt);
+    ]
+
 let serve_bench (plan : Harness.plan) () =
   section "serve: compile-service load (content-addressed plan cache)";
   let pool = Fv_serve.Loadgen.distinct_cases ~n:256 ~seed:11 in
@@ -578,7 +635,9 @@ let serve_bench (plan : Harness.plan) () =
     "\npool: %d distinct loops; warm requests cycle the pool against a \
      populated cache\n"
     (Array.length lines);
+  let restart = serve_restart_phase lines in
   [
+    ("restart", restart);
     ( "rows",
       J.List
         (List.map
@@ -603,6 +662,368 @@ let serve_bench (plan : Harness.plan) () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* chaos: the serve stack under seeded fault injection                 *)
+(* ------------------------------------------------------------------ *)
+
+(* run one full stream through [Server.serve_fd] over a pipe. The
+   writer runs in its own domain: a 64KB pipe buffer deadlocks a
+   single-threaded write-all-then-serve scheme for real streams. *)
+let serve_pipe (scfg : Fv_serve.Service.cfg) (opts : Fv_serve.Server.opts)
+    (lines : string list) : string list =
+  let r, w = Unix.pipe () in
+  let writer =
+    Domain.spawn (fun () ->
+        let wc = Unix.out_channel_of_descr w in
+        List.iter
+          (fun l ->
+            output_string wc l;
+            output_char wc '\n')
+          lines;
+        close_out wc)
+  in
+  let path = Filename.temp_file "flexvec_chaos" ".out" in
+  let out = open_out path in
+  Fv_serve.Server.serve_fd scfg opts ~in_fd:r ~out;
+  close_out out;
+  (try Unix.close r with Unix.Unix_error _ -> ());
+  Domain.join writer;
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  let resp = go [] in
+  Sys.remove path;
+  resp
+
+(* "(field atom)" extraction without parsing: responses render fields
+   canonically with a single space *)
+let response_field (line : string) (name : string) : string option =
+  let pat = "(" ^ name ^ " " in
+  let ll = String.length line and lp = String.length pat in
+  let rec find i =
+    if i + lp > ll then None
+    else if String.equal (String.sub line i lp) pat then Some (i + lp)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start ')' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+let counter_total (snaps : Fv_obs.Metrics.snap list) (name : string) : int =
+  List.fold_left
+    (fun acc (s : Fv_obs.Metrics.snap) ->
+      if String.equal s.Fv_obs.Metrics.s_name name then
+        acc + s.Fv_obs.Metrics.s_count
+      else acc)
+    0 snaps
+
+(* 99th-percentile upper-bound bucket (seconds) of a histogram delta
+   between two snapshots, buckets summed across label sets *)
+let histo_p99_bound (before : Fv_obs.Metrics.snap list)
+    (after : Fv_obs.Metrics.snap list) (name : string) : float =
+  let buckets snaps =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Fv_obs.Metrics.snap) ->
+        if String.equal s.Fv_obs.Metrics.s_name name then
+          List.iter
+            (fun (bound, c) ->
+              Hashtbl.replace tbl bound
+                (c + Option.value ~default:0 (Hashtbl.find_opt tbl bound)))
+            s.Fv_obs.Metrics.s_buckets)
+      snaps;
+    tbl
+  in
+  let b0 = buckets before and b1 = buckets after in
+  let bounds =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) b1 [])
+  in
+  let delta bound =
+    Option.value ~default:0 (Hashtbl.find_opt b1 bound)
+    - Option.value ~default:0 (Hashtbl.find_opt b0 bound)
+  in
+  match List.rev bounds with
+  | [] -> 0.0
+  | last :: _ ->
+      let total = delta last in
+      let need =
+        int_of_float (ceil (0.99 *. float_of_int total)) |> max 1
+      in
+      let hit =
+        List.find_opt (fun bound -> delta bound >= need) bounds
+      in
+      let b = Option.value ~default:last hit in
+      if Float.is_finite b then b else 100.0
+
+let chaos_bench (plan : Harness.plan) () =
+  section "chaos: serve availability and byte-stability under injection";
+  Fv_serve.Server.reset_shutdown ();
+  let seed = plan.Harness.fault_seed in
+  let n = 300 in
+  let cases = Fv_serve.Loadgen.distinct_cases ~n ~seed:5 in
+  let base_lines =
+    List.mapi
+      (fun i c ->
+        Fv_serve.Loadgen.loop_request_line ~id:(Printf.sprintf "c%d" i) c)
+      cases
+  in
+  (* one poison request repeated byte-identically (a hot-looping client
+     resends the same bytes — that is what quarantine content-hashes):
+     chaos marks it always-slow, so with the row timeout armed it must
+     walk the whole arc — detach, strike, strike, refused-by-quarantine *)
+  let poison_marker = "(id poison)" in
+  let poison_positions = [ 50; 110; 170; 230; 290 ] in
+  let poison_line =
+    Fv_serve.Loadgen.loop_request_line ~id:"poison" (List.hd cases)
+  in
+  let lines =
+    List.concat
+      (List.mapi
+         (fun i l ->
+           if List.mem i poison_positions then [ poison_line; l ] else [ l ])
+         base_lines)
+  in
+  let requests = List.length lines in
+  let domains =
+    match plan.Harness.domains with
+    | Some d -> d
+    | None -> min 4 (Fv_parallel.Pool.default_domains ())
+  in
+  let run ~rate =
+    let chaos =
+      if rate > 0.0 then
+        Some
+          (Fv_serve.Chaos.make ~rate ~seed ~slow_s:0.1
+             ~poison:poison_marker ())
+      else None
+    in
+    let qdir = Filename.temp_file "flexvec_quarantine" "" in
+    Sys.remove qdir;
+    let quarantine = Fv_serve.Quarantine.create ~dir:qdir ~max_strikes:2 () in
+    let opts =
+      {
+        Fv_serve.Server.domains = Some domains;
+        batch = 32;
+        queue_cap = 4096;
+        row_timeout = (if rate > 0.0 then Some 0.02 else None);
+        supervised = true;
+        quarantine = Some quarantine;
+        chaos;
+      }
+    in
+    let scfg = Fv_serve.Service.cfg () in
+    let before = Fv_obs.Metrics.snapshot Fv_obs.Metrics.global in
+    let t0 = Fv_obs.Clock.now () in
+    let responses = serve_pipe scfg opts lines in
+    let wall = Fv_obs.Clock.elapsed ~since:t0 in
+    let after = Fv_obs.Metrics.snapshot Fv_obs.Metrics.global in
+    (* best-effort quarantine dir cleanup *)
+    (try
+       Array.iter
+         (fun f -> Sys.remove (Filename.concat qdir f))
+         (Sys.readdir qdir);
+       Unix.rmdir qdir
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    let injected_line i l =
+      match chaos with
+      | None -> false
+      | Some c -> Fv_serve.Chaos.action c ~line:l ~ordinal:i <> Fv_serve.Chaos.Pass
+    in
+    let injected =
+      List.fold_left ( + ) 0
+        (List.mapi (fun i l -> if injected_line i l then 1 else 0) lines)
+    in
+    let by_id =
+      List.filter_map
+        (fun r ->
+          match response_field r "id" with
+          | Some id -> Some (id, r)
+          | None -> None)
+        responses
+    in
+    let status_counts = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let s =
+          Option.value ~default:"?" (response_field r "status")
+        in
+        Hashtbl.replace status_counts s
+          (1 + Option.value ~default:0 (Hashtbl.find_opt status_counts s)))
+      responses;
+    let count s = Option.value ~default:0 (Hashtbl.find_opt status_counts s) in
+    (* availability over the non-injected population: every request the
+       chaos plan left alone must come back ok *)
+    let non_injected_ok, non_injected =
+      List.fold_left
+        (fun (ok, tot) (i, l) ->
+          if injected_line i l then (ok, tot)
+          else
+            let id = Option.get (response_field l "id") in
+            let got_ok =
+              match List.assoc_opt id by_id with
+              | Some r -> response_field r "status" = Some "ok"
+              | None -> false
+            in
+            ((if got_ok then ok + 1 else ok), tot + 1))
+        (0, 0)
+        (List.mapi (fun i l -> (i, l)) lines)
+    in
+    let delta name = counter_total after name - counter_total before name in
+    ( rate,
+      responses,
+      by_id,
+      count "ok",
+      count "deadline-exceeded",
+      count "error",
+      count "overloaded",
+      injected,
+      non_injected_ok,
+      non_injected,
+      delta "serve_quarantined",
+      delta "serve_quarantine_strikes",
+      delta "serve_worker_restarts",
+      delta "serve_shed",
+      histo_p99_bound before after "serve_request_seconds",
+      wall )
+  in
+  (* fault-free baseline: the oracle's ground truth *)
+  let ( _,
+        baseline_responses,
+        baseline_by_id,
+        base_ok,
+        _,
+        _,
+        _,
+        _,
+        _,
+        _,
+        _,
+        _,
+        _,
+        _,
+        _,
+        _ ) =
+    run ~rate:0.0
+  in
+  assert (List.length baseline_responses = requests);
+  assert (base_ok = requests);
+  let rates = [ 0.0; 0.01; 0.05; 0.2 ] in
+  let rows =
+    List.map
+      (fun rate ->
+        let ( _,
+              responses,
+              by_id,
+              ok,
+              deadline,
+              error,
+              overloaded,
+              injected,
+              ni_ok,
+              ni,
+              quarantined,
+              strikes,
+              restarts,
+              shed,
+              p99_bound,
+              wall ) =
+          run ~rate
+        in
+        (* differential oracle: chaos may fail a request, but an [ok]
+           response must be byte-identical to the fault-free run's *)
+        let mismatches =
+          List.fold_left
+            (fun acc (id, r) ->
+              if response_field r "status" = Some "ok" then
+                match List.assoc_opt id baseline_by_id with
+                | Some b when String.equal b r -> acc
+                | _ -> acc + 1
+              else acc)
+            0 by_id
+        in
+        let availability =
+          float_of_int ni_ok /. float_of_int (max 1 ni)
+        in
+        ( rate,
+          List.length responses,
+          ok,
+          deadline,
+          error,
+          overloaded,
+          injected,
+          availability,
+          mismatches,
+          quarantined,
+          strikes,
+          restarts,
+          shed,
+          p99_bound,
+          wall ))
+      rates
+  in
+  let table =
+    [ "Rate"; "Answered"; "ok/ddl/err"; "Injected"; "Avail(non-inj)";
+      "Oracle"; "Quarantine(blk/strk)"; "Restarts"; "p99 bucket"; "Wall (s)" ]
+    :: List.map
+         (fun ( rate, answered, ok, ddl, err, _ovl, injected, avail, mism,
+                q, strk, restarts, _shed, p99, wall ) ->
+           [
+             Printf.sprintf "%.2f" rate;
+             Printf.sprintf "%d/%d" answered requests;
+             Printf.sprintf "%d/%d/%d" ok ddl err;
+             string_of_int injected;
+             Printf.sprintf "%.4f" avail;
+             (if mism = 0 then "ok" else Printf.sprintf "%d MISMATCH" mism);
+             Printf.sprintf "%d/%d" q strk;
+             string_of_int restarts;
+             Printf.sprintf "<=%gs" p99;
+             Printf.sprintf "%.2f" wall;
+           ])
+         rows
+  in
+  print_string (Report.table table);
+  Printf.printf
+    "\n%d requests per run (%d poison repeats); seed %d; %d domains; \
+     supervised pool, 20ms row timeout, quarantine after 2 strikes\n"
+    requests (List.length poison_positions) seed domains;
+  [
+    ("requests", J.Int requests);
+    ("poison_repeats", J.Int (List.length poison_positions));
+    ("domains", J.Int domains);
+    ( "rows",
+      J.List
+        (List.map
+           (fun ( rate, answered, ok, ddl, err, ovl, injected, avail, mism,
+                  q, strk, restarts, shed, p99, wall ) ->
+             J.Obj
+               [
+                 ("rate", J.Float rate);
+                 ("answered", J.Int answered);
+                 ("ok", J.Int ok);
+                 ("deadline_exceeded", J.Int ddl);
+                 ("error", J.Int err);
+                 ("overloaded", J.Int ovl);
+                 ("injected", J.Int injected);
+                 ("availability_non_injected", J.Float avail);
+                 ("oracle_mismatches", J.Int mism);
+                 ("quarantine_blocked", J.Int q);
+                 ("quarantine_strikes", J.Int strk);
+                 ("worker_restarts", J.Int restarts);
+                 ("shed", J.Int shed);
+                 ("p99_bucket_seconds", J.Float p99);
+                 ("wall_seconds", J.Float wall);
+               ])
+           rows) );
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -619,6 +1040,7 @@ let sections =
     ("fault-sweep", fault_sweep);
     ("micro", micro);
     ("serve", serve_bench);
+    ("chaos", chaos_bench);
   ]
 
 let () =
@@ -691,7 +1113,7 @@ let () =
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 7);
+                 ("schema_version", J.Int 8);
                  ("domains", J.Int domains_used);
                  ( "mode",
                    J.Str

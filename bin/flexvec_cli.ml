@@ -472,7 +472,8 @@ let table2_cmd =
 
 let serve_cmd =
   let run domains batch max_queue deadline_ms row_timeout max_request_bytes
-      socket plan_cache stats_json emit seed =
+      socket plan_cache plan_cache_file supervised quarantine_dir max_strikes
+      chaos_rate chaos_seed stats_json emit seed =
     match emit with
     | Some n ->
         (* generator mode: print a deterministic request stream and
@@ -483,10 +484,30 @@ let serve_cmd =
               (Fv_serve.Loadgen.request_line ~id:(Printf.sprintf "q%d" i) c))
           (Fv_serve.Loadgen.distinct_cases ~n ~seed)
     | None ->
+        (* SIGINT/SIGTERM request a graceful shutdown: stop reading,
+           answer what was admitted, then fall through to the stats and
+           snapshot writes below instead of dying mid-state *)
+        Fv_serve.Server.install_signal_handlers ();
+        let cache = Fv_serve.Plancache.create ~cap:plan_cache () in
+        let restore =
+          match plan_cache_file with
+          | Some path -> Fv_serve.Snapshot.load cache ~path
+          | None -> Fv_serve.Snapshot.empty_stats
+        in
         let scfg =
-          Fv_serve.Service.cfg
-            ~cache:(Fv_serve.Plancache.create ~cap:plan_cache ())
-            ?deadline_ms ~max_request_bytes ()
+          Fv_serve.Service.cfg ~cache ?deadline_ms ~max_request_bytes ()
+        in
+        let quarantine =
+          if supervised || Option.is_some quarantine_dir then
+            Some
+              (Fv_serve.Quarantine.create ?dir:quarantine_dir
+                 ~max_strikes ())
+          else None
+        in
+        let chaos =
+          if chaos_rate > 0.0 then
+            Some (Fv_serve.Chaos.make ~rate:chaos_rate ~seed:chaos_seed ())
+          else None
         in
         let opts =
           {
@@ -494,6 +515,9 @@ let serve_cmd =
             batch;
             queue_cap = max_queue;
             row_timeout;
+            supervised;
+            quarantine;
+            chaos;
           }
         in
         let (), wall =
@@ -501,6 +525,11 @@ let serve_cmd =
               match socket with
               | Some path -> Fv_serve.Server.serve_socket scfg opts ~path
               | None -> Fv_serve.Server.serve_stdin scfg opts)
+        in
+        let snapshot_saved =
+          match plan_cache_file with
+          | Some path -> Some (Fv_serve.Snapshot.save cache ~path)
+          | None -> None
         in
         (* unlike the bench sections the server's whole point is its
            counters, so the report always carries the metrics snapshot *)
@@ -524,6 +553,26 @@ let serve_cmd =
                  [
                    ("plan_cache", cache_obj scfg.Fv_serve.Service.cache);
                    ("response_cache", cache_obj scfg.Fv_serve.Service.lines);
+                   ( "snapshot",
+                     J.Obj
+                       [
+                         ("restored", J.Int restore.Fv_serve.Snapshot.restored);
+                         ("corrupt", J.Int restore.Fv_serve.Snapshot.corrupt);
+                         ( "saved",
+                           match snapshot_saved with
+                           | Some n -> J.Int n
+                           | None -> J.Null );
+                       ] );
+                   ( "quarantine",
+                     match quarantine with
+                     | None -> J.Null
+                     | Some qt ->
+                         J.Obj
+                           [
+                             ("size", J.Int (Fv_serve.Quarantine.size qt));
+                             ( "max_strikes",
+                               J.Int (Fv_serve.Quarantine.max_strikes qt) );
+                           ] );
                  ])
   in
   let batch_arg =
@@ -583,6 +632,58 @@ let serve_cmd =
             "Plan cache capacity (entries); at capacity one \
              not-recently-hit entry is evicted per insertion.")
   in
+  let plan_cache_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan-cache-file" ] ~docv:"FILE"
+          ~doc:
+            "Persist the plan cache: restore a snapshot from $(docv) at \
+             startup (corrupt entries are skipped and counted, never \
+             fatal) and write one back atomically on graceful exit, so \
+             a restarted server serves its working set warm.")
+  in
+  let supervised_arg =
+    Arg.(
+      value & flag
+      & info [ "supervised" ]
+          ~doc:
+            "Run batches under pool supervision: a request that wedges \
+             past --row-timeout or kills its worker is answered \
+             immediately, the burned domain is replaced, and the \
+             offender is struck in the quarantine table.")
+  in
+  let quarantine_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "quarantine-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist each quarantined request line to \
+             $(docv)/cex-<hash>.sexp (fuzz-corpus reproducer naming); \
+             implies --supervised.")
+  in
+  let max_strikes_arg =
+    Arg.(
+      value
+      & opt int Fv_serve.Quarantine.default_max_strikes
+      & info [ "max-strikes" ] ~docv:"N"
+          ~doc:
+            "Pool failures a request is allowed before it is refused up \
+             front with an $(b,error) response (quarantine).")
+  in
+  let chaos_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-rate" ] ~docv:"P"
+          ~doc:
+            "Chaos injection probability per request (slow requests, \
+             worker deaths, short reads/writes) — a drill switch, \
+             deterministic for a given --chaos-seed.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the chaos plan.")
+  in
   let stats_json_arg =
     Arg.(
       value & opt (some string) None
@@ -611,7 +712,9 @@ let serve_cmd =
     Term.(
       const run $ domains_arg $ batch_arg $ max_queue_arg $ deadline_arg
       $ row_timeout_arg $ max_request_bytes_arg $ socket_arg $ plan_cache_arg
-      $ stats_json_arg $ emit_arg $ seed_arg)
+      $ plan_cache_file_arg $ supervised_arg $ quarantine_dir_arg
+      $ max_strikes_arg $ chaos_rate_arg $ chaos_seed_arg $ stats_json_arg
+      $ emit_arg $ seed_arg)
 
 let () =
   let info =

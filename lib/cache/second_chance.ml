@@ -106,6 +106,23 @@ module Make (H : Hashtbl.HashedType) = struct
         Bytes.set t.referenced i '\001';
         T.replace t.index k i
 
+  (** Visit every live binding in slot order (insertion order until the
+      first eviction). Does not touch reference bits, so enumerating a
+      cache — e.g. to snapshot it to disk — does not distort the
+      eviction policy the way [cap] probing reads through {!find_opt}
+      would. *)
+  let iter (t : 'v t) (f : H.t -> 'v -> unit) : unit =
+    for i = 0 to t.cap - 1 do
+      match (t.keys.(i), t.vals.(i)) with
+      | Some k, Some v -> f k v
+      | _ -> ()
+    done
+
+  let fold (t : 'v t) (f : H.t -> 'v -> 'acc -> 'acc) (init : 'acc) : 'acc =
+    let acc = ref init in
+    iter t (fun k v -> acc := f k v !acc);
+    !acc
+
   let clear (t : 'v t) : unit =
     T.reset t.index;
     Array.fill t.keys 0 t.cap None;

@@ -90,6 +90,17 @@ let timed (f : unit -> 'a) : 'a * float =
     [rows] array.
 
     Version history:
+    - 8: self-healing serve — the registry gained the supervised-pool
+      and quarantine counters ([pool_worker_restarts],
+      [serve_worker_restarts], [serve_quarantined],
+      [serve_quarantine_strikes], [serve_client_disconnects]) and the
+      plan-cache snapshot counters ([plan_cache_restored_entries] /
+      [plan_cache_corrupt_entries]); [BENCH_serve.json] gained a
+      [restart] object (warm-restart drill: snapshot size, restored and
+      corrupt entry counts, in-process vs restored warm p50); the
+      [chaos] section arrived ([BENCH_chaos.json]: per-injection-rate
+      rows with availability over the non-injected population,
+      differential-oracle mismatches, quarantine and restart counts).
     - 7: compile-service observability — the registry gained the plan
       cache and response memo counters ([plan_cache_*] /
       [response_cache_*]: hits, misses, evictions, collisions), the
@@ -455,7 +466,7 @@ module Json = struct
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 7);
+         ("schema_version", Int 8);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));

@@ -40,9 +40,14 @@ type shard = (key, cell) Hashtbl.t
 type t = {
   lock : Mutex.t;
   mutable shards : (int * shard) list;  (** domain id -> its shard *)
+  retired : shard;
+      (** events of domains that have terminated, folded in by
+          {!retire}; merged into every snapshot exactly like one more
+          shard *)
 }
 
-let create () : t = { lock = Mutex.create (); shards = [] }
+let create () : t =
+  { lock = Mutex.create (); shards = []; retired = Hashtbl.create 32 }
 
 (** The process-wide registry the built-in instrumentation records
     into; reports snapshot (and usually reset) it per section. *)
@@ -107,6 +112,47 @@ let observe ?(labels = []) (t : t) (name : string) (v : float) : unit =
   done;
   c.buckets.(!i) <- c.buckets.(!i) + 1
 
+(* Fold [c] into [into]'s cell for [k]: counters and histogram buckets
+   sum, gauges keep the maximum — the same merge {!snapshot} applies
+   across shards, so where a cell's events are accumulated (live shard,
+   [retired], or the snapshot's scratch table) never changes totals. *)
+let merge_cell (into : shard) (k : key) (c : cell) : unit =
+  match Hashtbl.find_opt into k with
+  | None ->
+      Hashtbl.replace into k
+        {
+          kind = c.kind;
+          count = c.count;
+          sum = c.sum;
+          buckets = Array.copy c.buckets;
+        }
+  | Some m ->
+      m.count <- m.count + c.count;
+      (match c.kind with
+      | Gauge -> m.sum <- Float.max m.sum c.sum
+      | Counter | Histogram -> m.sum <- m.sum +. c.sum);
+      Array.iteri (fun i b -> m.buckets.(i) <- m.buckets.(i) + b) c.buckets
+
+(** [retire t ~domain] ends metrics ownership for a terminated domain:
+    its shard is folded into the retained [retired] accumulator and
+    removed from the live shard list in one critical section. The
+    supervised pool calls this after joining a worker that died or
+    finished, which keeps snapshots taken during a supervised restart
+    exact — merging a dead domain's shard without removing it would
+    double-count its events at the next snapshot, and leaving it live
+    would let a recycled domain id (OCaml reuses them) resurrect the
+    dead domain's cells under a new owner. Idempotent; an unknown
+    [domain] is a no-op. Must only be called once the domain has
+    actually terminated (e.g. after [Domain.join]): retiring a live
+    domain's shard loses any increment racing with the fold. *)
+let retire (t : t) ~(domain : int) : unit =
+  Mutex.protect t.lock (fun () ->
+      match List.assoc_opt domain t.shards with
+      | None -> ()
+      | Some s ->
+          t.shards <- List.filter (fun (d, _) -> d <> domain) t.shards;
+          Hashtbl.iter (fun k c -> merge_cell t.retired k c) s)
+
 type snap = {
   s_name : string;
   s_labels : (string * string) list;
@@ -128,29 +174,12 @@ let snapshot ?(reset = false) (t : t) : snap list =
   Mutex.protect t.lock (fun () ->
       let merged : (key, cell) Hashtbl.t = Hashtbl.create 64 in
       List.iter
-        (fun (_, s) ->
-          Hashtbl.iter
-            (fun k (c : cell) ->
-              match Hashtbl.find_opt merged k with
-              | None ->
-                  Hashtbl.replace merged k
-                    {
-                      kind = c.kind;
-                      count = c.count;
-                      sum = c.sum;
-                      buckets = Array.copy c.buckets;
-                    }
-              | Some m ->
-                  m.count <- m.count + c.count;
-                  (match c.kind with
-                  | Gauge -> m.sum <- Float.max m.sum c.sum
-                  | Counter | Histogram -> m.sum <- m.sum +. c.sum);
-                  Array.iteri
-                    (fun i b -> m.buckets.(i) <- m.buckets.(i) + b)
-                    c.buckets)
-            s)
-        t.shards;
-      if reset then t.shards <- [];
+        (fun (_, s) -> Hashtbl.iter (fun k c -> merge_cell merged k c) s)
+        ((-1, t.retired) :: t.shards);
+      if reset then begin
+        t.shards <- [];
+        Hashtbl.reset t.retired
+      end;
       Hashtbl.fold
         (fun k (c : cell) acc ->
           {
@@ -186,7 +215,9 @@ let snapshot ?(reset = false) (t : t) : snap list =
              compare (a.s_name, a.s_labels) (b.s_name, b.s_labels)))
 
 let reset (t : t) : unit =
-  Mutex.protect t.lock (fun () -> t.shards <- [])
+  Mutex.protect t.lock (fun () ->
+      t.shards <- [];
+      Hashtbl.reset t.retired)
 
 let pp_snap ppf (s : snap) =
   Fmt.pf ppf "%s%a %s count=%d sum=%g" s.s_name

@@ -105,6 +105,257 @@ let map_result ?domains ?timeout_s (f : 'a -> 'b) (xs : 'a list) :
              | Pending -> assert false (* all slots filled before join *))
            slots)
 
+(** Raised by a task (or injected by the chaos harness) to simulate a
+    worker domain dying mid-element. {!map_supervised} deliberately
+    lets it escape the per-element handler: the element is reported as
+    [Error (Raised _)], the worker exits, and the supervisor spawns a
+    replacement — ordinary exceptions only fail the element. *)
+exception Kill_worker of string
+
+let () =
+  Printexc.register_printer (function
+    | Kill_worker msg -> Some (Printf.sprintf "worker killed: %s" msg)
+    | _ -> None)
+
+(** What the supervisor observed while running one {!map_supervised}
+    call. [sv_detached] counts workers abandoned mid-element because
+    their element blew its wall-clock budget; [sv_restarts] counts the
+    replacement domains spawned (for detached and for dead workers). *)
+type sv_stats = { sv_restarts : int; sv_detached : int }
+
+(** Supervisor-visible event, surfaced through [?on_event] so callers
+    (the serve layer) can count restarts and quarantine the offending
+    input without threading state through the pool. *)
+type sv_event =
+  | Sv_detached of { index : int; wall_seconds : float; limit : float }
+      (** the worker running element [index] exceeded [?timeout_s]; its
+          slot was answered [Timed_out] and the worker abandoned *)
+  | Sv_died of { index : int; exn : exn }
+      (** the worker running element [index] died (its task raised
+          {!Kill_worker} or the domain body itself failed); the element
+          was answered [Error (Raised _)] *)
+
+(* Per-element slot protocol. A worker claims a slot by storing a fresh
+   [Sv_running] token, then publishes its result with a compare-and-set
+   against that exact token (physical equality). The supervisor steals a
+   timed-out slot the same way: CAS [Sv_running] -> [Sv_done (Error
+   (Timed_out _))]. Whoever wins the CAS owns the slot; the loser
+   observes the failed CAS and stands down — a detached worker stops
+   taking new work, a late result is discarded. *)
+type 'b sv_cell =
+  | Sv_free
+  | Sv_running of { start : float; worker : int }
+  | Sv_done of ('b, failure) result
+
+type sv_worker = {
+  w_id : int;
+  mutable w_domain : unit Domain.t option;
+  w_item : int Atomic.t;  (** element currently claimed, or -1 *)
+  w_dom_id : int Atomic.t;  (** [Domain.self] of the worker, for retire *)
+  w_died : exn option Atomic.t;
+  w_finished : bool Atomic.t;
+  mutable w_detached : bool;
+  mutable w_reaped : bool;
+}
+
+(** [map_supervised ?domains ?timeout_s ?poll_s ?on_event f xs] is
+    {!map_result} with live supervision instead of post-hoc accounting.
+    The calling domain acts as supervisor: it polls the slots every
+    [?poll_s] (default 2ms) and
+
+    - {b detaches} a worker whose current element has run past
+      [?timeout_s]: the element is answered [Error (Timed_out _)]
+      immediately (not when the element eventually finishes), the
+      worker is abandoned — domains cannot be preempted, so it keeps
+      burning its core until the stuck element returns, but it takes no
+      further work — and a replacement domain is spawned so pool
+      capacity survives a wedged request;
+    - {b restarts} a worker that died ({!Kill_worker}): the element is
+      answered [Error (Raised _)], the dead domain is joined, its
+      metrics shard is retired (see [Fv_obs.Metrics.retire] — keeps
+      snapshots during a restart exactly-once), and a replacement is
+      spawned if unclaimed work remains.
+
+    A detached worker's eventual completion is discarded (its publish
+    CAS fails), so each element is answered exactly once. Output order
+    matches input order. Abandoned domains are leaked by design; the
+    caller bounds how often a given input can do this (quarantine). *)
+let map_supervised ?domains ?timeout_s ?(poll_s = 0.002) ?on_event
+    (f : 'a -> 'b) (xs : 'a list) : ('b, failure) result list * sv_stats =
+  let requested =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let requested = min requested (max 1 (Domain.recommended_domain_count ())) in
+  let event e = match on_event with Some g -> g e | None -> () in
+  match xs with
+  | [] -> ([], { sv_restarts = 0; sv_detached = 0 })
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let slots = Array.init n (fun _ -> Atomic.make Sv_free) in
+      let cursor = Atomic.make 0 in
+      let filled = Atomic.make 0 in
+      let run_item i =
+        let t0 = Fv_obs.Clock.now () in
+        let r, died =
+          match Fv_obs.Span.with_row i (fun () -> f items.(i)) with
+          | y -> (Ok y, None)
+          | exception (Kill_worker _ as e) ->
+              ( Error
+                  (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () }),
+                Some e )
+          | exception e ->
+              ( Error
+                  (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () }),
+                None )
+        in
+        let dt = Fv_obs.Clock.elapsed ~since:t0 in
+        Fv_obs.Metrics.incr Fv_obs.Metrics.global "pool_tasks";
+        Fv_obs.Metrics.observe
+          ~labels:[ ("domain", string_of_int (Domain.self () :> int)) ]
+          Fv_obs.Metrics.global "pool_task_seconds" dt;
+        (* same post-hoc check as map_result: an element that finished
+           over budget without being detached (supervisor poll lag) is
+           still reported timed out, so the two entry points agree *)
+        match (r, timeout_s) with
+        | Ok _, Some limit when dt > limit ->
+            (Error (Timed_out { wall_seconds = dt; limit }), died)
+        | _ -> (r, died)
+      in
+      let make_worker id =
+        let w =
+          {
+            w_id = id;
+            w_domain = None;
+            w_item = Atomic.make (-1);
+            w_dom_id = Atomic.make (-1);
+            w_died = Atomic.make None;
+            w_finished = Atomic.make false;
+            w_detached = false;
+            w_reaped = false;
+          }
+        in
+        let body () =
+          Atomic.set w.w_dom_id (Domain.self () :> int);
+          let rec go () =
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i < n then begin
+              Atomic.set w.w_item i;
+              let tok = Sv_running { start = Fv_obs.Clock.now (); worker = id } in
+              Atomic.set slots.(i) tok;
+              let r, died = run_item i in
+              let published = Atomic.compare_and_set slots.(i) tok (Sv_done r) in
+              if published then ignore (Atomic.fetch_and_add filled 1);
+              match died with
+              | Some e -> Atomic.set w.w_died (Some e)
+              | None -> if published then go () (* detached: stop here *)
+            end
+          in
+          (try go () with e -> Atomic.set w.w_died (Some e));
+          Atomic.set w.w_finished true
+        in
+        w.w_domain <- Some (Domain.spawn body);
+        w
+      in
+      let workers = ref (List.init (min requested n) make_worker) in
+      let next_id = ref (List.length !workers) in
+      let restarts = ref 0 in
+      let detached = ref 0 in
+      let respawn () =
+        (* only when unclaimed work remains: every claimed slot already
+           has an owner (a live worker or the supervisor's Timed_out) *)
+        if Atomic.get cursor < n then begin
+          workers := make_worker !next_id :: !workers;
+          incr next_id;
+          incr restarts;
+          Fv_obs.Metrics.incr Fv_obs.Metrics.global "pool_worker_restarts"
+        end
+      in
+      let reap w =
+        (* the worker set w_finished as its last action, so join cannot
+           block; after the join its domain id is dead and the shard can
+           be retired without losing racing increments *)
+        (match w.w_domain with Some d -> Domain.join d | None -> ());
+        w.w_reaped <- true;
+        Fv_obs.Metrics.retire Fv_obs.Metrics.global
+          ~domain:(Atomic.get w.w_dom_id);
+        match Atomic.get w.w_died with
+        | Some e when not w.w_detached ->
+            (* backstop: should the domain body ever fail outside
+               [run_item], its claimed slot would still be unanswered —
+               the worker is joined, so this CAS cannot race a publish *)
+            let i = Atomic.get w.w_item in
+            (if i >= 0 then
+               match Atomic.get slots.(i) with
+               | Sv_running { worker; _ } as tok when worker = w.w_id ->
+                   if
+                     Atomic.compare_and_set slots.(i) tok
+                       (Sv_done
+                          (Error
+                             (Raised
+                                {
+                                  exn = e;
+                                  backtrace = Printexc.get_raw_backtrace ();
+                                })))
+                   then ignore (Atomic.fetch_and_add filled 1)
+               | _ -> ());
+            event (Sv_died { index = i; exn = e });
+            respawn ()
+        | Some _ | None ->
+            (* normal exit, or a detached worker that later died: the
+               detach already answered the slot and respawned *)
+            ()
+      in
+      while Atomic.get filled < n do
+        List.iter
+          (fun w -> if (not w.w_reaped) && Atomic.get w.w_finished then reap w)
+          !workers;
+        (match timeout_s with
+        | None -> ()
+        | Some limit ->
+            let now = Fv_obs.Clock.now () in
+            Array.iteri
+              (fun i cell ->
+                match Atomic.get cell with
+                | Sv_running { start; worker } as tok
+                  when now -. start > limit ->
+                    let wall = now -. start in
+                    if
+                      Atomic.compare_and_set cell tok
+                        (Sv_done (Error (Timed_out { wall_seconds = wall; limit })))
+                    then begin
+                      ignore (Atomic.fetch_and_add filled 1);
+                      (match
+                         List.find_opt (fun w -> w.w_id = worker) !workers
+                       with
+                      | Some w -> w.w_detached <- true
+                      | None -> ());
+                      incr detached;
+                      event (Sv_detached { index = i; wall_seconds = wall; limit });
+                      respawn ()
+                    end
+                | _ -> ())
+              slots);
+        if Atomic.get filled < n then Unix.sleepf poll_s
+      done;
+      (* all slots are answered. Non-detached workers are exiting (their
+         next cursor fetch is >= n), so joining them is prompt; detached
+         workers are joined only if they already finished, otherwise
+         they are leaked — the price of preemption-free domains. *)
+      List.iter
+        (fun w ->
+          if (not w.w_reaped) && ((not w.w_detached) || Atomic.get w.w_finished)
+          then reap w)
+        !workers;
+      let results =
+        Array.to_list
+          (Array.map
+             (fun c ->
+               match Atomic.get c with Sv_done r -> r | _ -> assert false)
+             slots)
+      in
+      (results, { sv_restarts = !restarts; sv_detached = !detached })
+
 (** [map_ordered ?domains f xs] is [List.map f xs], evaluated by a pool
     of [domains] worker domains (default {!default_domains}). The
     output preserves input order regardless of completion order. If any

@@ -98,3 +98,14 @@ let evictions (t : t) : int =
   Mutex.protect t.lock (fun () -> Cache.evictions t.cache)
 
 let clear (t : t) : unit = Mutex.protect t.lock (fun () -> Cache.clear t.cache)
+
+(** Every live entry as [(canonical, plan)], in slot order. Taken under
+    the lock in one critical section, so {!Snapshot.save} writes a
+    consistent point-in-time view even while the server keeps
+    inserting. *)
+let to_alist (t : t) : (string * plan) list =
+  Mutex.protect t.lock (fun () ->
+      List.rev
+        (Cache.fold t.cache
+           (fun _h e acc -> (e.e_canonical, e.e_plan) :: acc)
+           []))

@@ -1,4 +1,5 @@
-(** The long-running compile server: framing, batching, backpressure.
+(** The long-running compile server: framing, batching, backpressure,
+    and the failure model.
 
     One orchestrator loop owns the input: it reads newline-delimited
     frames off a file descriptor (stdin, or an accepted unix-domain
@@ -16,11 +17,54 @@
     expression are accepted. A frame growing past the request size
     limit stops being buffered (the rest of it is scanned and dropped,
     bounding memory against a hostile writer) and is answered
-    [oversized]. *)
+    [oversized].
+
+    Failure model (see DESIGN.md "Failure model"):
+
+    - {b Client death is not server death}: SIGPIPE is ignored and the
+      response write path catches [EPIPE]/[Sys_error], so a client
+      disconnecting mid-response drops that connection, never the
+      daemon.
+    - {b Supervised batches}: with [supervised] (or a quarantine table
+      or chaos plan) set, batches run on {!Pool.map_supervised} — a
+      request that wedges past [row_timeout] or kills its worker is
+      answered ([deadline-exceeded] / [error]) immediately and the
+      burned domain replaced, and every such pool-level failure strikes
+      the {!Quarantine} table so a repeating poison request is refused
+      up front instead of draining the pool one domain at a time.
+    - {b Graceful shutdown}: {!request_shutdown} (wired to
+      SIGINT/SIGTERM by {!install_signal_handlers}) makes every blocking
+      point a bounded [select] poll; the serve loop stops reading,
+      answers everything already admitted, flushes, and returns so the
+      caller can write stats and snapshot the plan cache. The signal
+      sets a flag rather than the handler doing work: OCaml delivers
+      signals to an arbitrary domain, so the serving loop polls. *)
 
 module Sexp = Fv_fuzz.Sexp
 module Pool = Fv_parallel.Pool
 module P = Protocol
+
+(* ---------------- shutdown plumbing ---------------- *)
+
+let shutting_down = Atomic.make false
+let request_shutdown () = Atomic.set shutting_down true
+let shutdown_requested () = Atomic.get shutting_down
+
+(** For tests and fresh [serve] invocations in one process. *)
+let reset_shutdown () = Atomic.set shutting_down false
+
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(** Ignore SIGPIPE and turn SIGINT/SIGTERM into {!request_shutdown}. *)
+let install_signal_handlers () =
+  ignore_sigpipe ();
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle (fun _ -> request_shutdown ()))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 (* ---------------- framing ---------------- *)
 
@@ -102,10 +146,16 @@ module Framer = struct
       end
     done
 
-  let readable (fd : Unix.file_descr) : bool =
-    match Unix.select [ fd ] [] [] 0.0 with
+  (** Is data available within [timeout] seconds? [EINTR] (a signal
+      landed on this domain) reports "no" so the caller rechecks its
+      shutdown flag instead of blocking on. *)
+  let wait_readable ?(timeout = 0.0) (fd : Unix.file_descr) : bool =
+    match Unix.select [ fd ] [] [] timeout with
     | [ _ ], _, _ -> true
     | _ -> false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+  let readable (fd : Unix.file_descr) : bool = wait_readable ~timeout:0.0 fd
 
   let rec read_retry fd buf len =
     match Unix.read fd buf 0 len with
@@ -113,10 +163,17 @@ module Framer = struct
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf len
 
   (** Read once ([blocking]) or only if data is already available, and
-      scan what arrived. EOF flushes the final unterminated frame. *)
-  let refill (t : t) ~(blocking : bool) : unit =
+      scan what arrived. [?cap] bounds the read size (the chaos
+      harness's short reads). EOF flushes the final unterminated
+      frame. *)
+  let refill ?cap (t : t) ~(blocking : bool) : unit =
     if (not t.eof) && (blocking || readable t.fd) then begin
-      let n = read_retry t.fd t.chunk (Bytes.length t.chunk) in
+      let want =
+        match cap with
+        | Some c -> max 1 (min c (Bytes.length t.chunk))
+        | None -> Bytes.length t.chunk
+      in
+      let n = read_retry t.fd t.chunk want in
       if n = 0 then begin
         t.eof <- true;
         if Buffer.length t.acc > 0 || t.dropped > 0 then end_frame t
@@ -135,10 +192,26 @@ type opts = {
       (** per-request wall budget enforced by the pool, the bench
           harness's [--row-timeout]; a wedged request becomes a
           [deadline-exceeded] response instead of stalling the batch *)
+  supervised : bool;
+      (** run batches on {!Pool.map_supervised}: a wedged request is
+          answered at the deadline (not after it finishes) and its
+          burned worker replaced. Implied by [quarantine] or [chaos]. *)
+  quarantine : Quarantine.t option;
+      (** repeat-offender table; pool-level failures strike it and
+          blocked requests are refused without claiming a domain *)
+  chaos : Chaos.t option;  (** fault-injection plan (tests / bench) *)
 }
 
 let default_opts =
-  { domains = None; batch = 32; queue_cap = 256; row_timeout = None }
+  {
+    domains = None;
+    batch = 32;
+    queue_cap = 256;
+    row_timeout = None;
+    supervised = false;
+    quarantine = None;
+    chaos = None;
+  }
 
 (* best-effort id extraction for responses that never reach [Service]
    (shed / pool-failed frames); cheap — no payload decoding *)
@@ -153,17 +226,62 @@ let id_of_frame (line : string) : string option =
 
 let note = Fv_obs.Metrics.incr Fv_obs.Metrics.global
 
-(** Serve one input stream to EOF. Responses go to [out], one line
-    each; the channel is flushed after every batch. *)
+(** Serve one input stream until EOF, client disconnect, or
+    {!request_shutdown}. Responses go to [out], one line each; the
+    channel is flushed after every batch. *)
 let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
     ~(out : out_channel) : unit =
+  ignore_sigpipe ();
   let fr = Framer.create ~max_bytes:(scfg.Service.max_request_bytes + 1) in_fd in
-  let q : string Batcher.t = Batcher.create ~cap:o.queue_cap () in
-  let respond line =
-    output_string out line;
-    output_char out '\n'
+  let q : (int * string) Batcher.t = Batcher.create ~cap:o.queue_cap () in
+  let supervised =
+    o.supervised || Option.is_some o.quarantine || Option.is_some o.chaos
   in
-  let admit = function
+  (* a client that hangs up mid-batch kills this connection, nothing
+     else: with SIGPIPE ignored the failed write surfaces as Sys_error /
+     EPIPE here, we stop writing and unwind *)
+  let client_gone = ref false in
+  let disconnected () =
+    client_gone := true;
+    note "serve_client_disconnects"
+  in
+  let write_count = ref 0 in
+  let respond line =
+    if not !client_gone then begin
+      let w = !write_count in
+      incr write_count;
+      try
+        let full = line ^ "\n" in
+        match o.chaos with
+        | Some c when Chaos.short_write c ~write:w && String.length full > 1 ->
+            (* short write: two syscalls, same bytes — must be invisible
+               to the client *)
+            let k = String.length full / 2 in
+            output_string out (String.sub full 0 k);
+            flush out;
+            output_string out (String.sub full k (String.length full - k))
+        | _ -> output_string out full
+      with
+      | Sys_error _ -> disconnected ()
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          disconnected ()
+    end
+  in
+  let flush_out () =
+    if not !client_gone then
+      try flush out with
+      | Sys_error _ -> disconnected ()
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          disconnected ()
+  in
+  (* request admission ordinals drive the chaos plan: deterministic for
+     a given stream, so the harness can recompute which requests were
+     perturbed *)
+  let next_ordinal = ref 0 in
+  let admit frame =
+    let ord = !next_ordinal in
+    incr next_ordinal;
+    match frame with
     | Framer.Too_big n ->
         note "serve_oversized";
         respond
@@ -173,7 +291,7 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
                    "request of %d bytes exceeds the %d-byte limit" n
                    scfg.Service.max_request_bytes)))
     | Framer.Frame line ->
-        if not (Batcher.offer q line) then begin
+        if not (Batcher.offer q (ord, line)) then begin
           note "serve_shed";
           respond
             (P.response_line ?id:(id_of_frame line) ~status:P.Overloaded
@@ -185,11 +303,25 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
       admit (Queue.pop fr.Framer.frames)
     done
   in
-  (* block until there is work (or the stream ends) *)
+  let refill_count = ref 0 in
+  let refill ~blocking =
+    let cap =
+      match o.chaos with
+      | Some c -> Chaos.read_cap c ~refill:!refill_count
+      | None -> None
+    in
+    incr refill_count;
+    Framer.refill ?cap fr ~blocking
+  in
+  (* block (in bounded slices, so shutdown stays responsive) until
+     there is work, the stream ends, or we are told to stop *)
+  let stop_reading () = shutdown_requested () || !client_gone in
   let rec await_work () =
     drain_frames ();
-    if Batcher.length q = 0 && not fr.Framer.eof then begin
-      Framer.refill fr ~blocking:true;
+    if Batcher.length q = 0 && (not fr.Framer.eof) && not (stop_reading ())
+    then begin
+      if Framer.wait_readable ~timeout:0.2 fr.Framer.fd then
+        refill ~blocking:true;
       await_work ()
     end
   in
@@ -199,10 +331,11 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
   let slurp () =
     while
       (not fr.Framer.eof)
+      && (not (stop_reading ()))
       && Batcher.length q < Batcher.capacity q
       && Framer.readable fr.Framer.fd
     do
-      Framer.refill fr ~blocking:false;
+      refill ~blocking:false;
       drain_frames ()
     done
   in
@@ -212,62 +345,134 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
   let respond_failure line status msg =
     P.response_line ?id:(id_of_frame line) ~status (P.error_body msg)
   in
-  let handle_batch (lines : string list) : string list =
-    if n_domains <= 1 then List.map (Service.handle scfg) lines
+  let failure_response line = function
+    | Pool.Timed_out { wall_seconds; limit } ->
+        respond_failure line P.Deadline_exceeded
+          (Printf.sprintf "%.3f s exceeded the %.3f s row timeout"
+             wall_seconds limit)
+    | Pool.Raised { exn; _ } ->
+        respond_failure line P.Internal_error (Printexc.to_string exn)
+  in
+  let handle_supervised (items : (int * string) list) : string list =
+    (* refuse known poison up front: a blocked request costs one hash
+       lookup, never a pool domain *)
+    let tagged =
+      List.map
+        (fun ((_, line) as item) ->
+          match o.quarantine with
+          | Some qt when Quarantine.blocked qt ~line ->
+              note "serve_quarantined";
+              `Blocked
+                (respond_failure line P.Internal_error
+                   (Printf.sprintf "quarantined after %d pool failures"
+                      (Quarantine.strikes qt ~line)))
+          | _ -> `Run item)
+        items
+    in
+    let to_run =
+      List.filter_map (function `Run it -> Some it | `Blocked _ -> None) tagged
+    in
+    let work (ord, line) =
+      (match o.chaos with
+      | Some c -> Chaos.perturb c ~line ~ordinal:ord
+      | None -> ());
+      Service.handle scfg line
+    in
+    let results, _stats =
+      Pool.map_supervised ~domains:n_domains ?timeout_s:o.row_timeout
+        ~on_event:(fun _ -> note "serve_worker_restarts")
+        work to_run
+    in
+    let answered =
+      List.map2
+        (fun (_, line) -> function
+          | Ok resp -> resp
+          | Error f ->
+              (* a pool-level failure (wedged or worker-killing) is what
+                 quarantine exists for; structured error responses from
+                 [Service.handle] never strike *)
+              (match o.quarantine with
+              | Some qt -> ignore (Quarantine.strike qt ~line)
+              | None -> ());
+              failure_response line f)
+        to_run results
+    in
+    let rec merge tagged answers =
+      match (tagged, answers) with
+      | [], [] -> []
+      | `Blocked r :: rest, answers -> r :: merge rest answers
+      | `Run _ :: rest, a :: more -> a :: merge rest more
+      | _ -> assert false
+    in
+    merge tagged answered
+  in
+  let handle_batch (items : (int * string) list) : string list =
+    if supervised then handle_supervised items
     else
-      Pool.map_result ~domains:n_domains ?timeout_s:o.row_timeout
-        (Service.handle scfg) lines
-      |> List.map2
-           (fun line -> function
-             | Ok resp -> resp
-             | Error (Pool.Timed_out { wall_seconds; limit }) ->
-                 respond_failure line P.Deadline_exceeded
-                   (Printf.sprintf "%.3f s exceeded the %.3f s row timeout"
-                      wall_seconds limit)
-             | Error (Pool.Raised { exn; _ }) ->
-                 respond_failure line P.Internal_error
-                   (Printexc.to_string exn))
-           lines
+      let lines = List.map snd items in
+      if n_domains <= 1 then List.map (Service.handle scfg) lines
+      else
+        Pool.map_result ~domains:n_domains ?timeout_s:o.row_timeout
+          (Service.handle scfg) lines
+        |> List.map2
+             (fun line -> function
+               | Ok resp -> resp
+               | Error f -> failure_response line f)
+             lines
   in
   let rec loop () =
     await_work ();
     if Batcher.length q > 0 then begin
+      (* on shutdown we stop reading but still answer everything already
+         admitted — the drain half of "stop accepting, drain in-flight" *)
       slurp ();
       Fv_obs.Metrics.gauge Fv_obs.Metrics.global "serve_queue_depth"
         (float_of_int (Batcher.length q));
       note "serve_batches";
       let responses = handle_batch (Batcher.take q ~max:o.batch) in
       List.iter respond responses;
-      flush out;
+      flush_out ();
       loop ()
     end
   in
   loop ();
   Fv_obs.Metrics.gauge Fv_obs.Metrics.global "serve_queue_depth" 0.0;
-  flush out
+  flush_out ()
 
-(** Serve stdin to stdout until EOF. *)
+(** Serve stdin to stdout until EOF or shutdown. *)
 let serve_stdin (scfg : Service.cfg) (o : opts) : unit =
   serve_fd scfg o ~in_fd:Unix.stdin ~out:stdout
 
-(** Bind [path] and serve accepted connections sequentially, forever
-    (until the process is killed). Each connection is a full
-    newline-delimited session, answered on the same socket. *)
+(** Bind [path] and serve accepted connections sequentially until
+    {!request_shutdown}. Each connection is a full newline-delimited
+    session, answered on the same socket; the socket file is unlinked
+    on the way out so a restart never trips over a stale path. *)
 let serve_socket (scfg : Service.cfg) (o : opts) ~(path : string) : unit =
+  ignore_sigpipe ();
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 8;
   let rec accept_loop () =
-    let fd, _ = Unix.accept sock in
-    let out = Unix.out_channel_of_descr fd in
-    (try serve_fd scfg o ~in_fd:fd ~out
-     with e ->
-       note "serve_connection_errors";
-       Printf.eprintf "serve: connection dropped: %s\n%!"
-         (Printexc.to_string e));
-    (try flush out with Sys_error _ -> ());
-    (try close_out out with Sys_error _ -> ());
-    accept_loop ()
+    if not (shutdown_requested ()) then
+      if Framer.wait_readable ~timeout:0.2 sock then begin
+        (match Unix.accept sock with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+          ->
+            ()
+        | fd, _ ->
+            let out = Unix.out_channel_of_descr fd in
+            (try serve_fd scfg o ~in_fd:fd ~out
+             with e ->
+               note "serve_connection_errors";
+               Printf.eprintf "serve: connection dropped: %s\n%!"
+                 (Printexc.to_string e));
+            (try flush out with Sys_error _ -> ());
+            (try close_out out with Sys_error _ -> ()));
+        accept_loop ()
+      end
+      else accept_loop ()
   in
-  accept_loop ()
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -22,4 +22,6 @@ let () =
       ("obs", Test_obs.suite);
       ("cache", Test_cache.suite);
       ("serve", Test_serve.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("chaos", Test_chaos.suite);
     ]

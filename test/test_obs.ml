@@ -179,6 +179,54 @@ let test_metrics_snapshot_reset () =
   Alcotest.(check int) "reset cleared it" 0
     (List.length (Metrics.snapshot m))
 
+(* Retiring a dead domain's shard must be exactly-once: the events move
+   to the retired accumulator (same totals), a second retire is a
+   no-op, and a later domain that recycles the id starts from zero
+   instead of resurrecting the dead shard. This is the supervised
+   pool's restart path — double-counting here inflated every snapshot
+   taken during a worker replacement. *)
+let test_metrics_retire_exactly_once () =
+  let m = Metrics.create () in
+  let count name =
+    match
+      List.find_opt (fun s -> s.Metrics.s_name = name) (Metrics.snapshot m)
+    with
+    | Some s -> s.Metrics.s_count
+    | None -> 0
+  in
+  let gauge_of name =
+    match
+      List.find_opt (fun s -> s.Metrics.s_name = name) (Metrics.snapshot m)
+    with
+    | Some s -> s.Metrics.s_sum
+    | None -> 0.0
+  in
+  let dom_id = Atomic.make (-1) in
+  let d =
+    Domain.spawn (fun () ->
+        Atomic.set dom_id (Domain.self () :> int);
+        Metrics.incr ~by:5 m "events";
+        Metrics.gauge m "depth" 9.0)
+  in
+  Domain.join d;
+  Alcotest.(check int) "live shard visible" 5 (count "events");
+  Metrics.retire m ~domain:(Atomic.get dom_id);
+  Alcotest.(check int) "retire preserves counter totals" 5 (count "events");
+  Alcotest.(check (float 1e-9)) "retire preserves gauge" 9.0 (gauge_of "depth");
+  Metrics.retire m ~domain:(Atomic.get dom_id);
+  Alcotest.(check int) "retire is idempotent" 5 (count "events");
+  Metrics.retire m ~domain:424242;
+  Alcotest.(check int) "unknown domain is a no-op" 5 (count "events");
+  (* events after the restart land in fresh shards and merge with the
+     retired history by the usual rules: counters sum, gauges max *)
+  Metrics.incr ~by:2 m "events";
+  Metrics.gauge m "depth" 4.0;
+  Alcotest.(check int) "counters keep summing after retire" 7 (count "events");
+  Alcotest.(check (float 1e-9)) "gauges keep the max after retire" 9.0
+    (gauge_of "depth");
+  ignore (Metrics.snapshot ~reset:true m);
+  Alcotest.(check int) "reset clears the retired shard too" 0 (count "events")
+
 (* ---------------- Span ---------------- *)
 
 let test_span_off_records_nothing () =
@@ -534,6 +582,8 @@ let suite =
       test_metrics_deterministic_across_domains;
     Alcotest.test_case "metrics: snapshot ~reset" `Quick
       test_metrics_snapshot_reset;
+    Alcotest.test_case "metrics: retire is exactly-once" `Quick
+      test_metrics_retire_exactly_once;
     Alcotest.test_case "span: off by default, zero effect" `Quick
       test_span_off_records_nothing;
     Alcotest.test_case "span: nesting, exceptions, drain" `Quick

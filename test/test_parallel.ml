@@ -336,7 +336,7 @@ let test_json_report_shape () =
       Alcotest.(check bool) (Printf.sprintf "report has %s" needle) true
         (contains ~needle s))
     [
-      "\"schema_version\":7"; "\"section\":\"t\""; "\"domains\":3";
+      "\"schema_version\":8"; "\"section\":\"t\""; "\"domains\":3";
       "\"compile_status\":\"vectorized\""; "\"rejection\":null";
       "\"mode\":\"event\""; "\"truncated\":false";
       "\"fault_rate\":0"; "\"fault_seed\":1"; "\"rtm_retries\":2";
@@ -350,6 +350,104 @@ let test_json_report_shape () =
   Alcotest.(check string) "non-finite floats become null" "null"
     (to_string (Float Float.nan))
 
+(* ---------------- supervised pool ---------------- *)
+
+(* On healthy work the supervised pool is just map_result with a
+   supervisor attached: same values, same order, no restarts. *)
+let test_map_supervised_matches_map_result () =
+  let xs = List.init 50 Fun.id in
+  let f x = if x mod 7 = 3 then failwith (Printf.sprintf "bad%d" x) else x * 3 in
+  let expected = P.map_result ~domains:2 f xs in
+  let got, stats = P.map_supervised ~domains:2 f xs in
+  Alcotest.(check int) "one outcome per input" (List.length expected)
+    (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      match (e, g) with
+      | Ok a, Ok b -> Alcotest.(check int) (Printf.sprintf "value %d" i) a b
+      | Error (P.Raised { exn = a; _ }), Error (P.Raised { exn = b; _ }) ->
+          Alcotest.(check string)
+            (Printf.sprintf "failure %d" i)
+            (Printexc.to_string a) (Printexc.to_string b)
+      | _ -> Alcotest.failf "outcome %d disagrees with map_result" i)
+    (List.combine expected got);
+  Alcotest.(check int) "no restarts on healthy work" 0 stats.P.sv_restarts;
+  Alcotest.(check int) "no detaches on healthy work" 0 stats.P.sv_detached;
+  let empty, estats = P.map_supervised ~domains:2 succ [] in
+  Alcotest.(check int) "empty input" 0 (List.length empty);
+  Alcotest.(check int) "empty input, no stats" 0
+    (estats.P.sv_restarts + estats.P.sv_detached)
+
+(* A wedged element is answered [Timed_out] at the deadline — not when
+   it eventually finishes — its worker is detached, and a replacement
+   finishes the rest of the inputs. With [~domains:1] the replacement
+   is the only way the remaining elements can complete at all. *)
+let test_map_supervised_detaches_wedged () =
+  let stop = Atomic.make false in
+  let events = ref [] in
+  let f x =
+    if x = 0 then begin
+      while not (Atomic.get stop) do
+        Unix.sleepf 0.002
+      done;
+      x
+    end
+    else x * 10
+  in
+  let results, stats =
+    P.map_supervised ~domains:1 ~timeout_s:0.05
+      ~on_event:(fun e -> events := e :: !events)
+      f (List.init 8 Fun.id)
+  in
+  (* unwedge the abandoned domain so it can exit *)
+  Atomic.set stop true;
+  Alcotest.(check int) "all answered" 8 (List.length results);
+  (match List.hd results with
+  | Error (P.Timed_out { wall_seconds; limit }) ->
+      Alcotest.(check (float 1e-9)) "limit echoed" 0.05 limit;
+      Alcotest.(check bool) "wall past the limit" true (wall_seconds >= limit)
+  | _ -> Alcotest.fail "wedged element not answered Timed_out");
+  List.iteri
+    (fun i r ->
+      if i > 0 then
+        match r with
+        | Ok v -> Alcotest.(check int) (Printf.sprintf "element %d" i) (i * 10) v
+        | Error f -> Alcotest.failf "element %d failed: %s" i (P.failure_message f))
+    results;
+  Alcotest.(check int) "one detach" 1 stats.P.sv_detached;
+  Alcotest.(check bool) "replacement spawned" true (stats.P.sv_restarts >= 1);
+  Alcotest.(check bool) "detach event surfaced" true
+    (List.exists
+       (function P.Sv_detached { index = 0; _ } -> true | _ -> false)
+       !events)
+
+(* Kill_worker escapes the per-element handler by design: the element
+   is answered [Raised], the domain dies, and the supervisor's
+   replacement still answers every remaining element. *)
+let test_map_supervised_restarts_dead_worker () =
+  let events = ref [] in
+  let f x =
+    if x = 2 then raise (P.Kill_worker "test poison") else x + 100
+  in
+  let results, stats =
+    P.map_supervised ~domains:1
+      ~on_event:(fun e -> events := e :: !events)
+      f (List.init 10 Fun.id)
+  in
+  Alcotest.(check int) "all answered" 10 (List.length results);
+  List.iteri
+    (fun i r ->
+      match (i, r) with
+      | 2, Error (P.Raised { exn = P.Kill_worker _; _ }) -> ()
+      | 2, _ -> Alcotest.fail "killing element not answered Raised"
+      | i, Ok v -> Alcotest.(check int) (Printf.sprintf "element %d" i) (i + 100) v
+      | i, Error f ->
+          Alcotest.failf "element %d failed: %s" i (P.failure_message f))
+    results;
+  Alcotest.(check bool) "replacement spawned" true (stats.P.sv_restarts >= 1);
+  Alcotest.(check bool) "death event surfaced" true
+    (List.exists (function P.Sv_died _ -> true | _ -> false) !events)
+
 let suite =
   [
     Alcotest.test_case "pool preserves order" `Quick
@@ -361,6 +459,12 @@ let suite =
       test_map_result_captures_failures;
     Alcotest.test_case "map_result enforces wall-clock timeouts" `Quick
       test_map_result_timeout;
+    Alcotest.test_case "map_supervised == map_result on healthy work" `Quick
+      test_map_supervised_matches_map_result;
+    Alcotest.test_case "map_supervised detaches a wedged worker" `Quick
+      test_map_supervised_detaches_wedged;
+    Alcotest.test_case "map_supervised survives a dying worker" `Quick
+      test_map_supervised_restarts_dead_worker;
     Alcotest.test_case "figure8: parallel == serial" `Slow
       test_figure8_parallel_equals_serial;
     Alcotest.test_case "figure8: poisoned row degrades gracefully" `Slow

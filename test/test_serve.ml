@@ -340,6 +340,151 @@ let test_plancache_bounded () =
     true
     (counter "plan_cache_hits" - h0 >= 12)
 
+(* ---------------- failure model ---------------- *)
+
+(* The framer must produce the same frames whatever the read
+   granularity: a dribbling client delivering one byte per read, a
+   frame continued across newlines (paren depth, strings), and EOF
+   arriving mid-frame all land on the identical frame sequence. *)
+let test_framer_short_reads () =
+  let payload =
+    "(a b)\n(multi\nline \"str)\n\")\n   \n(tail never terminated"
+  in
+  let frames_with ~cap =
+    let r, w = Unix.pipe () in
+    let wc = Unix.out_channel_of_descr w in
+    output_string wc payload;
+    close_out wc;
+    let fr = Server.Framer.create ~max_bytes:4096 r in
+    while not fr.Server.Framer.eof do
+      Server.Framer.refill ?cap fr ~blocking:true
+    done;
+    Unix.close r;
+    List.of_seq (Queue.to_seq fr.Server.Framer.frames)
+  in
+  let show = function
+    | Server.Framer.Frame s -> "frame:" ^ s
+    | Server.Framer.Too_big n -> Printf.sprintf "too-big:%d" n
+  in
+  let expected =
+    [
+      "frame:(a b)";
+      (* newline at depth > 0 and newline inside a string both continue
+         the frame *)
+      "frame:(multi\nline \"str)\n\")";
+      (* the blank line is dropped; EOF flushes the unterminated tail *)
+      "frame:(tail never terminated";
+    ]
+  in
+  Alcotest.(check (list string))
+    "1-byte refills produce exact frames" expected
+    (List.map show (frames_with ~cap:(Some 1)));
+  Alcotest.(check (list string))
+    "bulk refills produce the same frames" expected
+    (List.map show (frames_with ~cap:None))
+
+(* Degraded transport must be invisible in the bytes: with every framer
+   refill capped to one byte and every response written in two flushes,
+   the answers are byte-identical to the clean run. *)
+let test_transport_chaos_invisible () =
+  let lines =
+    List.mapi
+      (fun i (cs : Gen.case) ->
+        Loadgen.loop_request_line ~id:(Printf.sprintf "t%d" i) cs)
+      cases
+  in
+  let o = { Server.default_opts with domains = Some 1 } in
+  let plain = serve_lines ~cfg:(fresh_cfg ()) o lines in
+  let degraded =
+    serve_lines ~cfg:(fresh_cfg ())
+      {
+        o with
+        chaos =
+          Some (Fv_serve.Chaos.make ~rate:0.0 ~transport_rate:1.0 ~seed:7 ());
+      }
+      lines
+  in
+  Alcotest.(check (list string))
+    "short reads and short writes change nothing" plain degraded
+
+(* A client hanging up mid-batch must cost that connection, not the
+   daemon: SIGPIPE is ignored, the failed write is counted, the
+   remaining queue is discarded, and serve_fd returns normally. *)
+let test_client_death_mid_batch () =
+  let c_fd, s_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let wc = Unix.out_channel_of_descr c_fd in
+  List.iteri
+    (fun i (cs : Gen.case) ->
+      output_string wc (Loadgen.loop_request_line ~id:(Printf.sprintf "d%d" i) cs);
+      output_char wc '\n')
+    (cases @ cases);
+  (* client dies without reading a single response *)
+  close_out wc;
+  let before = counter "serve_client_disconnects" in
+  let out = Unix.out_channel_of_descr s_fd in
+  let o = { Server.default_opts with domains = Some 1; batch = 2 } in
+  Server.serve_fd (fresh_cfg ()) o ~in_fd:s_fd ~out;
+  (* reaching this line is the point: no exception escaped *)
+  Alcotest.(check bool) "disconnect observed and counted" true
+    (counter "serve_client_disconnects" > before);
+  Unix.close s_fd
+
+(* Graceful shutdown: requests answered before the flag flips stay
+   answered, and the serve loop returns without ever seeing EOF — the
+   pipe's write end is still open when the join succeeds. *)
+let test_graceful_shutdown () =
+  Server.reset_shutdown ();
+  let r, w = Unix.pipe () in
+  let path = Filename.temp_file "serve_shutdown" ".out" in
+  let count_lines () =
+    match open_in path with
+    | exception Sys_error _ -> 0
+    | ic ->
+        let rec go n =
+          match input_line ic with
+          | _ -> go (n + 1)
+          | exception End_of_file -> n
+        in
+        let n = go 0 in
+        close_in ic;
+        n
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.reset_shutdown ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let o = { Server.default_opts with domains = Some 1 } in
+      let cfg = fresh_cfg () in
+      let server =
+        Domain.spawn (fun () ->
+            let out = open_out path in
+            Server.serve_fd cfg o ~in_fd:r ~out;
+            close_out out)
+      in
+      let wc = Unix.out_channel_of_descr w in
+      let k = 5 in
+      List.iteri
+        (fun i (cs : Gen.case) ->
+          if i < k then begin
+            output_string wc
+              (Loadgen.loop_request_line ~id:(Printf.sprintf "g%d" i) cs);
+            output_char wc '\n'
+          end)
+        cases;
+      flush wc;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while count_lines () < k && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.02
+      done;
+      Alcotest.(check int) "all in-flight requests answered" k (count_lines ());
+      Server.request_shutdown ();
+      (* joins only if shutdown ends the loop: EOF never arrives *)
+      Domain.join server;
+      Alcotest.(check int) "drain lost nothing" k (count_lines ());
+      close_out wc;
+      Unix.close r)
+
 let suite =
   [
     Alcotest.test_case "served compile == one-shot front end" `Quick
@@ -364,4 +509,12 @@ let suite =
       test_multi_domain_matches_synchronous;
     Alcotest.test_case "plan cache bounded with live hit rate" `Quick
       test_plancache_bounded;
+    Alcotest.test_case "framer: 1-byte reads, continuation, EOF mid-frame"
+      `Quick test_framer_short_reads;
+    Alcotest.test_case "degraded transport is invisible in the bytes" `Quick
+      test_transport_chaos_invisible;
+    Alcotest.test_case "client death mid-batch drops connection, not daemon"
+      `Quick test_client_death_mid_batch;
+    Alcotest.test_case "graceful shutdown drains without EOF" `Quick
+      test_graceful_shutdown;
   ]
