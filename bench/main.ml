@@ -667,17 +667,29 @@ let serve_bench (plan : Harness.plan) () =
 
 (* run one full stream through [Server.serve_fd] over a pipe. The
    writer runs in its own domain: a 64KB pipe buffer deadlocks a
-   single-threaded write-all-then-serve scheme for real streams. *)
-let serve_pipe (scfg : Fv_serve.Service.cfg) (opts : Fv_serve.Server.opts)
-    (lines : string list) : string list =
+   single-threaded write-all-then-serve scheme for real streams. With
+   [rate] (lines/second) the writer paces the offered load: each line
+   is written at its scheduled arrival time — or late, if the pipe
+   backpressured — which is exactly what an open-loop load generator
+   degrades to against a saturated server. *)
+let serve_pipe ?rate (scfg : Fv_serve.Service.cfg)
+    (opts : Fv_serve.Server.opts) (lines : string list) : string list =
   let r, w = Unix.pipe () in
   let writer =
     Domain.spawn (fun () ->
         let wc = Unix.out_channel_of_descr w in
-        List.iter
-          (fun l ->
+        let t0 = Fv_obs.Clock.now () in
+        List.iteri
+          (fun i l ->
+            (match rate with
+            | Some rps ->
+                let due = float_of_int i /. rps in
+                let wait = due -. Fv_obs.Clock.elapsed ~since:t0 in
+                if wait > 0.0 then Unix.sleepf wait
+            | None -> ());
             output_string wc l;
-            output_char wc '\n')
+            output_char wc '\n';
+            if rate <> None then flush wc)
           lines;
         close_out wc)
   in
@@ -724,9 +736,9 @@ let counter_total (snaps : Fv_obs.Metrics.snap list) (name : string) : int =
       else acc)
     0 snaps
 
-(* 99th-percentile upper-bound bucket (seconds) of a histogram delta
+(* [p]-quantile upper-bound bucket (seconds) of a histogram delta
    between two snapshots, buckets summed across label sets *)
-let histo_p99_bound (before : Fv_obs.Metrics.snap list)
+let histo_quantile_bound ~(p : float) (before : Fv_obs.Metrics.snap list)
     (after : Fv_obs.Metrics.snap list) (name : string) : float =
   let buckets snaps =
     let tbl = Hashtbl.create 16 in
@@ -753,14 +765,14 @@ let histo_p99_bound (before : Fv_obs.Metrics.snap list)
   | [] -> 0.0
   | last :: _ ->
       let total = delta last in
-      let need =
-        int_of_float (ceil (0.99 *. float_of_int total)) |> max 1
-      in
+      let need = int_of_float (ceil (p *. float_of_int total)) |> max 1 in
       let hit =
         List.find_opt (fun bound -> delta bound >= need) bounds
       in
       let b = Option.value ~default:last hit in
       if Float.is_finite b then b else 100.0
+
+let histo_p99_bound = histo_quantile_bound ~p:0.99
 
 let chaos_bench (plan : Harness.plan) () =
   section "chaos: serve availability and byte-stability under injection";
@@ -809,6 +821,7 @@ let chaos_bench (plan : Harness.plan) () =
     let quarantine = Fv_serve.Quarantine.create ~dir:qdir ~max_strikes:2 () in
     let opts =
       {
+        Fv_serve.Server.default_opts with
         Fv_serve.Server.domains = Some domains;
         batch = 32;
         queue_cap = 4096;
@@ -1024,6 +1037,294 @@ let chaos_bench (plan : Harness.plan) () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* overload: deadline-true service under offered load                  *)
+(* ------------------------------------------------------------------ *)
+
+let overload_bench (plan : Harness.plan) () =
+  section "overload: deadline-true compile service under offered load";
+  Fv_serve.Server.reset_shutdown ();
+  let seed = plan.Harness.fault_seed in
+  ignore seed;
+  (* pick one mid-weight simulation case and replicate it with distinct
+     ids: uniform real work per request, so goodput under overload is
+     comparable to capacity instead of being noise from a heavy-tailed
+     cost mix. The probe scans deterministic cases for one whose
+     uncached simulate costs ~1 ms — heavy enough that service work
+     dominates orchestration and the shed path, light enough that the
+     section finishes in seconds. *)
+  let probe_pool = Fv_serve.Loadgen.distinct_cases ~n:64 ~seed:17 in
+  let work_case, work_seconds =
+    let scfg = Fv_serve.Service.cfg () in
+    let cost c =
+      (* steady-state cost: compile once, then time a fresh simulate
+         that hits the plan cache but not the response memo (distinct
+         id) — what each replicated request will actually cost *)
+      ignore
+        (Fv_serve.Service.handle scfg
+           (Fv_serve.Loadgen.simulate_request_line ~id:"p0" c));
+      let t0 = Fv_obs.Clock.now () in
+      ignore
+        (Fv_serve.Service.handle scfg
+           (Fv_serve.Loadgen.simulate_request_line ~id:"p1" c));
+      Fv_obs.Clock.elapsed ~since:t0
+    in
+    let rec go best = function
+      | [] -> best
+      | c :: rest ->
+          let t = cost c in
+          if t >= 5e-4 && t <= 2e-2 then (c, t)
+          else go (if t > snd best then (c, t) else best) rest
+    in
+    match probe_pool with
+    | [] -> failwith "overload: empty probe pool"
+    | c :: rest -> go (c, cost c) rest
+  in
+  let n = max 400 (min 2000 (int_of_float (0.8 /. work_seconds))) in
+  let lines =
+    List.init n (fun i ->
+        Fv_serve.Loadgen.simulate_request_line
+          ~id:(Printf.sprintf "o%d" i)
+          work_case)
+  in
+  let opts =
+    {
+      Fv_serve.Server.default_opts with
+      Fv_serve.Server.domains = Some 1;
+      batch = 32;
+      queue_cap = 256;
+    }
+  in
+  let run ?rate opts =
+    Fv_serve.Server.reset_shutdown ();
+    let scfg =
+      Fv_serve.Service.cfg ~cache:(Fv_serve.Plancache.create ~cap:1024 ()) ()
+    in
+    let before = Fv_obs.Metrics.snapshot Fv_obs.Metrics.global in
+    let t0 = Fv_obs.Clock.now () in
+    let responses = serve_pipe ?rate scfg opts lines in
+    let wall = Fv_obs.Clock.elapsed ~since:t0 in
+    let after = Fv_obs.Metrics.snapshot Fv_obs.Metrics.global in
+    (responses, wall, before, after)
+  in
+  let count_ok responses =
+    List.length
+      (List.filter (fun r -> response_field r "status" = Some "ok") responses)
+  in
+  (* measured capacity: the same stream and machinery at full speed in a
+     no-shed, no-brownout configuration (queue sized to the stream,
+     watermarks above 1.0) — every request does its full work, so this
+     is the service's real throughput, not the rate at which it can
+     write "overloaded" lines *)
+  let cap_opts =
+    { opts with Fv_serve.Server.queue_cap = n; brownout_lo = 2.0;
+      brownout_hi = 2.0 }
+  in
+  let cap_responses, cap_wall, _, _ = run cap_opts in
+  let cap_ok = count_ok cap_responses in
+  let capacity = float_of_int cap_ok /. cap_wall in
+  Printf.printf
+    "work unit: %.3f ms/simulate; measured capacity: %.0f req/s (%d/%d ok, \
+     %.3f s, no-shed config)\n"
+    (1000.0 *. work_seconds) capacity cap_ok n cap_wall;
+  let multipliers = [ 0.5; 1.0; 2.0; 4.0 ] in
+  let rows =
+    List.map
+      (fun m ->
+        let responses, wall, before, after =
+          run ~rate:(m *. capacity) opts
+        in
+        let by_status st =
+          List.length
+            (List.filter (fun r -> response_field r "status" = Some st)
+               responses)
+        in
+        let distinct_ids =
+          let ids = Hashtbl.create 64 in
+          List.iter
+            (fun r ->
+              match response_field r "id" with
+              | Some id -> Hashtbl.replace ids id ()
+              | None -> ())
+            responses;
+          Hashtbl.length ids
+        in
+        let delta name = counter_total after name - counter_total before name in
+        let ok = count_ok responses in
+        (* ok answers produced under brownout (compile-only / degraded
+           plans): still useful, still goodput, but worth seeing *)
+        let ok_degraded =
+          List.length
+            (List.filter
+               (fun r ->
+                 response_field r "status" = Some "ok"
+                 && response_field r "brownout" <> None)
+               responses)
+        in
+        ( m,
+          List.length responses,
+          distinct_ids,
+          ok,
+          ok_degraded,
+          by_status "overloaded",
+          by_status "deadline-exceeded",
+          by_status "rejected-cost",
+          delta "serve_brownout_transitions",
+          delta "serve_expired_drops",
+          float_of_int ok /. wall,
+          histo_quantile_bound ~p:0.50 before after "serve_request_seconds",
+          histo_quantile_bound ~p:0.99 before after "serve_request_seconds",
+          wall ))
+      multipliers
+  in
+  let table =
+    [ "Offered"; "Answered"; "Distinct"; "Ok"; "Degr"; "Shed"; "Deadline";
+      "Goodput"; "p50<=(s)"; "p99<=(s)" ]
+    :: List.map
+         (fun ( m, answered, distinct, ok, degr, shed, dl, _, _, _, goodput,
+                p50, p99, _ ) ->
+           [
+             Printf.sprintf "%.1fx" m;
+             string_of_int answered;
+             string_of_int distinct;
+             string_of_int ok;
+             string_of_int degr;
+             string_of_int shed;
+             string_of_int dl;
+             Printf.sprintf "%.0f/s" goodput;
+             Printf.sprintf "%.6f" p50;
+             Printf.sprintf "%.6f" p99;
+           ])
+         rows
+  in
+  print_string (Report.table table);
+  (* pure-timeout leg: every request a distinct simulation with an
+     impossible deadline, through the supervised pool. Cooperative
+     cancellation must answer all of them with zero detached workers
+     and zero replacement domains — the row timeout stays armed as a
+     backstop and must never fire *)
+  Fv_serve.Server.reset_shutdown ();
+  let nt = 200 in
+  let sims = Fv_serve.Loadgen.distinct_cases ~n:nt ~seed:23 in
+  let sim_lines =
+    List.mapi
+      (fun i c ->
+        Fv_serve.Loadgen.simulate_request_line
+          ~id:(Printf.sprintf "t%d" i)
+          ~deadline_ms:1 c)
+      sims
+  in
+  let t_opts =
+    {
+      Fv_serve.Server.default_opts with
+      Fv_serve.Server.domains = Some 2;
+      supervised = true;
+      row_timeout = Some 5.0;
+      queue_cap = 4096;
+    }
+  in
+  let scfg = Fv_serve.Service.cfg () in
+  let before = Fv_obs.Metrics.snapshot Fv_obs.Metrics.global in
+  let t_responses = serve_pipe scfg t_opts sim_lines in
+  let after = Fv_obs.Metrics.snapshot Fv_obs.Metrics.global in
+  let t_delta name = counter_total after name - counter_total before name in
+  let t_by st =
+    List.length
+      (List.filter (fun r -> response_field r "status" = Some st) t_responses)
+  in
+  let restarts = t_delta "serve_worker_restarts" in
+  Printf.printf
+    "\npure-timeout: %d offered, %d answered (%d deadline-exceeded, %d ok), \
+     %d worker restarts\n"
+    nt
+    (List.length t_responses)
+    (t_by "deadline-exceeded") (t_by "ok") restarts;
+  (* resilient-client leg: a lossy transport against the same service;
+     deadline-aware retries must recover every loss *)
+  let scfg_c = Fv_serve.Service.cfg () in
+  let drop = ref 0 in
+  let lossy line =
+    incr drop;
+    if !drop mod 3 = 0 then None else Some (Fv_serve.Service.handle scfg_c line)
+  in
+  let client_pool = Array.of_list probe_pool in
+  let client_lines =
+    List.init 300 (fun i ->
+        Fv_serve.Loadgen.loop_request_line
+          ~id:(Printf.sprintf "c%d" i)
+          client_pool.(i mod Array.length client_pool))
+  in
+  let outcomes =
+    List.mapi
+      (fun i l ->
+        Fv_serve.Client.call
+          ~policy:
+            {
+              Fv_serve.Client.default_policy with
+              Fv_serve.Client.base_backoff_s = 1e-4;
+              max_backoff_s = 1e-3;
+            }
+          ~seed:i lossy l)
+      client_lines
+  in
+  let delivered =
+    List.length
+      (List.filter (fun o -> o.Fv_serve.Client.response <> None) outcomes)
+  in
+  let attempts =
+    List.fold_left (fun a o -> a + o.Fv_serve.Client.attempts) 0 outcomes
+  in
+  Printf.printf
+    "client: %d/%d delivered over a 1-in-3-lossy transport (%d attempts)\n"
+    delivered (List.length client_lines) attempts;
+  [
+    ("capacity_rps", J.Float capacity);
+    ("capacity_requests", J.Int n);
+    ("capacity_ok", J.Int cap_ok);
+    ("work_unit_seconds", J.Float work_seconds);
+    ( "rows",
+      J.List
+        (List.map
+           (fun ( m, answered, distinct, ok, degr, shed, dl, rc, bt, exp_,
+                  goodput, p50, p99, wall ) ->
+             J.Obj
+               [
+                 ("multiplier", J.Float m);
+                 ("offered", J.Int n);
+                 ("answered", J.Int answered);
+                 ("distinct_ids", J.Int distinct);
+                 ("ok", J.Int ok);
+                 ("ok_degraded", J.Int degr);
+                 ("shed", J.Int shed);
+                 ("deadline_exceeded", J.Int dl);
+                 ("rejected_cost", J.Int rc);
+                 ("brownout_transitions", J.Int bt);
+                 ("expired_drops", J.Int exp_);
+                 ("goodput_rps", J.Float goodput);
+                 ("goodput_over_capacity", J.Float (goodput /. capacity));
+                 ("p50_bucket_seconds", J.Float p50);
+                 ("p99_bucket_seconds", J.Float p99);
+                 ("wall_seconds", J.Float wall);
+               ])
+           rows) );
+    ( "pure_timeout",
+      J.Obj
+        [
+          ("offered", J.Int nt);
+          ("answered", J.Int (List.length t_responses));
+          ("ok", J.Int (t_by "ok"));
+          ("deadline_exceeded", J.Int (t_by "deadline-exceeded"));
+          ("worker_restarts", J.Int restarts);
+        ] );
+    ( "client",
+      J.Obj
+        [
+          ("offered", J.Int (List.length client_lines));
+          ("delivered", J.Int delivered);
+          ("attempts", J.Int attempts);
+        ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1041,6 +1342,7 @@ let sections =
     ("micro", micro);
     ("serve", serve_bench);
     ("chaos", chaos_bench);
+    ("overload", overload_bench);
   ]
 
 let () =
@@ -1113,7 +1415,7 @@ let () =
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 8);
+                 ("schema_version", J.Int 9);
                  ("domains", J.Int domains_used);
                  ( "mode",
                    J.Str

@@ -494,8 +494,14 @@ let serve_cmd =
           | Some path -> Fv_serve.Snapshot.load cache ~path
           | None -> Fv_serve.Snapshot.empty_stats
         in
+        (* deadlines imply admission control: with no deadline there is
+           nothing for a cost estimate to be compared against *)
+        let admission =
+          Option.map (fun _ -> Fv_serve.Admission.create ()) deadline_ms
+        in
         let scfg =
-          Fv_serve.Service.cfg ~cache ?deadline_ms ~max_request_bytes ()
+          Fv_serve.Service.cfg ~cache ?deadline_ms ~max_request_bytes
+            ?admission ()
         in
         let quarantine =
           if supervised || Option.is_some quarantine_dir then
@@ -511,6 +517,7 @@ let serve_cmd =
         in
         let opts =
           {
+            Fv_serve.Server.default_opts with
             Fv_serve.Server.domains;
             batch;
             queue_cap = max_queue;

@@ -141,7 +141,7 @@ let note_run_metrics (r : 'a) ~compile ~strategy ~fell_back ~injected ~exec
     OOO model. Always verifies against the scalar oracle first. [mode]
     selects the pipeline scheduler (event-driven by default; the two
     produce identical statistics). *)
-let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
+let run_hot ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
     ?(obs : run_obs option) (strategy : strategy) (l : Fv_ir.Ast.loop)
     (mem : Memory.t) (env : (string * Value.t) list) : hot_run =
@@ -168,6 +168,9 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
   in
   let compile = ref Not_compiled in
   let scalar_trace ?(fallback = true) ?error () =
+    (* the scalar interpreter is not budget-threaded; poll before
+       entering it so a blown budget cancels at the seam *)
+    Fv_parallel.Budget.check_opt budget;
     let m = Memory.clone mem and e = Interp.env_of_list env in
     let hk = Interp.hooks ~emit () in
     ignore (Interp.run ~hk m e l);
@@ -189,11 +192,11 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
   (* the degradation ladder: a rejected FlexVec-style compile retries
      with the traditional vectorizer before surrendering to scalar *)
   let degrade (d : Fv_ir.Validate.diagnostic) =
-    match Fv_vectorizer.Traditional.vectorize ~vl l with
+    match Fv_vectorizer.Traditional.vectorize ?budget ~vl l with
     | Ok vloop when traditional_passes vloop ->
         compile := Degraded_traditional d;
         let m = Memory.clone mem and e = Interp.env_of_list env in
-        let stats = Fv_simd.Exec.run ?annot ~emit vloop m e in
+        let stats = Fv_simd.Exec.run ?budget ?annot ~emit vloop m e in
         (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)
     | Ok _ | Error _ ->
         compile := Degraded_scalar d;
@@ -203,20 +206,21 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     match strategy with
     | Scalar -> scalar_trace ~fallback:false ()
     | Traditional -> (
-        match Fv_vectorizer.Traditional.vectorize ~vl l with
+        match Fv_vectorizer.Traditional.vectorize ?budget ~vl l with
         | Error d ->
             compile := Degraded_scalar d;
             scalar_trace ()
         | Ok vloop ->
             compile := Vectorized;
             let m = Memory.clone mem and e = Interp.env_of_list env in
-            let stats = Fv_simd.Exec.run ?annot ~emit vloop m e in
+            let stats = Fv_simd.Exec.run ?budget ?annot ~emit vloop m e in
             (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None))
     | Flexvec | Wholesale -> (
         let style = Option.get (style_of strategy) in
-        match Fv_vectorizer.Gen.vectorize ~vl ~style l with
+        match Fv_vectorizer.Gen.vectorize ?budget ~vl ~style l with
         | Error d -> degrade d
         | Ok vloop -> (
+            Fv_parallel.Budget.check_opt budget;
             (* correctness gate: the vector program must match the
                oracle (injection-free — injected-fault equivalence is
                {!Oracle.check_under_faults}' job); on a mismatch the run
@@ -234,13 +238,14 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
             | Ok _ ->
                 compile := Vectorized;
                 let m = traced_mem () and e = Interp.env_of_list env in
-                let stats = Fv_simd.Exec.run ?annot ~emit vloop m e in
+                let stats = Fv_simd.Exec.run ?budget ?annot ~emit vloop m e in
                 note_injected m;
                 (Some stats, Some (Fv_vir.Count.of_vloop vloop), false, None)))
     | Rtm tile -> (
-        match Fv_vectorizer.Gen.vectorize ~vl l with
+        match Fv_vectorizer.Gen.vectorize ?budget ~vl l with
         | Error d -> degrade d
         | Ok vloop -> (
+            Fv_parallel.Budget.check_opt budget;
             (* RTM oracle: run scalar and transactional versions and
                compare final state *)
             let ms = Memory.clone mem and es = Interp.env_of_list env in
@@ -262,8 +267,8 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
                 compile := Vectorized;
                 let m = traced_mem () and e = Interp.env_of_list env in
                 let rtm =
-                  Fv_simd.Rtm_run.run ?annot ~emit ~retries:rtm_retries ~tile vloop m
-                    e
+                  Fv_simd.Rtm_run.run ?budget ?annot ~emit ~retries:rtm_retries
+                    ~tile vloop m e
                 in
                 note_injected m;
                 rtm_stats := Some rtm;
@@ -275,7 +280,7 @@ let run_hot ?(vl = 16) ?(mode : Pipeline.mode = `Event)
      plan change can never serve a stale entry (see {!Fv_ooo.Simcache}) *)
   let pipe =
     Fv_obs.Span.with_ ~cat:"harness" "simulate" (fun () ->
-        Simcache.stats ?record ~mode
+        Simcache.stats ?budget ?record ~mode
           ~fault_key:(Fv_faults.Plan.fingerprint plan)
           sink)
   in
@@ -323,7 +328,7 @@ let overall_speedup ~coverage ~hot =
     paper's hot loops are entered many times per application run. The
     vectorized code is generated once (from the first build); each
     invocation gets freshly seeded data. *)
-let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
+let run_workload ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
     ?(obs : run_obs option) ~(invocations : int) ~(seed : int)
     (strategy : strategy) (build : int -> Fv_workloads.Kernels.built) :
@@ -349,11 +354,13 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
       match List.assq_opt style !cache with
       | Some r -> r
       | None ->
-          let r = Fv_vectorizer.Gen.vectorize ~vl ~style l in
+          let r = Fv_vectorizer.Gen.vectorize ?budget ~vl ~style l in
           cache := (style, r) :: !cache;
           r
   in
-  let traditional_vloop = lazy (Fv_vectorizer.Traditional.vectorize ~vl l) in
+  let traditional_vloop =
+    lazy (Fv_vectorizer.Traditional.vectorize ?budget ~vl l)
+  in
   (* traditionally vectorized fallback for the degradation ladder,
      oracle-gated once against the first build's scalar semantics *)
   let traditional_checked =
@@ -399,6 +406,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
   | Some msg -> compile := Degraded_scalar (Fv_ir.Validate.internal_error msg)
   | None -> ());
   let run_one (b : Fv_workloads.Kernels.built) =
+    Fv_parallel.Budget.check_opt budget;
     let mem = b.Fv_workloads.Kernels.mem
     and env = b.Fv_workloads.Kernels.env in
     let scalar ?(fallback = true) () =
@@ -427,7 +435,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
       | Some vloop ->
           compile := Degraded_traditional d;
           let m = Memory.clone mem and e = Interp.env_of_list env in
-          exec := Some (Fv_simd.Exec.run ?annot ~emit vloop m e);
+          exec := Some (Fv_simd.Exec.run ?budget ?annot ~emit vloop m e);
           if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop)
       | None ->
           compile := Degraded_scalar d;
@@ -444,7 +452,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
         | Ok vloop ->
             compile := Vectorized;
             let m = Memory.clone mem and e = Interp.env_of_list env in
-            exec := Some (Fv_simd.Exec.run ?annot ~emit vloop m e);
+            exec := Some (Fv_simd.Exec.run ?budget ?annot ~emit vloop m e);
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Flexvec | Wholesale -> (
         match vloop_for (Option.get (style_of strategy)) with
@@ -452,7 +460,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
         | Ok vloop ->
             compile := Vectorized;
             let m = injected_mem () and e = Interp.env_of_list env in
-            exec := Some (Fv_simd.Exec.run ?annot ~emit vloop m e);
+            exec := Some (Fv_simd.Exec.run ?budget ?annot ~emit vloop m e);
             note_injected m;
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
     | Rtm tile -> (
@@ -462,7 +470,8 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
             compile := Vectorized;
             let m = injected_mem () and e = Interp.env_of_list env in
             let r =
-              Fv_simd.Rtm_run.run ?annot ~emit ~retries:rtm_retries ~tile vloop m e
+              Fv_simd.Rtm_run.run ?budget ?annot ~emit ~retries:rtm_retries
+                ~tile vloop m e
             in
             exec := Some r.Fv_simd.Rtm_run.exec;
             note_injected m;
@@ -493,7 +502,7 @@ let run_workload ?(vl = 16) ?(mode : Pipeline.mode = `Event)
      plan change can never serve a stale entry (see {!Fv_ooo.Simcache}) *)
   let pipe =
     Fv_obs.Span.with_ ~cat:"harness" "simulate" (fun () ->
-        Simcache.stats ?record ~mode
+        Simcache.stats ?budget ?record ~mode
           ~fault_key:(Fv_faults.Plan.fingerprint plan)
           sink)
   in

@@ -466,7 +466,7 @@ module Json = struct
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 8);
+         ("schema_version", Int 9);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));

@@ -164,9 +164,10 @@ let empty_stats =
   }
 
 (** Replay an already-compiled trace. Same contract as {!run}. *)
-let run_compiled ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
-    ?(mode : mode = `Event) ?(max_cycles = 400_000_000)
-    ?(record : timing option) (ct : Compiled.t) : stats =
+let run_compiled ?budget ?(cfg = Machine.table1)
+    ?(hier = Fv_memsys.Hierarchy.table1 ()) ?(mode : mode = `Event)
+    ?(max_cycles = 400_000_000) ?(record : timing option) (ct : Compiled.t) :
+    stats =
   let n = ct.Compiled.n in
   (match record with
   | Some r ->
@@ -661,7 +662,22 @@ let run_compiled ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
       end;
       cycle := target
     in
+    (* budget poll, amortized: one clock read every 4096 scheduler
+       rounds. The [None] arm costs one closure call per round and
+       touches no counter the statistics are computed from, so the
+       budget-off run is bit-identical (guarded by the budget-off
+       suite). *)
+    let poll =
+      match budget with
+      | None -> fun () -> ()
+      | Some b ->
+          let tick = ref 0 in
+          fun () ->
+            incr tick;
+            if !tick land 4095 = 0 then Fv_parallel.Budget.check b
+    in
     while !committed < n && !cycle < max_cycles do
+      poll ();
       do_cycle !cycle;
       match mode with
       | `Step -> incr cycle
@@ -686,6 +702,8 @@ let run_compiled ?(cfg = Machine.table1) ?(hier = Fv_memsys.Hierarchy.table1 ())
   end
 
 (** Compile [trace] and replay it. *)
-let run ?cfg ?hier ?(mode : mode = `Event) ?max_cycles ?(record : timing option)
+let run ?budget ?cfg ?hier ?(mode : mode = `Event) ?max_cycles
+    ?(record : timing option)
     (trace : Sink.t) : stats =
-  run_compiled ?cfg ?hier ~mode ?max_cycles ?record (Compiled.of_trace trace)
+  run_compiled ?budget ?cfg ?hier ~mode ?max_cycles ?record
+    (Compiled.of_trace trace)

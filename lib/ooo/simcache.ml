@@ -91,7 +91,7 @@ let set_capacity cap =
     passing [~hier:(Hierarchy.table1 ~prefetch_depth ())] to
     {!Pipeline.run}; [?fault_key] names the fault plan that shaped the
     trace (default: no injection). *)
-let stats ?(cfg = Machine.table1) ?(prefetch_depth = 4)
+let stats ?budget ?(cfg = Machine.table1) ?(prefetch_depth = 4)
     ?(mode : Pipeline.mode = `Event) ?(max_cycles = 400_000_000)
     ?(fault_key = "") ?(record : Pipeline.timing option) (trace : Sink.t) :
     Pipeline.stats =
@@ -114,7 +114,9 @@ let stats ?(cfg = Machine.table1) ?(prefetch_depth = 4)
   | Some _ ->
       note "sim_cache_bypass";
       let s =
-        Pipeline.run ~cfg
+        (* a canceled replay raises out of [Pipeline.run] before the
+           store below, so a partial simulation is never memoized *)
+        Pipeline.run ?budget ~cfg
           ~hier:(Fv_memsys.Hierarchy.table1 ~prefetch_depth ())
           ~mode ~max_cycles ?record trace
       in
@@ -129,7 +131,7 @@ let stats ?(cfg = Machine.table1) ?(prefetch_depth = 4)
           note "sim_cache_misses";
           let s =
             Fv_obs.Span.with_ ~cat:"sim" "replay" (fun () ->
-                Pipeline.run_compiled ~cfg
+                Pipeline.run_compiled ?budget ~cfg
                   ~hier:(Fv_memsys.Hierarchy.table1 ~prefetch_depth ())
                   ~mode ~max_cycles ct)
           in

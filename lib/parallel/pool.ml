@@ -62,6 +62,20 @@ let map_result ?domains ?timeout_s (f : 'a -> 'b) (xs : 'a list) :
     let r =
       match Fv_obs.Span.with_row i (fun () -> f x) with
       | y -> Ok y
+      | exception Budget.Canceled { elapsed_ms; limit_ms } ->
+          (* a cooperatively canceled element is a clean early return,
+             not a crash: the worker unwound itself at a budget poll,
+             so it is alive and takes the next element — no detach, no
+             replacement domain *)
+          Error
+            (Timed_out
+               {
+                 wall_seconds = elapsed_ms /. 1000.0;
+                 limit =
+                   (match limit_ms with
+                   | Some l -> l /. 1000.0
+                   | None -> elapsed_ms /. 1000.0);
+               })
       | exception e ->
           Error (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () })
     in
@@ -200,6 +214,21 @@ let map_supervised ?domains ?timeout_s ?(poll_s = 0.002) ?on_event
         let r, died =
           match Fv_obs.Span.with_row i (fun () -> f items.(i)) with
           | y -> (Ok y, None)
+          | exception Budget.Canceled { elapsed_ms; limit_ms } ->
+              (* same clean early return as map_result: the element is
+                 answered [Timed_out] by the worker's own publish, the
+                 worker survives — zero detaches, zero replacement
+                 domains under pure-timeout load *)
+              ( Error
+                  (Timed_out
+                     {
+                       wall_seconds = elapsed_ms /. 1000.0;
+                       limit =
+                         (match limit_ms with
+                         | Some l -> l /. 1000.0
+                         | None -> elapsed_ms /. 1000.0);
+                     }),
+                None )
           | exception (Kill_worker _ as e) ->
               ( Error
                   (Raised { exn = e; backtrace = Printexc.get_raw_backtrace () }),

@@ -222,7 +222,8 @@ let classify_scc (l : loop) (g : Graph.t) (scc : int list) :
     diagnostic. Callers that bypassed [Builder.loop] get their loop
     numbered defensively; remaining well-formedness errors become the
     rejection. *)
-let analyze (l : loop) : verdict =
+let analyze ?budget (l : loop) : verdict =
+  Fv_parallel.Budget.check_opt budget;
   let l = if Ast.is_numbered l then l else Ast.number l in
   match
     Fv_obs.Span.with_ ~cat:"compile" "validate" (fun () ->
@@ -239,6 +240,10 @@ let analyze (l : loop) : verdict =
               Vectorizable
                 { loop = l; pdg = g; patterns = List.rev acc; relaxed }
           | scc :: rest -> (
+              (* one poll per SCC: cycle classification dominates the
+                 analysis, and [Canceled] deliberately escapes the
+                 internal-error rescue below *)
+              Fv_parallel.Budget.check_opt budget;
               match classify_scc l g scc with
               | Ok (p, r) -> go (p :: acc) (r @ relaxed) rest
               | Error d ->

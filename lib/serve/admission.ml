@@ -1,0 +1,124 @@
+(** Cost-based admission control: refuse work that cannot finish.
+
+    A request that arrives with a 5 ms deadline and a simulation that
+    will take 80 ms is a guaranteed [deadline-exceeded] — but the naive
+    service only discovers that {e after} spending the 80 ms (or, with
+    budgets, after spending 5 ms and answering nothing useful). Either
+    way a worker slot was burned on an answer the client could have
+    been given immediately. Admission control estimates the cost up
+    front from the request's static shape and rejects requests whose
+    estimate already exceeds their deadline with a fast structured
+    [rejected-cost] response — no worker claimed, microseconds spent.
+
+    The estimate is a single-coefficient linear model: a request is
+    assigned abstract {e cost units} from its shape (simulations: trip
+    count × VL × a strategy-class factor; compiles: body size × the
+    class factor — compilation cost does not scale with trips), and a
+    seconds-per-unit coefficient is calibrated online as an EWMA over
+    completed requests (the same wall seconds that land in
+    [serve_request_seconds]). Until the first observation the model is
+    {e uncalibrated} and admits everything: a cold service must never
+    guess-reject. Rejections are deliberately not memoized by the
+    response memo — the coefficient drifts with load, so a verdict of
+    "too costly" is only true for the moment it was issued.
+
+    Thread-safe via one mutex; reads and writes are a handful of loads,
+    far off any hot path that matters. *)
+
+module Sexp = Fv_fuzz.Sexp
+module P = Protocol
+module E = Fv_core.Experiment
+
+type t = {
+  lock : Mutex.t;
+  alpha : float;  (** EWMA weight of the newest observation *)
+  mutable per_unit_s : float;  (** calibrated seconds per cost unit *)
+  mutable samples : int;
+}
+
+let create ?(alpha = 0.2) () : t =
+  { lock = Mutex.create (); alpha; per_unit_s = 0.0; samples = 0 }
+
+let samples (t : t) : int = Mutex.protect t.lock (fun () -> t.samples)
+
+let per_unit_s (t : t) : float option =
+  Mutex.protect t.lock (fun () ->
+      if t.samples = 0 then None else Some t.per_unit_s)
+
+(* ---------------- static cost units ---------------- *)
+
+let strategy_class = function
+  | E.Scalar -> 1.0
+  | E.Traditional -> 2.0
+  | E.Flexvec | E.Wholesale -> 3.0
+  | E.Rtm _ -> 4.0
+
+let rec count_atoms = function
+  | Sexp.Atom _ -> 1
+  | Sexp.List l -> List.fold_left (fun acc s -> acc + count_atoms s) 0 l
+
+(* constant trip count from the loop sexp's (lo (const (i N))) /
+   (hi (const (i M))) fields; [None] when either bound is dynamic *)
+let const_bound name fields =
+  match P.field name fields with
+  | Some [ Sexp.List [ Sexp.Atom "const"; Sexp.List [ Sexp.Atom "i"; Sexp.Atom n ] ] ]
+    ->
+      int_of_string_opt n
+  | _ -> None
+
+let trip_count (loop_sexp : Sexp.t) : int option =
+  match loop_sexp with
+  | Sexp.List (Sexp.Atom "loop" :: fields) -> (
+      match (const_bound "lo" fields, const_bound "hi" fields) with
+      | Some lo, Some hi -> Some (max 1 (hi - lo))
+      | _ -> None)
+  | _ -> None
+
+(** Abstract cost of [r], from its static shape alone. Coarse by
+    design: the calibrated coefficient absorbs the constant factor, and
+    admission only needs the estimate to be the right order of
+    magnitude. *)
+let cost_units (r : P.request) : float =
+  let cls = strategy_class r.P.strategy in
+  let loop =
+    match P.loop_sexp_of_payload r.P.payload with
+    | l -> Some l
+    | exception _ -> None
+  in
+  let body_atoms =
+    match loop with Some l -> float_of_int (count_atoms l) | None -> 32.0
+  in
+  match r.P.op with
+  | P.Compile -> body_atoms *. cls
+  | P.Simulate ->
+      let trips =
+        match Option.bind loop trip_count with
+        | Some n -> float_of_int n
+        | None -> 1024.0 (* dynamic bounds: assume a real workload *)
+      in
+      let vl =
+        float_of_int
+          (match r.P.vl with
+          | Some v -> v
+          | None -> Option.value ~default:16 (P.vl_of_payload r.P.payload))
+      in
+      trips *. vl *. cls
+
+(* ---------------- calibration ---------------- *)
+
+(** Fold one completed request (its cost units and measured wall
+    seconds) into the coefficient. *)
+let observe (t : t) ~(units : float) ~(seconds : float) : unit =
+  if units > 0.0 && seconds >= 0.0 then
+    Mutex.protect t.lock (fun () ->
+        let r = seconds /. units in
+        t.per_unit_s <-
+          (if t.samples = 0 then r
+           else (t.alpha *. r) +. ((1.0 -. t.alpha) *. t.per_unit_s));
+        t.samples <- t.samples + 1)
+
+(** Estimated wall milliseconds for a request of [units] cost; [None]
+    while uncalibrated (admit everything — never guess-reject). *)
+let estimate_ms (t : t) ~(units : float) : float option =
+  Mutex.protect t.lock (fun () ->
+      if t.samples = 0 then None else Some (1000.0 *. units *. t.per_unit_s))

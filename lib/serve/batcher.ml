@@ -3,11 +3,25 @@
     The server admits at most [cap] parsed-but-unanswered requests;
     anything arriving beyond that is {e shed} ([offer] returns [false])
     and answered immediately with a structured [overloaded] response
-    instead of growing an unbounded buffer until the process dies. Pure
-    data structure, used from the single orchestrator loop; the domains
-    doing the work never touch it. *)
+    instead of growing an unbounded buffer until the process dies.
+    Shedding is deliberately {b newest-first}: the arriving request is
+    the one refused, never an already-queued one — old in-flight work
+    a client is still waiting on is never silently abandoned in favour
+    of fresher traffic (FIFO queues + drop-newest keeps per-request
+    latency bounded and answers monotone in arrival order).
 
-type 'a t = { cap : int; q : 'a Queue.t; mutable shed : int }
+    Entries may carry an absolute expiry time ({!Fv_obs.Clock}
+    seconds). A request whose deadline has already passed while it sat
+    in the queue is not worth a pool slot: {!take} hands it back tagged
+    [`Expired] so the server can answer [deadline-exceeded]
+    immediately, and {!offer} refuses an already-expired entry up front
+    ([`Expired]) without consuming queue capacity.
+
+    Pure data structure, used from the single orchestrator loop; the
+    domains doing the work never touch it. *)
+
+type 'a entry = { e_expires : float option; e_item : 'a }
+type 'a t = { cap : int; q : 'a entry Queue.t; mutable shed : int }
 
 let create ~(cap : int) () : 'a t =
   if cap < 1 then invalid_arg "Batcher.create: cap must be >= 1";
@@ -17,21 +31,39 @@ let length t = Queue.length t.q
 let capacity t = t.cap
 let shed_count t = t.shed
 
-(** Admit [x], or refuse (and count the shed) if the queue is full. *)
-let offer (t : 'a t) (x : 'a) : bool =
-  if Queue.length t.q >= t.cap then begin
-    t.shed <- t.shed + 1;
-    false
-  end
-  else begin
-    Queue.add x t.q;
-    true
-  end
+(** Admit [x] (expiring at [expires_at], if given): [`Admitted], or
+    [`Shed] (counted) if the queue is full, or [`Expired] if [x]'s
+    deadline has already passed at [now] — the caller answers it
+    without ever queueing it. *)
+let offer ?expires_at ?(now = neg_infinity) (t : 'a t) (x : 'a) :
+    [ `Admitted | `Shed | `Expired ] =
+  match expires_at with
+  | Some e when e <= now -> `Expired
+  | _ ->
+      if Queue.length t.q >= t.cap then begin
+        t.shed <- t.shed + 1;
+        `Shed
+      end
+      else begin
+        Queue.add { e_expires = expires_at; e_item = x } t.q;
+        `Admitted
+      end
 
-(** Dequeue up to [max] items in arrival order. *)
-let take (t : 'a t) ~(max : int) : 'a list =
+(** Dequeue up to [max] items in arrival order, tagging each one whose
+    expiry has passed at [now] — expired items still come back (the
+    caller owes every admitted request an answer), they just must not
+    claim a worker. *)
+let take ?(now = neg_infinity) (t : 'a t) ~(max : int) :
+    [ `Run of 'a | `Expired of 'a ] list =
   let rec go n acc =
     if n >= max || Queue.is_empty t.q then List.rev acc
-    else go (n + 1) (Queue.pop t.q :: acc)
+    else
+      let { e_expires; e_item } = Queue.pop t.q in
+      let tagged =
+        match e_expires with
+        | Some e when e <= now -> `Expired e_item
+        | _ -> `Run e_item
+      in
+      go (n + 1) (tagged :: acc)
   in
   go 0 []

@@ -1,0 +1,40 @@
+(** Brownout ladder: degrade service quality before shedding work.
+
+    Under queue pressure the server has three answers worse than a full
+    one, in order of how much value they still deliver:
+
+    + {b compile-only} — stop simulating: a simulate request is
+      answered with its compiled plan but no cycle counts, an answer
+      that costs microseconds instead of milliseconds;
+    + {b degrade} — additionally compile down the strategy ladder:
+      Flexvec/Wholesale/Rtm compiles are answered with a
+      [Traditional] plan (FlexVec's baseline capability, the same
+      ladder the harness's oracle-gated degradation uses), falling all
+      the way to an explicit "run it scalar" answer when even that is
+      rejected;
+    + {b shed} — the bounded queue's [overloaded] refusal, which the
+      {!Batcher} already implements and which stays the last resort.
+
+    The level is computed from watermarks on the bounded queue ({e len
+    / cap} against a low and a high fraction) once per batch, by the
+    single orchestrator loop; workers receive it as a value. Every
+    brownout-affected response is marked with a [(brownout <level>)]
+    field so clients can tell a degraded answer from a nominal one, and
+    none of them are memoized — a replay under nominal load must get
+    the full answer. *)
+
+type level = Nominal | Compile_only | Degrade
+
+let atom = function
+  | Nominal -> "nominal"
+  | Compile_only -> "compile-only"
+  | Degrade -> "degrade"
+
+(** Severity rank, for the [serve_brownout_level] gauge. *)
+let rank = function Nominal -> 0 | Compile_only -> 1 | Degrade -> 2
+
+(** Level for a queue of [len]/[cap], against watermark fractions
+    [lo] (enter compile-only) and [hi] (enter degrade). *)
+let of_queue ~(len : int) ~(cap : int) ~(lo : float) ~(hi : float) : level =
+  let fill = float_of_int len /. float_of_int (max 1 cap) in
+  if fill >= hi then Degrade else if fill >= lo then Compile_only else Nominal

@@ -5,24 +5,41 @@ module Sexp = Fv_fuzz.Sexp
 module Corpus = Fv_fuzz.Corpus
 module Gen = Fv_fuzz.Gen
 
-(** Render [c] as a one-line compile request (optionally tagged). *)
-let request_line ?id (c : Gen.case) : string =
+let tag_fields ?id ?deadline_ms () =
+  (match id with
+  | Some i -> [ Sexp.List [ Sexp.Atom "id"; Sexp.Atom i ] ]
+  | None -> [])
+  @
+  match deadline_ms with
+  | Some ms ->
+      [ Sexp.List [ Sexp.Atom "deadline-ms"; Sexp.Atom (string_of_int ms) ] ]
+  | None -> []
+
+(** Render [c] as a one-line compile request (optionally tagged with an
+    id and a per-request deadline — the overload bench's pure-timeout
+    leg stamps impossible deadlines here). *)
+let request_line ?id ?deadline_ms (c : Gen.case) : string =
+  let fields = tag_fields ?id ?deadline_ms () @ [ Corpus.sexp_of_case c ] in
+  Sexp.to_line (Sexp.List (Sexp.Atom "request" :: fields))
+
+(** The same, as a simulate request: the expensive op, the one worth a
+    deadline. *)
+let simulate_request_line ?id ?deadline_ms (c : Gen.case) : string =
   let fields =
-    (match id with
-    | Some i -> [ Sexp.List [ Sexp.Atom "id"; Sexp.Atom i ] ]
-    | None -> [])
-    @ [ Corpus.sexp_of_case c ]
+    tag_fields ?id ?deadline_ms ()
+    @ [
+        Sexp.List [ Sexp.Atom "op"; Sexp.Atom "simulate" ];
+        Corpus.sexp_of_case c;
+      ]
   in
   Sexp.to_line (Sexp.List (Sexp.Atom "request" :: fields))
 
 (** Render [c]'s loop (no memory image) as a one-line compile request —
     the load bench's wire shape: a few hundred bytes, so the warm path
     measures cache lookup rather than array parsing. *)
-let loop_request_line ?id (c : Gen.case) : string =
+let loop_request_line ?id ?deadline_ms (c : Gen.case) : string =
   let fields =
-    (match id with
-    | Some i -> [ Sexp.List [ Sexp.Atom "id"; Sexp.Atom i ] ]
-    | None -> [])
+    tag_fields ?id ?deadline_ms ()
     @ [
         Sexp.List [ Sexp.Atom "vl"; Sexp.Atom (string_of_int c.Gen.vl) ];
         Corpus.sexp_of_loop c.Gen.loop;

@@ -172,6 +172,29 @@ let request_of_sexp (s : Sexp.t) : request =
   | Sexp.List (Sexp.Atom ("loop" | "case") :: _) -> of_fields [ s ]
   | _ -> bad "expected (request ...), (loop ...) or (case ...)"
 
+(** Best-effort [(deadline-ms N)] extraction from a raw frame, without
+    a parse: a substring scan, exactly the shape of the bench's
+    response-field scanner. Used at {e admission} — where the server
+    decides whether a frame is worth queueing at all — so it must cost
+    nanoseconds, not a sexp parse. The authoritative deadline is still
+    re-derived by the full decoder in {!request_of_sexp}; a scan fooled
+    by the literal text inside a quoted string merely mis-prioritizes
+    one frame, it never changes an answer. *)
+let deadline_ms_of_line (line : string) : int option =
+  let pat = "(deadline-ms " in
+  let ll = String.length line and lp = String.length pat in
+  let rec find i =
+    if i + lp > ll then None
+    else if String.equal (String.sub line i lp) pat then Some (i + lp)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start ')' with
+      | None -> None
+      | Some stop -> int_of_string_opt (String.sub line start (stop - start)))
+
 (* ---------------- canonical compile key ---------------- *)
 
 (** The content address of a compile request: everything the plan
@@ -207,6 +230,10 @@ let compile_key ~(vl : int) ~(strategy : E.strategy) (l : Fv_ir.Ast.loop) :
 type status =
   | Ok_
   | Rejected
+  | Rejected_cost
+      (** admission control: the request's estimated cost already
+          exceeds its deadline, so running it would only burn a worker
+          on a guaranteed [deadline-exceeded] *)
   | Invalid
   | Deadline_exceeded
   | Overloaded
@@ -216,6 +243,7 @@ type status =
 let status_atom = function
   | Ok_ -> "ok"
   | Rejected -> "rejected"
+  | Rejected_cost -> "rejected-cost"
   | Invalid -> "invalid"
   | Deadline_exceeded -> "deadline-exceeded"
   | Overloaded -> "overloaded"

@@ -73,10 +73,14 @@ let persist (t : t) (line : string) (h : int64) : unit =
         output_string oc line;
         output_char oc '\n';
         close_out oc
-      with Sys_error _ ->
-        (* an unwritable corpus dir must not take down quarantining
-           itself; the in-memory strike count still protects the pool *)
-        Fv_obs.Metrics.incr Fv_obs.Metrics.global "serve_quarantine_io_errors")
+      with _ ->
+        (* an unwritable quarantine dir (permissions, a file squatting
+           on the path, ENOSPC — whatever the filesystem throws) must
+           not disturb the response path: count it and move on. The
+           in-memory strike was already recorded before persisting, so
+           the pool stays protected either way *)
+        Fv_obs.Metrics.incr Fv_obs.Metrics.global
+          "serve_quarantine_persist_errors")
 
 (** Record one supervised failure of [line]; returns the new strike
     count. The first strike persists the reproducer. *)

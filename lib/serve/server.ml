@@ -200,6 +200,10 @@ type opts = {
       (** repeat-offender table; pool-level failures strike it and
           blocked requests are refused without claiming a domain *)
   chaos : Chaos.t option;  (** fault-injection plan (tests / bench) *)
+  brownout_lo : float;
+      (** queue-fill fraction at which the {!Brownout} ladder enters
+          compile-only *)
+  brownout_hi : float;  (** fraction at which it enters degrade *)
 }
 
 let default_opts =
@@ -211,6 +215,8 @@ let default_opts =
     supervised = false;
     quarantine = None;
     chaos = None;
+    brownout_lo = 0.5;
+    brownout_hi = 0.875;
   }
 
 (* best-effort id extraction for responses that never reach [Service]
@@ -233,7 +239,9 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
     ~(out : out_channel) : unit =
   ignore_sigpipe ();
   let fr = Framer.create ~max_bytes:(scfg.Service.max_request_bytes + 1) in_fd in
-  let q : (int * string) Batcher.t = Batcher.create ~cap:o.queue_cap () in
+  (* queue entries carry their admission time so queue wait counts
+     against the request's deadline downstream *)
+  let q : (int * string * float) Batcher.t = Batcher.create ~cap:o.queue_cap () in
   let supervised =
     o.supervised || Option.is_some o.quarantine || Option.is_some o.chaos
   in
@@ -291,12 +299,33 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
                    "request of %d bytes exceeds the %d-byte limit" n
                    scfg.Service.max_request_bytes)))
     | Framer.Frame line ->
-        if not (Batcher.offer q (ord, line)) then begin
-          note "serve_shed";
+        let now = Fv_obs.Clock.now () in
+        (* expiry from the frame's own deadline (cheap scan, no parse)
+           or the server default; an expired entry is answered at
+           admission or at take, never handed to a worker *)
+        let expires_at =
+          match
+            (P.deadline_ms_of_line line, scfg.Service.deadline_ms)
+          with
+          | Some ms, _ | None, Some ms ->
+              Some (now +. (float_of_int ms /. 1000.0))
+          | None, None -> None
+        in
+        let expired_response () =
+          note "serve_expired_drops";
           respond
-            (P.response_line ?id:(id_of_frame line) ~status:P.Overloaded
-               (P.error_body "in-flight queue full"))
-        end
+            (P.response_line ?id:(id_of_frame line)
+               ~status:P.Deadline_exceeded
+               (P.error_body "deadline expired before the request ran"))
+        in
+        (match Batcher.offer ?expires_at ~now q (ord, line, now) with
+        | `Admitted -> ()
+        | `Expired -> expired_response ()
+        | `Shed ->
+            note "serve_shed";
+            respond
+              (P.response_line ?id:(id_of_frame line) ~status:P.Overloaded
+                 (P.error_body "in-flight queue full")))
   in
   let drain_frames () =
     while not (Queue.is_empty fr.Framer.frames) do
@@ -353,12 +382,13 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
     | Pool.Raised { exn; _ } ->
         respond_failure line P.Internal_error (Printexc.to_string exn)
   in
-  let handle_supervised (items : (int * string) list) : string list =
+  let handle_supervised ~brownout (items : (int * string * float) list) :
+      string list =
     (* refuse known poison up front: a blocked request costs one hash
        lookup, never a pool domain *)
     let tagged =
       List.map
-        (fun ((_, line) as item) ->
+        (fun ((_, line, _) as item) ->
           match o.quarantine with
           | Some qt when Quarantine.blocked qt ~line ->
               note "serve_quarantined";
@@ -372,11 +402,11 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
     let to_run =
       List.filter_map (function `Run it -> Some it | `Blocked _ -> None) tagged
     in
-    let work (ord, line) =
+    let work (ord, line, admitted) =
       (match o.chaos with
       | Some c -> Chaos.perturb c ~line ~ordinal:ord
       | None -> ());
-      Service.handle scfg line
+      Service.handle ~admitted ~brownout scfg line
     in
     let results, _stats =
       Pool.map_supervised ~domains:n_domains ?timeout_s:o.row_timeout
@@ -385,7 +415,7 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
     in
     let answered =
       List.map2
-        (fun (_, line) -> function
+        (fun (_, line, _) -> function
           | Ok resp -> resp
           | Error f ->
               (* a pool-level failure (wedged or worker-killing) is what
@@ -406,19 +436,40 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
     in
     merge tagged answered
   in
-  let handle_batch (items : (int * string) list) : string list =
-    if supervised then handle_supervised items
+  let handle_batch ~brownout (items : (int * string * float) list) :
+      string list =
+    if supervised then handle_supervised ~brownout items
     else
-      let lines = List.map snd items in
-      if n_domains <= 1 then List.map (Service.handle scfg) lines
+      let one (_, line, admitted) =
+        Service.handle ~admitted ~brownout scfg line
+      in
+      if n_domains <= 1 then List.map one items
       else
-        Pool.map_result ~domains:n_domains ?timeout_s:o.row_timeout
-          (Service.handle scfg) lines
+        Pool.map_result ~domains:n_domains ?timeout_s:o.row_timeout one items
         |> List.map2
-             (fun line -> function
+             (fun (_, line, _) -> function
                | Ok resp -> resp
                | Error f -> failure_response line f)
-             lines
+             items
+  in
+  (* brownout level is computed once per batch from the queue
+     watermarks, by this single orchestrator loop; workers receive it
+     as a value. Transitions are counted so the ladder is visible in
+     stats-json *)
+  let level = ref Brownout.Nominal in
+  let update_brownout () =
+    let next =
+      Brownout.of_queue ~len:(Batcher.length q) ~cap:o.queue_cap
+        ~lo:o.brownout_lo ~hi:o.brownout_hi
+    in
+    if next <> !level then begin
+      Fv_obs.Metrics.incr Fv_obs.Metrics.global "serve_brownout_transitions"
+        ~labels:[ ("to", Brownout.atom next) ];
+      level := next
+    end;
+    Fv_obs.Metrics.gauge Fv_obs.Metrics.global "serve_brownout_level"
+      (float_of_int (Brownout.rank next));
+    next
   in
   let rec loop () =
     await_work ();
@@ -429,7 +480,25 @@ let serve_fd (scfg : Service.cfg) (o : opts) ~(in_fd : Unix.file_descr)
       Fv_obs.Metrics.gauge Fv_obs.Metrics.global "serve_queue_depth"
         (float_of_int (Batcher.length q));
       note "serve_batches";
-      let responses = handle_batch (Batcher.take q ~max:o.batch) in
+      let brownout = update_brownout () in
+      let taken = Batcher.take q ~now:(Fv_obs.Clock.now ()) ~max:o.batch in
+      (* a request whose deadline lapsed in the queue is answered now,
+         ahead of the batch — it must not claim a worker *)
+      let to_run =
+        List.filter_map
+          (function
+            | `Run it -> Some it
+            | `Expired (_, line, _) ->
+                note "serve_expired_drops";
+                respond
+                  (P.response_line ?id:(id_of_frame line)
+                     ~status:P.Deadline_exceeded
+                     (P.error_body
+                        "deadline expired while queued"));
+                None)
+          taken
+      in
+      let responses = handle_batch ~brownout to_run in
       List.iter respond responses;
       flush_out ();
       loop ()

@@ -5,14 +5,29 @@
     structured response, never an exception, so a batch of requests
     mapped across domains can never take the server down.
 
-    Deadlines are post-hoc, exactly like the bench harness's
-    [--row-timeout] rows ({!Fv_parallel.Pool.map_result}): the request
-    runs to completion, and if its wall time exceeded the deadline the
-    computed answer is discarded in favour of a [deadline-exceeded]
-    response. (Cooperative cancellation mid-vectorization is not worth
-    the complexity at these request sizes; the server-level backstop for
-    a wedged request is the pool's own row timeout.) A per-request
+    Deadlines are {e cooperative}: the request's remaining deadline —
+    minus whatever it already spent queued, when the server passes the
+    admission timestamp — is armed as a {!Fv_parallel.Budget} and
+    threaded down the whole hot path (validate → classify → vectorize →
+    execute → simulate). A blown budget raises the structured
+    [Budget.Canceled] at the computation's next poll point, which
+    [handle] maps to a [deadline-exceeded] response; the domain comes
+    back clean, nothing is detached or respawned. The pre-budget
+    post-hoc check survives only as a backstop for the window between
+    two polls, and the pool's row timeout remains the last-resort
+    backstop for a genuinely wedged request. A per-request
     [(deadline-ms N)] overrides the server default.
+
+    Two more quality gates run before any real work:
+
+    - {b admission control} ({!Admission}): if a calibrated cost model
+      says the request cannot possibly meet its deadline, answer
+      [rejected-cost] immediately instead of burning a worker on a
+      guaranteed timeout;
+    - {b brownout} ({!Brownout}): under queue pressure the server
+      passes a degradation level and [handle] answers with a cheaper
+      response — compile-only for simulations, then
+      Traditional/scalar plans — marked [(brownout <level>)].
 
     Caching is two-level, both levels content-addressed and bounded by
     the same second-chance policy ({!Plancache}):
@@ -22,20 +37,25 @@
       of every load test, and any client re-asking a question) costs a
       hash, a string compare and a counter — no parse at all. Only
       deterministic outcomes ([ok]/[rejected]) are memoized; a
-      [deadline-exceeded] or [error] outcome depends on wall time or
-      transient state and is recomputed every time.
+      [deadline-exceeded], [rejected-cost] or brownout-degraded outcome
+      depends on wall time or transient pressure and is recomputed
+      every time.
     - the {e plan cache} keys on the canonical [(plan (vl) (strategy)
       <loop>)] rendering, so requests that differ in id, whitespace or
-      deadline still share one compile.
+      deadline still share one compile. A budget-canceled compile
+      raises before the cache store, so partial work is never cached.
 
     Per-request observability lands in {!Fv_obs.Metrics.global}:
-    [serve_requests{op,status}] counters and a [serve_request_seconds]
-    latency histogram, alongside both caches' hit/miss/eviction
-    counters ([plan_cache_*], [response_cache_*]). *)
+    [serve_requests{op,status}] counters and a
+    [serve_request_seconds{status}] latency histogram — the status
+    label keeps deadline-exceeded/shed/canceled latencies visible, not
+    just [ok] ones — alongside both caches' hit/miss/eviction counters
+    ([plan_cache_*], [response_cache_*]). *)
 
 module Sexp = Fv_fuzz.Sexp
 module Corpus = Fv_fuzz.Corpus
 module P = Protocol
+module B = Fv_parallel.Budget
 module E = Fv_core.Experiment
 
 type cfg = {
@@ -43,12 +63,14 @@ type cfg = {
   lines : Plancache.t;  (** response memo, exact-request-line addressed *)
   deadline_ms : int option;  (** default per-request deadline; [None] = off *)
   max_request_bytes : int;
+  admission : Admission.t option;
+      (** cost-based admission control; [None] = admit everything *)
 }
 
 let default_max_request_bytes = 1 lsl 20
 
 let cfg ?cache ?lines ?deadline_ms
-    ?(max_request_bytes = default_max_request_bytes) () : cfg =
+    ?(max_request_bytes = default_max_request_bytes) ?admission () : cfg =
   let cache =
     match cache with Some c -> c | None -> Plancache.create ()
   in
@@ -59,7 +81,7 @@ let cfg ?cache ?lines ?deadline_ms
         Plancache.create ~cap:(Plancache.capacity cache)
           ~metrics_prefix:"response_cache" ()
   in
-  { cache; lines; deadline_ms; max_request_bytes }
+  { cache; lines; deadline_ms; max_request_bytes; admission }
 
 (* ---------------- compile ---------------- *)
 
@@ -69,15 +91,17 @@ let render_vloop (v : Fv_vir.Inst.vloop) : string * string =
 
 (** The front end for one (vl, strategy, loop): exactly the one-shot
     CLI's ladder-free compile — the requested style, no degradation. *)
-let compile_plan ~vl ~(strategy : E.strategy) (l : Fv_ir.Ast.loop) :
+let compile_plan ?budget ~vl ~(strategy : E.strategy) (l : Fv_ir.Ast.loop) :
     (string * string, Fv_ir.Validate.diagnostic) result =
   let result =
     match strategy with
     | E.Flexvec | E.Rtm _ ->
-        Fv_vectorizer.Gen.vectorize ~vl ~style:Fv_vectorizer.Gen.Flexvec l
+        Fv_vectorizer.Gen.vectorize ?budget ~vl ~style:Fv_vectorizer.Gen.Flexvec
+          l
     | E.Wholesale ->
-        Fv_vectorizer.Gen.vectorize ~vl ~style:Fv_vectorizer.Gen.Wholesale l
-    | E.Traditional -> Fv_vectorizer.Traditional.vectorize ~vl l
+        Fv_vectorizer.Gen.vectorize ?budget ~vl
+          ~style:Fv_vectorizer.Gen.Wholesale l
+    | E.Traditional -> Fv_vectorizer.Traditional.vectorize ?budget ~vl l
     | E.Scalar -> P.bad "strategy scalar has no vector plan to compile"
   in
   Result.map render_vloop result
@@ -86,7 +110,7 @@ let compile_plan ~vl ~(strategy : E.strategy) (l : Fv_ir.Ast.loop) :
    would get). A plan-cache hit returns the stored [(cached true)] tail
    for both, loop AST never built; a miss renders both variants so the
    response memo can store the replay form. *)
-let do_compile (c : cfg) (r : P.request) : P.status * string * string =
+let do_compile ?budget (c : cfg) (r : P.request) : P.status * string * string =
   let vl =
     match r.P.vl with
     | Some v -> v
@@ -101,7 +125,7 @@ let do_compile (c : cfg) (r : P.request) : P.status * string * string =
   | None ->
       let status, body, ok =
         match
-          compile_plan ~vl ~strategy:r.P.strategy
+          compile_plan ?budget ~vl ~strategy:r.P.strategy
             (Corpus.loop_of_sexp loop_sexp)
         with
         | Ok (plan, mix) ->
@@ -114,9 +138,41 @@ let do_compile (c : cfg) (r : P.request) : P.status * string * string =
         { Plancache.p_tail = hit_tail; p_ok = ok; p_op = "compile" };
       (status, P.render_tail ~status (body false), hit_tail)
 
+(* ---------------- brownout degradation ---------------- *)
+
+(* appending to a rendered tail is byte-identical to having included
+   the field in the body: tails are space-joined canonical sexps *)
+let mark tag (status, tail, hit_tail) =
+  let m = " (brownout " ^ tag ^ ")" in
+  (status, tail ^ m, hit_tail ^ m)
+
+let scalar_plan_tail tag =
+  P.render_tail ~status:P.Ok_
+    [
+      Sexp.List [ Sexp.Atom "brownout"; Sexp.Atom tag ];
+      Sexp.List [ Sexp.Atom "plan"; Sexp.Atom "scalar" ];
+    ]
+
+(* degrade-level compile: vector strategies are compiled down the
+   ladder to [Traditional] (the plan cache stays correct — strategy is
+   part of the key), and a Traditional rejection bottoms out in an
+   explicit "run it scalar" answer rather than a refusal *)
+let do_compile_degraded ?budget (c : cfg) (r : P.request) :
+    P.status * string * string =
+  match r.P.strategy with
+  | E.Scalar | E.Traditional -> do_compile ?budget c r
+  | E.Flexvec | E.Wholesale | E.Rtm _ -> (
+      let r' = { r with P.strategy = E.Traditional } in
+      match do_compile ?budget c r' with
+      | (P.Ok_, _, _) as ok -> mark "traditional" ok
+      | P.Rejected, _, _ ->
+          let tail = scalar_plan_tail "scalar" in
+          (P.Ok_, tail, tail)
+      | other -> other)
+
 (* ---------------- simulate ---------------- *)
 
-let do_simulate (r : P.request) : P.status * string * string =
+let do_simulate ?budget (r : P.request) : P.status * string * string =
   let cs =
     match r.P.payload with
     | P.Case_s s -> Corpus.case_of_sexp s
@@ -125,7 +181,7 @@ let do_simulate (r : P.request) : P.status * string * string =
   let vl = Option.value ~default:cs.Fv_fuzz.Gen.vl r.P.vl in
   let run strategy =
     (* fresh memory per leg: traced executions mutate it *)
-    E.run_hot ~vl strategy cs.Fv_fuzz.Gen.loop
+    E.run_hot ?budget ~vl strategy cs.Fv_fuzz.Gen.loop
       (Fv_fuzz.Gen.memory_of cs)
       cs.Fv_fuzz.Gen.env
   in
@@ -136,6 +192,23 @@ let do_simulate (r : P.request) : P.status * string * string =
   let tail = P.render_tail ~status:P.Ok_ (P.simulate_ok_body ~scalar ~run:hot) in
   (P.Ok_, tail, tail)
 
+(* compile-only brownout: the simulate request is answered with its
+   compiled plan (degraded further if the level says so) and no cycle
+   counts — microseconds of work instead of a full simulation *)
+let do_simulate_browned ?budget ~(brownout : Brownout.level) (c : cfg)
+    (r : P.request) : P.status * string * string =
+  match r.P.strategy with
+  | E.Scalar ->
+      let tail = scalar_plan_tail "compile-only" in
+      (P.Ok_, tail, tail)
+  | _ ->
+      let compiled =
+        match brownout with
+        | Brownout.Degrade -> do_compile_degraded ?budget c r
+        | _ -> do_compile ?budget c r
+      in
+      mark "compile-only" compiled
+
 (* ---------------- dispatch ---------------- *)
 
 let op_label = function P.Compile -> "compile" | P.Simulate -> "simulate"
@@ -144,10 +217,21 @@ let count_request ~op ~status ~elapsed =
   let m = Fv_obs.Metrics.global in
   Fv_obs.Metrics.incr m "serve_requests"
     ~labels:[ ("op", op); ("status", P.status_atom status) ];
-  Fv_obs.Metrics.observe m "serve_request_seconds" elapsed
+  Fv_obs.Metrics.observe m "serve_request_seconds"
+    ~labels:[ ("status", P.status_atom status) ]
+    elapsed
 
-(** Handle one request line; always returns a response line. *)
-let handle (c : cfg) (line : string) : string =
+exception Too_costly of { est_ms : float; deadline_ms : int }
+
+(** Handle one request line; always returns a response line.
+
+    [admitted] is the {!Fv_obs.Clock} time the frame was admitted to
+    the queue — queue wait counts against the deadline. [brownout] is
+    the degradation level the orchestrator computed for this batch.
+    [budget] overrides the deadline-derived budget (tests inject a
+    pre-canceled one to exercise cancellation deterministically). *)
+let handle ?admitted ?(brownout = Brownout.Nominal) ?budget (c : cfg)
+    (line : string) : string =
   let t0 = Fv_obs.Clock.now () in
   if String.length line > c.max_request_bytes then begin
     let status = P.Oversized in
@@ -165,7 +249,8 @@ let handle (c : cfg) (line : string) : string =
     match Plancache.find c.lines ~canonical:line with
     | Some p ->
         (* exact replay: the stored response already carries the id and
-           the [(cached true)] flag a recompute would produce *)
+           the [(cached true)] flag a recompute would produce; serving
+           it under brownout is fine — it is free *)
         let status = if p.Plancache.p_ok then P.Ok_ else P.Rejected in
         count_request ~op:p.Plancache.p_op ~status
           ~elapsed:(Fv_obs.Clock.elapsed ~since:t0);
@@ -174,6 +259,10 @@ let handle (c : cfg) (line : string) : string =
         let id = ref None in
         let op = ref "unknown" in
         let deadline = ref c.deadline_ms in
+        let units = ref None in
+        (* brownout / admission answers reflect transient pressure and
+           must not be replayed from the memo under nominal load *)
+        let memoizable = ref (brownout = Brownout.Nominal) in
         let fail status msg =
           (status, P.render_tail ~status (P.error_body msg), "")
         in
@@ -182,13 +271,57 @@ let handle (c : cfg) (line : string) : string =
           id := r.P.id;
           op := op_label r.P.op;
           (match r.P.deadline_ms with Some _ as d -> deadline := d | None -> ());
-          match r.P.op with
-          | P.Compile -> do_compile c r
-          | P.Simulate -> do_simulate r
+          let budget =
+            match budget with
+            | Some _ -> budget
+            | None ->
+                Option.map
+                  (fun ms ->
+                    (* arm the *remaining* deadline: time already spent
+                       queued (admitted → now) is gone *)
+                    let waited_s =
+                      Fv_obs.Clock.elapsed
+                        ~since:(Option.value ~default:t0 admitted)
+                    in
+                    B.create
+                      ~deadline_s:((float_of_int ms /. 1000.0) -. waited_s)
+                      ())
+                  !deadline
+          in
+          B.check_opt budget;
+          (match (c.admission, !deadline) with
+          | Some adm, deadline_opt -> (
+              let u = Admission.cost_units r in
+              units := Some u;
+              match (deadline_opt, Admission.estimate_ms adm ~units:u) with
+              | Some ms, Some est_ms when est_ms > float_of_int ms ->
+                  raise (Too_costly { est_ms; deadline_ms = ms })
+              | _ -> ())
+          | None, _ -> ());
+          match (r.P.op, brownout) with
+          | P.Compile, (Brownout.Nominal | Brownout.Compile_only) ->
+              do_compile ?budget c r
+          | P.Compile, Brownout.Degrade -> do_compile_degraded ?budget c r
+          | P.Simulate, Brownout.Nominal -> do_simulate ?budget r
+          | P.Simulate, (Brownout.Compile_only | Brownout.Degrade) ->
+              do_simulate_browned ?budget ~brownout c r
         in
         let status, tail, hit_tail =
           match dispatch () with
           | outcome -> outcome
+          | exception B.Canceled { elapsed_ms; limit_ms } ->
+              fail P.Deadline_exceeded
+                (match limit_ms with
+                | Some l ->
+                    Printf.sprintf "canceled after %.3f ms (budget %.3f ms)"
+                      elapsed_ms l
+                | None ->
+                    Printf.sprintf "canceled after %.3f ms" elapsed_ms)
+          | exception Too_costly { est_ms; deadline_ms } ->
+              fail P.Rejected_cost
+                (Printf.sprintf
+                   "estimated %.1f ms cannot meet the %d ms deadline" est_ms
+                   deadline_ms)
           | exception Sexp.Parse_error m ->
               fail P.Invalid (Printf.sprintf "parse error: %s" m)
           | exception P.Bad_request m -> fail P.Invalid m
@@ -196,6 +329,7 @@ let handle (c : cfg) (line : string) : string =
           | exception e -> fail P.Internal_error (Printexc.to_string e)
         in
         let elapsed = Fv_obs.Clock.elapsed ~since:t0 in
+        (* post-hoc backstop for the window between two budget polls *)
         let status, tail, hit_tail =
           match !deadline with
           | Some ms when elapsed *. 1000.0 > float_of_int ms ->
@@ -204,10 +338,17 @@ let handle (c : cfg) (line : string) : string =
                    (elapsed *. 1000.0) ms)
           | _ -> (status, tail, hit_tail)
         in
-        (* memoize only deterministic outcomes: replaying an invalid or
-           deadline-blown request must re-derive its verdict *)
+        (* calibrate admission on completed work, the same wall seconds
+           serve_request_seconds records *)
+        (match (c.admission, !units, status) with
+        | Some adm, Some u, P.Ok_ ->
+            Admission.observe adm ~units:u ~seconds:elapsed
+        | _ -> ());
+        (* memoize only deterministic outcomes: replaying an invalid,
+           deadline-blown, cost-rejected or brownout-degraded request
+           must re-derive its verdict *)
         (match status with
-        | P.Ok_ | P.Rejected ->
+        | (P.Ok_ | P.Rejected) when !memoizable ->
             Plancache.put c.lines ~canonical:line
               {
                 Plancache.p_tail = P.response_of_tail ?id:!id hit_tail;

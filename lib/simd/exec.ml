@@ -487,8 +487,8 @@ let rec exec_stmt (st : state) (s : vstmt) : unit =
     set by {!Rtm_run} so they abort the enclosing transaction.
     [~annot] receives observability annotations (fault absorptions, VPL
     re-partitions, FF fallbacks) as they happen. *)
-let run ?emit:trace_sink ?annot ?(injected_trap = false) (vloop : vloop)
-    (mem : Memory.t) (env : Fv_ir.Interp.env) : stats =
+let run ?budget ?emit:trace_sink ?annot ?(injected_trap = false)
+    (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.env) : stats =
   let scalar_eval e =
     (* lo/hi are loop-invariant: evaluate with the scalar interpreter's
        expression evaluator via a throwaway state *)
@@ -523,6 +523,10 @@ let run ?emit:trace_sink ?annot ?(injected_trap = false) (vloop : vloop)
      memoizes that hash on physical identity *)
   let back_label = "vloop." ^ vloop.source.name in
   while st.vi < hi && not st.brk do
+    (* one poll per strip: cheap against the tens of interpreted vector
+       statements a strip executes, and a strip is the natural unit a
+       canceled run abandons at — never mid-statement *)
+    Fv_parallel.Budget.check_opt budget;
     st.stats.strips <- st.stats.strips + 1;
     emit st (Uop.make ~dst:"vi" ~srcs:[ "vi" ] Latency.Int_alu);
     emit st (Uop.branch ~label:back_label ~taken:true ~srcs:[ "vi" ]);

@@ -96,8 +96,9 @@ let combine (a : rtm_stats) (b : rtm_stats) : rtm_stats =
     overflow again. With no injection plan attached the retry machinery
     is never entered, so the uop trace is identical to the no-retry
     model. *)
-let run ?emit ?annot ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
-    (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.env) : rtm_stats =
+let run ?budget ?emit ?annot ?(capacity_elems = 6144) ?(retries = 2)
+    ~(tile : int) (vloop : vloop) (mem : Memory.t) (env : Fv_ir.Interp.env) :
+    rtm_stats =
   if tile < vloop.vl then invalid_arg "Rtm_run.run: tile smaller than VL";
   if retries < 0 then invalid_arg "Rtm_run.run: negative retries";
   let vloop = strip_ff vloop in
@@ -118,6 +119,10 @@ let run ?emit ?annot ?(capacity_elems = 6144) ?(retries = 2) ~(tile : int)
   let t0 = ref lo in
   let const i = Fv_ir.Ast.Const (Fv_isa.Value.Int i) in
   while !t0 < hi && not !broke do
+    (* poll per tile, never inside one: a transaction either commits or
+       aborts whole, so cancellation lands only at tile boundaries and
+       memory is left at a consistent checkpoint *)
+    Fv_parallel.Budget.check_opt budget;
     incr tiles;
     let th = min (!t0 + tile) hi in
     let tile_loop =

@@ -773,14 +773,15 @@ let collect_invariant_reads ctx (l : loop) : string list =
     ids (a caller bypassed [Builder.loop]) are renumbered defensively;
     already-numbered loops are passed through untouched so statement ids
     in diagnostics and generated code are stable. *)
-let vectorize ?(vl = 16) ?(style = Flexvec) (l : loop) :
+let vectorize ?budget ?(vl = 16) ?(style = Flexvec) (l : loop) :
     (Fv_vir.Inst.vloop, Validate.diagnostic) result =
   let l = if Ast.is_numbered l then l else Ast.number l in
-  match C.analyze l with
+  match C.analyze ?budget l with
   | C.Rejected r -> Error r
   | C.Vectorizable plan -> (
       Fv_obs.Span.with_ ~cat:"compile" "vectorize" @@ fun () ->
       try
+        Fv_parallel.Budget.check_opt budget;
         let classes = Classes.classify_exn l plan in
         let ctx =
           {
@@ -881,6 +882,11 @@ let vectorize ?(vl = 16) ?(style = Flexvec) (l : loop) :
       with
       | Reject d -> Error d
       | Classes.Unvectorizable d -> Error d
+      (* a blown budget is NOT an internal error: converting it into a
+         rejection here would memoize a cancellation as if it were a
+         verdict about the loop — let the caller's deadline mapping see
+         it *)
+      | Fv_parallel.Budget.Canceled _ as e -> raise e
       (* totality backstop: no exception may escape the public entry
          point, whatever the generated input looked like *)
       | Stack_overflow -> Error (Validate.internal_error "codegen: stack overflow")

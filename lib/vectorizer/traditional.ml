@@ -6,10 +6,10 @@
     exactly the loops FlexVec targets. This is why the paper's baseline
     runs FlexVec candidate loops scalar. *)
 
-let vectorize ?vl (l : Fv_ir.Ast.loop) :
+let vectorize ?budget ?vl (l : Fv_ir.Ast.loop) :
     (Fv_vir.Inst.vloop, Fv_ir.Validate.diagnostic) result =
   let l = if Fv_ir.Ast.is_numbered l then l else Fv_ir.Ast.number l in
-  match Fv_pdg.Classify.analyze l with
+  match Fv_pdg.Classify.analyze ?budget l with
   | Fv_pdg.Classify.Rejected r -> Error r
   | Fv_pdg.Classify.Vectorizable plan ->
       let relaxed_needed =
@@ -17,7 +17,7 @@ let vectorize ?vl (l : Fv_ir.Ast.loop) :
           (function Fv_pdg.Classify.Reduction _ -> false | _ -> true)
           plan.patterns
       in
-      if relaxed_needed = [] then Gen.vectorize ?vl l
+      if relaxed_needed = [] then Gen.vectorize ?budget ?vl l
       else
         Error
           (Fv_ir.Validate.diag

@@ -15,6 +15,7 @@ let () =
       ("semantics", Test_semantics.suite);
       ("integration", Test_integration.suite);
       ("parallel", Test_parallel.suite);
+      ("budget", Test_budget.suite);
       ("faults", Test_faults.suite);
       ("random", Test_random.suite);
       ("validate", Test_validate.suite);

@@ -25,11 +25,18 @@ let counter name =
   | None -> 0
 
 (* a service with fresh (small, private) caches per test *)
-let fresh_cfg ?deadline_ms ?max_request_bytes () =
+let fresh_cfg ?deadline_ms ?max_request_bytes ?admission () =
   Service.cfg
     ~cache:(Plancache.create ~cap:64 ())
     ~lines:(Plancache.create ~cap:64 ~metrics_prefix:"response_cache" ())
-    ?deadline_ms ?max_request_bytes ()
+    ?deadline_ms ?max_request_bytes ?admission ()
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
 
 (* response decoding, via the same sexp dialect the wire uses *)
 let fields_of_response (line : string) : Sexp.t list =
@@ -200,18 +207,38 @@ let test_simulate_matches_direct () =
     (E.show_compile_status hot.E.compile)
     (atom_field "compile" resp)
 
+let run_items taken =
+  List.map (function `Run x -> x | `Expired x -> "expired:" ^ x) taken
+
 let test_batcher () =
   let b = Batcher.create ~cap:2 () in
-  Alcotest.(check bool) "first offer" true (Batcher.offer b "a");
-  Alcotest.(check bool) "second offer" true (Batcher.offer b "b");
-  Alcotest.(check bool) "third offer shed" false (Batcher.offer b "c");
+  let admitted x = x = `Admitted in
+  Alcotest.(check bool) "first offer" true (admitted (Batcher.offer b "a"));
+  Alcotest.(check bool) "second offer" true (admitted (Batcher.offer b "b"));
+  Alcotest.(check bool) "third offer shed (newest-first)" true
+    (Batcher.offer b "c" = `Shed);
   Alcotest.(check int) "shed counted" 1 (Batcher.shed_count b);
   Alcotest.(check (list string)) "take is FIFO and bounded" [ "a" ]
-    (Batcher.take b ~max:1);
+    (run_items (Batcher.take b ~max:1));
   Alcotest.(check int) "one left" 1 (Batcher.length b);
-  Alcotest.(check bool) "freed a slot" true (Batcher.offer b "d");
+  Alcotest.(check bool) "freed a slot" true (admitted (Batcher.offer b "d"));
   Alcotest.(check (list string)) "drains in order" [ "b"; "d" ]
-    (Batcher.take b ~max:10)
+    (run_items (Batcher.take b ~max:10))
+
+let test_batcher_expiry () =
+  let b = Batcher.create ~cap:4 () in
+  (* already expired at offer time: refused without queueing *)
+  Alcotest.(check bool) "expired at offer" true
+    (Batcher.offer b ~expires_at:1.0 ~now:2.0 "old" = `Expired);
+  Alcotest.(check int) "nothing queued" 0 (Batcher.length b);
+  ignore (Batcher.offer b ~expires_at:10.0 ~now:2.0 "lives");
+  ignore (Batcher.offer b ~expires_at:3.0 ~now:2.0 "dies-queued");
+  ignore (Batcher.offer b "immortal");
+  (* at take time the middle one has lapsed; it comes back tagged so
+     the server can answer it, but it must not claim a worker *)
+  Alcotest.(check (list string)) "expiry tagged at take"
+    [ "lives"; "expired:dies-queued"; "immortal" ]
+    (run_items (Batcher.take b ~now:5.0 ~max:10))
 
 (* ---------------- end-to-end through the server loop ---------------- *)
 
@@ -485,6 +512,235 @@ let test_graceful_shutdown () =
       close_out wc;
       Unix.close r)
 
+(* ---------------- budgets, admission, brownout, client ------------- *)
+
+module Budget = Fv_parallel.Budget
+module Admission = Fv_serve.Admission
+module Brownout = Fv_serve.Brownout
+module Quarantine = Fv_serve.Quarantine
+module Client = Fv_serve.Client
+
+(* a pre-canceled injected budget must map to deadline-exceeded — and
+   never be memoized, so a later replay computes the real answer *)
+let test_service_maps_canceled () =
+  let c = fresh_cfg () in
+  let line = Loadgen.loop_request_line ~id:"b1" ok_case in
+  let b = Budget.create () in
+  Budget.cancel b;
+  let resp = Service.handle ~budget:b c line in
+  Alcotest.(check string) "cooperative cancel answers deadline-exceeded"
+    "deadline-exceeded" (status_of resp);
+  Alcotest.(check string) "id survives cancellation" "b1"
+    (atom_field "id" resp);
+  Alcotest.(check int) "canceled outcome not memoized" 0
+    (Plancache.size c.Service.lines);
+  Alcotest.(check string) "replay computes the real answer" "ok"
+    (status_of (Service.handle c line))
+
+let test_admission_control () =
+  let line = Loadgen.loop_request_line ok_case in
+  let adm = Admission.create () in
+  Alcotest.(check (option (float 0.0))) "uncalibrated admits everything" None
+    (Admission.estimate_ms adm ~units:1e12);
+  let r = P.request_of_sexp (Sexp.of_string line) in
+  let sim_r =
+    P.request_of_sexp
+      (Sexp.of_string (Loadgen.simulate_request_line ok_case))
+  in
+  Alcotest.(check bool) "simulation dearer than compilation" true
+    (Admission.cost_units sim_r > Admission.cost_units r);
+  (* calibrate with an absurdly slow observation: now the estimate for
+     this very request dwarfs any deadline *)
+  Admission.observe adm ~units:(Admission.cost_units r) ~seconds:1000.0;
+  let c = fresh_cfg ~deadline_ms:5 ~admission:adm () in
+  let resp = Service.handle c line in
+  Alcotest.(check string) "rejected by cost, not by timeout" "rejected-cost"
+    (status_of resp);
+  Alcotest.(check int) "cost rejections not memoized" 0
+    (Plancache.size c.Service.lines);
+  (* without a deadline there is nothing to reject against *)
+  let c2 = fresh_cfg ~admission:adm () in
+  Alcotest.(check string) "no deadline: admitted and served" "ok"
+    (status_of (Service.handle c2 line))
+
+(* a case both the FlexVec and the classical vectorizer accept, and one
+   only FlexVec accepts — the two rungs of the degrade ladder *)
+let find_case pred =
+  let rec go seed =
+    if seed > 5000 then Alcotest.fail "no matching fuzz case found"
+    else
+      let c = Gen.case_of_seed ~p_malformed:0.0 seed in
+      if pred c then c else go (seed + 1)
+  in
+  go 0
+
+let flexvec_ok (c : Gen.case) =
+  Result.is_ok
+    (Fv_vectorizer.Gen.vectorize ~vl:c.Gen.vl ~style:Fv_vectorizer.Gen.Flexvec
+       c.Gen.loop)
+
+let traditional_ok (c : Gen.case) =
+  Result.is_ok (Fv_vectorizer.Traditional.vectorize ~vl:c.Gen.vl c.Gen.loop)
+
+let test_brownout_ladder () =
+  Alcotest.(check int) "empty queue: nominal" 0
+    (Brownout.rank (Brownout.of_queue ~len:0 ~cap:8 ~lo:0.5 ~hi:0.875));
+  Alcotest.(check int) "half full: compile-only" 1
+    (Brownout.rank (Brownout.of_queue ~len:4 ~cap:8 ~lo:0.5 ~hi:0.875));
+  Alcotest.(check int) "nearly full: degrade" 2
+    (Brownout.rank (Brownout.of_queue ~len:7 ~cap:8 ~lo:0.5 ~hi:0.875));
+  (* compile-only: a simulate request is answered with its plan and no
+     cycle counts, marked, and never memoized *)
+  let c = fresh_cfg () in
+  let sim = Loadgen.simulate_request_line ok_case in
+  let resp = Service.handle ~brownout:Brownout.Compile_only c sim in
+  Alcotest.(check string) "compile-only answers ok" "ok" (status_of resp);
+  Alcotest.(check bool) "marked" true
+    (contains ~needle:"(brownout compile-only)" resp);
+  Alcotest.(check (option string)) "no cycle counts" None
+    (P.one_atom "cycles" (fields_of_response resp));
+  Alcotest.(check int) "browned-out answers not memoized" 0
+    (Plancache.size c.Service.lines);
+  let full = Service.handle c sim in
+  Alcotest.(check bool) "nominal replay simulates for real" true
+    (P.one_atom "cycles" (fields_of_response full) <> None);
+  (* degrade, middle rung: a vector compile is answered with a
+     Traditional plan *)
+  let both = find_case (fun c -> flexvec_ok c && traditional_ok c) in
+  let resp =
+    Service.handle ~brownout:Brownout.Degrade (fresh_cfg ())
+      (Loadgen.loop_request_line both)
+  in
+  Alcotest.(check string) "degraded compile answers ok" "ok" (status_of resp);
+  Alcotest.(check bool) "marked traditional" true
+    (contains ~needle:"(brownout traditional)" resp);
+  (* degrade, bottom rung: FlexVec-only loops bottom out in an explicit
+     run-it-scalar answer instead of a refusal *)
+  let relaxed =
+    find_case (fun c -> flexvec_ok c && not (traditional_ok c))
+  in
+  let resp =
+    Service.handle ~brownout:Brownout.Degrade (fresh_cfg ())
+      (Loadgen.loop_request_line relaxed)
+  in
+  Alcotest.(check string) "scalar bottom still ok" "ok" (status_of resp);
+  Alcotest.(check bool) "marked scalar" true
+    (contains ~needle:"(brownout scalar)" resp);
+  Alcotest.(check (option string)) "plan says scalar" (Some "scalar")
+    (P.one_atom "plan" (fields_of_response resp))
+
+(* a request whose deadline is already blown at admission never claims
+   a worker: the server answers it straight from the admit path *)
+let test_expired_at_admission () =
+  Server.reset_shutdown ();
+  let live = Loadgen.loop_request_line ~id:"live" ok_case in
+  let dead = Loadgen.loop_request_line ~id:"dead" ~deadline_ms:0 ok_case in
+  let resps = serve_lines Server.default_opts [ dead; live ] in
+  let by_id id =
+    match
+      List.find_opt (fun r -> P.one_atom "id" (fields_of_response r) = Some id)
+        resps
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "no response for %s" id
+  in
+  Alcotest.(check int) "both answered" 2 (List.length resps);
+  Alcotest.(check string) "expired answered without running"
+    "deadline-exceeded"
+    (status_of (by_id "dead"));
+  Alcotest.(check string) "live one served" "ok" (status_of (by_id "live"))
+
+let test_quarantine_unwritable_dir () =
+  (* the quarantine dir path sits under a plain file: every persist
+     attempt fails at mkdir. The strike must still land, the response
+     path must not see an exception, and the failure must be counted *)
+  let file = Filename.temp_file "flexvec_q" ".notadir" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let dir = Filename.concat file "sub" in
+      let qt = Quarantine.create ~dir ~max_strikes:2 () in
+      let before = counter "serve_quarantine_persist_errors" in
+      let line = "(request (id poison))" in
+      Alcotest.(check int) "first strike recorded" 1
+        (Quarantine.strike qt ~line);
+      Alcotest.(check bool) "persist failure counted" true
+        (counter "serve_quarantine_persist_errors" > before);
+      Alcotest.(check int) "second strike recorded" 2
+        (Quarantine.strike qt ~line);
+      Alcotest.(check bool) "blocked despite unwritable dir" true
+        (Quarantine.blocked qt ~line))
+
+let fast_policy =
+  {
+    Client.default_policy with
+    Client.base_backoff_s = 1e-4;
+    max_backoff_s = 1e-3;
+  }
+
+let test_client_retries () =
+  (* lost responses are retried until one lands *)
+  let calls = ref 0 in
+  let flaky _ =
+    incr calls;
+    if !calls < 3 then None else Some "(response (status ok))"
+  in
+  let o = Client.call ~policy:fast_policy flaky "(request)" in
+  Alcotest.(check (option string)) "landed" (Some "ok") o.Client.status;
+  Alcotest.(check int) "two losses, one success" 3 o.Client.attempts;
+  Alcotest.(check bool) "no give-up" true (o.Client.gave_up = None);
+  (* overloaded is retryable: the shed clears on the next attempt *)
+  let calls = ref 0 in
+  let shed _ =
+    incr calls;
+    if !calls = 1 then Some "(response (status overloaded) (error full))"
+    else Some "(response (status ok))"
+  in
+  let o = Client.call ~policy:fast_policy shed "(request)" in
+  Alcotest.(check int) "one retry after a shed" 2 o.Client.attempts;
+  Alcotest.(check (option string)) "then ok" (Some "ok") o.Client.status;
+  (* deterministic verdicts are terminal: retrying only adds load *)
+  let calls = ref 0 in
+  let reject _ =
+    incr calls;
+    Some "(response (status rejected-cost) (error too-big))"
+  in
+  let o = Client.call ~policy:fast_policy reject "(request)" in
+  Alcotest.(check int) "terminal verdict: one attempt" 1 o.Client.attempts;
+  Alcotest.(check int) "transport asked once" 1 !calls
+
+let test_client_deadline_and_hedge () =
+  (* the deadline bounds the whole retry schedule, backoffs included *)
+  let o =
+    Client.call
+      ~policy:
+        {
+          Client.retries = 1000;
+          base_backoff_s = 0.005;
+          max_backoff_s = 0.005;
+          jitter = 0.0;
+          hedge_after_s = None;
+        }
+      ~deadline_ms:25
+      (fun _ -> None)
+      "(request)"
+  in
+  Alcotest.(check bool) "gave up on the deadline" true
+    (o.Client.gave_up = Some `Deadline);
+  Alcotest.(check bool) "never reached the retry cap" true
+    (o.Client.attempts < 1000);
+  Alcotest.(check bool) "no answer to give" true (o.Client.response = None);
+  (* a hedge transport rescues a dead primary *)
+  let o =
+    Client.call ~policy:fast_policy
+      ~hedge:(fun _ -> Some "(response (status ok) (via hedge))")
+      (fun _ -> None)
+      "(request)"
+  in
+  Alcotest.(check (option string)) "hedge answered" (Some "ok")
+    o.Client.status;
+  Alcotest.(check bool) "hedge was used" true (o.Client.hedges >= 1)
+
 let suite =
   [
     Alcotest.test_case "served compile == one-shot front end" `Quick
@@ -501,6 +757,22 @@ let suite =
       test_simulate_matches_direct;
     Alcotest.test_case "batcher: bounded FIFO with shed accounting" `Quick
       test_batcher;
+    Alcotest.test_case "batcher: expiry at offer and at take" `Quick
+      test_batcher_expiry;
+    Alcotest.test_case "service: Canceled maps to deadline-exceeded" `Quick
+      test_service_maps_canceled;
+    Alcotest.test_case "admission: calibrated cost rejects up front" `Quick
+      test_admission_control;
+    Alcotest.test_case "brownout: compile-only, traditional, scalar" `Quick
+      test_brownout_ladder;
+    Alcotest.test_case "expired-at-admission never claims a worker" `Quick
+      test_expired_at_admission;
+    Alcotest.test_case "quarantine: unwritable dir counted, not raised"
+      `Quick test_quarantine_unwritable_dir;
+    Alcotest.test_case "client: retries stop at terminal verdicts" `Quick
+      test_client_retries;
+    Alcotest.test_case "client: deadline bounds retries; hedge rescues"
+      `Quick test_client_deadline_and_hedge;
     Alcotest.test_case "backpressure sheds, answers everything once" `Quick
       test_shedding;
     Alcotest.test_case "oversized frame does not break the stream" `Quick
