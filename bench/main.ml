@@ -15,6 +15,7 @@
      strategies     — Figure 8 under FlexVec / wholesale / RTM
      prefetch-ablation — stream prefetcher on/off (§5 memory subsystem)
      fault-sweep    — RTM abort/retry/fallback vs injected fault rate
+     auto           — profile-guided strategy selection: regret vs oracle
      micro          — Bechamel micro-benchmarks
      serve          — compile-service load: cold vs warm plan cache
 
@@ -390,6 +391,71 @@ let fault_sweep (plan : Harness.plan) () =
     ( "errors",
       J.List
         (List.map (fun (label, msg) -> J.of_error_row ~label msg) errors) );
+  ]
+
+let auto_bench (plan : Harness.plan) () =
+  section "auto: profile-guided strategy selection vs the oracle";
+  let domains = plan.Harness.domains and mode = plan.Harness.mode in
+  let rows = Autobench.kernel_rows ~mode ?domains () in
+  let table_rows =
+    [ "Benchmark"; "Chosen"; "Predicted"; "Actual"; "Oracle"; "Oracle cyc";
+      "Regret"; "Auto spd"; "Oracle spd" ]
+    :: List.map
+         (fun (r : Autobench.row) ->
+           [
+             r.b_spec.name;
+             J.strategy_atom r.b_chosen;
+             Printf.sprintf "%.0f" r.b_predicted;
+             Printf.sprintf "%.0f" r.b_auto_cycles;
+             Fv_auto.Model.atom_of_choice r.b_oracle_arm;
+             Printf.sprintf "%.0f" r.b_oracle_cycles;
+             Printf.sprintf "%.3f" r.b_regret;
+             Report.f2 r.b_auto_speedup ^ "x";
+             Report.f2 r.b_oracle_speedup ^ "x";
+           ])
+         rows
+  in
+  print_string (Report.table table_rows);
+  let auto_g, oracle_g, ratio = Autobench.geomeans rows in
+  Printf.printf
+    "\ngeomean speedup: auto %.3fx | oracle %.3fx | ratio %.3f (gate: >= 0.9)\n"
+    auto_g oracle_g ratio;
+  let sweeps = Autobench.sweep_rows ~mode ?domains () in
+  let sweep_table =
+    [ "Sweep"; "Point"; "Chosen"; "Regret" ]
+    :: List.map
+         (fun (s : Autobench.sweep_row) ->
+           [
+             s.s_sweep;
+             s.s_label;
+             J.strategy_atom s.s_chosen;
+             Printf.sprintf "%.3f" s.s_regret;
+           ])
+         sweeps
+  in
+  Printf.printf "\noff-grid decision probes:\n";
+  print_string (Report.table sweep_table);
+  (* the regret gate is also enforced here, not only by CI's JSON
+     check: a model regression should fail the bench run directly *)
+  if ratio < 0.9 then begin
+    Printf.printf
+      "REGRET GATE FAILED: auto/oracle geomean ratio %.3f < 0.9\n" ratio;
+    degraded :=
+      ( "auto: regret gate",
+        Fv_ir.Validate.internal_error
+          (Printf.sprintf "auto/oracle geomean ratio %.3f < 0.9" ratio) )
+      :: !degraded
+  end;
+  [
+    ("rows", J.List (List.map J.of_auto_row rows));
+    ( "geomeans",
+      J.Obj
+        [
+          ("auto", J.Float auto_g);
+          ("oracle", J.Float oracle_g);
+          ("ratio", J.Float ratio);
+        ] );
+    ("sweeps", J.List (List.map J.of_auto_sweep_row sweeps));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1339,6 +1405,7 @@ let sections =
     ("strategies", strategies);
     ("prefetch-ablation", prefetch_ablation);
     ("fault-sweep", fault_sweep);
+    ("auto", auto_bench);
     ("micro", micro);
     ("serve", serve_bench);
     ("chaos", chaos_bench);
@@ -1415,7 +1482,7 @@ let () =
           J.to_file path
             (J.Obj
                [
-                 ("schema_version", J.Int 9);
+                 ("schema_version", J.Int 10);
                  ("domains", J.Int domains_used);
                  ( "mode",
                    J.Str

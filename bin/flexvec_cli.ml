@@ -7,6 +7,7 @@
      simulate BENCH            simulate scalar vs FlexVec on the Table 1 machine
      figure8                   reproduce Figure 8
      table2                    reproduce Table 2
+     calibrate                 re-fit the auto-strategy cost model
      fuzz                      differential fuzzing of the front end
      serve                     long-running compile service (plan cache) *)
 
@@ -21,10 +22,41 @@ let bench_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Data seed.")
 
+let strategy_names =
+  [ ("scalar", `Scalar); ("flexvec", `Flexvec); ("wholesale", `Wholesale);
+    ("traditional", `Traditional); ("rtm", `Rtm); ("auto", `Auto) ]
+
+(* Like [Arg.enum], but a typo gets the same Levenshtein "did you
+   mean" treatment the benchmark lookup gives, instead of a bare
+   alternatives dump. *)
 let strategy_conv =
-  Arg.enum
-    [ ("scalar", `Scalar); ("flexvec", `Flexvec); ("wholesale", `Wholesale);
-      ("traditional", `Traditional); ("rtm", `Rtm) ]
+  let parse s =
+    let k = String.lowercase_ascii s in
+    match List.assoc_opt k strategy_names with
+    | Some v -> Ok v
+    | None ->
+        let hint =
+          List.filter_map
+            (fun (n, _) ->
+              let d = R.edit_distance k n in
+              if d <= 2 then Some (d, n) else None)
+            strategy_names
+          |> List.sort compare
+          |> function
+          | (_, n) :: _ -> Printf.sprintf " — did you mean %S?" n
+          | [] -> ""
+        in
+        Error
+          (`Msg
+            (Printf.sprintf "unknown strategy %S%s (expected one of %s)" s
+               hint
+               (String.concat ", " (List.map fst strategy_names))))
+  in
+  let print ppf v =
+    Fmt.string ppf
+      (fst (List.find (fun (_, v') -> v' = v) strategy_names))
+  in
+  Arg.conv (parse, print)
 
 let strategy_arg =
   Arg.(
@@ -33,7 +65,8 @@ let strategy_arg =
     & info [ "strategy" ] ~docv:"STRATEGY"
         ~doc:
           "Execution strategy: scalar, flexvec, wholesale (PACT'13 \
-           baseline), traditional, or rtm.")
+           baseline), traditional, rtm, or auto (profile-guided \
+           selection by the calibrated cost model).")
 
 let tile_arg =
   Arg.(
@@ -69,6 +102,7 @@ let to_strategy s tile =
   | `Wholesale -> Fv_core.Experiment.Wholesale
   | `Traditional -> Fv_core.Experiment.Traditional
   | `Rtm -> Fv_core.Experiment.Rtm tile
+  | `Auto -> Fv_core.Experiment.Auto
 
 (** Resolve a kernel name or exit 2 with a "did you mean" hint — the
     CLI should never dump an [Invalid_argument] backtrace at a typo. *)
@@ -108,6 +142,9 @@ let supported_strategies (s : R.spec) : string list =
       ("wholesale", wholesale);
       ("traditional", traditional);
       ("rtm", flexvec);
+      (* auto needs at least one vector arm to choose from, otherwise
+         the decision is degenerate *)
+      ("auto", flexvec || wholesale || traditional);
     ]
 
 let list_cmd =
@@ -262,6 +299,18 @@ let simulate_cmd =
     Fmt.pr "%-7s: %a@."
       (Fv_core.Experiment.show_strategy s)
       Fv_ooo.Pipeline.pp_stats r.pipe;
+    (match r.auto with
+    | Some (p : Fv_core.Experiment.auto_pick) ->
+        Fmt.pr "auto decision: %s (predicted %.0f cycles)@."
+          (Fv_core.Experiment.show_strategy p.a_chosen)
+          (Fv_core.Experiment.predicted_cycles p);
+        List.iter
+          (fun (arm, cyc) ->
+            Fmt.pr "  predicted %-12s %12.0f cycles@."
+              (Fv_core.Experiment.show_strategy arm)
+              cyc)
+          p.a_predicted
+    | None -> ());
     Fmt.pr "compile: %s@."
       (Fv_core.Experiment.show_compile_status r.compile);
     (match Fv_core.Experiment.rejection_of r.compile with
@@ -467,6 +516,53 @@ let table2_cmd =
   in
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2.")
     Term.(const run $ domains_arg $ json_arg)
+
+(* ---------------- calibrate ---------------- *)
+
+let calibrate_cmd =
+  let run domains out =
+    let ms, wall =
+      Fv_core.Report.timed (fun () ->
+          Fv_core.Autocal.measure ~domains:(domains_used domains) ())
+    in
+    let coeffs = Fv_core.Autocal.fit ms in
+    Fmt.epr "calibrated on %d samples in %.1fs@." (List.length ms) wall;
+    List.iter
+      (fun (arm, err) ->
+        Fmt.epr "  %-10s mean relative error %s@."
+          (Fv_auto.Model.atom_of_choice arm)
+          (match err with
+          | Some e -> Printf.sprintf "%.1f%%" (100. *. e)
+          | None -> "n/a (no vectorized samples; scalar row reused)"))
+      (Fv_core.Autocal.report coeffs ms);
+    let text = Fmt.str "%a" Fv_auto.Calibrate.render_table coeffs in
+    match out with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Fmt.epr "coefficient table written: %s@." path
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the regenerated coefficient table (OCaml source) to \
+             $(docv) instead of stdout — point it at lib/auto/coeffs.ml \
+             to refresh the checked-in table.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Re-fit the auto-strategy cost model: run every registry kernel \
+          under every model arm, fit the per-arm coefficients to the \
+          measured cycle counts, and emit the coeffs.ml source. The \
+          simulator is deterministic, so the checked-in table is \
+          reproduced bit-for-bit from the same tree.")
+    Term.(const run $ domains_arg $ out_arg)
 
 (* ---------------- serve ---------------- *)
 
@@ -732,4 +828,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; profile_cmd; simulate_cmd; figure8_cmd;
-            table2_cmd; fuzz_cmd; serve_cmd ]))
+            table2_cmd; calibrate_cmd; fuzz_cmd; serve_cmd ]))

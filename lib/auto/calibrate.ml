@@ -1,0 +1,160 @@
+(** Deterministic calibration: fit {!Model.coeffs} to recorded runs.
+
+    Per arm, a weighted ridge least-squares over the shared basis
+    {!Model.basis}, minimizing relative error (each sample is weighted
+    by 1/cycles², so an 8k-cycle microkernel counts as much as an
+    8M-cycle one — what matters downstream is the per-kernel *ordering*
+    of arms, not absolute accuracy on the biggest trace). Samples where
+    the arm degraded down the ladder are excluded: their cycles measure
+    the scalar path, which the prediction-time gate in
+    {!Model.effective_arm} already routes to the scalar row. Everything
+    is pure float arithmetic over a caller-supplied sample list, so the
+    fit is reproducible bit-for-bit. *)
+
+type sample = {
+  s_arm : Model.choice;
+  s_features : Features.t;
+  s_cycles : float;  (** measured [Pipeline.stats.cycles] *)
+  s_vectorized : bool;
+      (** the arm ran its own style (always true for Scalar); degraded
+          runs are excluded from that arm's fit *)
+}
+
+(* solve (A + λI) w = b by Gaussian elimination with partial pivoting *)
+let solve (a : float array array) (b : float array) : float array =
+  let n = Array.length b in
+  let m = Array.init n (fun i -> Array.append (Array.copy a.(i)) [| b.(i) |]) in
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!piv).(col) then piv := r
+    done;
+    let tmp = m.(col) in
+    m.(col) <- m.(!piv);
+    m.(!piv) <- tmp;
+    let d = m.(col).(col) in
+    if Float.abs d > 0.0 then
+      for r = 0 to n - 1 do
+        if r <> col && Float.abs m.(r).(col) > 0.0 then begin
+          let k = m.(r).(col) /. d in
+          for c = col to n do
+            m.(r).(c) <- m.(r).(c) -. (k *. m.(col).(c))
+          done
+        end
+      done
+  done;
+  Array.init n (fun i ->
+      let d = m.(i).(i) in
+      if Float.abs d > 0.0 then m.(i).(n) /. d else 0.0)
+
+(* weighted ridge fit of one arm's row; [None] when the arm has no
+   usable samples *)
+let fit_row ?(ridge = 1e-6) (samples : (Features.t * float) list) :
+    float array option =
+  if samples = [] then None
+  else begin
+    let n = Model.dims in
+    let a = Array.make_matrix n n 0.0 and b = Array.make n 0.0 in
+    List.iter
+      (fun (f, y) ->
+        let phi = Model.basis f in
+        let w = 1.0 /. Float.max 1.0 (y *. y) in
+        for i = 0 to n - 1 do
+          b.(i) <- b.(i) +. (w *. phi.(i) *. y);
+          for j = 0 to n - 1 do
+            a.(i).(j) <- a.(i).(j) +. (w *. phi.(i) *. phi.(j))
+          done
+        done)
+      samples;
+    (* relative ridge: scaled to the largest diagonal entry so the
+       regularization is unit-free *)
+    let scale = Array.fold_left (fun acc row ->
+        Array.fold_left Float.max acc row) 0.0 a
+    in
+    let lambda = ridge *. Float.max 1e-300 scale in
+    for i = 0 to n - 1 do
+      a.(i).(i) <- a.(i).(i) +. lambda
+    done;
+    Some (solve a b)
+  end
+
+let rows_for (samples : sample list) (arm : Model.choice) :
+    (Features.t * float) list =
+  List.filter_map
+    (fun s ->
+      if Model.equal_choice s.s_arm arm && s.s_vectorized then
+        Some (s.s_features, s.s_cycles)
+      else None)
+    samples
+
+(** Fit every arm. An arm with no vectorized samples anywhere in the
+    registry (the traditional vectorizer on a purely irregular suite,
+    say) falls back to the scalar row — harmless, because the viability
+    gate sends such arms to the scalar row at prediction time too. *)
+let fit ?ridge (samples : sample list) : Model.coeffs =
+  let scalar =
+    match fit_row ?ridge (rows_for samples Model.Scalar) with
+    | Some row -> row
+    | None -> invalid_arg "Calibrate.fit: no scalar samples"
+  in
+  let arm_row a =
+    match fit_row ?ridge (rows_for samples a) with
+    | Some row -> row
+    | None -> Array.copy scalar
+  in
+  {
+    Model.scalar;
+    traditional = arm_row Model.Traditional;
+    flexvec = arm_row Model.Flexvec;
+    wholesale = arm_row Model.Wholesale;
+    rtm = List.map (fun t -> (t, arm_row (Model.Rtm t))) Model.rtm_tiles;
+  }
+
+(** Mean absolute relative error of [c] on the fit-eligible samples —
+    the number the calibration report prints per arm. *)
+let rel_error (c : Model.coeffs) (samples : sample list) (arm : Model.choice) :
+    float option =
+  match rows_for samples arm with
+  | [] -> None
+  | rows ->
+      let total =
+        List.fold_left
+          (fun acc (f, y) ->
+            acc +. Float.abs ((Model.predict c f arm -. y) /. Float.max 1.0 y))
+          0.0 rows
+      in
+      Some (total /. float_of_int (List.length rows))
+
+(* hex float literals round-trip exactly through the OCaml lexer *)
+let render_row ppf (row : float array) =
+  Fmt.pf ppf "[| %a |]"
+    (Fmt.array ~sep:(Fmt.any ";@ ") (fun ppf v -> Fmt.pf ppf "%h" v))
+    row
+
+(** Render [c] as the source text of {!Coeffs} — the checked-in table.
+    Regenerate with [flexvec_cli calibrate]. *)
+let render_table ppf (c : Model.coeffs) =
+  Fmt.pf ppf
+    "(** Calibrated cost-model coefficients — generated file.@\n\
+     @\n\
+    \    Regenerate with [flexvec_cli calibrate --out lib/auto/coeffs.ml]@\n\
+    \    after any change to the simulator, the registry kernels, or the@\n\
+    \    model basis. Weights are hex float literals so the table@\n\
+    \    round-trips bit-exactly. *)@\n\
+     @\n\
+     let table : Model.coeffs =@\n\
+    \  {@\n\
+    \    Model.scalar = @[%a@];@\n\
+    \    traditional = @[%a@];@\n\
+    \    flexvec = @[%a@];@\n\
+    \    wholesale = @[%a@];@\n\
+    \    rtm =@\n\
+    \      [@\n\
+     %a\
+    \      ];@\n\
+    \  }@\n"
+    render_row c.Model.scalar render_row c.Model.traditional render_row
+    c.Model.flexvec render_row c.Model.wholesale
+    (Fmt.list ~sep:Fmt.nop (fun ppf (t, row) ->
+         Fmt.pf ppf "        (%d, @[%a@]);@\n" t render_row row))
+    c.Model.rtm

@@ -1,0 +1,41 @@
+(** Calibrated cost-model coefficients — generated file.
+
+    Regenerate with [flexvec_cli calibrate --out lib/auto/coeffs.ml]
+    after any change to the simulator, the registry kernels, or the
+    model basis. Weights are hex float literals so the table
+    round-trips bit-exactly. *)
+
+let table : Model.coeffs =
+  {
+    Model.scalar = [| 0x1.140ce2a043f94p-5; -0x1.d97b607104c5fp-3;
+                   -0x1.e2b2123e73502p-1; 0x1.2185ec20eff21p+2;
+                   0x1.2899b1432cfdp+4; -0x1.a01a97f52c34dp+3;
+                   0x1.a82c83fca5642p-1 |];
+    traditional = [| 0x1.140ce2a043f94p-5; -0x1.d97b607104c5fp-3;
+                  -0x1.e2b2123e73502p-1; 0x1.2185ec20eff21p+2;
+                  0x1.2899b1432cfdp+4; -0x1.a01a97f52c34dp+3;
+                  0x1.a82c83fca5642p-1 |];
+    flexvec = [| -0x1.0383de9635644p-6; -0x1.8a624e4909d9fp-3;
+              -0x1.101f0c15d8397p-1; 0x1.27d6ef3a13814p+1;
+              0x1.6b40cf36f9c3cp+4; 0x1.686c4accd1c4ep+2;
+              0x1.30036ac4576d2p-1 |];
+    wholesale = [| 0x1.73ee5b92cdafcp-4; -0x1.3d2c1eb8315ap-2;
+                -0x1.4759c02aeff64p+0; 0x1.1ebe34ffa4d46p+2;
+                0x1.4cc544088d40dp+5; -0x1.e55c5f1cdf257p+1;
+                0x1.c1070cc3bd53dp-1 |];
+    rtm =
+      [
+        (64, [| 0x1.4f591af44d687p-8; -0x1.e89729d355f5p-4;
+             -0x1.3b35e89c84249p+0; 0x1.386eba8c6ac85p+1;
+             0x1.aa7286ef90273p+4; 0x1.fc351be39fd0ap+1;
+             0x1.23b38ad67e5f7p-1 |]);
+        (256, [| -0x1.318eb240aec33p-6; -0x1.3f3194f7e694cp-3;
+              -0x1.8acc0520b1bd1p-1; 0x1.209ed0e726b08p+1;
+              0x1.7528d06a26452p+4; 0x1.54a0263ad1445p+2;
+              0x1.2593dc88f944dp-1 |]);
+        (1024, [| -0x1.90dce10471623p-5; -0x1.9a311976463f6p-4;
+               -0x1.56fc403f5bd7dp+0; 0x1.d8a1a777b06abp+0;
+               0x1.810157ed19405p+4; 0x1.d42e1dbd2f6cbp+2;
+               0x1.456de22ae762ap-1 |]);
+      ];
+  }

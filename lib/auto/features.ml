@@ -1,0 +1,195 @@
+(** The feature vector behind profile-guided strategy selection.
+
+    One record joining the two information sources a compiler has before
+    committing to a strategy: the dynamic counts `Fv_profiler.Profile`
+    collects from a warmup slice (trip counts, effective vector length,
+    dependency-fire events, uop mix, branch behaviour) and the static
+    shape `Fv_pdg.Classify` extracts from the PDG (which partial-vector
+    patterns the loop needs, whether classical idiom recognition would
+    accept it). {!Model} predicts per-strategy cycle counts from exactly
+    these fields and nothing else, so everything the selector knows is
+    inspectable — the serve daemon renders this record verbatim as the
+    rationale of an `auto` response. *)
+
+module P = Fv_profiler.Profile
+module C = Fv_pdg.Classify
+
+type t = {
+  vl : int;  (** hardware vector length the strategies would compile for *)
+  invocations : int;
+  trips : int;  (** total iterations across invocations *)
+  avg_trip : float;
+  effective_vl : float;
+  dep_events : int;
+  hot_uops : int;
+  mem_uops : int;
+  compute_uops : int;
+  mem_ratio : float;
+  branches : int;  (** dynamic conditional branches in the hot region *)
+  branch_taken_ratio : float;
+  coverage : float;
+  (* static plan features *)
+  vectorizable : bool;  (** [Classify.analyze] produced a plan *)
+  traditional_ok : bool;
+      (** every pattern is a classical idiom (reduction), so the
+          traditional vectorizer would accept the loop *)
+  reductions : int;
+  early_exits : int;
+  cond_updates : int;
+  mem_conflicts : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+let count_patterns (patterns : C.pattern list) =
+  List.fold_left
+    (fun (r, e, c, m) -> function
+      | C.Reduction _ -> (r + 1, e, c, m)
+      | C.Early_exit _ -> (r, e + 1, c, m)
+      | C.Cond_update _ -> (r, e, c + 1, m)
+      | C.Mem_conflict _ -> (r, e, c, m + 1))
+    (0, 0, 0, 0) patterns
+
+(** Join a recorded profile with the classifier's verdict on the same
+    loop. This is the only constructor the harness uses: the profile is
+    the warmup slice, the verdict is free (the compile path runs the
+    same analysis anyway). *)
+let make ~(vl : int) ~(profile : P.t) ~(verdict : C.verdict) : t =
+  let vectorizable, (reductions, early_exits, cond_updates, mem_conflicts) =
+    match verdict with
+    | C.Vectorizable plan -> (true, count_patterns plan.C.patterns)
+    | C.Rejected _ -> (false, (0, 0, 0, 0))
+  in
+  {
+    vl;
+    invocations = profile.P.invocations;
+    trips = profile.P.trips;
+    avg_trip = profile.P.avg_trip;
+    effective_vl = profile.P.effective_vl;
+    dep_events = profile.P.dep_events;
+    hot_uops = profile.P.hot_uops;
+    mem_uops = profile.P.mem_uops;
+    compute_uops = profile.P.compute_uops;
+    mem_ratio = profile.P.mem_ratio;
+    branches = profile.P.branches;
+    branch_taken_ratio = profile.P.branch_taken_ratio;
+    coverage = profile.P.coverage;
+    vectorizable;
+    traditional_ok =
+      vectorizable && early_exits = 0 && cond_updates = 0 && mem_conflicts = 0;
+    reductions;
+    early_exits;
+    cond_updates;
+    mem_conflicts;
+  }
+
+(* static uop estimate for one iteration: loads/stores vs everything
+   else, walking the statement tree the way the interpreter would *)
+let rec expr_uops (e : Fv_ir.Ast.expr) =
+  match e with
+  | Fv_ir.Ast.Const _ | Fv_ir.Ast.Var _ -> (0, 1)
+  | Fv_ir.Ast.Load (_, idx) ->
+      let m, c = expr_uops idx in
+      (m + 1, c)
+  | Fv_ir.Ast.Binop (_, a, b) | Fv_ir.Ast.Cmp (_, a, b) ->
+      let ma, ca = expr_uops a and mb, cb = expr_uops b in
+      (ma + mb, ca + cb + 1)
+  | Fv_ir.Ast.Unop (_, a) ->
+      let m, c = expr_uops a in
+      (m, c + 1)
+
+let rec body_uops (body : Fv_ir.Ast.stmt list) =
+  List.fold_left
+    (fun (m, c, b) (s : Fv_ir.Ast.stmt) ->
+      match s.Fv_ir.Ast.node with
+      | Fv_ir.Ast.Assign (_, e) ->
+          let me, ce = expr_uops e in
+          (m + me, c + ce, b)
+      | Fv_ir.Ast.Store (_, idx, e) ->
+          let mi, ci = expr_uops idx and me, ce = expr_uops e in
+          (m + mi + me + 1, c + ci + ce, b)
+      | Fv_ir.Ast.If (cond, t, e) ->
+          let mc, cc = expr_uops cond in
+          let mt, ct, bt = body_uops t in
+          let me, ce, be = body_uops e in
+          (m + mc + mt + me, c + cc + ct + ce, b + 1 + bt + be)
+      | Fv_ir.Ast.Break -> (m, c, b))
+    (0, 0, 0) body
+
+(** Feature vector for a bare loop with no memory image to profile —
+    the serve daemon's compile-only wire shape. Dynamic counts are
+    estimated statically: the trip count from a constant bound (or the
+    admission default of 1024 when the bound is dynamic), the uop mix
+    from a walk of the statement tree, and — following the paper's
+    working assumption that relaxed dependencies fire infrequently — one
+    dependency event per 32 iterations per non-reduction pattern. A
+    decision from this constructor is a prior, not a measurement; the
+    rationale marks it [static-estimate]. *)
+let of_static ~(vl : int) ~(trip : int option) (l : Fv_ir.Ast.loop)
+    ~(verdict : C.verdict) : t =
+  let trips = match trip with Some n when n > 0 -> n | _ -> 1024 in
+  let vectorizable, (reductions, early_exits, cond_updates, mem_conflicts) =
+    match verdict with
+    | C.Vectorizable plan -> (true, count_patterns plan.C.patterns)
+    | C.Rejected _ -> (false, (0, 0, 0, 0))
+  in
+  let mem_per_iter, compute_per_iter, branches_per_iter =
+    body_uops l.Fv_ir.Ast.body
+  in
+  let fi = float_of_int in
+  let mem_uops = trips * mem_per_iter
+  and compute_uops = trips * (compute_per_iter + 2 (* index increment+test *))
+  and branches = trips * (branches_per_iter + 1 (* loop back-branch *)) in
+  let patterns = early_exits + cond_updates + mem_conflicts in
+  let dep_events = trips * patterns / 32 in
+  let avg_trip = fi trips in
+  let effective_vl =
+    if dep_events <= 0 then avg_trip else avg_trip /. fi dep_events
+  in
+  {
+    vl;
+    invocations = 1;
+    trips;
+    avg_trip;
+    effective_vl;
+    dep_events;
+    hot_uops = mem_uops + compute_uops + branches;
+    mem_uops;
+    compute_uops;
+    mem_ratio = fi mem_uops /. fi (max 1 compute_uops);
+    branches;
+    branch_taken_ratio = 0.5;
+    coverage = 1.0;
+    vectorizable;
+    traditional_ok =
+      vectorizable && early_exits = 0 && cond_updates = 0 && mem_conflicts = 0;
+    reductions;
+    early_exits;
+    cond_updates;
+    mem_conflicts;
+  }
+
+(** Flat key/value rendering for rationale payloads (wire responses,
+    JSON reports). Floats use [%.6g]; booleans render as [true]/[false]. *)
+let to_fields (f : t) : (string * string) list =
+  let i = string_of_int and g = Printf.sprintf "%.6g" in
+  [
+    ("vl", i f.vl);
+    ("invocations", i f.invocations);
+    ("trips", i f.trips);
+    ("avg-trip", g f.avg_trip);
+    ("effective-vl", g f.effective_vl);
+    ("dep-events", i f.dep_events);
+    ("hot-uops", i f.hot_uops);
+    ("mem-uops", i f.mem_uops);
+    ("compute-uops", i f.compute_uops);
+    ("mem-ratio", g f.mem_ratio);
+    ("branches", i f.branches);
+    ("branch-taken-ratio", g f.branch_taken_ratio);
+    ("coverage", g f.coverage);
+    ("vectorizable", string_of_bool f.vectorizable);
+    ("traditional-ok", string_of_bool f.traditional_ok);
+    ("reductions", i f.reductions);
+    ("early-exits", i f.early_exits);
+    ("cond-updates", i f.cond_updates);
+    ("mem-conflicts", i f.mem_conflicts);
+  ]

@@ -1,0 +1,189 @@
+(** Analytical per-strategy cycle model.
+
+    Each strategy ("arm") predicts the hot-region cycle count of a
+    workload as a linear combination of an analytically chosen basis
+    over the {!Features.t} vector — terms with a physical reading
+    (scalar work, vector work bounded by the effective VL, per-iteration
+    strip overhead, dependency-repair work, per-invocation overhead,
+    memory pressure) — with per-arm weights fitted offline by
+    {!Calibrate.fit} against recorded [Pipeline.stats] from the 18
+    registry kernels and checked in as {!Coeffs.table}. The split keeps
+    the model honest: the *shape* is an engineering judgement written
+    down here, only the magnitudes come from data, and re-running the
+    calibration is deterministic.
+
+    Strategy viability is gated on the static features, mirroring the
+    experiment pipeline's degradation ladder: a loop the classifier
+    rejects runs scalar no matter what was asked, and a loop needing
+    relaxed SCCs degrades the traditional vectorizer to scalar — so
+    those arms predict the scalar arm's cycles rather than extrapolate
+    from coefficients fitted on vectorized runs. *)
+
+type choice = Scalar | Traditional | Flexvec | Wholesale | Rtm of int
+[@@deriving show { with_path = false }, eq]
+
+let atom_of_choice = function
+  | Scalar -> "scalar"
+  | Traditional -> "traditional"
+  | Flexvec -> "flexvec"
+  | Wholesale -> "wholesale"
+  | Rtm t -> Printf.sprintf "rtm:%d" t
+
+(** RTM tile sizes the model calibrates and selects between. *)
+let rtm_tiles = [ 64; 256; 1024 ]
+
+(** The candidate arms, in preference order: when predictions tie, the
+    earlier (less speculative) arm wins. *)
+let arms : choice list =
+  [ Scalar; Traditional; Flexvec; Wholesale ]
+  @ List.map (fun t -> Rtm t) rtm_tiles
+
+(* ------------------------------------------------------------------ *)
+(* Basis                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dims = 7
+
+(** φ(f): the shared feature basis every arm weighs.
+    [| 1; hot_uops; hot_uops / min(vl, effective_vl); trips; dep_events;
+       invocations; mem_uops |] *)
+let basis (f : Features.t) : float array =
+  let fi = float_of_int in
+  let u = fi f.Features.hot_uops in
+  let evl =
+    Float.max 1.0 (Float.min (fi f.Features.vl) f.Features.effective_vl)
+  in
+  [|
+    1.0;
+    u;
+    u /. evl;
+    fi f.Features.trips;
+    fi f.Features.dep_events;
+    fi f.Features.invocations;
+    fi f.Features.mem_uops;
+  |]
+
+type coeffs = {
+  scalar : float array;
+  traditional : float array;
+  flexvec : float array;
+  wholesale : float array;
+  rtm : (int * float array) list;  (** per calibrated tile size *)
+}
+
+(* an uncalibrated Rtm tile borrows the nearest calibrated tile's row
+   (nearest in log-space, ties to the smaller tile) *)
+let rtm_row (c : coeffs) (tile : int) : float array =
+  match List.assoc_opt tile c.rtm with
+  | Some row -> row
+  | None -> (
+      let dist t =
+        Float.abs (log (float_of_int (max 1 tile)) -. log (float_of_int t))
+      in
+      match
+        List.stable_sort (fun (a, _) (b, _) -> compare (dist a) (dist b)) c.rtm
+      with
+      | (_, row) :: _ -> row
+      | [] -> c.flexvec)
+
+let row (c : coeffs) = function
+  | Scalar -> c.scalar
+  | Traditional -> c.traditional
+  | Flexvec -> c.flexvec
+  | Wholesale -> c.wholesale
+  | Rtm tile -> rtm_row c tile
+
+let dot (w : float array) (phi : float array) : float =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length w - 1 do
+    acc := !acc +. (w.(i) *. phi.(i))
+  done;
+  !acc
+
+(* which arm actually executes, after the degradation ladder *)
+let effective_arm (f : Features.t) (a : choice) : choice =
+  match a with
+  | Scalar -> Scalar
+  | _ when not f.Features.vectorizable -> Scalar
+  | Traditional when not f.Features.traditional_ok -> Scalar
+  | a -> a
+
+(** Predicted hot-region cycles for arm [a] on features [f], clamped to
+    at least one cycle. *)
+let predict (c : coeffs) (f : Features.t) (a : choice) : float =
+  let phi = basis f in
+  Float.max 1.0 (dot (row c (effective_arm f a)) phi)
+
+(** Predict every arm and commit to the winner. Returns the chosen arm
+    and the full prediction list (in {!arms} order) — the rationale a
+    caller can surface. Ties break toward the earlier, less speculative
+    arm, so a loop with nothing to gain stays scalar. *)
+let choose (c : coeffs) (f : Features.t) : choice * (choice * float) list =
+  let predicted = List.map (fun a -> (a, predict c f a)) arms in
+  let best =
+    List.fold_left
+      (fun (ba, bv) (a, v) -> if v < bv then (a, v) else (ba, bv))
+      (List.hd predicted |> fun (a, v) -> (a, v))
+      (List.tl predicted)
+  in
+  (fst best, predicted)
+
+(* ------------------------------------------------------------------ *)
+(* Admission cost classes                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical mid-weight irregular loop the admission classes are
+    evaluated at: 1k iterations of a conditional-update kernel, one
+    dependency fire every 32 trips, a third of the uops memory. *)
+let reference_features : Features.t =
+  {
+    Features.vl = 16;
+    invocations = 1;
+    trips = 1024;
+    avg_trip = 1024.0;
+    effective_vl = 32.0;
+    dep_events = 32;
+    hot_uops = 8192;
+    mem_uops = 2730;
+    compute_uops = 4438;
+    mem_ratio = 0.615;
+    branches = 1024;
+    branch_taken_ratio = 0.5;
+    coverage = 0.3;
+    vectorizable = true;
+    traditional_ok = false;
+    reductions = 0;
+    early_exits = 0;
+    cond_updates = 1;
+    mem_conflicts = 0;
+  }
+
+(* serving a simulate request costs the scalar leg (the baseline is
+   always traced) plus the strategy leg, weighted by how much emulation
+   machinery the strategy drags in: nothing extra for scalar (the legs
+   coincide), the vector emulator for traditional, vector emulator +
+   oracle gate for the speculative styles, and the transactional
+   checkpoint/retry machinery on top for RTM *)
+let emulation_weight = function
+  | Scalar -> 0.0
+  | Traditional -> 1.0
+  | Flexvec | Wholesale -> 1.5
+  | Rtm _ -> 2.0
+
+(** Admission cost class of an arm, derived from the calibrated model on
+    {!reference_features} and normalized so Scalar is 1.0 — the same
+    source of truth the strategy choice uses, replacing the hand-tuned
+    constants admission shipped with. *)
+let admission_class (c : coeffs) (a : choice) : float =
+  let f = { reference_features with Features.traditional_ok = true } in
+  let scalar = predict c f Scalar in
+  1.0 +. (emulation_weight a *. predict c f a /. scalar)
+
+(** Conservative class for an `auto` request: the costliest arm it might
+    commit to, plus the warmup-slice profile the decision needs. *)
+let admission_class_auto (c : coeffs) : float =
+  let profile_overhead = 0.25 in
+  List.fold_left
+    (fun acc a -> Float.max acc (admission_class c a))
+    1.0 arms
+  +. profile_overhead

@@ -22,12 +22,36 @@ type strategy =
       (** FlexVec with hardware-transactional speculation instead of
           first-faulting loads, strip-mined into tiles of the given
           size (§3.3.2 / §4.1) *)
+  | Auto
+      (** profile-guided selection: profile a warmup slice, predict each
+          concrete strategy's cycles with the calibrated {!Fv_auto}
+          model, and commit to the winner before tracing *)
 [@@deriving show { with_path = false }, eq]
 
 let style_of = function
   | Flexvec | Rtm _ -> Some Fv_vectorizer.Gen.Flexvec
   | Wholesale -> Some Fv_vectorizer.Gen.Wholesale
-  | Scalar | Traditional -> None
+  | Scalar | Traditional | Auto -> None
+
+let strategy_of_choice : Fv_auto.Model.choice -> strategy = function
+  | Fv_auto.Model.Scalar -> Scalar
+  | Fv_auto.Model.Traditional -> Traditional
+  | Fv_auto.Model.Flexvec -> Flexvec
+  | Fv_auto.Model.Wholesale -> Wholesale
+  | Fv_auto.Model.Rtm t -> Rtm t
+
+let choice_of_strategy : strategy -> Fv_auto.Model.choice option = function
+  | Scalar -> Some Fv_auto.Model.Scalar
+  | Traditional -> Some Fv_auto.Model.Traditional
+  | Flexvec -> Some Fv_auto.Model.Flexvec
+  | Wholesale -> Some Fv_auto.Model.Wholesale
+  | Rtm t -> Some (Fv_auto.Model.Rtm t)
+  | Auto -> None
+
+(** The concrete strategies [Auto] selects between, in the model's
+    preference order — the oracle set regret is measured against. *)
+let auto_arms : strategy list =
+  List.map strategy_of_choice Fv_auto.Model.arms
 
 (** How the front end disposed of the hot loop. A vectorizing strategy
     whose compile is rejected does not abort the run: it degrades down
@@ -73,6 +97,22 @@ let obs () : run_obs =
     o_trace = None;
   }
 
+(** The record of an [Auto] run's decision — which concrete strategy
+    the model committed to, and the evidence (feature vector, predicted
+    cycles per arm) it committed on. *)
+type auto_pick = {
+  a_chosen : strategy;  (** the predicted winner the run delegated to *)
+  a_features : Fv_auto.Features.t;
+  a_predicted : (strategy * float) list;
+      (** predicted hot-region cycles per candidate arm *)
+}
+
+(** Predicted cycles of the chosen arm. *)
+let predicted_cycles (p : auto_pick) : float =
+  match List.assoc_opt p.a_chosen p.a_predicted with
+  | Some v -> v
+  | None -> nan
+
 type hot_run = {
   strategy : strategy;
   cycles : int;
@@ -96,6 +136,8 @@ type hot_run = {
   compile : compile_status;
       (** front-end disposition, including the rejection diagnostic when
           the run degraded below the requested strategy *)
+  auto : auto_pick option;
+      (** for [Auto] runs, the decision record; [None] otherwise *)
 }
 
 (* attach the caller's injection plan (if any) to a traced run's memory;
@@ -107,6 +149,9 @@ let plan_for (faults : Fv_faults.Plan.t option) (s : strategy) :
   match s with
   | Flexvec | Wholesale | Rtm _ -> faults
   | Scalar | Traditional -> None
+  (* Auto never reaches a traced run: it commits to a concrete strategy
+     first, and the delegated run applies this filter to the winner *)
+  | Auto -> None
 
 (* roll a finished run into the global metrics registry; counters only,
    so aggregation across any domain split is deterministic *)
@@ -137,14 +182,80 @@ let note_run_metrics (r : 'a) ~compile ~strategy ~fell_back ~injected ~exec
   | None -> ());
   r
 
+(** The decision itself: predictions from the checked-in calibrated
+    table over an already-built feature vector. Pure apart from the
+    [auto_decisions{strategy}] metric roll, so the same features decide
+    identically at any domain count. Exposed for callers with no memory
+    image to profile (the serve daemon's bare-loop compiles use
+    {!Fv_auto.Features.of_static}). *)
+let pick_of_features (f : Fv_auto.Features.t) : auto_pick =
+  let chosen, predicted = Fv_auto.Model.choose Fv_auto.Coeffs.table f in
+  let chosen = strategy_of_choice chosen in
+  Fv_obs.Metrics.incr Fv_obs.Metrics.global "auto_decisions"
+    ~labels:[ ("strategy", show_strategy chosen) ];
+  {
+    a_chosen = chosen;
+    a_features = f;
+    a_predicted = List.map (fun (c, v) -> (strategy_of_choice c, v)) predicted;
+  }
+
+(* features from the warmup profile + the classifier's verdict *)
+let pick_of ~vl ~(profile : Fv_profiler.Profile.t)
+    ~(verdict : Fv_pdg.Classify.verdict) : auto_pick =
+  let m = Fv_obs.Metrics.global in
+  (* surface the profiler's branch statistics alongside the decision *)
+  if profile.Fv_profiler.Profile.branches > 0 then begin
+    let taken =
+      int_of_float
+        (Float.round
+           (profile.Fv_profiler.Profile.branch_taken_ratio
+           *. float_of_int profile.Fv_profiler.Profile.branches))
+    in
+    Fv_obs.Metrics.incr m
+      ~by:profile.Fv_profiler.Profile.branches
+      "profile_branches";
+    Fv_obs.Metrics.incr m ~by:taken "profile_branches_taken"
+  end;
+  pick_of_features (Fv_auto.Features.make ~vl ~profile ~verdict)
+
+(** Decide a strategy for [l] on [mem]/[env]: profile a warmup slice
+    (the profiler interprets one invocation and scales — that slice is
+    the warmup), classify, and commit to the model's predicted winner.
+    Exposed so callers that already hold a profile/verdict pair (the
+    bench) and callers that do not (the serve daemon, the CLI) share one
+    decision path. *)
+let auto_pick ?budget ?(vl = 16) ?(invocations = 1) (l : Fv_ir.Ast.loop)
+    (mem : Memory.t) (env : (string * Value.t) list) : auto_pick =
+  Fv_parallel.Budget.check_opt budget;
+  let profile =
+    Fv_obs.Span.with_ ~cat:"auto" "profile" (fun () ->
+        Fv_profiler.Profile.profile ~invocations l mem env)
+  in
+  let verdict = Fv_pdg.Classify.analyze ?budget l in
+  Fv_parallel.Budget.check_opt budget;
+  pick_of ~vl ~profile ~verdict
+
 (** Trace one strategy's execution of the hot loop and replay it on the
     OOO model. Always verifies against the scalar oracle first. [mode]
     selects the pipeline scheduler (event-driven by default; the two
     produce identical statistics). *)
-let run_hot ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
+let rec run_hot ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
     ?(obs : run_obs option) (strategy : strategy) (l : Fv_ir.Ast.loop)
     (mem : Memory.t) (env : (string * Value.t) list) : hot_run =
+  match strategy with
+  | Auto ->
+      (* profile the warmup slice, commit to the predicted winner, and
+         run it; the result keeps [Auto] as its strategy and carries the
+         decision record (the delegated run already rolled its metrics
+         under the concrete strategy) *)
+      let pick = auto_pick ?budget ~vl l mem env in
+      let r =
+        run_hot ?budget ~vl ~mode ?faults ~rtm_retries ?obs pick.a_chosen l
+          mem env
+      in
+      { r with strategy = Auto; auto = Some pick }
+  | _ ->
   let sink = Fv_trace.Sink.create ~capacity:4096 () in
   let emit u = Fv_trace.Sink.push sink u in
   (* annotations are pinned to the trace position current at the moment
@@ -274,6 +385,7 @@ let run_hot ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
                 rtm_stats := Some rtm;
                 (Some rtm.Fv_simd.Rtm_run.exec,
                  Some (Fv_vir.Count.of_vloop vloop), false, None)))
+    | Auto -> assert false (* dispatched above *)
   in
   let record = Option.map (fun o -> o.o_timing) obs in
   (* memoized replay: the key includes the fault-plan fingerprint, so a
@@ -298,6 +410,7 @@ let run_hot ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
       rtm = !rtm_stats;
       injected_faults = !injected;
       compile = !compile;
+      auto = None;
     }
     ~compile:!compile ~strategy ~fell_back ~injected:!injected ~exec
     ~rtm:!rtm_stats
@@ -328,11 +441,27 @@ let overall_speedup ~coverage ~hot =
     paper's hot loops are entered many times per application run. The
     vectorized code is generated once (from the first build); each
     invocation gets freshly seeded data. *)
-let run_workload ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
+let rec run_workload ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
     ?(faults : Fv_faults.Plan.t option) ?(rtm_retries = 2)
     ?(obs : run_obs option) ~(invocations : int) ~(seed : int)
     (strategy : strategy) (build : int -> Fv_workloads.Kernels.built) :
     hot_run =
+  match strategy with
+  | Auto ->
+      (* the warmup slice: profile the first build (scaled to the full
+         invocation count, as the profiler's one-interpretation scaling
+         makes that free), commit, delegate *)
+      let first = build seed in
+      let pick =
+        auto_pick ?budget ~vl ~invocations first.Fv_workloads.Kernels.loop
+          first.Fv_workloads.Kernels.mem first.Fv_workloads.Kernels.env
+      in
+      let r =
+        run_workload ?budget ~vl ~mode ?faults ~rtm_retries ?obs ~invocations
+          ~seed pick.a_chosen build
+      in
+      { r with strategy = Auto; auto = Some pick }
+  | _ ->
   let plan = plan_for faults strategy in
   let injected = ref 0 and rtm_stats = ref None in
   let build k = Fv_obs.Span.with_ ~cat:"harness" "build" (fun () -> build k) in
@@ -481,6 +610,7 @@ let run_workload ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
                 | None -> r
                 | Some acc -> Fv_simd.Rtm_run.combine acc r);
             if !mix = None then mix := Some (Fv_vir.Count.of_vloop vloop))
+    | Auto -> assert false (* dispatched above *)
   in
   (* between invocations real applications execute cold code; model it
      as a short serial dependency chain so the OOO cannot overlap
@@ -520,6 +650,7 @@ let run_workload ?budget ?(vl = 16) ?(mode : Pipeline.mode = `Event)
       rtm = !rtm_stats;
       injected_faults = !injected;
       compile = !compile;
+      auto = None;
     }
     ~compile:!compile ~strategy ~fell_back:!fell_back ~injected:!injected
     ~exec:!exec ~rtm:!rtm_stats

@@ -90,6 +90,23 @@ let timed (f : unit -> 'a) : 'a * float =
     [rows] array.
 
     Version history:
+    - 10: profile-guided strategy selection — the [auto] section
+      arrived ([BENCH_auto.json]: per-kernel decision rows with the
+      feature vector, predicted-vs-actual cycles for every model arm,
+      the oracle-best arm, regret (chosen cycles / oracle-best cycles)
+      and the Auto-vs-oracle speedup geomeans, plus off-grid trip /
+      vector-length / fault-rate decision probes); profiles gained
+      [branches] (dynamic conditional-branch count, previously recorded
+      but not serialized); the registry gained the selector's counters
+      ([auto_decisions{strategy}], [profile_branches],
+      [profile_branches_taken]) and the [auto_regret] histogram.
+    - 9: deadlines made real — cooperative cancellation budgets,
+      cost-based admission control (guaranteed-late requests answered
+      [rejected-cost] up front) and brownout degradation under
+      overload; the registry gained [serve_brownout_transitions] and
+      the [serve_brownout_level] gauge, and the [overload] section
+      arrived ([BENCH_overload.json]: goodput and shed/degraded counts
+      per offered-load multiplier, plus a pure-timeout drill).
     - 8: self-healing serve — the registry gained the supervised-pool
       and quarantine counters ([pool_worker_restarts],
       [serve_worker_restarts], [serve_quarantined],
@@ -300,6 +317,7 @@ module Json = struct
         ("effective_vl", Float p.effective_vl);
         ("hot_uops", Int p.hot_uops);
         ("mem_ratio", Float p.mem_ratio);
+        ("branches", Int p.branches);
         ("branch_taken_ratio", Float p.branch_taken_ratio);
         ("coverage", Float p.coverage);
       ]
@@ -426,6 +444,72 @@ module Json = struct
         ("retry_success", Float p.f_retry_success);
       ]
 
+  (* strategy naming on the wire: the arm atom ("rtm:256"), or "auto"
+     for the selector itself *)
+  let strategy_atom (s : Experiment.strategy) : string =
+    match Experiment.choice_of_strategy s with
+    | Some c -> Fv_auto.Model.atom_of_choice c
+    | None -> "auto"
+
+  let of_auto_features (f : Fv_auto.Features.t) : t =
+    Obj
+      [
+        ("vl", Int f.Fv_auto.Features.vl);
+        ("invocations", Int f.Fv_auto.Features.invocations);
+        ("trips", Int f.Fv_auto.Features.trips);
+        ("avg_trip", Float f.Fv_auto.Features.avg_trip);
+        ("effective_vl", Float f.Fv_auto.Features.effective_vl);
+        ("dep_events", Int f.Fv_auto.Features.dep_events);
+        ("hot_uops", Int f.Fv_auto.Features.hot_uops);
+        ("mem_uops", Int f.Fv_auto.Features.mem_uops);
+        ("compute_uops", Int f.Fv_auto.Features.compute_uops);
+        ("mem_ratio", Float f.Fv_auto.Features.mem_ratio);
+        ("branches", Int f.Fv_auto.Features.branches);
+        ("branch_taken_ratio", Float f.Fv_auto.Features.branch_taken_ratio);
+        ("coverage", Float f.Fv_auto.Features.coverage);
+        ("vectorizable", Bool f.Fv_auto.Features.vectorizable);
+        ("traditional_ok", Bool f.Fv_auto.Features.traditional_ok);
+        ("reductions", Int f.Fv_auto.Features.reductions);
+        ("early_exits", Int f.Fv_auto.Features.early_exits);
+        ("cond_updates", Int f.Fv_auto.Features.cond_updates);
+        ("mem_conflicts", Int f.Fv_auto.Features.mem_conflicts);
+      ]
+
+  let of_auto_arm (a : Autobench.arm_row) : t =
+    Obj
+      [
+        ("arm", Str (Fv_auto.Model.atom_of_choice a.Autobench.ar_arm));
+        ("predicted_cycles", Float a.Autobench.ar_predicted);
+        ("actual_cycles", Float a.Autobench.ar_actual);
+        ("vectorized", Bool a.Autobench.ar_vectorized);
+      ]
+
+  let of_auto_row (r : Autobench.row) : t =
+    Obj
+      [
+        ("benchmark", Str r.Autobench.b_spec.Fv_workloads.Registry.name);
+        ("chosen", Str (strategy_atom r.Autobench.b_chosen));
+        ("predicted_cycles", Float r.Autobench.b_predicted);
+        ("auto_cycles", Float r.Autobench.b_auto_cycles);
+        ("scalar_cycles", Float r.Autobench.b_scalar_cycles);
+        ("oracle_arm", Str (Fv_auto.Model.atom_of_choice r.Autobench.b_oracle_arm));
+        ("oracle_cycles", Float r.Autobench.b_oracle_cycles);
+        ("regret", Float r.Autobench.b_regret);
+        ("auto_speedup", Float r.Autobench.b_auto_speedup);
+        ("oracle_speedup", Float r.Autobench.b_oracle_speedup);
+        ("features", of_auto_features r.Autobench.b_features);
+        ("arms", List (List.map of_auto_arm r.Autobench.b_arms));
+      ]
+
+  let of_auto_sweep_row (s : Autobench.sweep_row) : t =
+    Obj
+      [
+        ("sweep", Str s.Autobench.s_sweep);
+        ("label", Str s.Autobench.s_label);
+        ("chosen", Str (strategy_atom s.Autobench.s_chosen));
+        ("regret", Float s.Autobench.s_regret);
+      ]
+
   (* one observability-registry sample; buckets are cumulative
      (Prometheus semantics) and [le: null] is the +inf bucket (JSON has
      no Infinity literal), which therefore equals [count] *)
@@ -466,7 +550,7 @@ module Json = struct
       (body : (string * t) list) : t =
     Obj
       ([
-         ("schema_version", Int 9);
+         ("schema_version", Int 10);
          ("section", Str section);
          ("domains", Int domains);
          ("mode", Str (match mode with `Event -> "event" | `Step -> "step"));

@@ -47,11 +47,17 @@ let per_unit_s (t : t) : float option =
 
 (* ---------------- static cost units ---------------- *)
 
-let strategy_class = function
-  | E.Scalar -> 1.0
-  | E.Traditional -> 2.0
-  | E.Flexvec | E.Wholesale -> 3.0
-  | E.Rtm _ -> 4.0
+(** Strategy-class factor, recalibrated from the {!Fv_auto} cost model:
+    each class is the model's predicted cost of serving that strategy on
+    the canonical reference loop, normalized so Scalar is 1.0 — the same
+    checked-in coefficients the strategy selector commits on, replacing
+    the hand-tuned 1/2/3/4 constants this module shipped with. [Auto] is
+    priced as the costliest arm it might choose plus its warmup profile,
+    since admission runs before the decision exists. *)
+let strategy_class (s : E.strategy) : float =
+  match E.choice_of_strategy s with
+  | Some c -> Fv_auto.Model.admission_class Fv_auto.Coeffs.table c
+  | None -> Fv_auto.Model.admission_class_auto Fv_auto.Coeffs.table
 
 let rec count_atoms = function
   | Sexp.Atom _ -> 1

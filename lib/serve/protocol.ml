@@ -6,10 +6,18 @@
 
     {v
     (request (id r1)? (op compile|simulate)? (vl N)? (tile N)?
-             (strategy scalar|flexvec|wholesale|traditional|rtm)?
+             (strategy scalar|flexvec|wholesale|traditional|rtm|auto)?
              (deadline-ms N)?
              <payload>)
     v}
+
+    [strategy auto] asks the calibrated {!Fv_auto} cost model to pick:
+    the response carries an [(auto (chosen ...) (features ...)
+    (predicted ...))] rationale alongside the normal body, and the
+    cached plan entry stores it too, so the cache records {e why} a
+    strategy was picked. A compile-only request with a bare loop decides
+    from a static feature estimate (marked [static-estimate]); a
+    [(case ...)] payload is profiled for real.
 
     where [<payload>] is a [(loop ...)] or a [(case ...)] in the corpus
     encoding ({!Fv_fuzz.Corpus}). Every field except the payload is
@@ -74,6 +82,7 @@ let strategy_of_atom ~tile = function
   | "wholesale" -> E.Wholesale
   | "traditional" -> E.Traditional
   | "rtm" -> E.Rtm tile
+  | "auto" -> E.Auto
   | s -> bad "unknown strategy %S" s
 
 let show_strategy = function
@@ -82,6 +91,7 @@ let show_strategy = function
   | E.Wholesale -> "wholesale"
   | E.Traditional -> "traditional"
   | E.Rtm _ -> "rtm"
+  | E.Auto -> "auto"
 
 (* fields of a (request ...) body: (name value...) lists, looked up by
    name exactly like the corpus decoder does *)
@@ -321,10 +331,55 @@ let compile_rejected_body ~cached (d : Fv_ir.Validate.diagnostic) :
     Sexp.List [ Sexp.Atom "cached"; bool_atom cached ]; sexp_of_diagnostic d;
   ]
 
+(* an arm atom, distinguishing rtm tiles: scalar|traditional|flexvec|
+   wholesale|rtm:N *)
+let arm_atom (s : E.strategy) : string =
+  match E.choice_of_strategy s with
+  | Some c -> Fv_auto.Model.atom_of_choice c
+  | None -> "auto"
+
+(** The rationale of an auto decision: the chosen arm, the feature
+    vector it was chosen on, and every arm's predicted cycles. Rendered
+    into compile/simulate response bodies — and therefore into the plan
+    cache's stored tail, which is how a cached entry records {e why} a
+    strategy was picked. [static] marks a decision made from the
+    {!Fv_auto.Features.of_static} estimate rather than a real profile. *)
+let auto_sexp ?(static = false) (p : E.auto_pick) : Sexp.t =
+  Sexp.List
+    ((Sexp.Atom "auto"
+      :: Sexp.List [ Sexp.Atom "chosen"; Sexp.Atom (arm_atom p.E.a_chosen) ]
+      :: Sexp.List
+           [
+             Sexp.Atom "predicted-cycles";
+             Sexp.Atom (Printf.sprintf "%.1f" (E.predicted_cycles p));
+           ]
+      ::
+      (if static then
+         [ Sexp.List [ Sexp.Atom "basis"; Sexp.Atom "static-estimate" ] ]
+       else []))
+    @ [
+        Sexp.List
+          (Sexp.Atom "features"
+          :: List.map
+               (fun (k, v) -> Sexp.List [ Sexp.Atom k; Sexp.Atom v ])
+               (Fv_auto.Features.to_fields p.E.a_features));
+        Sexp.List
+          (Sexp.Atom "predicted"
+          :: List.map
+               (fun (s, c) ->
+                 Sexp.List
+                   [ Sexp.Atom (arm_atom s);
+                     Sexp.Atom (Printf.sprintf "%.1f" c);
+                   ])
+               p.E.a_predicted);
+      ])
+
 (** Body of a successful simulate response: the hot-loop comparison the
-    one-shot [flexvec_cli simulate] prints, in machine-readable form. *)
+    one-shot [flexvec_cli simulate] prints, in machine-readable form.
+    An [Auto] run's body additionally carries its decision rationale. *)
 let simulate_ok_body ~(scalar : E.hot_run) ~(run : E.hot_run) : Sexp.t list =
-  [
+  (match run.E.auto with Some p -> [ auto_sexp p ] | None -> [])
+  @ [
     Sexp.List
       [ Sexp.Atom "compile"; Sexp.Atom (E.show_compile_status run.E.compile) ];
     Sexp.List

@@ -103,14 +103,92 @@ let compile_plan ?budget ~vl ~(strategy : E.strategy) (l : Fv_ir.Ast.loop) :
           ~style:Fv_vectorizer.Gen.Wholesale l
     | E.Traditional -> Fv_vectorizer.Traditional.vectorize ?budget ~vl l
     | E.Scalar -> P.bad "strategy scalar has no vector plan to compile"
+    | E.Auto -> P.bad "strategy auto is resolved before compilation"
   in
   Result.map render_vloop result
+
+(* auto compile: decide first, then compile the winner. Keyed on the
+   whole *payload* (the case, when one was sent) rather than the bare
+   loop — the decision depends on the profiled data, so two cases with
+   the same loop but different memory images must not share an entry.
+   The stored tail carries the full rationale, which is how a plan-cache
+   entry records why its strategy was picked. *)
+let do_compile_auto ?budget (c : cfg) (r : P.request) :
+    P.status * string * string =
+  let vl =
+    match r.P.vl with
+    | Some v -> v
+    | None -> Option.value ~default:16 (P.vl_of_payload r.P.payload)
+  in
+  let payload_sexp = match r.P.payload with P.Loop_s s | P.Case_s s -> s in
+  let canonical = P.compile_key_of_sexp ~vl ~strategy:E.Auto payload_sexp in
+  match Plancache.find c.cache ~canonical with
+  | Some p ->
+      let status = if p.Plancache.p_ok then P.Ok_ else P.Rejected in
+      (status, p.Plancache.p_tail, p.Plancache.p_tail)
+  | None ->
+      let static, pick =
+        match r.P.payload with
+        | P.Case_s s ->
+            let cs = Corpus.case_of_sexp s in
+            ( false,
+              E.auto_pick ?budget ~vl cs.Fv_fuzz.Gen.loop
+                (Fv_fuzz.Gen.memory_of cs)
+                cs.Fv_fuzz.Gen.env )
+        | P.Loop_s s ->
+            (* no memory image to profile: decide on the static feature
+               estimate, and say so in the rationale *)
+            let l = Corpus.loop_of_sexp s in
+            let l = if Fv_ir.Ast.is_numbered l then l else Fv_ir.Ast.number l in
+            let verdict = Fv_pdg.Classify.analyze ?budget l in
+            let trip = Admission.trip_count s in
+            ( true,
+              E.pick_of_features (Fv_auto.Features.of_static ~vl ~trip l ~verdict)
+            )
+      in
+      B.check_opt budget;
+      let rationale = P.auto_sexp ~static pick in
+      let status, body, ok =
+        match pick.E.a_chosen with
+        | E.Scalar ->
+            (* the model's verdict is "leave it scalar": a positive
+               answer, not a refusal *)
+            ( P.Ok_,
+              (fun cached ->
+                rationale
+                :: Sexp.List [ Sexp.Atom "cached"; P.bool_atom cached ]
+                :: [ Sexp.List [ Sexp.Atom "plan"; Sexp.Atom "scalar" ] ]),
+              true )
+        | chosen -> (
+            let loop_sexp = P.loop_sexp_of_payload r.P.payload in
+            match
+              compile_plan ?budget ~vl ~strategy:chosen
+                (Corpus.loop_of_sexp loop_sexp)
+            with
+            | Ok (plan, mix) ->
+                ( P.Ok_,
+                  (fun cached ->
+                    rationale :: P.compile_ok_body ~cached ~plan ~mix),
+                  true )
+            | Error d ->
+                ( P.Rejected,
+                  (fun cached ->
+                    rationale :: P.compile_rejected_body ~cached d),
+                  false ))
+      in
+      let hit_tail = P.render_tail ~status (body true) in
+      Plancache.put c.cache ~canonical
+        { Plancache.p_tail = hit_tail; p_ok = ok; p_op = "compile" };
+      (status, P.render_tail ~status (body false), hit_tail)
 
 (* compile answers are (status, tail to send now, tail a later replay
    would get). A plan-cache hit returns the stored [(cached true)] tail
    for both, loop AST never built; a miss renders both variants so the
    response memo can store the replay form. *)
 let do_compile ?budget (c : cfg) (r : P.request) : P.status * string * string =
+  match r.P.strategy with
+  | E.Auto -> do_compile_auto ?budget c r
+  | _ ->
   let vl =
     match r.P.vl with
     | Some v -> v
@@ -161,7 +239,9 @@ let do_compile_degraded ?budget (c : cfg) (r : P.request) :
     P.status * string * string =
   match r.P.strategy with
   | E.Scalar | E.Traditional -> do_compile ?budget c r
-  | E.Flexvec | E.Wholesale | E.Rtm _ -> (
+  (* an auto request under degrade pressure skips the profile+decision
+     and takes the ladder like any vector strategy: cheap beats clever *)
+  | E.Flexvec | E.Wholesale | E.Rtm _ | E.Auto -> (
       let r' = { r with P.strategy = E.Traditional } in
       match do_compile ?budget c r' with
       | (P.Ok_, _, _) as ok -> mark "traditional" ok

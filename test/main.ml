@@ -25,4 +25,5 @@ let () =
       ("serve", Test_serve.suite);
       ("snapshot", Test_snapshot.suite);
       ("chaos", Test_chaos.suite);
+      ("auto", Test_auto.suite);
     ]

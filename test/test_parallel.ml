@@ -336,7 +336,7 @@ let test_json_report_shape () =
       Alcotest.(check bool) (Printf.sprintf "report has %s" needle) true
         (contains ~needle s))
     [
-      "\"schema_version\":9"; "\"section\":\"t\""; "\"domains\":3";
+      "\"schema_version\":10"; "\"section\":\"t\""; "\"domains\":3";
       "\"compile_status\":\"vectorized\""; "\"rejection\":null";
       "\"mode\":\"event\""; "\"truncated\":false";
       "\"fault_rate\":0"; "\"fault_seed\":1"; "\"rtm_retries\":2";

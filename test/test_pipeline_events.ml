@@ -296,6 +296,7 @@ let test_hot_speedup_truncated_neutral () =
       rtm = None;
       injected_faults = 0;
       compile = E.Not_compiled;
+      auto = None;
     }
   in
   let ok = mk ~cycles:1000 ~truncated:false in
